@@ -1,0 +1,48 @@
+//! Criterion bench for the §V-C ablation: the frequency-based DFA
+//! transformation (single-comparison hot test) against PM's shared-memory
+//! hash table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::{DeviceTable, TableLayout};
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_fsm::{FrequencyProfile, TransformedDfa};
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::{build_suite, Tier};
+
+fn bench_ablation(c: &mut Criterion) {
+    let suite = build_suite(1);
+    let spec = DeviceSpec::rtx3090();
+    let b = suite
+        .iter()
+        .find(|b| b.tier == Tier::NonConvergent)
+        .expect("deep-spec benchmark");
+    let input = b.generate_input(32 * 1024, 0);
+    let training = &input[..2048];
+    let profile = FrequencyProfile::collect(&b.dfa, training);
+    let transformed = TransformedDfa::from_profile(&b.dfa, &profile);
+    let config = SchemeConfig { n_chunks: 64, ..SchemeConfig::default() };
+
+    let mut group = c.benchmark_group("ablation_transform");
+    group.sample_size(10);
+
+    let hot_t =
+        DeviceTable::hot_rows_for_device(transformed.dfa(), TableLayout::Transformed, &spec);
+    let table_t = DeviceTable::transformed(transformed.dfa(), hot_t);
+    let job_t = Job::new(&spec, &table_t, &input, config).expect("valid");
+    group.bench_with_input(BenchmarkId::new(b.name(), "transformed"), &job_t, |bench, job| {
+        bench.iter(|| run_scheme(SchemeKind::Rr, job).total_cycles());
+    });
+
+    let hot_h = DeviceTable::hot_rows_for_device(&b.dfa, TableLayout::Hashed, &spec);
+    let table_h = DeviceTable::hashed(&b.dfa, &profile, hot_h);
+    let job_h = Job::new(&spec, &table_h, &input, config).expect("valid");
+    group.bench_with_input(BenchmarkId::new(b.name(), "hashed"), &job_h, |bench, job| {
+        bench.iter(|| run_scheme(SchemeKind::Rr, job).total_cycles());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 3: speculative execution with k paths.
+//!
+//! Host wall time is proportional to simulated work, so the α_k redundancy
+//! factor shows directly in these measurements; the harness binary
+//! (`figures -- fig3`) reports the simulated-cycle version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gspecpal::schemes::{exec_phase, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::SchemeConfig;
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::{build_suite, Family};
+
+fn bench_fig3(c: &mut Criterion) {
+    let suite = build_suite(1);
+    let spec = DeviceSpec::rtx3090();
+    let mut group = c.benchmark_group("fig3_speck");
+    group.sample_size(10);
+    for family in Family::all() {
+        let b = suite
+            .iter()
+            .find(|b| b.family == family && b.tier == gspecpal_workloads::Tier::NonConvergent)
+            .expect("every family has a deep-spec benchmark");
+        let input = b.generate_input(32 * 1024, 0);
+        let table = DeviceTable::transformed(&b.dfa, b.dfa.n_states());
+        let config = SchemeConfig { n_chunks: 64, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).expect("valid job");
+        for k in [1usize, 4, 6, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(b.name(), format!("spec-{k}")),
+                &k,
+                |bench, &k| {
+                    bench.iter(|| exec_phase(&job, k).exec_stats.cycles);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

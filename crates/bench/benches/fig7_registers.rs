@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 7: RR sensitivity to the `VR_others` register
+//! budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::{build_suite, Tier};
+
+fn bench_fig7(c: &mut Criterion) {
+    let suite = build_suite(1);
+    let spec = DeviceSpec::rtx3090();
+    let b = suite
+        .iter()
+        .find(|b| b.tier == Tier::NonConvergent)
+        .expect("suite has deep-spec benchmarks");
+    let input = b.generate_input(32 * 1024, 0);
+    let table = DeviceTable::transformed(&b.dfa, b.dfa.n_states());
+
+    let mut group = c.benchmark_group("fig7_registers");
+    group.sample_size(10);
+    for registers in [8usize, 16, 24] {
+        let config = SchemeConfig {
+            n_chunks: 64,
+            vr_others_registers: registers,
+            ..SchemeConfig::default()
+        };
+        let job = Job::new(&spec, &table, &input, config).expect("valid job");
+        group.bench_with_input(
+            BenchmarkId::new(b.name(), format!("R={registers}")),
+            &job,
+            |bench, job| {
+                bench.iter(|| run_scheme(SchemeKind::Rr, job).total_cycles());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 8: the four schemes head to head on one
+//! representative benchmark of each tier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::{build_suite, Tier};
+
+fn bench_fig8(c: &mut Criterion) {
+    let suite = build_suite(1);
+    let spec = DeviceSpec::rtx3090();
+    let mut group = c.benchmark_group("fig8_schemes");
+    group.sample_size(10);
+    for tier in [
+        Tier::SpecKFriendly,
+        Tier::SlowConvergence,
+        Tier::NonConvergent,
+        Tier::InputSensitive,
+    ] {
+        let b = suite.iter().find(|b| b.tier == tier).expect("tier present");
+        let input = b.generate_input(32 * 1024, 0);
+        let table = DeviceTable::transformed(&b.dfa, b.dfa.n_states());
+        let config = SchemeConfig { n_chunks: 64, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).expect("valid job");
+        for scheme in SchemeKind::gspecpal_schemes() {
+            group.bench_with_input(
+                BenchmarkId::new(b.name(), scheme.name()),
+                &scheme,
+                |bench, &scheme| {
+                    bench.iter(|| run_scheme(scheme, &job).total_cycles());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 9: the verification-and-recovery phase of the
+//! three speculative-recovery schemes under heavy recovery pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::{build_suite, Family, Tier};
+
+fn bench_fig9(c: &mut Criterion) {
+    let suite = build_suite(1);
+    let spec = DeviceSpec::rtx3090();
+    let mut group = c.benchmark_group("fig9_recovery");
+    group.sample_size(10);
+    for family in Family::all() {
+        let b = suite
+            .iter()
+            .find(|b| b.family == family && b.tier == Tier::NonConvergent)
+            .expect("deep-spec benchmark");
+        let input = b.generate_input(32 * 1024, 0);
+        let table = DeviceTable::transformed(&b.dfa, b.dfa.n_states());
+        let config = SchemeConfig { n_chunks: 64, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).expect("valid job");
+        for scheme in [SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf] {
+            group.bench_with_input(
+                BenchmarkId::new(b.name(), scheme.name()),
+                &scheme,
+                |bench, &scheme| {
+                    bench.iter(|| {
+                        let o = run_scheme(scheme, &job);
+                        (o.verify.cycles, o.verify.avg_recovery_round_duration() as u64)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Minimal CSV serialization for the experiment reports (for plotting the
+//! figures with external tools). Hand-rolled: values are numbers and simple
+//! identifiers, so quoting only has to handle commas and quotes defensively.
+
+use crate::experiments::{
+    AblationReport, Fig3Report, Fig7Report, Fig8Report, Fig9Report, Table2Report, Table3Report,
+};
+use crate::report::pct;
+use gspecpal::SchemeKind;
+
+/// Escapes one CSV field.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders rows of fields as CSV text.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = header.iter().map(|h| field(h)).collect::<Vec<_>>().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+impl Fig3Report {
+    /// CSV rendering: one row per family, one column per k.
+    pub fn to_csv(&self) -> String {
+        let header: Vec<String> =
+            std::iter::once("family".to_string()).chain(self.ks.iter().map(|k| format!("spec_{k}"))).collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .per_family
+            .iter()
+            .map(|(f, v)| {
+                std::iter::once(f.to_string()).chain(v.iter().map(|x| format!("{x:.4}"))).collect()
+            })
+            .collect();
+        to_csv(&header_refs, &rows)
+    }
+}
+
+impl Table2Report {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.states_range.0.to_string(),
+                    r.states_range.1.to_string(),
+                    format!("{:.0}", r.states_mean),
+                    pct(r.spec1_mean),
+                    pct(r.spec4_mean),
+                    r.input_sensitive.to_string(),
+                    format!("{:.2}", r.uniq_mean),
+                    format!("{:.3}", r.profiling_seconds),
+                ]
+            })
+            .collect();
+        to_csv(
+            &[
+                "family", "states_min", "states_max", "states_mean", "spec1_mean_pct",
+                "spec4_mean_pct", "input_sensitive", "uniq10_mean", "profiling_s",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Fig7Report {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let header: Vec<String> = std::iter::once("family".to_string())
+            .chain(self.registers.iter().map(|r| format!("r{r}")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .per_family
+            .iter()
+            .map(|(f, v)| {
+                std::iter::once(f.to_string()).chain(v.iter().map(|x| format!("{x:.4}"))).collect()
+            })
+            .collect();
+        to_csv(&header_refs, &rows)
+    }
+}
+
+impl Fig8Report {
+    /// CSV rendering: one row per FSM with cycles and speedups.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.tier.name().to_string(),
+                    r.pm.to_string(),
+                    r.sre.to_string(),
+                    r.rr.to_string(),
+                    r.nf.to_string(),
+                    format!("{:.4}", r.speedup(SchemeKind::Sre)),
+                    format!("{:.4}", r.speedup(SchemeKind::Rr)),
+                    format!("{:.4}", r.speedup(SchemeKind::Nf)),
+                    r.selected.to_string(),
+                    format!("{:.4}", r.selected_speedup()),
+                ]
+            })
+            .collect();
+        to_csv(
+            &[
+                "fsm", "tier", "pm_cycles", "sre_cycles", "rr_cycles", "nf_cycles",
+                "sre_speedup", "rr_speedup", "nf_speedup", "selected", "selected_speedup",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Table3Report {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.index.to_string(), r.tier.name().to_string()];
+                for (acc, _) in &r.per_scheme {
+                    row.push(pct(*acc));
+                }
+                for (_, act) in &r.per_scheme {
+                    row.push(format!("{act:.1}"));
+                }
+                row
+            })
+            .collect();
+        to_csv(
+            &[
+                "snort", "tier", "pm_acc_pct", "sre_acc_pct", "rr_acc_pct", "nf_acc_pct",
+                "pm_active", "sre_active", "rr_active", "nf_active",
+            ],
+            &rows,
+        )
+    }
+}
+
+impl Fig9Report {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(n, rr, nf)| vec![n.clone(), format!("{rr:.4}"), format!("{nf:.4}")])
+            .collect();
+        to_csv(&["fsm", "rr_over_sre", "nf_over_sre"], &rows)
+    }
+}
+
+impl AblationReport {
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(n, r)| vec![n.clone(), format!("{r:.4}")])
+            .collect();
+        to_csv(&["fsm", "hashed_over_transformed"], &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_are_escaped() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn csv_shape() {
+        let text = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4,5".into()]],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["a,b", "1,2", "3,\"4,5\""]);
+    }
+
+    #[test]
+    fn fig9_csv_round_trip() {
+        let r = Fig9Report { rows: vec![("Snort5".into(), 1.25, 1.10)] };
+        let csv = r.to_csv();
+        assert!(csv.starts_with("fsm,rr_over_sre,nf_over_sre\n"));
+        assert!(csv.contains("Snort5,1.2500,1.1000"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `run_*` function reproduces one experiment from §V and returns a
+//! structured report; the `figures` binary prints them in the paper's
+//! format. All experiments are deterministic in `(seed, input_len)`.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod experiments;
+pub mod extras;
+pub mod report;
+
+pub use experiments::{
+    run_ablation, run_fig3, run_fig7, run_fig8, run_fig9, run_selector_eval, run_table2,
+    run_table3, ExperimentConfig,
+};
+pub use extras::{
+    run_budget_ablation, run_cpu_scaling, run_device_sensitivity, run_model_validation,
+    run_motivation,
+};

@@ -1,0 +1,189 @@
+//! The §III-C analytical cost model (Equations 1-4).
+//!
+//! The paper breaks speculative FSM parallelization time into
+//! `T = C + T_par + T_v&r` (Equation 1) and derives per-scheme expressions
+//! for PM (Equation 2) and the speculative-recovery family (Equation 3).
+//! This module evaluates those closed forms from measured primitive costs so
+//! the simulator can be sanity-checked against the analysis: the model's
+//! scheme ranking should agree with the simulated ranking on inputs with
+//! stable mismatch probabilities.
+
+/// Primitive costs, in cycles, measured or estimated for one job.
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Prediction cost `C`.
+    pub c: f64,
+    /// One-path parallel speculative execution time `T_p1`.
+    pub t_p1: f64,
+    /// Redundancy factor `α_k = T_pk / T_p1` (spec-k execution, Fig 3).
+    pub alpha_k: f64,
+    /// Communication cost of forwarding one end state, `T_comm(1)`.
+    pub t_comm1: f64,
+    /// Verification cost for one state against one record, `T_ver(1)`.
+    pub t_ver1: f64,
+    /// `k` of spec-k.
+    pub k: usize,
+}
+
+impl CostParams {
+    /// `T_comm(k)`: forwarding k states.
+    pub fn t_comm_k(&self) -> f64 {
+        self.t_comm1 * self.k as f64
+    }
+
+    /// `T_ver(k)`: checking k states against k records.
+    pub fn t_ver_k(&self) -> f64 {
+        self.t_ver1 * (self.k * self.k) as f64
+    }
+}
+
+/// Equation 2: predicted PM execution time given the per-chunk mismatch
+/// probabilities `p_mismatch[i] = P_i^PM = 1 - accu_i^{spec-k}` (index 0 is
+/// chunk 2 of the paper's 1-based sum).
+pub fn pm_time(params: &CostParams, n_chunks: usize, p_mismatch: &[f64]) -> f64 {
+    let log_n = (n_chunks.max(2) as f64).log2().ceil();
+    let merge = log_n * (params.t_comm_k() + params.t_ver_k());
+    let sequential: f64 = p_mismatch
+        .iter()
+        .map(|p| p * (params.t_comm1 + params.t_ver_k() + params.t_p1))
+        .sum();
+    params.c + params.t_p1 * params.alpha_k + merge + sequential
+}
+
+/// Equation 3: predicted time for the speculative-recovery family
+/// (SRE/RR/NF) given `p_recover[i] = P_i^SR`, the probability that chunk i
+/// becomes a must-be-done recovery at the frontier (Equation 4 folds the
+/// accuracy increments Δ_End and Δ_Specs into this probability).
+pub fn sr_time(params: &CostParams, p_recover: &[f64]) -> f64 {
+    let verification: f64 = p_recover
+        .iter()
+        .map(|p| params.t_comm1 + params.t_ver1 + p * params.t_p1)
+        .sum();
+    params.c + params.t_p1 + verification
+}
+
+/// Solves for the uniform per-chunk mismatch probability at which PM and a
+/// speculative-recovery scheme break even (Equations 2 = 3 with
+/// `P_i^PM = p_pm` and `P_i^SR = p_sr = ratio × p_pm` for all chunks).
+/// Returns the `p_pm` crossover in `[0, 1]`, or `None` when one scheme
+/// dominates the whole range — the quantitative version of §III-C's "when a
+/// specific scheme works most efficiently".
+pub fn pm_sr_crossover(params: &CostParams, n_chunks: usize, sr_over_pm_miss: f64) -> Option<f64> {
+    let diff = |p: f64| {
+        pm_time(params, n_chunks, &vec![p; n_chunks.saturating_sub(1)])
+            - sr_time(params, &vec![(p * sr_over_pm_miss).min(1.0); n_chunks.saturating_sub(1)])
+    };
+    let (lo, hi) = (diff(0.0), diff(1.0));
+    if lo.signum() == hi.signum() {
+        return None;
+    }
+    // Bisection: both closed forms are monotone in p.
+    let (mut a, mut b) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (a + b);
+        if diff(mid).signum() == lo.signum() {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// Equation 4 helper: the frontier-recovery probability of a
+/// speculative-recovery scheme, from the base spec-1 accuracy and the two
+/// accuracy increments.
+pub fn sr_recover_probability(accu_spec1: f64, delta_end: f64, delta_specs: f64) -> f64 {
+    (1.0 - (accu_spec1 + delta_end + delta_specs)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams { c: 100.0, t_p1: 10_000.0, alpha_k: 2.5, t_comm1: 4.0, t_ver1: 2.0, k: 4 }
+    }
+
+    #[test]
+    fn pm_beats_sr_when_speck_is_perfect_and_spec1_poor() {
+        let p = params();
+        let n = 256;
+        // PM: spec-4 covers everything; SR: 70% frontier recoveries.
+        let pm = pm_time(&p, n, &vec![0.0; n - 1]);
+        let sr = sr_time(&p, &vec![0.7; n - 1]);
+        assert!(pm < sr, "pm {pm} < sr {sr}");
+    }
+
+    #[test]
+    fn sr_beats_pm_when_both_speculations_fail_but_recovery_is_covered() {
+        let p = params();
+        let n = 256;
+        // PM misses on 90% of chunks (sequential recovery); the aggressive
+        // schemes cover all but 5% via Δ_Specs.
+        let pm = pm_time(&p, n, &vec![0.9; n - 1]);
+        let sr = sr_time(&p, &vec![0.05; n - 1]);
+        assert!(sr < pm, "sr {sr} < pm {pm}");
+        // And the gap is roughly the ratio of sequential re-executions.
+        assert!(pm / sr > 5.0);
+    }
+
+    #[test]
+    fn crossover_sits_between_the_regimes() {
+        // A crossover requires PM to win at p = 0, i.e. the spec-k tax
+        // `(α_k - 1)·T_p1 + merge` must undercut SR's N-round verification
+        // floor. Use a cheap k (low α) and an expensive per-round check.
+        let p = CostParams {
+            c: 100.0,
+            t_p1: 10_000.0,
+            alpha_k: 1.05,
+            t_comm1: 16.0,
+            t_ver1: 8.0,
+            k: 4,
+        };
+        let n = 256;
+        let cross = pm_sr_crossover(&p, n, 0.1).expect("a crossover exists");
+        assert!((0.0..=1.0).contains(&cross), "crossover {cross}");
+        let below = pm_time(&p, n, &vec![cross * 0.5; n - 1]);
+        let below_sr = sr_time(&p, &vec![cross * 0.05; n - 1]);
+        assert!(below < below_sr, "PM wins below the crossover");
+        let above = pm_time(&p, n, &vec![(cross * 2.0).min(1.0); n - 1]);
+        let above_sr = sr_time(&p, &vec![(cross * 0.2).min(1.0); n - 1]);
+        assert!(above > above_sr, "SR wins above the crossover");
+    }
+
+    #[test]
+    fn no_crossover_when_one_scheme_dominates() {
+        let p = params();
+        // SR misses exactly as often as PM: SR always wins (no alpha_k tax,
+        // no log-N merge), so no crossover exists.
+        assert!(pm_sr_crossover(&p, 256, 1.0).is_none());
+    }
+
+    #[test]
+    fn equation4_folds_increments() {
+        assert!((sr_recover_probability(0.2, 0.3, 0.4) - 0.1).abs() < 1e-12);
+        assert_eq!(sr_recover_probability(0.5, 0.4, 0.3), 0.0, "clamped at 0");
+        assert_eq!(sr_recover_probability(0.0, 0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn alpha_k_is_pure_execution_overhead() {
+        let mut p = params();
+        let n = 64;
+        let base = pm_time(&p, n, &vec![0.0; n - 1]);
+        p.alpha_k = 5.0;
+        let heavier = pm_time(&p, n, &vec![0.0; n - 1]);
+        assert!((heavier - base - 2.5 * p.t_p1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sr_verification_floor_scales_with_chunks() {
+        let p = params();
+        let no_recovery_small = sr_time(&p, &vec![0.0; 63]);
+        let no_recovery_large = sr_time(&p, &vec![0.0; 255]);
+        assert!(no_recovery_large > no_recovery_small);
+        let floor = 255.0 * (p.t_comm1 + p.t_ver1);
+        assert!((no_recovery_large - p.c - p.t_p1 - floor).abs() < 1e-9);
+    }
+}

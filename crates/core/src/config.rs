@@ -1,0 +1,104 @@
+//! Scheme and framework configuration.
+
+/// Parameters shared by all parallel schemes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchemeConfig {
+    /// Number of chunks = number of GPU threads (`N` in Table I). The paper's
+    /// Table III active-thread counts imply N = 256.
+    pub n_chunks: usize,
+    /// Number of speculative transition paths per thread in PM (`spec-k`).
+    /// The paper's baseline is spec-4.
+    pub spec_k: usize,
+    /// Register budget (record slots) for `VR_i^others` — recovery records
+    /// received from other threads (§IV-C, swept in Fig 7). 16 is the
+    /// empirical best in the paper.
+    pub vr_others_registers: usize,
+    /// Register budget for `VR_i^end` — records produced by the owning
+    /// thread itself (fixed to 16 in the paper's experiments).
+    pub vr_end_registers: usize,
+    /// How many lookback bytes the predictor uses (the paper uses
+    /// all-state lookback-2).
+    pub lookback: usize,
+    /// Count accepting-state visits while executing (match reporting for
+    /// search DFAs). The paper's setting treats the per-step output function
+    /// φ as void (§II-A) and only reports the final accept decision; with
+    /// this flag the φ of pattern-matching workloads — "report a match at
+    /// every accepting visit" — is folded into every speculative path and
+    /// recovery at one extra ALU op per transition, and the verified total
+    /// appears in `RunOutcome::match_count`.
+    pub count_matches: bool,
+    /// How many *speculative* (non-frontier) recoveries each rear thread may
+    /// execute from forwarded end states — the order of the "higher-order
+    /// speculation" [21] that SRE generalizes. 1 reproduces the paper's SRE
+    /// behaviour (one immediate speculative recovery per thread); 0 disables
+    /// end-state forwarding entirely (recovery degenerates to the naive
+    /// sequential walk); larger values re-speculate every time the forwarded
+    /// state changes.
+    pub spec_recovery_budget: u32,
+}
+
+impl Default for SchemeConfig {
+    fn default() -> Self {
+        SchemeConfig {
+            n_chunks: 256,
+            spec_k: 4,
+            vr_others_registers: 16,
+            vr_end_registers: 16,
+            lookback: 2,
+            count_matches: false,
+            spec_recovery_budget: 1,
+        }
+    }
+}
+
+impl SchemeConfig {
+    /// Config with a different chunk count.
+    pub fn with_chunks(n_chunks: usize) -> Self {
+        SchemeConfig { n_chunks, ..SchemeConfig::default() }
+    }
+
+    /// Validates the configuration against an input length.
+    pub fn validate(&self, input_len: usize) -> Result<(), crate::error::CoreError> {
+        use crate::error::CoreError;
+        let positive = |field: &'static str, v: usize| {
+            if v == 0 {
+                Err(CoreError::InvalidConfig { field, problem: "must be positive".into() })
+            } else {
+                Ok(())
+            }
+        };
+        positive("n_chunks", self.n_chunks)?;
+        positive("spec_k", self.spec_k)?;
+        positive("vr_end_registers", self.vr_end_registers)?;
+        positive("lookback", self.lookback)?;
+        if input_len > 0 && self.n_chunks > input_len {
+            return Err(CoreError::TooManyChunks { n_chunks: self.n_chunks, input_len });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SchemeConfig::default();
+        assert_eq!(c.n_chunks, 256);
+        assert_eq!(c.spec_k, 4);
+        assert_eq!(c.vr_others_registers, 16);
+        assert_eq!(c.lookback, 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = SchemeConfig::default();
+        assert!(c.validate(1 << 20).is_ok());
+        assert!(c.validate(10).is_err(), "more chunks than bytes");
+        c.n_chunks = 0;
+        assert!(c.validate(1 << 20).is_err());
+        let c = SchemeConfig { spec_k: 0, ..SchemeConfig::default() };
+        assert!(c.validate(1 << 20).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for job construction and configuration validation.
+
+/// Why a job or configuration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A configuration field has an invalid value.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        problem: String,
+    },
+    /// The chunk count exceeds the input length (some chunks would be empty
+    /// in a way the schemes' invariants do not allow).
+    TooManyChunks {
+        /// Requested chunk count.
+        n_chunks: usize,
+        /// Input length in bytes.
+        input_len: usize,
+    },
+    /// The chunk count exceeds what one thread block can host.
+    BlockCapacity {
+        /// Requested chunk count.
+        n_chunks: usize,
+        /// The device's block capacity.
+        capacity: u32,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, problem } => {
+                write!(f, "invalid configuration: {field} {problem}")
+            }
+            CoreError::TooManyChunks { n_chunks, input_len } => write!(
+                f,
+                "n_chunks ({n_chunks}) exceeds the input length ({input_len} bytes)"
+            ),
+            CoreError::BlockCapacity { n_chunks, capacity } => write!(
+                f,
+                "n_chunks ({n_chunks}) exceeds the device block capacity ({capacity})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::TooManyChunks { n_chunks: 300, input_len: 10 };
+        assert!(e.to_string().contains("300"));
+        assert!(e.to_string().contains("10"));
+        let e = CoreError::BlockCapacity { n_chunks: 4096, capacity: 1024 };
+        assert!(e.to_string().contains("1024"));
+        let e = CoreError::InvalidConfig { field: "spec_k", problem: "must be positive".into() };
+        assert!(e.to_string().contains("spec_k"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Input partitioning (Algorithm 2 line 2: `Π = partition(in, N)`).
+
+use std::ops::Range;
+
+/// Splits `len` bytes into `n` contiguous chunks of near-equal size; the
+/// first `len % n` chunks get one extra byte. Every byte belongs to exactly
+/// one chunk and chunk order follows input order.
+pub fn partition(len: usize, n: usize) -> Vec<Range<usize>> {
+    assert!(n > 0, "need at least one chunk");
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_input_exactly() {
+        for (len, n) in [(100, 7), (8, 8), (13, 4), (1000, 1), (5, 5)] {
+            let p = partition(len, n);
+            assert_eq!(p.len(), n);
+            assert_eq!(p[0].start, 0);
+            assert_eq!(p[n - 1].end, len);
+            for w in p.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let p = partition(103, 10);
+        let sizes: Vec<usize> = p.iter().map(|r| r.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_chunks() {
+        let p = partition(0, 4);
+        assert!(p.iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_panics() {
+        partition(10, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! All-state lookback-2 state prediction (§IV-A).
+//!
+//! For every chunk boundary, the predictor executes FSM transitions starting
+//! from *all* states over the last `lookback` (= 2) bytes preceding the
+//! chunk, producing a set of possible start states ranked by frequency of
+//! appearance. The FSM convergence property guarantees the true start state
+//! is always contained in the produced set: the real execution path passes
+//! through *some* state `lookback` bytes before the boundary, and running
+//! every state forward necessarily includes it. (This containment is
+//! property-tested in the crate's test suite.)
+//!
+//! The paper treats prediction cost as a constant `C` (§III-C) because the
+//! per-boundary all-state walk is warp-cooperative and only two symbols
+//! long; the device kernel here charges exactly that cooperative cost.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use gspecpal_fsm::{Dfa, StateId};
+use gspecpal_gpu::{launch, DeviceSpec, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+
+use crate::specq::SpecQueue;
+
+/// The output of the prediction phase: one ranked queue per chunk, plus the
+/// simulated cost of producing them.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// `queues[i]` is `QS_i`. `queues[0]` holds the machine's certain start
+    /// state.
+    pub queues: Vec<SpecQueue>,
+    /// Cost of the prediction kernel (the constant `C` of Equation 1).
+    pub stats: KernelStats,
+}
+
+/// Runs the all-state lookback predictor for every chunk.
+pub fn predict(
+    dfa: &Dfa,
+    input: &[u8],
+    chunks: &[Range<usize>],
+    lookback: usize,
+    spec: &DeviceSpec,
+) -> Prediction {
+    assert!(!chunks.is_empty(), "need at least one chunk");
+    let mut queues = Vec::with_capacity(chunks.len());
+    queues.push(SpecQueue::certain(dfa.start()));
+    for chunk in &chunks[1..] {
+        let boundary = chunk.start;
+        let lo = boundary.saturating_sub(lookback);
+        queues.push(lookback_queue(dfa, &input[lo..boundary]));
+    }
+
+    // Device cost: each thread runs the all-state walk for its boundary
+    // cooperatively across its warp (ceil(|Q| / warp) states per lane, each
+    // `lookback` transitions of one shared-memory lookup + one ALU op), then
+    // ranks the end-state set.
+    let n_states = u64::from(dfa.n_states());
+    let mut kernel = PredictCost {
+        n_threads: chunks.len(),
+        states_per_lane: n_states.div_ceil(u64::from(spec.warp_size)),
+        lookback: lookback as u64,
+        queue_sizes: queues.iter().map(|q| q.initial_len() as u64).collect(),
+    };
+    let stats = launch(spec, chunks.len().min(spec.max_threads_per_block as usize), &mut kernel);
+    Prediction { queues, stats }
+}
+
+/// Builds the ranked queue for one boundary window.
+pub fn lookback_queue(dfa: &Dfa, window: &[u8]) -> SpecQueue {
+    let mut freq: HashMap<StateId, u32> = HashMap::new();
+    for s in 0..dfa.n_states() {
+        let e = dfa.run_from(s, window);
+        *freq.entry(e).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(StateId, u32)> = freq.into_iter().collect();
+    // Rank by descending frequency; ties by state id for determinism.
+    ranked.sort_by_key(|&(s, f)| (std::cmp::Reverse(f), s));
+    SpecQueue::from_ranked(ranked)
+}
+
+struct PredictCost {
+    n_threads: usize,
+    states_per_lane: u64,
+    lookback: u64,
+    queue_sizes: Vec<u64>,
+}
+
+impl RoundKernel for PredictCost {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        if tid == 0 || tid >= self.n_threads {
+            return RoundOutcome::IDLE; // Chunk 0 needs no prediction.
+        }
+        let steps = self.states_per_lane * self.lookback;
+        ctx.shared(steps);
+        ctx.alu(steps);
+        // Frequency ranking of the end-state set.
+        ctx.alu(self.queue_sizes.get(tid).copied().unwrap_or(0) * 2);
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use gspecpal_fsm::examples::{div7, fig4_dfa};
+
+    #[test]
+    fn true_start_state_is_always_contained() {
+        let d = fig4_dfa();
+        let input = b"code /* a comment */ more // and /*another*/ tail";
+        let chunks = partition(input.len(), 8);
+        let pred = predict(&d, input, &chunks, 2, &DeviceSpec::test_unit());
+        for (i, chunk) in chunks.iter().enumerate() {
+            let truth = d.run(&input[..chunk.start]);
+            assert!(
+                pred.queues[i].candidates().any(|s| s == truth),
+                "chunk {i}: truth {truth} missing from queue"
+            );
+        }
+    }
+
+    #[test]
+    fn div7_queue_contains_all_residues() {
+        // div7 is a permutation automaton: lookback can rule nothing out, so
+        // every queue holds all 7 states with equal frequency.
+        let d = div7();
+        let input = b"10110101101011010110101101011010";
+        let chunks = partition(input.len(), 4);
+        let pred = predict(&d, input, &chunks, 2, &DeviceSpec::test_unit());
+        for q in &pred.queues[1..] {
+            assert_eq!(q.initial_len(), 7);
+        }
+    }
+
+    #[test]
+    fn convergent_machine_gets_short_queues() {
+        // A keyword machine over junk input converges to very few states.
+        let d = gspecpal_fsm::combinators::keyword_dfa(&[b"attack", b"worm"]).unwrap();
+        let q = lookback_queue(&d, b"zz");
+        assert!(q.initial_len() <= 3, "queue had {} entries", q.initial_len());
+    }
+
+    #[test]
+    fn ranking_is_by_frequency() {
+        let d = gspecpal_fsm::combinators::keyword_dfa(&[b"ab"]).unwrap();
+        let q = lookback_queue(&d, b"zz");
+        // All states collapse to the root after two junk bytes.
+        assert_eq!(q.initial_len(), 1);
+        assert_eq!(q.front(), Some(d.run_from(d.start(), b"zz")));
+    }
+
+    #[test]
+    fn chunk0_is_certain() {
+        let d = div7();
+        let input = b"1010101010101010";
+        let chunks = partition(input.len(), 4);
+        let pred = predict(&d, input, &chunks, 2, &DeviceSpec::test_unit());
+        assert_eq!(pred.queues[0].initial_len(), 1);
+        assert_eq!(pred.queues[0].front(), Some(d.start()));
+    }
+
+    #[test]
+    fn prediction_kernel_has_cost() {
+        let d = div7();
+        let input = b"10101010101010101010101010101010";
+        let chunks = partition(input.len(), 8);
+        let pred = predict(&d, input, &chunks, 2, &DeviceSpec::test_unit());
+        assert!(pred.stats.cycles > 0);
+        assert!(pred.stats.shared_accesses > 0);
+    }
+
+    #[test]
+    fn boundaries_inside_the_lookback_window_still_contain_truth() {
+        // A chunk starting at position 1 has a 1-byte window; containment
+        // must hold regardless.
+        let d = div7();
+        let input = b"101101";
+        let chunks = vec![0..1, 1..3, 3..6];
+        let pred = predict(&d, input, &chunks, 2, &DeviceSpec::test_unit());
+        for (i, c) in chunks.iter().enumerate() {
+            let truth = d.run(&input[..c.start]);
+            assert!(pred.queues[i].candidates().any(|s| s == truth), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_identity_queue() {
+        // A zero-length window maps every state to itself: |Q| candidates.
+        let d = div7();
+        let q = lookback_queue(&d, b"");
+        assert_eq!(q.initial_len(), 7);
+    }
+}

@@ -1,0 +1,246 @@
+//! Verification/recovery record storage (`VR_i`, §IV-C, Figure 5).
+//!
+//! Each chunk `i` accumulates records `{start, end}` of speculative
+//! executions and recoveries over it. Records produced by the *owning*
+//! thread (`VR_i^end`) live in that thread's registers; records produced by
+//! *other* threads during aggressive recovery (`VR_i^others`) are staged
+//! through shared memory and held in a register window of configurable size
+//! — the knob swept in Fig 7. Too few registers lose records (forcing
+//! must-be-done recoveries later); too many make every verification scan
+//! slower.
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::ThreadCtx;
+
+/// One speculative execution/recovery record: the chunk was run from
+/// `start`, ended in `end`, and visited `matches` accepting states along the
+/// way (0 when match counting is disabled).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VrRecord {
+    /// Start state the chunk was executed from.
+    pub start: StateId,
+    /// Resulting end state.
+    pub end: StateId,
+    /// Accepting-state visits observed during the run.
+    pub matches: u64,
+}
+
+impl VrRecord {
+    /// A record without match information.
+    pub fn new(start: StateId, end: StateId) -> Self {
+        VrRecord { start, end, matches: 0 }
+    }
+}
+
+/// Records for one chunk.
+#[derive(Clone, Debug, Default)]
+struct ChunkRecords {
+    own: Vec<VrRecord>,
+    others: Vec<VrRecord>,
+    /// Cross-thread records that did not fit in the register window.
+    dropped: u64,
+}
+
+/// Per-chunk record store for a whole job.
+#[derive(Clone, Debug)]
+pub struct VrStore {
+    chunks: Vec<ChunkRecords>,
+    own_cap: usize,
+    others_cap: usize,
+}
+
+impl VrStore {
+    /// Creates an empty store for `n_chunks` chunks with the given register
+    /// budgets (record slots) for `VR^end` and `VR^others`.
+    pub fn new(n_chunks: usize, own_cap: usize, others_cap: usize) -> Self {
+        VrStore {
+            chunks: vec![ChunkRecords::default(); n_chunks],
+            own_cap: own_cap.max(1),
+            others_cap,
+        }
+    }
+
+    /// Number of chunks tracked.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Pushes a record produced by chunk `cid`'s own thread (register write;
+    /// negligible device cost). If the window is full the oldest own record
+    /// is overwritten — registers are a fixed file, not a growable buffer.
+    pub fn push_own(&mut self, cid: usize, rec: VrRecord) {
+        let c = &mut self.chunks[cid];
+        if c.own.iter().any(|r| r.start == rec.start) {
+            return; // Same start state re-executed: result is identical.
+        }
+        if c.own.len() < self.own_cap {
+            c.own.push(rec);
+        } else {
+            c.own.remove(0);
+            c.own.push(rec);
+        }
+    }
+
+    /// Pushes a record produced by a *different* thread: the writer stores it
+    /// to shared memory (charged on `ctx`), and it lands in chunk `cid`'s
+    /// register window if a slot is free. Records that do not fit are lost
+    /// for verification purposes (the Fig 7 "too few registers" failure
+    /// mode) and counted in [`VrStore::dropped`].
+    pub fn push_other(&mut self, ctx: &mut ThreadCtx<'_>, cid: usize, rec: VrRecord) {
+        // Store {start, end, matches} to shared memory for the owner to
+        // pick up.
+        ctx.shared(2);
+        let c = &mut self.chunks[cid];
+        if c.others.iter().any(|r| r.start == rec.start)
+            || c.own.iter().any(|r| r.start == rec.start)
+        {
+            return;
+        }
+        if c.others.len() < self.others_cap {
+            c.others.push(rec);
+        } else {
+            c.dropped += 1;
+        }
+    }
+
+    /// Scans chunk `cid`'s records for one whose `start` equals `target`,
+    /// charging the verification cost: one ALU compare per own record
+    /// (registers) and one shared load + compare per cross-thread record
+    /// (the owner re-reads the staging area every round to see new records).
+    pub fn scan(&self, ctx: &mut ThreadCtx<'_>, cid: usize, target: StateId) -> Option<VrRecord> {
+        let c = &self.chunks[cid];
+        ctx.alu(c.own.len() as u64);
+        ctx.shared(c.others.len() as u64);
+        ctx.alu(c.others.len() as u64);
+        c.own.iter().chain(c.others.iter()).find(|r| r.start == target).copied()
+    }
+
+    /// Host-side lookup without device cost.
+    pub fn find(&self, cid: usize, target: StateId) -> Option<VrRecord> {
+        let c = &self.chunks[cid];
+        c.own.iter().chain(c.others.iter()).find(|r| r.start == target).copied()
+    }
+
+    /// Total records currently held for chunk `cid`.
+    pub fn len(&self, cid: usize) -> usize {
+        self.chunks[cid].own.len() + self.chunks[cid].others.len()
+    }
+
+    /// True when chunk `cid` holds no records.
+    pub fn is_empty(&self, cid: usize) -> bool {
+        self.len(cid) == 0
+    }
+
+    /// Total cross-thread records dropped for lack of registers.
+    pub fn dropped(&self) -> u64 {
+        self.chunks.iter().map(|c| c.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gspecpal_gpu::{launch, DeviceSpec, KernelStats, RoundKernel, RoundOutcome};
+
+    fn on_device<F: FnMut(&mut ThreadCtx<'_>)>(f: F) -> KernelStats {
+        struct K<F>(F);
+        impl<F: FnMut(&mut ThreadCtx<'_>)> RoundKernel for K<F> {
+            fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                (self.0)(ctx);
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        launch(&DeviceSpec::test_unit(), 1, &mut K(f))
+    }
+
+    #[test]
+    fn own_records_found_first() {
+        let mut vr = VrStore::new(2, 16, 16);
+        vr.push_own(0, VrRecord::new(1, 5));
+        assert_eq!(vr.find(0, 1).map(|r| r.end), Some(5));
+        assert!(vr.find(0, 2).is_none());
+        assert!(vr.find(1, 1).is_none());
+    }
+
+    #[test]
+    fn duplicate_starts_are_deduped() {
+        let mut vr = VrStore::new(1, 16, 16);
+        vr.push_own(0, VrRecord::new(1, 5));
+        vr.push_own(0, VrRecord::new(1, 5));
+        assert_eq!(vr.len(0), 1);
+    }
+
+    #[test]
+    fn others_overflow_is_dropped_and_counted() {
+        let mut vr = VrStore::new(1, 16, 2);
+        on_device(|ctx| {
+            vr.push_other(ctx, 0, VrRecord::new(1, 1));
+            vr.push_other(ctx, 0, VrRecord::new(2, 2));
+            vr.push_other(ctx, 0, VrRecord::new(3, 3));
+        });
+        assert_eq!(vr.len(0), 2);
+        assert_eq!(vr.dropped(), 1);
+        assert!(vr.find(0, 3).is_none(), "dropped record is not visible");
+    }
+
+    #[test]
+    fn own_overflow_evicts_oldest() {
+        let mut vr = VrStore::new(1, 2, 0);
+        vr.push_own(0, VrRecord::new(1, 1));
+        vr.push_own(0, VrRecord::new(2, 2));
+        vr.push_own(0, VrRecord::new(3, 3));
+        assert!(vr.find(0, 1).is_none(), "oldest evicted");
+        assert_eq!(vr.find(0, 2).map(|r| r.end), Some(2));
+        assert_eq!(vr.find(0, 3).map(|r| r.end), Some(3));
+    }
+
+    #[test]
+    fn scan_cost_scales_with_held_records() {
+        let mut vr = VrStore::new(1, 16, 16);
+        let baseline = on_device(|ctx| {
+            vr.scan(ctx, 0, 0);
+        });
+        on_device(|ctx| {
+            for i in 0..8 {
+                vr.push_other(ctx, 0, VrRecord::new(i, i));
+            }
+        });
+        let loaded = on_device(|ctx| {
+            vr.scan(ctx, 0, 0);
+        });
+        assert!(loaded.shared_accesses > baseline.shared_accesses);
+        assert!(loaded.alu_ops > baseline.alu_ops);
+    }
+
+    #[test]
+    fn push_other_charges_shared_store() {
+        let mut vr = VrStore::new(1, 16, 16);
+        let stats = on_device(|ctx| {
+            vr.push_other(ctx, 0, VrRecord::new(1, 2));
+        });
+        assert_eq!(stats.shared_accesses, 2);
+    }
+
+    #[test]
+    fn scan_sees_cross_thread_records() {
+        let mut vr = VrStore::new(4, 16, 16);
+        on_device(|ctx| {
+            vr.push_other(ctx, 3, VrRecord::new(7, 9));
+            assert_eq!(vr.scan(ctx, 3, 7).map(|r| r.end), Some(9));
+            assert!(vr.scan(ctx, 3, 8).is_none());
+        });
+    }
+
+    #[test]
+    fn zero_others_capacity_drops_everything() {
+        let mut vr = VrStore::new(1, 16, 0);
+        on_device(|ctx| {
+            vr.push_other(ctx, 0, VrRecord::new(1, 2));
+        });
+        assert!(vr.is_empty(0));
+        assert_eq!(vr.dropped(), 1);
+    }
+}

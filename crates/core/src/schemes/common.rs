@@ -1,0 +1,185 @@
+//! Machinery shared by the speculative schemes: the prediction + parallel
+//! speculative execution phases (Algorithm 2 lines 2-7).
+
+use std::ops::Range;
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+
+use crate::predict::{predict, Prediction};
+use crate::records::{VrRecord, VrStore};
+use crate::schemes::Job;
+use crate::specq::SpecQueue;
+use crate::table::DeviceTable;
+
+/// Result of the common prediction + speculative execution phases.
+pub struct ExecPhase {
+    /// Chunk ranges `Π`.
+    pub chunks: Vec<Range<usize>>,
+    /// Speculation queues `QS_i` (partially dequeued by the exec phase).
+    pub queues: Vec<SpecQueue>,
+    /// Record store `VR` seeded with the speculative execution results.
+    pub vr: VrStore,
+    /// Current best-guess end state per chunk (the end of the top-ranked
+    /// speculative path).
+    pub ends: Vec<StateId>,
+    /// The start state each chunk's primary path speculated.
+    pub spec_starts: Vec<StateId>,
+    /// Accepting-state visits along each chunk's primary path (all zero when
+    /// match counting is disabled).
+    pub counts: Vec<u64>,
+    /// Prediction kernel cost (`C`).
+    pub predict_stats: KernelStats,
+    /// Speculative execution kernel cost (`T_par`, with the spec-k
+    /// redundancy factor α_k baked in when `k > 1`).
+    pub exec_stats: KernelStats,
+}
+
+/// Runs prediction and the parallel speculative execution with `k` paths per
+/// thread (`k = 1` for everything except PM).
+pub fn exec_phase(job: &Job<'_>, k: usize) -> ExecPhase {
+    let chunks = job.chunks();
+    let Prediction { mut queues, stats: predict_stats } = predict(
+        job.table.dfa(),
+        job.input,
+        &chunks,
+        job.config.lookback,
+        job.spec,
+    );
+    // PM stores its k speculative paths in the thread's own registers, so the
+    // own-record window must fit them.
+    let own_cap = job.config.vr_end_registers.max(k);
+    let mut vr = VrStore::new(chunks.len(), own_cap, job.config.vr_others_registers);
+    let mut kernel = ExecKernel {
+        table: job.table,
+        input: job.input,
+        chunks: &chunks,
+        queues: &mut queues,
+        vr: &mut vr,
+        k,
+        count_matches: job.config.count_matches,
+        ends: vec![0; chunks.len()],
+        spec_starts: vec![0; chunks.len()],
+        counts: vec![0; chunks.len()],
+    };
+    let exec_stats = launch(job.spec, chunks.len(), &mut kernel);
+    let ends = kernel.ends;
+    let spec_starts = kernel.spec_starts;
+    let counts = kernel.counts;
+    ExecPhase { chunks, queues, vr, ends, spec_starts, counts, predict_stats, exec_stats }
+}
+
+struct ExecKernel<'a> {
+    table: &'a DeviceTable<'a>,
+    input: &'a [u8],
+    chunks: &'a [Range<usize>],
+    queues: &'a mut [SpecQueue],
+    vr: &'a mut VrStore,
+    k: usize,
+    count_matches: bool,
+    ends: Vec<StateId>,
+    spec_starts: Vec<StateId>,
+    counts: Vec<u64>,
+}
+
+impl RoundKernel for ExecKernel<'_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        // Dequeue up to k speculative start states (chunk 0 has exactly one,
+        // the machine's certain start state).
+        let mut starts: Vec<StateId> = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            match self.queues[tid].dequeue(ctx) {
+                Some(s) => starts.push(s),
+                None => break,
+            }
+        }
+        debug_assert!(!starts.is_empty(), "the lookback queue is never empty");
+        let mut states = starts.clone();
+        let mut counts = vec![0u64; starts.len()];
+        self.table.run_chunk_multi_with(
+            ctx,
+            self.input,
+            self.chunks[tid].clone(),
+            &mut states,
+            &mut counts,
+            self.count_matches,
+        );
+        for ((s0, s1), m) in starts.iter().zip(states.iter()).zip(counts.iter()) {
+            self.vr.push_own(tid, VrRecord { start: *s0, end: *s1, matches: *m });
+        }
+        self.spec_starts[tid] = starts[0];
+        self.ends[tid] = states[0];
+        self.counts[tid] = counts[0];
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeConfig;
+    use crate::table::DeviceTable;
+    use gspecpal_fsm::examples::div7;
+    use gspecpal_gpu::DeviceSpec;
+
+    #[test]
+    fn exec_phase_records_speculative_paths() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1011010110101101".repeat(4);
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let phase = exec_phase(&job, 1);
+        assert_eq!(phase.ends.len(), 8);
+        // Chunk 0 ran from the real start: its end is ground truth.
+        let truth0 = d.run(&input[phase.chunks[0].clone()]);
+        assert_eq!(phase.ends[0], truth0);
+        // Every chunk has exactly one record matching its speculation.
+        for i in 0..8 {
+            assert_eq!(phase.vr.len(i), 1);
+            assert_eq!(phase.vr.find(i, phase.spec_starts[i]).map(|r| r.end), Some(phase.ends[i]));
+        }
+        assert!(phase.exec_stats.cycles > 0);
+    }
+
+    #[test]
+    fn spec_k_multiplies_table_work_not_input_loads() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"10110101".repeat(32);
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let k1 = exec_phase(&job, 1);
+        let k4 = exec_phase(&job, 4);
+        assert!(k4.exec_stats.shared_accesses > 3 * k1.exec_stats.shared_accesses);
+        assert_eq!(
+            k4.exec_stats.global_transactions,
+            k1.exec_stats.global_transactions,
+            "input loads are shared across the k paths"
+        );
+        // The redundancy factor α_k > 1 (Fig 3's premise).
+        assert!(k4.exec_stats.cycles > k1.exec_stats.cycles);
+    }
+
+    #[test]
+    fn spec_k_records_every_path() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"10110101".repeat(32);
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let phase = exec_phase(&job, 4);
+        // div7 queues hold all 7 residues; with k=4 each non-first chunk gets
+        // 4 records.
+        for i in 1..8 {
+            assert_eq!(phase.vr.len(i), 4, "chunk {i}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Fully enumerative data-parallel FSM execution (Mytkowicz et al. [23]).
+//!
+//! Each thread computes its chunk's *complete* transition function — the end
+//! state for every possible start state — so connecting chunks afterwards is
+//! a pure function composition that can never miss. This is the
+//! zero-speculation upper bound on redundancy (`k = |Q|`), useful as a
+//! correctness oracle and to show why speculation is needed at all: the
+//! execution phase costs |Q| table lookups per input byte.
+
+use std::ops::Range;
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+
+use crate::run::{RunOutcome, SchemeKind};
+use crate::schemes::Job;
+use crate::table::DeviceTable;
+
+pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
+    let chunks = job.chunks();
+    let n = chunks.len();
+    let n_states = job.table.dfa().n_states();
+
+    let mut exec = ExecKernel {
+        table: job.table,
+        input: job.input,
+        chunks: &chunks,
+        maps: vec![Vec::new(); n],
+        counts: vec![Vec::new(); n],
+        count_matches: job.config.count_matches,
+        n_states,
+    };
+    let exec_stats = launch(job.spec, n, &mut exec);
+    let maps = exec.maps;
+    let count_maps = exec.counts;
+
+    // Merge: log2(N) rounds of parallel function composition; each thread
+    // composes |Q| entries (kept as a cost model — the final walk below is
+    // the same composition restricted to the ground-truth path).
+    let mut verify = KernelStats::default();
+    if n > 1 {
+        let mut merge = ComposeKernel {
+            q: u64::from(n_states),
+            rounds_left: n.next_power_of_two().ilog2(),
+        };
+        verify.merge_sequential(&launch(job.spec, n, &mut merge));
+    }
+
+    // Ground-truth walk through the per-chunk functions (host side; the
+    // device paid for it in the compose rounds).
+    let mut ends = Vec::with_capacity(n);
+    let mut cur = job.table.dfa().start();
+    let mut total_matches = 0u64;
+    for (map, cmap) in maps.iter().zip(&count_maps) {
+        total_matches += cmap[cur as usize];
+        cur = map[cur as usize];
+        ends.push(cur);
+    }
+
+    let checks = (n - 1) as u64;
+    RunOutcome {
+        scheme: SchemeKind::Enumerative,
+        end_state: cur,
+        accepted: job.table.dfa().is_accepting(cur),
+        chunk_ends: ends,
+        predict: KernelStats::default(),
+        execute: exec_stats,
+        verify,
+        verification_checks: checks,
+        verification_matches: checks,
+        match_count: job.config.count_matches.then_some(total_matches),
+        frontier_trace: Vec::new(),
+    }
+}
+
+struct ExecKernel<'a, 'j> {
+    table: &'a DeviceTable<'j>,
+    input: &'a [u8],
+    chunks: &'a [Range<usize>],
+    maps: Vec<Vec<StateId>>,
+    counts: Vec<Vec<u64>>,
+    count_matches: bool,
+    n_states: u32,
+}
+
+impl RoundKernel for ExecKernel<'_, '_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let mut states: Vec<StateId> = (0..self.n_states).collect();
+        let mut counts = vec![0u64; self.n_states as usize];
+        self.table.run_chunk_multi_with(
+            ctx,
+            self.input,
+            self.chunks[tid].clone(),
+            &mut states,
+            &mut counts,
+            self.count_matches,
+        );
+        self.maps[tid] = states;
+        self.counts[tid] = counts;
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        false
+    }
+}
+
+struct ComposeKernel {
+    q: u64,
+    rounds_left: u32,
+}
+
+impl RoundKernel for ComposeKernel {
+    fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        // Compose |Q| entries through shared memory.
+        ctx.shared(self.q);
+        ctx.alu(self.q);
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        self.rounds_left -= 1;
+        self.rounds_left > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SchemeConfig;
+    use crate::run::SchemeKind;
+    use crate::schemes::{run_scheme, Job};
+    use crate::table::DeviceTable;
+    use gspecpal_fsm::examples::{div7, fig4_dfa};
+    use gspecpal_gpu::DeviceSpec;
+
+    #[test]
+    fn enumerative_exact_and_recovery_free() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"110101011001".repeat(8);
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Enumerative, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        assert_eq!(out.recovery_runs(), 0);
+        assert!((out.runtime_accuracy() - 1.0).abs() < 1e-12);
+        let mut s = d.start();
+        for (i, r) in job.chunks().into_iter().enumerate() {
+            s = d.run_from(s, &input[r]);
+            assert_eq!(out.chunk_ends[i], s, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn enumerative_costs_scale_with_state_count() {
+        let spec = DeviceSpec::test_unit();
+        let input: Vec<u8> = b"ab /* x */ cd".repeat(8);
+        let config = SchemeConfig { n_chunks: 4, ..SchemeConfig::default() };
+
+        let d4 = fig4_dfa(); // 4 states
+        let t4 = DeviceTable::transformed(&d4, d4.n_states());
+        let job4 = Job::new(&spec, &t4, &input, config).unwrap();
+        let out4 = run_scheme(SchemeKind::Enumerative, &job4);
+
+        let d7 = div7(); // 7 states
+        let t7 = DeviceTable::transformed(&d7, d7.n_states());
+        let job7 = Job::new(&spec, &t7, &input, config).unwrap();
+        let out7 = run_scheme(SchemeKind::Enumerative, &job7);
+
+        assert!(out7.execute.shared_accesses > out4.execute.shared_accesses);
+    }
+}

@@ -1,0 +1,88 @@
+//! The parallelization schemes integrated in GSpecPal.
+//!
+//! Every scheme follows the three-phase structure of Equation 1:
+//! prediction (`C`), parallel speculative execution (`T_par`), and
+//! verification & recovery (`T_v&r`). The phases run as separate simulated
+//! kernels; their costs are reported per phase in [`RunOutcome`].
+//!
+//! All schemes are *exact*: whatever they speculate, the verified result
+//! equals the sequential run (the paper's correctness contract, enforced by
+//! the property tests in `tests/`).
+
+mod common;
+mod enumerative;
+mod naive;
+mod nf;
+mod pm;
+mod rr;
+mod sequential;
+mod sre;
+mod vr_kernel;
+
+pub use common::{exec_phase, ExecPhase};
+
+use std::ops::Range;
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::DeviceSpec;
+
+use crate::config::SchemeConfig;
+use crate::partition::partition;
+use crate::run::{RunOutcome, SchemeKind};
+use crate::table::DeviceTable;
+
+/// One FSM-processing job: a device, a device-resident table, an input
+/// stream, and the scheme configuration.
+#[derive(Clone, Debug)]
+pub struct Job<'a> {
+    /// Device to simulate on.
+    pub spec: &'a DeviceSpec,
+    /// The machine, already laid out for the device (§IV-B).
+    pub table: &'a DeviceTable<'a>,
+    /// The input stream.
+    pub input: &'a [u8],
+    /// Scheme parameters.
+    pub config: SchemeConfig,
+}
+
+impl<'a> Job<'a> {
+    /// Creates a job, validating the configuration.
+    pub fn new(
+        spec: &'a DeviceSpec,
+        table: &'a DeviceTable<'a>,
+        input: &'a [u8],
+        config: SchemeConfig,
+    ) -> Result<Self, crate::error::CoreError> {
+        config.validate(input.len())?;
+        if config.n_chunks > spec.max_threads_per_block as usize {
+            return Err(crate::error::CoreError::BlockCapacity {
+                n_chunks: config.n_chunks,
+                capacity: spec.max_threads_per_block,
+            });
+        }
+        Ok(Job { spec, table, input, config })
+    }
+
+    /// The chunk partition `Π` of this job's input.
+    pub fn chunks(&self) -> Vec<Range<usize>> {
+        partition(self.input.len(), self.config.n_chunks)
+    }
+
+    /// Ground truth end state, computed host-side (for tests/verification).
+    pub fn truth(&self) -> StateId {
+        self.table.dfa().run(self.input)
+    }
+}
+
+/// Runs `kind` on `job` and returns the outcome.
+pub fn run_scheme(kind: SchemeKind, job: &Job<'_>) -> RunOutcome {
+    match kind {
+        SchemeKind::Sequential => sequential::run(job),
+        SchemeKind::Naive => naive::run(job),
+        SchemeKind::Enumerative => enumerative::run(job),
+        SchemeKind::Pm => pm::run(job),
+        SchemeKind::Sre => sre::run(job),
+        SchemeKind::Rr => rr::run(job),
+        SchemeKind::Nf => nf::run(job),
+    }
+}

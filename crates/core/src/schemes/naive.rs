@@ -1,0 +1,146 @@
+//! Algorithm 2: default speculative DFA parallelization with *sequential*
+//! verification and recovery.
+//!
+//! After the parallel spec-1 execution, a single walker visits chunks in
+//! order: if the predecessor's verified end state matches the chunk's
+//! speculated start, the chunk's result is reused; otherwise the chunk is
+//! re-executed — one thread active, all others idle. This is the
+//! under-utilization the paper's aggressive recovery attacks.
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{launch, RoundKernel, RoundOutcome, ThreadCtx};
+
+use crate::records::VrStore;
+use crate::run::{RunOutcome, SchemeKind};
+use crate::schemes::common::exec_phase;
+use crate::schemes::Job;
+
+pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
+    let phase = exec_phase(job, 1);
+    let n = phase.chunks.len();
+    let mut kernel = VerifyKernel {
+        job,
+        chunks: &phase.chunks,
+        vr: phase.vr,
+        ends: phase.ends,
+        counts: phase.counts,
+        cursor: 1,
+        checks: 0,
+        matches: 0,
+        frontier_trace: Vec::new(),
+    };
+    let verify = if n > 1 {
+        launch(job.spec, n, &mut kernel)
+    } else {
+        Default::default()
+    };
+    let end_state = *kernel.ends.last().expect("at least one chunk");
+    RunOutcome {
+        scheme: SchemeKind::Naive,
+        end_state,
+        accepted: job.table.dfa().is_accepting(end_state),
+        chunk_ends: kernel.ends,
+        predict: phase.predict_stats,
+        execute: phase.exec_stats,
+        verify,
+        verification_checks: kernel.checks,
+        verification_matches: kernel.matches,
+        match_count: job.config.count_matches.then(|| kernel.counts.iter().sum()),
+        frontier_trace: kernel.frontier_trace,
+    }
+}
+
+struct VerifyKernel<'a, 'j> {
+    job: &'a Job<'j>,
+    chunks: &'a [std::ops::Range<usize>],
+    vr: VrStore,
+    /// ends[i] becomes the *verified* end state of chunk i once the cursor
+    /// passes it.
+    ends: Vec<StateId>,
+    counts: Vec<u64>,
+    cursor: usize,
+    checks: u64,
+    matches: u64,
+    frontier_trace: Vec<u32>,
+}
+
+impl RoundKernel for VerifyKernel<'_, '_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        if tid != self.cursor {
+            return RoundOutcome::IDLE;
+        }
+        // Receive the verified end state of the predecessor chunk.
+        let end_p = self.ends[tid - 1];
+        ctx.shuffle(1);
+        self.checks += 1;
+        match self.vr.scan(ctx, tid, end_p) {
+            Some(rec) => {
+                self.matches += 1;
+                self.ends[tid] = rec.end;
+                self.counts[tid] = rec.matches;
+                RoundOutcome::ACTIVE
+            }
+            None => {
+                // Must-be-done recovery: re-execute from the verified state.
+                let t0 = ctx.cycles();
+                let run = self.job.table.run_chunk_with(
+                    ctx,
+                    self.job.input,
+                    self.chunks[tid].clone(),
+                    end_p,
+                    self.job.config.count_matches,
+                );
+                ctx.credit_recovery(t0);
+                self.ends[tid] = run.end;
+                self.counts[tid] = run.matches;
+                RoundOutcome::RECOVERING
+            }
+        }
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        self.cursor += 1;
+        self.frontier_trace.push(self.cursor as u32);
+        self.cursor < self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SchemeConfig;
+    use crate::run::SchemeKind;
+    use crate::schemes::{run_scheme, Job};
+    use crate::table::DeviceTable;
+    use gspecpal_fsm::examples::{div7, fig4_dfa};
+    use gspecpal_gpu::DeviceSpec;
+
+    #[test]
+    fn naive_is_exact_on_nonconvergent_machine() {
+        // div7 defeats prediction, so naive recovers on ~6/7 of chunks — and
+        // must still be exact.
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(8);
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Naive, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        assert!(out.recovery_runs() > 0, "div7 must trigger recoveries");
+        // Sequential recovery: exactly one thread active per recovery round.
+        assert!((out.avg_active_threads_during_recovery() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_is_exact_on_convergent_machine() {
+        let d = fig4_dfa();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"a /* xx */ b // /*y*/ ".repeat(8);
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Naive, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        assert_eq!(out.accepted, d.accepts(&input));
+    }
+}

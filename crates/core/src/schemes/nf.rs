@@ -1,0 +1,17 @@
+//! NF: Nearest-First based aggressive speculative recovery (Algorithm 5).
+//!
+//! The paper's second heuristic, for input-sensitive speculation: instead of
+//! spreading verified threads round-robin, `NF_Sched` drains the speculation
+//! queue of the chunk *right after the frontier* first, then the next, and
+//! so on — concentrating recovery effort where it is needed soonest. Because
+//! consecutive threads (often whole warps) land on the same chunk, their
+//! input loads coalesce, which is why NF's per-chunk recovery cost beats
+//! RR's despite activating more threads (Fig 9).
+
+use crate::run::RunOutcome;
+use crate::schemes::vr_kernel::{run_with_policy, RecoveryPolicy};
+use crate::schemes::Job;
+
+pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
+    run_with_policy(job, RecoveryPolicy::NearestFirst)
+}

@@ -1,0 +1,249 @@
+//! PM: Parallel Merge (Xia et al. [19]) — the paper's baseline.
+//!
+//! PM combines *enumerative speculation* with a parallel tree-like merge:
+//!
+//! 1. **spec-k execution**: each thread maintains `k` transition paths from
+//!    the `k` best-ranked speculative start states (the redundancy factor
+//!    α_k of §III-C — Fig 3 measures exactly this phase);
+//! 2. **tree merge**: `log₂ N` rounds of intra/inter-warp verification in
+//!    which every thread forwards its `k` end states to its successor and
+//!    checks the `k` received states against its own speculated starts.
+//!    Mismatching paths are only *marked invalid* — recovery is delayed
+//!    because the mismatch may turn out not to lie on the ground-truth path;
+//! 3. **sequential verification & recovery**: the ground-truth walk from
+//!    chunk 0. Chunks whose record set covers the incoming verified state
+//!    are free (they were composed during the merge); each miss is a
+//!    must-be-done recovery executed by a single thread while every other
+//!    thread idles — Equation 2's `Σ P_i × (T_comm + T_ver + T_p1)` term and
+//!    the bottleneck this paper attacks.
+
+use std::ops::Range;
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+
+use crate::records::VrStore;
+use crate::run::{RunOutcome, SchemeKind};
+use crate::schemes::common::{exec_phase, ExecPhase};
+use crate::schemes::Job;
+
+pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
+    let k = job.config.spec_k;
+    let ExecPhase { chunks, vr, ends, counts, predict_stats, exec_stats, .. } =
+        exec_phase(job, k);
+    let n = chunks.len();
+
+    let mut verify = KernelStats::default();
+
+    // Phase 2: parallel tree-like merge — log2(N) rounds, every thread
+    // forwarding k end states and checking k received ones.
+    if n > 1 {
+        let mut merge = MergeKernel { k: k as u64, rounds_left: n.next_power_of_two().ilog2() };
+        verify.merge_sequential(&launch(job.spec, n, &mut merge));
+    }
+
+    // Phase 3: sequential verification and recovery along the ground truth.
+    let mut walker = SeqRecoverKernel {
+        job,
+        chunks: &chunks,
+        vr,
+        k: k as u64,
+        ends,
+        counts,
+        cursor: 1,
+        checks: 0,
+        matches: 0,
+        frontier_trace: Vec::new(),
+    };
+    // Advance through matching chunks before deciding whether a kernel is
+    // needed at all (they were verified during the merge).
+    walker.skip_matches();
+    if walker.cursor < n {
+        verify.merge_sequential(&launch(job.spec, n, &mut walker));
+    }
+
+    let end_state = *walker.ends.last().expect("at least one chunk");
+    RunOutcome {
+        scheme: SchemeKind::Pm,
+        end_state,
+        accepted: job.table.dfa().is_accepting(end_state),
+        chunk_ends: walker.ends,
+        predict: predict_stats,
+        execute: exec_stats,
+        verify,
+        verification_checks: walker.checks,
+        verification_matches: walker.matches,
+        match_count: job.config.count_matches.then(|| walker.counts.iter().sum()),
+        frontier_trace: walker.frontier_trace,
+    }
+}
+
+/// Cost model of the tree merge: the bookkeeping itself is data-independent
+/// (every thread passes and checks k states per round), so only the cost is
+/// simulated; the actual path composition is subsumed by the record store
+/// the sequential walker reads.
+struct MergeKernel {
+    k: u64,
+    rounds_left: u32,
+}
+
+impl RoundKernel for MergeKernel {
+    fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        // T_comm(k): forward k end states to the successor.
+        ctx.shuffle(self.k);
+        // T_ver(k): check k received states against k speculated starts.
+        ctx.alu(self.k * self.k);
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        self.rounds_left -= 1;
+        self.rounds_left > 0
+    }
+}
+
+/// The sequential stage: walks the ground truth chunk by chunk. Chunks whose
+/// k-path record set contains the verified incoming state cost nothing here
+/// (already verified and composed in the merge); every miss runs a one-thread
+/// recovery round.
+struct SeqRecoverKernel<'a, 'j> {
+    job: &'a Job<'j>,
+    chunks: &'a [Range<usize>],
+    vr: VrStore,
+    k: u64,
+    ends: Vec<StateId>,
+    counts: Vec<u64>,
+    cursor: usize,
+    checks: u64,
+    matches: u64,
+    frontier_trace: Vec<u32>,
+}
+
+impl SeqRecoverKernel<'_, '_> {
+    /// Consumes the run of chunks (starting at `cursor`) whose records cover
+    /// the incoming verified end state. Host-side: the device already paid
+    /// for these checks in the merge rounds.
+    fn skip_matches(&mut self) {
+        while self.cursor < self.chunks.len() {
+            let prev = self.ends[self.cursor - 1];
+            match self.vr.find(self.cursor, prev) {
+                Some(rec) => {
+                    self.checks += 1;
+                    self.matches += 1;
+                    self.ends[self.cursor] = rec.end;
+                    self.counts[self.cursor] = rec.matches;
+                    self.cursor += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl RoundKernel for SeqRecoverKernel<'_, '_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        if tid != self.cursor {
+            return RoundOutcome::IDLE;
+        }
+        let prev = self.ends[tid - 1];
+        ctx.shuffle(1);
+        ctx.alu(self.k); // re-check the k paths against the verified state
+        self.checks += 1;
+        let t0 = ctx.cycles();
+        let run = self.job.table.run_chunk_with(
+            ctx,
+            self.job.input,
+            self.chunks[tid].clone(),
+            prev,
+            self.job.config.count_matches,
+        );
+        ctx.credit_recovery(t0);
+        self.ends[tid] = run.end;
+        self.counts[tid] = run.matches;
+        RoundOutcome::RECOVERING
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        self.cursor += 1;
+        self.skip_matches();
+        self.frontier_trace.push(self.cursor as u32);
+        self.cursor < self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SchemeConfig;
+    use crate::run::SchemeKind;
+    use crate::schemes::{run_scheme, Job};
+    use crate::table::DeviceTable;
+    use gspecpal_fsm::combinators::keyword_dfa;
+    use gspecpal_fsm::examples::div7;
+    use gspecpal_gpu::DeviceSpec;
+
+    #[test]
+    fn pm_exact_on_div7() {
+        // div7's queues hold all 7 residues; spec-4 covers the truth only
+        // when it ranks in the top 4, so PM must recover on the rest — and
+        // stay exact.
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"11010101100101110101".repeat(16);
+        let config = SchemeConfig { n_chunks: 16, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Pm, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        let mut s = d.start();
+        for (i, r) in job.chunks().into_iter().enumerate() {
+            s = d.run_from(s, &input[r]);
+            assert_eq!(out.chunk_ends[i], s, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn pm_spec7_needs_no_recovery_on_div7() {
+        // With k = 7 every residue is covered: speculation can't miss.
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(16);
+        let config = SchemeConfig { n_chunks: 16, spec_k: 7, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Pm, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        assert_eq!(out.recovery_runs(), 0, "spec-7 covers all residues");
+        assert!((out.runtime_accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pm_recovery_is_sequential() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(16);
+        let config = SchemeConfig { n_chunks: 16, spec_k: 1, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Pm, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        if out.recovery_runs() > 0 {
+            assert!(
+                (out.avg_active_threads_during_recovery() - 1.0).abs() < 1e-12,
+                "PM recovers with exactly one active thread"
+            );
+        }
+    }
+
+    #[test]
+    fn pm_exact_on_convergent_machine() {
+        let d = keyword_dfa(&[b"virus", b"trojan"]).unwrap();
+        let input = b"clean data virus sample trojan xyz ".repeat(10);
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Pm, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        assert_eq!(out.accepted, d.accepts(&input));
+    }
+}

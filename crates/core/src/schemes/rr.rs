@@ -1,0 +1,20 @@
+//! RR: Round-Robin based aggressive speculative recovery (Algorithm 4).
+//!
+//! The paper's first heuristic. It breaks the one-to-one thread/chunk
+//! binding: when a must-be-done recovery appears at the frontier, the
+//! already-verified ("non-rear") threads are reassigned round-robin across
+//! the chunks after the frontier (`cid = (f+1) + (tid-1) % (N-f)`), each
+//! dequeuing the next-ranked state from that chunk's speculation queue and
+//! executing a speculative recovery whose record is forwarded through shared
+//! memory into the chunk owner's `VR^others` register window (Fig 5). Rear
+//! threads behave like SRE. The extra coverage raises the probability that
+//! the frontier's forwarded end state hits a pre-computed record
+//! (Δ_Specs in Equation 4), eliminating most must-be-done recoveries.
+
+use crate::run::RunOutcome;
+use crate::schemes::vr_kernel::{run_with_policy, RecoveryPolicy};
+use crate::schemes::Job;
+
+pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
+    run_with_policy(job, RecoveryPolicy::RoundRobin)
+}

@@ -1,0 +1,17 @@
+//! SRE: Speculative Recovery activated by the Ending state from the
+//! Predecessor (Algorithm 3, from [21], ported to the GPU).
+//!
+//! Threads stay bound one-to-one to chunks. When a mismatch is found, each
+//! thread immediately re-executes its chunk from the end state forwarded by
+//! its predecessor — a good guess exactly when the FSM converges quickly
+//! (Δ_End in Equation 4). On non-convergent machines the forwarded state is
+//! almost never right and recovery degenerates to the sequential frontier
+//! walk, which is the under-utilization the paper's RR/NF heuristics fix.
+
+use crate::run::RunOutcome;
+use crate::schemes::vr_kernel::{run_with_policy, RecoveryPolicy};
+use crate::schemes::Job;
+
+pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
+    run_with_policy(job, RecoveryPolicy::Sre)
+}

@@ -1,0 +1,442 @@
+//! The shared verification-and-recovery kernel behind SRE, RR and NF
+//! (Algorithms 3, 4 and 5).
+//!
+//! All three schemes run the same barrier loop: a *verify* round in which
+//! every unverified thread receives its predecessor's current end state
+//! (`end_state_comm`) and scans its chunk's records for a match, followed —
+//! only when the frontier chunk itself mismatched (`mark == false`, the
+//! must-be-done case) — by a *recovery* round. They differ exactly where the
+//! paper says they differ: in who re-executes what during recovery.
+//!
+//! * **SRE**: each thread stays bound to its own chunk and re-executes it
+//!   from the forwarded predecessor end state. A thread performs this
+//!   *speculative* recovery at most once ("immediate speculative recoveries
+//!   activated by ending states", §III-A); afterwards only the frontier's
+//!   must-be-done recovery keeps running — the low-utilization behaviour
+//!   Table III reports (≈1 active thread on non-convergent FSMs).
+//! * **RR**: rear threads (`tid ≥ f`) behave like SRE; verified (non-rear)
+//!   threads are reassigned round-robin over chunks `f+1..N` and re-execute
+//!   them from the next states of their speculation queues (Algorithm 4).
+//! * **NF**: non-rear threads drain the speculation queues nearest to the
+//!   frontier first (Algorithm 5's `NF_Sched`), piling many threads — often
+//!   whole warps, which coalesce — onto the same chunk.
+
+use std::ops::Range;
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+
+use crate::records::{VrRecord, VrStore};
+use crate::run::{RunOutcome, SchemeKind};
+use crate::schemes::common::{exec_phase, ExecPhase};
+use crate::schemes::Job;
+use crate::specq::SpecQueue;
+
+/// Which recovery scheduling heuristic the kernel applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RecoveryPolicy {
+    /// Algorithm 3: threads bound to their own chunks.
+    Sre,
+    /// Algorithm 4: round-robin reassignment of verified threads.
+    RoundRobin,
+    /// Algorithm 5: nearest-first queue draining.
+    NearestFirst,
+}
+
+impl RecoveryPolicy {
+    fn scheme(self) -> SchemeKind {
+        match self {
+            RecoveryPolicy::Sre => SchemeKind::Sre,
+            RecoveryPolicy::RoundRobin => SchemeKind::Rr,
+            RecoveryPolicy::NearestFirst => SchemeKind::Nf,
+        }
+    }
+}
+
+/// Runs the full scheme (prediction, spec-1 execution, verification &
+/// recovery under `policy`).
+pub(crate) fn run_with_policy(job: &Job<'_>, policy: RecoveryPolicy) -> RunOutcome {
+    let ExecPhase { chunks, queues, vr, ends, counts: phase_counts, predict_stats, exec_stats, .. } =
+        exec_phase(job, 1);
+    let n = chunks.len();
+
+    let mut kernel = VrKernel {
+        job,
+        chunks: &chunks,
+        queues,
+        vr,
+        ends_prev: ends.clone(),
+        counts_cur: (0..n).map(|i| phase_counts.get(i).copied().unwrap_or(0)).collect(),
+        ends_cur: ends,
+        found: vec![false; n],
+        endp: vec![0; n],
+        spec_budget: vec![job.config.spec_recovery_budget; n],
+        f: 1,
+        phase: Phase::Verify,
+        policy,
+        nf_cursor: 0,
+        checks: 0,
+        matches: 0,
+        frontier_trace: Vec::new(),
+    };
+    let verify = if n > 1 {
+        launch(job.spec, n, &mut kernel)
+    } else {
+        KernelStats::default()
+    };
+
+    let end_state = *kernel.ends_cur.last().expect("at least one chunk");
+    RunOutcome {
+        scheme: policy.scheme(),
+        end_state,
+        accepted: job.table.dfa().is_accepting(end_state),
+        match_count: job.config.count_matches.then(|| kernel.counts_cur.iter().sum()),
+        frontier_trace: kernel.frontier_trace,
+        chunk_ends: kernel.ends_cur,
+        predict: predict_stats,
+        execute: exec_stats,
+        verify,
+        verification_checks: kernel.checks,
+        verification_matches: kernel.matches,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Verify,
+    Recover,
+}
+
+struct VrKernel<'a, 'j> {
+    job: &'a Job<'j>,
+    chunks: &'a [Range<usize>],
+    queues: Vec<SpecQueue>,
+    vr: VrStore,
+    /// End states as of the last barrier (what `end_state_comm` returns).
+    ends_prev: Vec<StateId>,
+    /// End states being written this round.
+    ends_cur: Vec<StateId>,
+    /// Match count associated with each chunk's current end value (the
+    /// output-function tally of the record or re-execution that set it).
+    counts_cur: Vec<u64>,
+    found: Vec<bool>,
+    endp: Vec<StateId>,
+    /// Remaining speculative (non-frontier) recoveries per thread.
+    spec_budget: Vec<u32>,
+    /// The frontier: chunks `0..f` are verified.
+    f: usize,
+    phase: Phase,
+    policy: RecoveryPolicy,
+    /// NF_Sched scan hint: queues before this chunk id are known drained
+    /// (they never refill, so the scan is amortized O(1) — on hardware this
+    /// is a shared first-non-empty pointer).
+    nf_cursor: usize,
+    checks: u64,
+    matches: u64,
+    frontier_trace: Vec<u32>,
+}
+
+impl VrKernel<'_, '_> {
+    fn n(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Seeding a chunk beyond its record-window capacity is pure waste: the
+    /// extra records would be dropped (§IV-C). One slot is taken by the
+    /// chunk's own speculative-execution record.
+    fn seeding_exhausted(&self, cid: usize) -> bool {
+        let tried = self.queues[cid].initial_len() - self.queues[cid].remaining();
+        tried > self.job.config.vr_others_registers
+    }
+
+    fn verify_round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        if tid == 0 || tid < self.f {
+            // Verify rounds are cheap (communication + record scan); keeping
+            // the verified threads idle here and batching their speculative
+            // seeding into the must-be-done recovery rounds hides the
+            // seeding cost behind the frontier's unavoidable re-execution
+            // (§III-B: "this cost can be hidden by the must-be-done
+            // recovery in the frontier").
+            return RoundOutcome::IDLE;
+        }
+        // end_state_comm: receive the predecessor's current end state.
+        let end_p = self.ends_prev[tid - 1];
+        ctx.shuffle(1);
+        self.endp[tid] = end_p;
+        match self.vr.scan(ctx, tid, end_p) {
+            Some(rec) => {
+                self.found[tid] = true;
+                self.ends_cur[tid] = rec.end;
+                self.counts_cur[tid] = rec.matches;
+            }
+            None => {
+                self.found[tid] = false;
+            }
+        }
+        RoundOutcome::ACTIVE
+    }
+
+    fn recover_round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let f = self.f;
+        let rear = tid >= f;
+        if rear {
+            // Rear threads follow the SRE strategy: re-execute the own chunk
+            // from the forwarded end state. The frontier's recovery is
+            // must-be-done; other rear threads recover speculatively, at most
+            // `spec_budget` times, and only when no record already covers
+            // their forwarded state.
+            if tid != f {
+                if self.found[tid] || self.spec_budget[tid] == 0 {
+                    // Nothing useful to do on the own chunk. Under SRE the
+                    // thread idles (the one-to-one binding); the aggressive
+                    // schemes reassign it like a verified thread — §III-A:
+                    // "when thread i finishes ... it may be assigned to any
+                    // other chunk j for a speculative recovery".
+                    return match self.policy {
+                        RecoveryPolicy::Sre => RoundOutcome::IDLE,
+                        RecoveryPolicy::RoundRobin | RecoveryPolicy::NearestFirst => {
+                            self.seed_round(tid, ctx)
+                        }
+                    };
+                }
+                self.spec_budget[tid] -= 1;
+            }
+            let st = self.endp[tid];
+            let t0 = ctx.cycles();
+            let run = self.job.table.run_chunk_with(
+                ctx,
+                self.job.input,
+                self.chunks[tid].clone(),
+                st,
+                self.job.config.count_matches,
+            );
+            ctx.credit_recovery(t0);
+            self.vr.push_own(tid, VrRecord { start: st, end: run.end, matches: run.matches });
+            if !self.found[tid] {
+                self.ends_cur[tid] = run.end;
+                self.counts_cur[tid] = run.matches;
+            }
+            RoundOutcome::RECOVERING
+        } else {
+            // Non-rear (already verified) threads: only the aggressive
+            // schemes reassign them; under SRE they idle — the thread
+            // under-utilization the paper attacks.
+            match self.policy {
+                RecoveryPolicy::Sre => RoundOutcome::IDLE,
+                RecoveryPolicy::RoundRobin | RecoveryPolicy::NearestFirst => {
+                    self.seed_round(tid, ctx)
+                }
+            }
+        }
+    }
+
+    /// One speculative-recovery seeding step by a verified thread: pick a
+    /// chunk past the frontier (RR: round-robin, Algorithm 4 line 23; NF:
+    /// nearest non-drained queue, Algorithm 5 lines 29-33), dequeue the next
+    /// speculative state, execute the chunk, and forward the record into the
+    /// owner's `VR^others` window.
+    fn seed_round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let f = self.f;
+        let n = self.n();
+        debug_assert!(f < n);
+        let (cid, st) = match self.policy {
+            RecoveryPolicy::Sre => return RoundOutcome::IDLE,
+            RecoveryPolicy::RoundRobin => {
+                let avail = n.saturating_sub(f + 1);
+                if avail == 0 {
+                    return RoundOutcome::IDLE;
+                }
+                let cid = f + 1 + (tid % avail);
+                if self.seeding_exhausted(cid) {
+                    return RoundOutcome::IDLE;
+                }
+                match self.queues[cid].dequeue(ctx) {
+                    Some(st) => (cid, st),
+                    None => return RoundOutcome::IDLE,
+                }
+            }
+            RecoveryPolicy::NearestFirst => {
+                // The shared first-non-empty hint makes the scan amortized
+                // O(1); drained queues never refill.
+                self.nf_cursor = self.nf_cursor.max(f + 1);
+                let mut pick = None;
+                while self.nf_cursor < n {
+                    let cid = self.nf_cursor;
+                    ctx.shared(1); // queue-size probe
+                    if !self.seeding_exhausted(cid) && self.queues[cid].remaining() > 0 {
+                        pick = self.queues[cid].dequeue(ctx).map(|st| (cid, st));
+                        break;
+                    }
+                    self.nf_cursor += 1;
+                }
+                match pick {
+                    Some(p) => p,
+                    None => return RoundOutcome::IDLE,
+                }
+            }
+        };
+        let t0 = ctx.cycles();
+        let run = self.job.table.run_chunk_with(
+            ctx,
+            self.job.input,
+            self.chunks[cid].clone(),
+            st,
+            self.job.config.count_matches,
+        );
+        ctx.credit_recovery(t0);
+        self.vr
+            .push_other(ctx, cid, VrRecord { start: st, end: run.end, matches: run.matches });
+        RoundOutcome::RECOVERING
+    }
+}
+
+impl RoundKernel for VrKernel<'_, '_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        match self.phase {
+            Phase::Verify => self.verify_round(tid, ctx),
+            Phase::Recover => self.recover_round(tid, ctx),
+        }
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        match self.phase {
+            Phase::Verify => {
+                // Runtime speculation accuracy (Table III) counts the checks
+                // that decide each chunk's verification: one per chunk, a
+                // match when the chunk was verified from a record, a miss
+                // when it needed a must-be-done recovery.
+                self.checks += 1;
+                let mark = self.found[self.f];
+                if mark {
+                    // Frontier verified without recovery — and a run of
+                    // consecutive matches whose forwarded states chain from
+                    // the new truth is verified transitively in the same
+                    // round.
+                    self.matches += 1;
+                    self.f += 1;
+                    while self.f < self.n()
+                        && self.found[self.f]
+                        && self.endp[self.f] == self.ends_cur[self.f - 1]
+                    {
+                        self.checks += 1;
+                        self.matches += 1;
+                        self.f += 1;
+                    }
+                } else {
+                    self.phase = Phase::Recover;
+                }
+                self.ends_prev.copy_from_slice(&self.ends_cur);
+            }
+            Phase::Recover => {
+                // The frontier's must-be-done recovery resolved chunk f.
+                self.ends_prev.copy_from_slice(&self.ends_cur);
+                self.f += 1;
+                self.phase = Phase::Verify;
+            }
+        }
+        self.frontier_trace.push(self.f as u32);
+        self.f < self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeConfig;
+    use crate::table::DeviceTable;
+    use gspecpal_fsm::combinators::keyword_dfa;
+    use gspecpal_fsm::examples::div7;
+    use gspecpal_gpu::DeviceSpec;
+
+    fn check_exact(d: &gspecpal_fsm::Dfa, input: &[u8], n_chunks: usize, policy: RecoveryPolicy) {
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(d, d.n_states());
+        let config = SchemeConfig { n_chunks, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, input, config).unwrap();
+        let out = run_with_policy(&job, policy);
+        assert_eq!(out.end_state, d.run(input), "{policy:?} end state");
+        assert_eq!(out.accepted, d.accepts(input), "{policy:?} accept");
+        // Every chunk end must be the true prefix state.
+        let mut s = d.start();
+        for (i, r) in job.chunks().into_iter().enumerate() {
+            s = d.run_from(s, &input[r]);
+            assert_eq!(out.chunk_ends[i], s, "{policy:?} chunk {i}");
+        }
+    }
+
+    #[test]
+    fn all_policies_exact_on_nonconvergent_div7() {
+        let input: Vec<u8> = b"110101011001011101".repeat(16);
+        for policy in [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        {
+            check_exact(&div7(), &input, 16, policy);
+        }
+    }
+
+    #[test]
+    fn all_policies_exact_on_convergent_keywords() {
+        let d = keyword_dfa(&[b"attack", b"worm", b"exploit"]).unwrap();
+        let mut input = b"benign traffic attack packet worm xx ".repeat(12);
+        input.extend_from_slice(b"exploit");
+        for policy in [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        {
+            check_exact(&d, &input, 8, policy);
+        }
+    }
+
+    #[test]
+    fn sre_recovery_is_narrow_on_nonconvergent_machines() {
+        // div7 defeats end-state forwarding, so after the single speculative
+        // wave SRE degenerates to ~1 active thread per recovery round —
+        // exactly the Table III behaviour the paper's heuristics fix.
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(32);
+        let config = SchemeConfig { n_chunks: 32, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let sre = run_with_policy(&job, RecoveryPolicy::Sre);
+        let rr = run_with_policy(&job, RecoveryPolicy::RoundRobin);
+        assert!(
+            rr.avg_active_threads_during_recovery()
+                > 2.0 * sre.avg_active_threads_during_recovery(),
+            "RR must activate far more threads than SRE (rr={}, sre={})",
+            rr.avg_active_threads_during_recovery(),
+            sre.avg_active_threads_during_recovery()
+        );
+    }
+
+    #[test]
+    fn aggressive_schemes_boost_accuracy_on_nonconvergent_machines() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(32);
+        let config = SchemeConfig { n_chunks: 32, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let sre = run_with_policy(&job, RecoveryPolicy::Sre);
+        let nf = run_with_policy(&job, RecoveryPolicy::NearestFirst);
+        assert!(
+            nf.runtime_accuracy() > sre.runtime_accuracy(),
+            "NF accuracy {} must beat SRE {}",
+            nf.runtime_accuracy(),
+            sre.runtime_accuracy()
+        );
+    }
+
+    #[test]
+    fn single_chunk_degenerates_gracefully() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input = b"1101011";
+        let config = SchemeConfig { n_chunks: 1, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, input, config).unwrap();
+        for policy in [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        {
+            let out = run_with_policy(&job, policy);
+            assert_eq!(out.end_state, d.run(input));
+            assert_eq!(out.verification_checks, 0);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Ranked speculation queues (`QS_i` in Table I).
+//!
+//! Each chunk gets a queue of candidate start states ranked by their
+//! predicted probability of being the ground truth. During aggressive
+//! speculative recovery, multiple threads dequeue from the same chunk's
+//! queue concurrently; the queue is therefore a *concurrent* structure on the
+//! device (the paper notes "`QS_i` is a concurrent queue to ensure
+//! thread-safety"), which the simulator charges as an atomic per dequeue.
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::ThreadCtx;
+
+/// A concurrent ranked queue of speculative start states for one chunk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecQueue {
+    /// Candidate states, best first, with their predictor frequencies.
+    ranked: Vec<(StateId, u32)>,
+    /// Dequeue cursor.
+    head: usize,
+}
+
+impl SpecQueue {
+    /// Builds a queue from `(state, frequency)` pairs already ranked
+    /// best-first.
+    pub fn from_ranked(ranked: Vec<(StateId, u32)>) -> Self {
+        debug_assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1), "must be ranked");
+        SpecQueue { ranked, head: 0 }
+    }
+
+    /// A queue holding a single certain state (chunk 0's "queue" is just the
+    /// machine's real start state).
+    pub fn certain(state: StateId) -> Self {
+        SpecQueue { ranked: vec![(state, 1)], head: 0 }
+    }
+
+    /// The best not-yet-dequeued candidate, without consuming it.
+    pub fn front(&self) -> Option<StateId> {
+        self.ranked.get(self.head).map(|&(s, _)| s)
+    }
+
+    /// Dequeues the best remaining candidate, charging one atomic operation
+    /// on the device.
+    pub fn dequeue(&mut self, ctx: &mut ThreadCtx<'_>) -> Option<StateId> {
+        ctx.atomic(1);
+        let s = self.ranked.get(self.head).map(|&(s, _)| s);
+        if s.is_some() {
+            self.head += 1;
+        }
+        s
+    }
+
+    /// Host-side dequeue without device cost (used by host-side reference
+    /// engines and tests).
+    pub fn dequeue_host(&mut self) -> Option<StateId> {
+        let s = self.ranked.get(self.head).map(|&(s, _)| s);
+        if s.is_some() {
+            self.head += 1;
+        }
+        s
+    }
+
+    /// Remaining (not yet dequeued) candidates.
+    pub fn remaining(&self) -> usize {
+        self.ranked.len() - self.head
+    }
+
+    /// Total candidates the predictor produced.
+    pub fn initial_len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// The rank (0-based) of `state` in the full queue, if present.
+    pub fn rank_of(&self, state: StateId) -> Option<usize> {
+        self.ranked.iter().position(|&(s, _)| s == state)
+    }
+
+    /// All candidates in rank order (including dequeued ones).
+    pub fn candidates(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.ranked.iter().map(|&(s, _)| s)
+    }
+
+    /// Resets the dequeue cursor (a fresh kernel launch re-reads the queue).
+    pub fn reset(&mut self) {
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gspecpal_gpu::{launch, DeviceSpec, RoundKernel, RoundOutcome};
+
+    #[test]
+    fn dequeue_host_walks_rank_order() {
+        let mut q = SpecQueue::from_ranked(vec![(5, 10), (2, 7), (9, 1)]);
+        assert_eq!(q.front(), Some(5));
+        assert_eq!(q.dequeue_host(), Some(5));
+        assert_eq!(q.dequeue_host(), Some(2));
+        assert_eq!(q.remaining(), 1);
+        assert_eq!(q.dequeue_host(), Some(9));
+        assert_eq!(q.dequeue_host(), None);
+    }
+
+    #[test]
+    fn rank_lookup() {
+        let q = SpecQueue::from_ranked(vec![(5, 10), (2, 7), (9, 1)]);
+        assert_eq!(q.rank_of(5), Some(0));
+        assert_eq!(q.rank_of(9), Some(2));
+        assert_eq!(q.rank_of(42), None);
+    }
+
+    #[test]
+    fn certain_queue() {
+        let mut q = SpecQueue::certain(3);
+        assert_eq!(q.initial_len(), 1);
+        assert_eq!(q.dequeue_host(), Some(3));
+        assert_eq!(q.dequeue_host(), None);
+        q.reset();
+        assert_eq!(q.front(), Some(3));
+    }
+
+    #[test]
+    fn device_dequeue_charges_atomic() {
+        struct K {
+            q: SpecQueue,
+            got: Vec<Option<StateId>>,
+        }
+        impl RoundKernel for K {
+            fn round(&mut self, _tid: usize, ctx: &mut gspecpal_gpu::ThreadCtx<'_>) -> RoundOutcome {
+                let s = self.q.dequeue(ctx);
+                self.got.push(s);
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let mut k = K { q: SpecQueue::from_ranked(vec![(1, 2), (2, 1)]), got: vec![] };
+        let stats = launch(&DeviceSpec::test_unit(), 3, &mut k);
+        assert_eq!(stats.atomics, 3);
+        assert_eq!(k.got, vec![Some(1), Some(2), None]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Device-resident transition tables (§IV-B).
+//!
+//! Transition tables of real rule sets exceed GPU shared memory, so only the
+//! *hot* rows (most frequently visited states) are kept there; the rest stay
+//! in global memory. Two layouts are implemented:
+//!
+//! * [`TableLayout::Transformed`] — the paper's frequency-based DFA
+//!   transformation: state ids are frequency ranks, so the cached test is a
+//!   single comparison `state < H` (Figure 4).
+//! * [`TableLayout::Hashed`] — PM's approach: an explicit hash table in
+//!   shared memory answers "is this row cached?", costing one extra shared
+//!   access and a hash computation *every step*.
+//!
+//! The ~15% mean improvement the paper reports for the transformation
+//! (§V-C) is exactly the per-step delta between these two layouts, which the
+//! ablation bench regenerates.
+
+use gspecpal_fsm::{Dfa, FrequencyProfile, StateId};
+use gspecpal_gpu::{DeviceSpec, ThreadCtx};
+
+use std::ops::Range;
+
+/// Global-memory region id for the input stream.
+pub const REGION_INPUT: u32 = 0;
+/// Global-memory region id for the (cold part of the) transition table.
+pub const REGION_TABLE: u32 = 1;
+
+/// How the hot-row test is performed on the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableLayout {
+    /// Frequency-transformed table: `state < H` comparison (GSpecPal).
+    Transformed,
+    /// Shared-memory hash table lookup per step (PM).
+    Hashed,
+}
+
+/// A transition table as seen by device kernels, with cost accounting.
+#[derive(Clone, Debug)]
+pub struct DeviceTable<'a> {
+    dfa: &'a Dfa,
+    layout: TableLayout,
+    /// For `Transformed`: rows `0..hot_rows` are in shared memory (the DFA
+    /// must already be frequency-permuted so rank == state id).
+    hot_rows: u32,
+    /// For `Hashed`: per-state cached flag (top-frequency states).
+    hot_set: Vec<bool>,
+}
+
+impl<'a> DeviceTable<'a> {
+    /// A transformed-layout table over a frequency-permuted DFA with the
+    /// given number of resident hot rows.
+    pub fn transformed(dfa: &'a Dfa, hot_rows: u32) -> Self {
+        DeviceTable { dfa, layout: TableLayout::Transformed, hot_rows, hot_set: Vec::new() }
+    }
+
+    /// A hashed-layout table: the `hot_rows` most frequent states (per
+    /// `profile`) are resident, tested through a shared-memory hash table.
+    pub fn hashed(dfa: &'a Dfa, profile: &FrequencyProfile, hot_rows: u32) -> Self {
+        let mut hot_set = vec![false; dfa.n_states() as usize];
+        for &s in profile.ranked_states().iter().take(hot_rows as usize) {
+            hot_set[s as usize] = true;
+        }
+        DeviceTable { dfa, layout: TableLayout::Hashed, hot_rows, hot_set }
+    }
+
+    /// Computes how many rows fit in the device's shared memory for the
+    /// given layout. The hashed layout sacrifices part of shared memory to
+    /// the hash table itself (2 bytes per machine state).
+    pub fn hot_rows_for_device(dfa: &Dfa, layout: TableLayout, spec: &DeviceSpec) -> u32 {
+        let row_bytes = dfa.stride() * std::mem::size_of::<StateId>();
+        let budget = match layout {
+            TableLayout::Transformed => spec.shared_mem_bytes,
+            TableLayout::Hashed => {
+                spec.shared_mem_bytes.saturating_sub(2 * dfa.n_states() as usize)
+            }
+        };
+        ((budget / row_bytes.max(1)) as u32).min(dfa.n_states())
+    }
+
+    /// The underlying machine.
+    pub fn dfa(&self) -> &Dfa {
+        self.dfa
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> TableLayout {
+        self.layout
+    }
+
+    /// Number of resident rows.
+    pub fn hot_rows(&self) -> u32 {
+        self.hot_rows
+    }
+
+    /// Whether state `s`'s row is resident in shared memory.
+    #[inline]
+    pub fn is_hot(&self, s: StateId) -> bool {
+        match self.layout {
+            TableLayout::Transformed => s < self.hot_rows,
+            TableLayout::Hashed => self.hot_set[s as usize],
+        }
+    }
+
+    /// One state transition `Table[state][class(b)]`, charging the layout's
+    /// device cost. The input byte must already have been loaded (see
+    /// [`DeviceTable::load_input`]).
+    #[inline]
+    pub fn step(&self, ctx: &mut ThreadCtx<'_>, s: StateId, b: u8) -> StateId {
+        match self.layout {
+            TableLayout::Transformed => {
+                // `state < H` test.
+                ctx.alu(1);
+            }
+            TableLayout::Hashed => {
+                // hash(state) + Hots[hash(state)] probe. The probe is a
+                // shared access that pipelines with the row fetch; its
+                // effective extra latency is the device's probe cost.
+                ctx.alu(1);
+                ctx.probe();
+            }
+        }
+        if self.is_hot(s) {
+            ctx.shared(1);
+        } else {
+            let class = self.dfa.classes().class(b) as u64;
+            let offset =
+                (u64::from(s) * self.dfa.stride() as u64 + class) * std::mem::size_of::<StateId>() as u64;
+            ctx.global(REGION_TABLE, offset, std::mem::size_of::<StateId>() as u64);
+        }
+        self.dfa.next(s, b)
+    }
+
+    /// Loads one input byte from global memory (coalesced per warp segment).
+    #[inline]
+    pub fn load_input(&self, ctx: &mut ThreadCtx<'_>, input: &[u8], pos: usize) -> u8 {
+        ctx.global(REGION_INPUT, pos as u64, 1);
+        input[pos]
+    }
+
+    /// Runs one chunk on the device from `start`, charging per-step costs.
+    /// This is the device-side `FSM_Processing(fsm, Π(i), state)` primitive
+    /// every scheme builds on.
+    pub fn run_chunk(
+        &self,
+        ctx: &mut ThreadCtx<'_>,
+        input: &[u8],
+        range: Range<usize>,
+        start: StateId,
+    ) -> StateId {
+        self.run_chunk_with(ctx, input, range, start, false).end
+    }
+
+    /// Like [`DeviceTable::run_chunk`], optionally counting accepting-state
+    /// visits (the match-reporting output function φ — one extra ALU op per
+    /// transition when enabled).
+    pub fn run_chunk_with(
+        &self,
+        ctx: &mut ThreadCtx<'_>,
+        input: &[u8],
+        range: Range<usize>,
+        start: StateId,
+        count_matches: bool,
+    ) -> ChunkRun {
+        let mut s = start;
+        let mut matches = 0u64;
+        if count_matches {
+            for pos in range {
+                let b = self.load_input(ctx, input, pos);
+                s = self.step(ctx, s, b);
+                ctx.alu(2); // loop bookkeeping + accept test
+                matches += u64::from(self.dfa.is_accepting(s));
+            }
+        } else {
+            for pos in range {
+                let b = self.load_input(ctx, input, pos);
+                s = self.step(ctx, s, b);
+                ctx.alu(1); // loop bookkeeping
+            }
+        }
+        ChunkRun { end: s, matches }
+    }
+
+    /// Runs `k` speculative paths over the same chunk in one thread (PM's
+    /// spec-k execution): the input byte is loaded once per step and all
+    /// paths take their table lookups on it. `starts` is updated in place to
+    /// the per-path end states.
+    pub fn run_chunk_multi(
+        &self,
+        ctx: &mut ThreadCtx<'_>,
+        input: &[u8],
+        range: Range<usize>,
+        states: &mut [StateId],
+    ) {
+        let mut counts = vec![0u64; states.len()];
+        self.run_chunk_multi_with(ctx, input, range, states, &mut counts, false);
+    }
+
+    /// Multi-path execution with optional per-path match counting.
+    pub fn run_chunk_multi_with(
+        &self,
+        ctx: &mut ThreadCtx<'_>,
+        input: &[u8],
+        range: Range<usize>,
+        states: &mut [StateId],
+        counts: &mut [u64],
+        count_matches: bool,
+    ) {
+        debug_assert_eq!(states.len(), counts.len());
+        for pos in range {
+            let b = self.load_input(ctx, input, pos);
+            for (s, c) in states.iter_mut().zip(counts.iter_mut()) {
+                *s = self.step(ctx, *s, b);
+                if count_matches {
+                    ctx.alu(1);
+                    *c += u64::from(self.dfa.is_accepting(*s));
+                }
+            }
+            ctx.alu(1);
+        }
+    }
+}
+
+/// Result of executing one chunk on the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkRun {
+    /// End state.
+    pub end: StateId,
+    /// Accepting-state visits along the way (0 when counting is off).
+    pub matches: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gspecpal_fsm::examples::div7;
+    use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome};
+
+    /// Runs `f` once on thread 0 of a one-round kernel and returns the stats.
+    fn on_device<F: FnMut(&mut ThreadCtx<'_>)>(f: F) -> KernelStats {
+        struct K<F>(F);
+        impl<F: FnMut(&mut ThreadCtx<'_>)> RoundKernel for K<F> {
+            fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                (self.0)(ctx);
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        launch(&DeviceSpec::test_unit(), 1, &mut K(f))
+    }
+
+    #[test]
+    fn transformed_hot_step_uses_shared_only() {
+        let d = div7();
+        let t = DeviceTable::transformed(&d, 7); // everything hot
+        let mut end = 0;
+        let stats = on_device(|ctx| {
+            end = t.step(ctx, 0, b'1');
+        });
+        assert_eq!(end, d.next(0, b'1'));
+        assert_eq!(stats.shared_accesses, 1);
+        assert_eq!(stats.global_transactions, 0);
+    }
+
+    #[test]
+    fn transformed_cold_step_goes_global() {
+        let d = div7();
+        let t = DeviceTable::transformed(&d, 0); // nothing hot
+        let stats = on_device(|ctx| {
+            t.step(ctx, 3, b'0');
+        });
+        assert_eq!(stats.shared_accesses, 0);
+        assert_eq!(stats.global_transactions, 1);
+    }
+
+    #[test]
+    fn hashed_step_pays_probe_even_when_hot() {
+        let d = div7();
+        let profile = FrequencyProfile::uniform(&d);
+        let t = DeviceTable::hashed(&d, &profile, 7);
+        let stats = on_device(|ctx| {
+            t.step(ctx, 0, b'1');
+        });
+        // 1 probe + 1 row access.
+        assert_eq!(stats.shared_accesses, 2);
+    }
+
+    #[test]
+    fn hashed_hot_set_follows_profile() {
+        let d = div7();
+        let profile = FrequencyProfile::collect(&d, b"1111111");
+        let t = DeviceTable::hashed(&d, &profile, 2);
+        let ranked = profile.ranked_states();
+        assert!(t.is_hot(ranked[0]));
+        assert!(t.is_hot(ranked[1]));
+        assert!(!t.is_hot(ranked[6]));
+    }
+
+    #[test]
+    fn run_chunk_computes_correct_end_state() {
+        let d = div7();
+        let t = DeviceTable::transformed(&d, 7);
+        let input = b"110101101";
+        let mut end = 0;
+        on_device(|ctx| {
+            end = t.run_chunk(ctx, input, 0..input.len(), d.start());
+        });
+        assert_eq!(end, d.run(input));
+    }
+
+    #[test]
+    fn run_chunk_multi_matches_individual_runs() {
+        let d = div7();
+        let t = DeviceTable::transformed(&d, 7);
+        let input = b"1011010101";
+        let mut states = [0, 3, 5];
+        on_device(|ctx| {
+            t.run_chunk_multi(ctx, input, 2..8, &mut states);
+        });
+        for (i, &s0) in [0, 3, 5].iter().enumerate() {
+            assert_eq!(states[i], d.run_from(s0, &input[2..8]));
+        }
+    }
+
+    #[test]
+    fn multi_path_shares_input_loads() {
+        let d = div7();
+        let t = DeviceTable::transformed(&d, 7);
+        let input = vec![b'1'; 64];
+        let single = on_device(|ctx| {
+            t.run_chunk(ctx, &input, 0..64, 0);
+        });
+        let mut states = [0, 1, 2, 3];
+        let quad = on_device(|ctx| {
+            t.run_chunk_multi(ctx, &input, 0..64, &mut states);
+        });
+        // Input transactions identical; table work roughly 4x.
+        assert_eq!(
+            single.global_transactions, quad.global_transactions,
+            "input loads are shared across paths"
+        );
+        assert!(quad.shared_accesses >= 4 * single.shared_accesses);
+        // The redundancy factor alpha_k stays well below k thanks to the
+        // shared input stream (Fig 3's premise).
+        assert!(quad.cycles < 4 * single.cycles);
+        assert!(quad.cycles > single.cycles);
+    }
+
+    #[test]
+    fn layouts_compute_identical_transitions() {
+        use gspecpal_fsm::random::{random_dfa, random_input};
+        use gspecpal_fsm::FrequencyProfile;
+        for seed in 0..10u64 {
+            let d = random_dfa(seed, 20, 6);
+            let profile = FrequencyProfile::uniform(&d);
+            let t = DeviceTable::transformed(&d, 10);
+            let h = DeviceTable::hashed(&d, &profile, 10);
+            let input = random_input(seed ^ 9, 200);
+            let mut st = d.start();
+            let mut sh = d.start();
+            on_device(|ctx| {
+                for &b in &input {
+                    st = t.step(ctx, st, b);
+                    sh = h.step(ctx, sh, b);
+                    assert_eq!(st, sh, "seed {seed}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn hot_rows_budget_accounts_for_hash_table() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit();
+        let t_rows = DeviceTable::hot_rows_for_device(&d, TableLayout::Transformed, &spec);
+        let h_rows = DeviceTable::hot_rows_for_device(&d, TableLayout::Hashed, &spec);
+        assert!(h_rows <= t_rows);
+    }
+}

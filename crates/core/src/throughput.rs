@@ -1,0 +1,247 @@
+//! Throughput-oriented stream-level parallelism (Algorithm 1, lines 2-3).
+//!
+//! Most prior GPU FSM engines assign *whole streams* to threads: thousands
+//! of independent inputs keep the device busy and aggregate throughput is
+//! excellent, but the response time of any single stream is a full
+//! sequential scan (§II-B: such designs "ignore the peak performance, i.e.,
+//! the response time of running over a single input stream"). This module
+//! implements that classic design so the trade-off against GSpecPal's
+//! latency-sensitive chunk parallelism can be measured rather than asserted
+//! — see the `motivation` experiment in `gspecpal-bench`.
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{launch, DeviceSpec, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+
+
+use crate::table::DeviceTable;
+
+/// Result of a stream-parallel batch run.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Verified end state of each stream.
+    pub end_states: Vec<StateId>,
+    /// Accept decision per stream.
+    pub accepted: Vec<bool>,
+    /// Kernel statistics. `stats.cycles` is the batch completion time —
+    /// also the response time of *every* stream, since each is scanned
+    /// sequentially by its thread.
+    pub stats: KernelStats,
+    /// Total bytes consumed across all streams.
+    pub total_bytes: usize,
+}
+
+impl BatchOutcome {
+    /// Aggregate throughput in bytes per simulated cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.stats.cycles == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.stats.cycles as f64
+        }
+    }
+
+    /// Per-stream response time: with one thread per stream, every stream's
+    /// latency is the whole batch duration (the slowest stream gates the
+    /// kernel, and no stream finishes usefully earlier at the API level).
+    pub fn response_cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+/// Runs `streams` over the same machine, one device thread per stream —
+/// stream-level parallelism exactly as throughput-oriented engines do.
+pub fn run_stream_parallel(
+    spec: &DeviceSpec,
+    table: &DeviceTable<'_>,
+    streams: &[&[u8]],
+) -> BatchOutcome {
+    assert!(!streams.is_empty(), "need at least one stream");
+    assert!(
+        streams.len() <= spec.max_threads_per_block as usize,
+        "more streams than block capacity; use run_stream_parallel_grid"
+    );
+    let mut kernel = StreamKernel { table, streams, end_states: vec![0; streams.len()] };
+    let stats = launch(spec, streams.len(), &mut kernel);
+    let accepted = kernel
+        .end_states
+        .iter()
+        .map(|&s| table.dfa().is_accepting(s))
+        .collect();
+    BatchOutcome {
+        end_states: kernel.end_states,
+        accepted,
+        stats,
+        total_bytes: streams.iter().map(|s| s.len()).sum(),
+    }
+}
+
+/// Like [`run_stream_parallel`] for batches larger than one block: streams
+/// are sharded into blocks of `threads_per_block` which the device schedules
+/// onto its SMs in waves (the full-device throughput configuration of the
+/// engines §II-B describes).
+pub fn run_stream_parallel_grid(
+    spec: &DeviceSpec,
+    table: &DeviceTable<'_>,
+    streams: &[&[u8]],
+    threads_per_block: usize,
+) -> BatchOutcome {
+    assert!(!streams.is_empty(), "need at least one stream");
+    let tpb = threads_per_block.clamp(1, spec.max_threads_per_block as usize);
+    let mut blocks: Vec<(usize, StreamKernel<'_, '_>)> = streams
+        .chunks(tpb)
+        .map(|shard| {
+            (shard.len(), StreamKernel { table, streams: shard, end_states: vec![0; shard.len()] })
+        })
+        .collect();
+    let grid = gspecpal_gpu::launch_grid(spec, &mut blocks);
+
+    let mut end_states = Vec::with_capacity(streams.len());
+    for (_, k) in &blocks {
+        end_states.extend_from_slice(&k.end_states);
+    }
+    let accepted = end_states.iter().map(|&s| table.dfa().is_accepting(s)).collect();
+    // Fold the grid totals into a single KernelStats for uniform reporting.
+    let mut stats = KernelStats::default();
+    for b in &grid.blocks {
+        stats.merge_sequential(b);
+    }
+    stats.cycles = grid.cycles;
+    BatchOutcome {
+        end_states,
+        accepted,
+        stats,
+        total_bytes: streams.iter().map(|s| s.len()).sum(),
+    }
+}
+
+struct StreamKernel<'a, 'j> {
+    table: &'a DeviceTable<'j>,
+    streams: &'a [&'a [u8]],
+    end_states: Vec<StateId>,
+}
+
+impl RoundKernel for StreamKernel<'_, '_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let stream = self.streams[tid];
+        self.end_states[tid] =
+            self.table.run_chunk(ctx, stream, 0..stream.len(), self.table.dfa().start());
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeConfig;
+    use crate::schemes::{run_scheme, Job};
+    use crate::run::SchemeKind;
+    use gspecpal_fsm::examples::div7;
+
+    fn streams_of(base: &[u8], n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| base.repeat(8 + i % 4)).collect()
+    }
+
+    #[test]
+    fn stream_parallel_is_exact_per_stream() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let streams = streams_of(b"11010101", 16);
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let out = run_stream_parallel(&DeviceSpec::test_unit(), &table, &refs);
+        for (i, s) in refs.iter().enumerate() {
+            assert_eq!(out.end_states[i], d.run(s), "stream {i}");
+            assert_eq!(out.accepted[i], d.accepts(s), "stream {i}");
+        }
+        assert_eq!(out.total_bytes, refs.iter().map(|s| s.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn throughput_beats_latency_mode_on_aggregate_but_not_response() {
+        // The paper's §II-B trade-off, measured: processing B streams with
+        // one thread each finishes the *batch* quickly, but a single
+        // stream's response time equals the whole sequential scan — which
+        // chunk-parallel speculation beats by an order of magnitude.
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let spec = DeviceSpec::test_unit();
+        let stream: Vec<u8> = b"110101011001".repeat(300);
+        let copies: Vec<&[u8]> = (0..32).map(|_| stream.as_slice()).collect();
+
+        // Throughput mode: 32 streams at once.
+        let batch = run_stream_parallel(&spec, &table, &copies);
+
+        // Latency mode: one stream, chunk-parallel.
+        let config = SchemeConfig { n_chunks: 32, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &stream, config).unwrap();
+        let single = run_scheme(SchemeKind::Nf, &job);
+        assert_eq!(single.end_state, batch.end_states[0]);
+
+        // Aggregate throughput: batch wins (it amortizes everything).
+        let latency_mode_throughput = stream.len() as f64 / single.total_cycles() as f64;
+        assert!(
+            batch.bytes_per_cycle() > latency_mode_throughput,
+            "batch {:.3} B/cy vs latency-mode {:.3} B/cy",
+            batch.bytes_per_cycle(),
+            latency_mode_throughput
+        );
+
+        // Response time of one stream: chunk parallelism wins big.
+        assert!(
+            single.total_cycles() * 2 < batch.response_cycles(),
+            "speculative {} vs stream-parallel {}",
+            single.total_cycles(),
+            batch.response_cycles()
+        );
+    }
+
+    #[test]
+    fn grid_batches_agree_with_block_batches() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 4;
+        let streams = streams_of(b"1101", 40);
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        // Shard into blocks of 8 threads: 5 blocks on 4 SMs -> 2 waves.
+        let grid = run_stream_parallel_grid(&spec, &table, &refs, 8);
+        for (i, s) in refs.iter().enumerate() {
+            assert_eq!(grid.end_states[i], d.run(s), "stream {i}");
+        }
+        // One big block gives the same answers.
+        let block = run_stream_parallel(&spec, &table, &refs);
+        assert_eq!(grid.end_states, block.end_states);
+        assert_eq!(grid.total_bytes, block.total_bytes);
+    }
+
+    #[test]
+    fn grid_waves_serialize() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 1;
+        let stream: Vec<u8> = b"10".repeat(500);
+        let refs: Vec<&[u8]> = (0..4).map(|_| stream.as_slice()).collect();
+        // 4 blocks of 1 thread on 1 SM: 4 serialized waves.
+        let four_waves = run_stream_parallel_grid(&spec, &table, &refs, 1);
+        // 1 block of 4 threads: a single wave.
+        let one_wave = run_stream_parallel_grid(&spec, &table, &refs, 4);
+        assert!(four_waves.stats.cycles > 3 * one_wave.stats.cycles);
+    }
+
+    #[test]
+    fn uneven_streams_gate_on_the_longest() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let spec = DeviceSpec::test_unit();
+        let short: Vec<u8> = b"10".repeat(10);
+        let long: Vec<u8> = b"10".repeat(2000);
+        let out = run_stream_parallel(&spec, &table, &[&short, &long]);
+        let solo = run_stream_parallel(&spec, &table, &[&long]);
+        // The short stream cannot make the batch faster than the long one.
+        assert!(out.stats.cycles >= solo.stats.cycles);
+    }
+}

@@ -1,0 +1,150 @@
+//! Byte equivalence classes.
+//!
+//! Real-world DFAs rarely distinguish all 256 byte values; RE2 (which the
+//! paper uses to compile its rule sets) compresses the alphabet into
+//! equivalence classes before building the transition table. We do the same:
+//! a [`ByteClasses`] maps every input byte to a class id in `0..len()`, and
+//! the DFA table stride equals the class count. This keeps large-state-count
+//! machines within the simulated GPU's memory budget exactly the way the
+//! paper's tooling does.
+
+/// A mapping from raw bytes to alphabet equivalence classes.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ByteClasses {
+    map: [u8; 256],
+    len: u16,
+}
+
+impl std::fmt::Debug for ByteClasses {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteClasses").field("len", &self.len).finish()
+    }
+}
+
+impl ByteClasses {
+    /// The identity mapping: every byte is its own class (alphabet size 256).
+    pub fn identity() -> Self {
+        let mut map = [0u8; 256];
+        for (b, slot) in map.iter_mut().enumerate() {
+            *slot = b as u8;
+        }
+        ByteClasses { map, len: 256 }
+    }
+
+    /// Builds classes from an explicit map. `map[b]` must be a dense class id;
+    /// the number of classes is `max(map) + 1`.
+    pub fn from_map(map: [u8; 256]) -> Self {
+        let len = u16::from(*map.iter().max().expect("array is non-empty")) + 1;
+        ByteClasses { map, len }
+    }
+
+    /// Builds the coarsest partition of bytes such that any two bytes in the
+    /// same class are indistinguishable by `distinct`: `distinct(a, b)` must
+    /// return `true` iff some transition treats `a` and `b` differently.
+    ///
+    /// This is O(256²) in calls to `distinct`, which is fine for construction
+    /// time (the paper's offline preprocessing is not on the critical path).
+    pub fn refine(mut distinct: impl FnMut(u8, u8) -> bool) -> Self {
+        let mut map = [u8::MAX; 256];
+        let mut reps: Vec<u8> = Vec::new();
+        for b in 0..=255u8 {
+            let mut assigned = false;
+            for (class, &rep) in reps.iter().enumerate() {
+                if !distinct(b, rep) {
+                    map[b as usize] = class as u8;
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned {
+                map[b as usize] = reps.len() as u8;
+                reps.push(b);
+            }
+        }
+        ByteClasses { map, len: reps.len() as u16 }
+    }
+
+    /// The class of byte `b`.
+    #[inline(always)]
+    pub fn class(&self, b: u8) -> u16 {
+        u16::from(self.map[b as usize])
+    }
+
+    /// Number of classes (the effective alphabet size).
+    #[inline(always)]
+    pub fn len(&self) -> u16 {
+        self.len
+    }
+
+    /// True when only one class exists (degenerate alphabet).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One representative byte per class, in class order.
+    pub fn representatives(&self) -> Vec<u8> {
+        let mut reps = vec![None; self.len as usize];
+        for b in 0..=255u8 {
+            let c = self.map[b as usize] as usize;
+            if reps[c].is_none() {
+                reps[c] = Some(b);
+            }
+        }
+        reps.into_iter().map(|r| r.expect("every class has a representative")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_256_classes() {
+        let c = ByteClasses::identity();
+        assert_eq!(c.len(), 256);
+        for b in 0..=255u8 {
+            assert_eq!(c.class(b), u16::from(b));
+        }
+    }
+
+    #[test]
+    fn refine_collapses_indistinguishable_bytes() {
+        // Distinguish only b'a' from everything else.
+        let c = ByteClasses::refine(|a, b| (a == b'a') != (b == b'a'));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.class(b'a'), c.class(b'a'));
+        assert_ne!(c.class(b'a'), c.class(b'b'));
+        assert_eq!(c.class(b'b'), c.class(b'z'));
+    }
+
+    #[test]
+    fn refine_everything_distinct_matches_identity() {
+        let c = ByteClasses::refine(|a, b| a != b);
+        assert_eq!(c.len(), 256);
+    }
+
+    #[test]
+    fn refine_nothing_distinct_is_single_class() {
+        let c = ByteClasses::refine(|_, _| false);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.class(0), 0);
+        assert_eq!(c.class(255), 0);
+    }
+
+    #[test]
+    fn representatives_cover_all_classes() {
+        let c = ByteClasses::refine(|a, b| (a % 3) != (b % 3));
+        let reps = c.representatives();
+        assert_eq!(reps.len(), 3);
+        let classes: Vec<u16> = reps.iter().map(|&b| c.class(b)).collect();
+        assert_eq!(classes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_map_computes_len() {
+        let mut map = [0u8; 256];
+        map[10] = 4;
+        let c = ByteClasses::from_map(map);
+        assert_eq!(c.len(), 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Exact language-equivalence checking between DFAs.
+//!
+//! A product-construction reachability check: two machines accept the same
+//! language iff no reachable state pair disagrees on acceptance. Where the
+//! test suite used to sample random inputs, this decides equivalence
+//! *exactly* (and produces a shortest distinguishing witness when they
+//! differ).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::classes::ByteClasses;
+use crate::dfa::{Dfa, StateId};
+
+/// BFS predecessor map: product pair → (parent pair, byte taken), `None` at
+/// the start pair.
+type SeenMap = HashMap<(StateId, StateId), Option<(StateId, StateId, u8)>>;
+
+/// Result of an equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The machines accept exactly the same language.
+    Equal,
+    /// They differ; the witness is a shortest input accepted by exactly one
+    /// of them.
+    Differs {
+        /// A shortest distinguishing input.
+        witness: Vec<u8>,
+    },
+}
+
+impl Equivalence {
+    /// True when the machines are equivalent.
+    pub fn is_equal(&self) -> bool {
+        matches!(self, Equivalence::Equal)
+    }
+}
+
+/// Decides whether `a` and `b` accept the same language over all byte
+/// strings, by BFS over the reachable product state space (so the witness,
+/// if any, is shortest). Cost is O(|A|·|B|·classes) in the worst case.
+///
+/// ```
+/// use gspecpal_fsm::equivalence::{equivalent, Equivalence};
+/// use gspecpal_fsm::examples::div7;
+/// use gspecpal_fsm::minimize::minimize;
+///
+/// let d = div7();
+/// assert!(equivalent(&d, &minimize(&d)).is_equal());
+/// ```
+pub fn equivalent(a: &Dfa, b: &Dfa) -> Equivalence {
+    // A combined class partition refined enough for both machines.
+    let ca = a.classes().clone();
+    let cb = b.classes().clone();
+    let classes =
+        ByteClasses::refine(|x, y| ca.class(x) != ca.class(y) || cb.class(x) != cb.class(y));
+    let reps = classes.representatives();
+
+    let mut seen: SeenMap = HashMap::new();
+    let start = (a.start(), b.start());
+    seen.insert(start, None);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+
+    let witness_from = |pair: (StateId, StateId), seen: &SeenMap| -> Vec<u8> {
+        let mut path = Vec::new();
+        let mut cur = pair;
+        while let Some(Some((pa, pb, byte))) = seen.get(&cur) {
+            path.push(*byte);
+            cur = (*pa, *pb);
+        }
+        path.reverse();
+        path
+    };
+
+    if a.is_accepting(start.0) != b.is_accepting(start.1) {
+        return Equivalence::Differs { witness: Vec::new() };
+    }
+    while let Some((sa, sb)) = queue.pop_front() {
+        for &rep in &reps {
+            let ta = a.next(sa, rep);
+            let tb = b.next(sb, rep);
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry((ta, tb)) {
+                e.insert(Some((sa, sb, rep)));
+                if a.is_accepting(ta) != b.is_accepting(tb) {
+                    return Equivalence::Differs { witness: witness_from((ta, tb), &seen) };
+                }
+                queue.push_back((ta, tb));
+            }
+        }
+    }
+    Equivalence::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinators::{complement, union};
+    use crate::examples::{div7, mod_counter};
+    use crate::minimize::minimize;
+    use crate::random::random_dfa;
+
+    #[test]
+    fn machine_equals_itself_and_its_minimization() {
+        for seed in 0..20 {
+            let d = random_dfa(seed, 12, 5);
+            assert!(equivalent(&d, &d).is_equal());
+            assert!(equivalent(&d, &minimize(&d)).is_equal(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_languages_give_a_witness() {
+        let d3 = mod_counter(3, &[0]);
+        let d7 = div7();
+        match equivalent(&d3, &d7) {
+            Equivalence::Differs { witness } => {
+                assert_ne!(d3.accepts(&witness), d7.accepts(&witness));
+            }
+            Equivalence::Equal => panic!("mod-3 and mod-7 differ"),
+        }
+    }
+
+    #[test]
+    fn witness_is_shortest() {
+        // div7 vs its complement differ on the empty string already.
+        let d = div7();
+        let c = complement(&d);
+        assert_eq!(equivalent(&d, &c), Equivalence::Differs { witness: vec![] });
+    }
+
+    #[test]
+    fn union_is_commutative_up_to_language() {
+        let a = mod_counter(3, &[0]);
+        let b = mod_counter(5, &[0]);
+        let ab = union(&a, &b).unwrap();
+        let ba = union(&b, &a).unwrap();
+        assert!(equivalent(&ab, &ba).is_equal());
+    }
+
+    #[test]
+    fn acceptance_tweak_is_detected() {
+        let d = div7();
+        // Same structure, different accepting set.
+        let d2 = crate::examples::mod_counter(7, &[1]);
+        match equivalent(&d, &d2) {
+            Equivalence::Differs { witness } => {
+                assert_ne!(d.accepts(&witness), d2.accepts(&witness));
+            }
+            Equivalence::Equal => panic!("accepting sets differ"),
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! DFA minimization (Hopcroft's partition-refinement algorithm).
+//!
+//! The workload generator minimizes every compiled machine so the state
+//! counts reported in the Table II reproduction are canonical, and so that
+//! structurally distinct FSM tiers really differ in behaviour rather than in
+//! redundant states.
+
+use std::collections::HashMap;
+
+use crate::dfa::{Dfa, DfaBuilder, StateId};
+
+/// Returns the set of states reachable from the start state.
+pub fn reachable_states(dfa: &Dfa) -> Vec<StateId> {
+    let mut seen = vec![false; dfa.n_states() as usize];
+    let mut stack = vec![dfa.start()];
+    seen[dfa.start() as usize] = true;
+    let mut out = Vec::new();
+    while let Some(s) = stack.pop() {
+        out.push(s);
+        for c in 0..dfa.alphabet_len() {
+            let t = dfa.next_by_class(s, c);
+            if !seen[t as usize] {
+                seen[t as usize] = true;
+                stack.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Minimizes `dfa`: removes unreachable states and merges language-equivalent
+/// ones. The result is the unique (up to renaming) minimal DFA; states are
+/// renumbered in BFS order from the start state so the output is
+/// deterministic.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let reachable = reachable_states(dfa);
+    let n = reachable.len();
+    // Dense renumbering of reachable states.
+    let mut dense_of = vec![usize::MAX; dfa.n_states() as usize];
+    for (i, &s) in reachable.iter().enumerate() {
+        dense_of[s as usize] = i;
+    }
+    let k = dfa.alphabet_len() as usize;
+
+    // Inverse transition lists per class over the reachable subgraph.
+    let mut inv: Vec<Vec<u32>> = vec![Vec::new(); n * k];
+    for (i, &s) in reachable.iter().enumerate() {
+        for c in 0..k {
+            let t = dense_of[dfa.next_by_class(s, c as u16) as usize];
+            inv[t * k + c].push(i as u32);
+        }
+    }
+
+    // Hopcroft partition refinement.
+    let mut block_of: Vec<u32> = reachable
+        .iter()
+        .map(|&s| u32::from(dfa.is_accepting(s)))
+        .collect();
+    let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+    for (i, &b) in block_of.iter().enumerate() {
+        blocks[b as usize].push(i as u32);
+    }
+    // Drop an empty initial block (all-accepting or none-accepting machines).
+    if blocks[1].is_empty() {
+        blocks.pop();
+    } else if blocks[0].is_empty() {
+        blocks.swap_remove(0);
+        block_of.fill(0);
+    }
+
+    let mut in_worklist = vec![true; blocks.len()];
+    let mut worklist: Vec<u32> = (0..blocks.len() as u32).collect();
+
+    while let Some(splitter) = worklist.pop() {
+        in_worklist[splitter as usize] = false;
+        // Snapshot: the splitter block may be re-split while we iterate.
+        let splitter_members = blocks[splitter as usize].clone();
+        for c in 0..k {
+            // X = preimage of the splitter under class c.
+            let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+            for &m in &splitter_members {
+                for &p in &inv[m as usize * k + c] {
+                    touched.entry(block_of[p as usize]).or_default().push(p);
+                }
+            }
+            for (b, hit) in touched {
+                let b = b as usize;
+                if hit.len() == blocks[b].len() {
+                    continue; // Entire block in the preimage: no split.
+                }
+                // Split block b into `hit` and the remainder.
+                let new_id = blocks.len() as u32;
+                let hitset: std::collections::HashSet<u32> = hit.iter().copied().collect();
+                let (stay, moved): (Vec<u32>, Vec<u32>) =
+                    blocks[b].iter().partition(|m| !hitset.contains(m));
+                debug_assert!(!stay.is_empty() && !moved.is_empty());
+                for &m in &moved {
+                    block_of[m as usize] = new_id;
+                }
+                blocks[b] = stay;
+                blocks.push(moved);
+                in_worklist.push(false);
+                // Hopcroft's rule: if b is queued, queue both halves (the
+                // new half suffices since b is already queued); otherwise
+                // queue the smaller half.
+                if in_worklist[b] || blocks[new_id as usize].len() < blocks[b].len() {
+                    in_worklist[new_id as usize] = true;
+                    worklist.push(new_id);
+                } else {
+                    in_worklist[b] = true;
+                    worklist.push(b as u32);
+                }
+            }
+        }
+    }
+
+    // Rebuild: renumber blocks in BFS order from the start block.
+    let start_block = block_of[dense_of[dfa.start() as usize]];
+    let n_blocks = blocks.len();
+    let mut order = vec![u32::MAX; n_blocks];
+    let mut bfs = std::collections::VecDeque::new();
+    order[start_block as usize] = 0;
+    bfs.push_back(start_block);
+    let mut next_id = 1u32;
+    while let Some(b) = bfs.pop_front() {
+        let rep = blocks[b as usize][0];
+        let rep_state = reachable[rep as usize];
+        for c in 0..k {
+            let t_dense = dense_of[dfa.next_by_class(rep_state, c as u16) as usize];
+            let tb = block_of[t_dense];
+            if order[tb as usize] == u32::MAX {
+                order[tb as usize] = next_id;
+                next_id += 1;
+                bfs.push_back(tb);
+            }
+        }
+    }
+
+    let mut builder = DfaBuilder::new(dfa.classes().clone());
+    for _ in 0..next_id {
+        builder.add_state(false);
+    }
+    for (b, members) in blocks.iter().enumerate() {
+        let new = order[b];
+        if new == u32::MAX {
+            continue; // Block unreachable from the start block (cannot happen
+                      // after the reachability pass, kept for safety).
+        }
+        let rep_state = reachable[members[0] as usize];
+        builder
+            .set_accepting(new, dfa.is_accepting(rep_state))
+            .expect("state was added above");
+        for c in 0..k {
+            let t_dense = dense_of[dfa.next_by_class(rep_state, c as u16) as usize];
+            let t_new = order[block_of[t_dense] as usize];
+            builder
+                .set_transition(new, c as u16, t_new)
+                .expect("blocks reachable from start are numbered");
+        }
+    }
+    builder.build(0).expect("minimized machine is non-empty and total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ByteClasses;
+    use crate::examples::{div7, fig4_dfa};
+
+    fn agree_on(d1: &Dfa, d2: &Dfa, inputs: &[&[u8]]) {
+        for input in inputs {
+            assert_eq!(d1.accepts(input), d2.accepts(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn minimal_machines_are_fixed_points() {
+        let d = div7();
+        let m = minimize(&d);
+        assert_eq!(m.n_states(), d.n_states(), "div7 is already minimal");
+        agree_on(&d, &m, &[b"110", b"111", b"0", b"1001", b"1110101", b""]);
+    }
+
+    #[test]
+    fn redundant_states_are_merged() {
+        // Two interchangeable accepting sinks.
+        let mut b = DfaBuilder::new(ByteClasses::refine(|_, _| false));
+        let s0 = b.add_state(false);
+        let a1 = b.add_state(true);
+        let a2 = b.add_state(true);
+        b.set_transition(s0, 0, a1).unwrap();
+        b.set_transition(a1, 0, a2).unwrap();
+        b.set_transition(a2, 0, a1).unwrap();
+        let d = b.build(s0).unwrap();
+        let m = minimize(&d);
+        assert_eq!(m.n_states(), 2);
+        agree_on(&d, &m, &[b"", b"x", b"xx", b"xxx"]);
+    }
+
+    #[test]
+    fn unreachable_states_are_dropped() {
+        let mut b = DfaBuilder::new(ByteClasses::refine(|_, _| false));
+        let s0 = b.add_state(true);
+        let orphan = b.add_state(false);
+        b.set_transition(s0, 0, s0).unwrap();
+        b.set_transition(orphan, 0, orphan).unwrap();
+        let d = b.build(s0).unwrap();
+        assert_eq!(reachable_states(&d), vec![s0]);
+        let m = minimize(&d);
+        assert_eq!(m.n_states(), 1);
+        assert!(m.accepts(b"anything"));
+    }
+
+    #[test]
+    fn fig4_minimization_preserves_language() {
+        let d = fig4_dfa();
+        let m = minimize(&d);
+        agree_on(&d, &m, &[b"/*", b"/* x */", b"//", b"**", b"/*/", b"", b"x/y*z"]);
+        assert!(m.n_states() <= d.n_states());
+    }
+
+    #[test]
+    fn all_accepting_machine_minimizes_to_one_state() {
+        let mut b = DfaBuilder::new(ByteClasses::refine(|_, _| false));
+        let s0 = b.add_state(true);
+        let s1 = b.add_state(true);
+        b.set_transition(s0, 0, s1).unwrap();
+        b.set_transition(s1, 0, s0).unwrap();
+        let d = b.build(s0).unwrap();
+        let m = minimize(&d);
+        assert_eq!(m.n_states(), 1);
+    }
+
+    #[test]
+    fn none_accepting_machine_minimizes_to_one_state() {
+        let mut b = DfaBuilder::new(ByteClasses::refine(|_, _| false));
+        let s0 = b.add_state(false);
+        let s1 = b.add_state(false);
+        b.set_transition(s0, 0, s1).unwrap();
+        b.set_transition(s1, 0, s0).unwrap();
+        let d = b.build(s0).unwrap();
+        let m = minimize(&d);
+        assert_eq!(m.n_states(), 1);
+        assert!(!m.accepts(b"x"));
+    }
+}

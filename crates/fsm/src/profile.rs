@@ -1,0 +1,230 @@
+//! Offline FSM profiling.
+//!
+//! Two profiles drive the paper's framework:
+//!
+//! * **State visit frequencies** (§IV-B): counted on a training slice, they
+//!   decide which transition rows are "hot" and get promoted to GPU shared
+//!   memory (after the frequency-based transformation, simply the rows of the
+//!   highest-ranked states).
+//! * **Convergence** (§IV-D, Table II): "the number of unique states after
+//!   running 10 steps of transitions starting from all states" — the FSM
+//!   state convergence property that decides whether predecessor end states
+//!   are good recovery speculations (Δ_End in Equation 4).
+
+use crate::dfa::{Dfa, StateId};
+
+/// State visit counts collected by running the machine over a training input.
+#[derive(Clone, Debug)]
+pub struct FrequencyProfile {
+    visits: Vec<u64>,
+    total: u64,
+}
+
+impl FrequencyProfile {
+    /// Profiles `dfa` on `training`, counting how often each state is
+    /// visited (including the start state once).
+    pub fn collect(dfa: &Dfa, training: &[u8]) -> Self {
+        let mut visits = vec![0u64; dfa.n_states() as usize];
+        let mut s = dfa.start();
+        visits[s as usize] += 1;
+        for &b in training {
+            s = dfa.next(s, b);
+            visits[s as usize] += 1;
+        }
+        FrequencyProfile { visits, total: training.len() as u64 + 1 }
+    }
+
+    /// A uniform profile (used when no training data is available: every
+    /// state equally hot, the transformation degenerates to the identity
+    /// ranking).
+    pub fn uniform(dfa: &Dfa) -> Self {
+        FrequencyProfile { visits: vec![1; dfa.n_states() as usize], total: dfa.n_states() as u64 }
+    }
+
+    /// Visit count of `s`.
+    pub fn visits(&self, s: StateId) -> u64 {
+        self.visits[s as usize]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// States ranked by descending visit frequency (ties broken by state id
+    /// so the ranking is deterministic).
+    pub fn ranked_states(&self) -> Vec<StateId> {
+        let mut ids: Vec<StateId> = (0..self.visits.len() as StateId).collect();
+        ids.sort_by_key(|&s| (std::cmp::Reverse(self.visits[s as usize]), s));
+        ids
+    }
+
+    /// Fraction of all visits landing in the `hot` highest-ranked states.
+    /// This predicts the shared-memory hit rate of the transformed table.
+    pub fn hot_coverage(&self, hot: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let ranked = self.ranked_states();
+        let covered: u64 = ranked.iter().take(hot).map(|&s| self.visits[s as usize]).sum();
+        covered as f64 / self.total as f64
+    }
+}
+
+/// Result of convergence profiling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvergenceProfile {
+    /// Number of transition steps profiled (the paper uses 10).
+    pub steps: usize,
+    /// Mean number of unique states remaining after `steps` transitions
+    /// starting from *all* states, averaged over sampled input windows.
+    pub mean_unique_states: f64,
+    /// Minimum across sampled windows.
+    pub min_unique_states: usize,
+    /// Maximum across sampled windows.
+    pub max_unique_states: usize,
+}
+
+impl ConvergenceProfile {
+    /// Strong convergence means most state pairs merge quickly, so the end
+    /// state forwarded from a predecessor chunk is very likely the ground
+    /// truth (the property SRE exploits, §III-A). The paper's decision tree
+    /// uses a coarse threshold; we normalize by state count.
+    pub fn converges_strongly(&self, n_states: u32) -> bool {
+        // Strong convergence means a handful of surviving states — and the
+        // states must actually have merged: a tiny machine whose states all
+        // stay distinct (e.g. a 4-state permutation counter) is maximally
+        // non-convergent. The bound is absolute, not relative to state
+        // count: what matters downstream is whether a forwarded end state
+        // hits one of the few survivors.
+        let merged = self.mean_unique_states <= 0.5 * f64::from(n_states.max(1));
+        merged && self.mean_unique_states <= 2.5
+    }
+}
+
+/// Runs all states of `dfa` over `window` and counts unique end states —
+/// one sample of the Table II `#uniqStates` metric.
+pub fn unique_states_after(dfa: &Dfa, window: &[u8]) -> usize {
+    let mut ends = vec![false; dfa.n_states() as usize];
+    let mut count = 0usize;
+    for s in 0..dfa.n_states() {
+        let e = dfa.run_from(s, window);
+        if !ends[e as usize] {
+            ends[e as usize] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Convergence profiling over `samples` evenly-spaced windows of `steps`
+/// bytes drawn from `training` (the paper samples a 1 MB slice, 0.5% of each
+/// input group, and runs 10 transitions from all states).
+pub fn convergence_profile(
+    dfa: &Dfa,
+    training: &[u8],
+    steps: usize,
+    samples: usize,
+) -> ConvergenceProfile {
+    assert!(steps > 0, "need at least one transition step");
+    let samples = samples.max(1);
+    let mut counts = Vec::with_capacity(samples);
+    if training.len() <= steps {
+        counts.push(unique_states_after(dfa, training));
+    } else {
+        let span = training.len() - steps;
+        for i in 0..samples {
+            let off = span * i / samples.max(1);
+            counts.push(unique_states_after(dfa, &training[off..off + steps]));
+        }
+    }
+    let sum: usize = counts.iter().sum();
+    ConvergenceProfile {
+        steps,
+        mean_unique_states: sum as f64 / counts.len() as f64,
+        min_unique_states: counts.iter().copied().min().unwrap_or(0),
+        max_unique_states: counts.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ByteClasses;
+    use crate::dfa::DfaBuilder;
+    use crate::examples::div7;
+
+    #[test]
+    fn frequency_profile_counts_visits() {
+        let d = div7();
+        let p = FrequencyProfile::collect(&d, b"111");
+        // Start 0, then 1, 3, 7 % 7 = 0.
+        assert_eq!(p.visits(0), 2);
+        assert_eq!(p.visits(1), 1);
+        assert_eq!(p.visits(3), 1);
+        assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn ranked_states_descending() {
+        let d = div7();
+        let p = FrequencyProfile::collect(&d, b"10101010101");
+        let ranked = p.ranked_states();
+        for w in ranked.windows(2) {
+            assert!(p.visits(w[0]) >= p.visits(w[1]));
+        }
+        assert_eq!(ranked.len(), 7);
+    }
+
+    #[test]
+    fn hot_coverage_monotonic_and_bounded() {
+        let d = div7();
+        let p = FrequencyProfile::collect(&d, b"110101110101010010101");
+        let mut prev = 0.0;
+        for h in 0..=7 {
+            let c = p.hot_coverage(h);
+            assert!(c >= prev);
+            assert!(c <= 1.0 + 1e-12);
+            prev = c;
+        }
+        assert!((p.hot_coverage(7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn div7_never_converges() {
+        // div7 is a permutation automaton on binary inputs: all 7 states stay
+        // distinct no matter the window.
+        let d = div7();
+        assert_eq!(unique_states_after(&d, b"1011010111"), 7);
+        let prof = convergence_profile(&d, b"110101011010101010101010", 10, 4);
+        assert_eq!(prof.mean_unique_states, 7.0);
+        assert!(!prof.converges_strongly(d.n_states()));
+    }
+
+    #[test]
+    fn sink_machine_converges_immediately() {
+        let mut b = DfaBuilder::new(ByteClasses::refine(|_, _| false));
+        let s0 = b.add_state(false);
+        let sink = b.add_state(true);
+        b.set_transition(s0, 0, sink).unwrap();
+        b.set_transition(sink, 0, sink).unwrap();
+        let d = b.build(s0).unwrap();
+        assert_eq!(unique_states_after(&d, b"x"), 1);
+        let prof = convergence_profile(&d, b"xxxxxxxxxxxxxxxx", 10, 3);
+        assert!(prof.converges_strongly(d.n_states()));
+    }
+
+    #[test]
+    fn short_training_slice_still_profiles() {
+        let d = div7();
+        let prof = convergence_profile(&d, b"10", 10, 5);
+        assert!(prof.mean_unique_states >= 1.0);
+    }
+
+    #[test]
+    fn uniform_profile_ranks_by_id() {
+        let d = div7();
+        let p = FrequencyProfile::uniform(&d);
+        assert_eq!(p.ranked_states(), (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,156 @@
+//! Frequency-based DFA transformation (§IV-B, Figure 4).
+//!
+//! PM keeps the hot part of the transition table in GPU shared memory behind
+//! a hash table, paying one extra shared-memory access plus a hash
+//! computation per transition. GSpecPal instead *re-layouts* the table: states
+//! are renamed by descending profiled frequency, so "is this transition
+//! cached?" becomes the single comparison `state < H` where `H` is the number
+//! of rows that fit in shared memory. A state-ID mapping is kept so results
+//! can be translated back to the original machine.
+
+use crate::dfa::{Dfa, StateId};
+use crate::profile::FrequencyProfile;
+
+/// A DFA re-laid-out by state frequency rank, plus the mapping rules of
+/// Figure 4(b).
+#[derive(Clone, Debug)]
+pub struct TransformedDfa {
+    dfa: Dfa,
+    rank_of: Vec<StateId>,
+    orig_of: Vec<StateId>,
+}
+
+impl TransformedDfa {
+    /// Applies the transformation: state with the `r`-th highest frequency
+    /// becomes state `r` in the new machine.
+    pub fn from_profile(dfa: &Dfa, profile: &FrequencyProfile) -> Self {
+        let ranked = profile.ranked_states();
+        let mut rank_of = vec![0 as StateId; dfa.n_states() as usize];
+        for (rank, &orig) in ranked.iter().enumerate() {
+            rank_of[orig as usize] = rank as StateId;
+        }
+        let transformed = dfa.permute(&rank_of).expect("ranking is a permutation");
+        TransformedDfa { dfa: transformed, rank_of, orig_of: ranked }
+    }
+
+    /// Identity transformation (no profile available).
+    pub fn identity(dfa: &Dfa) -> Self {
+        let n = dfa.n_states();
+        TransformedDfa {
+            dfa: dfa.clone(),
+            rank_of: (0..n).collect(),
+            orig_of: (0..n).collect(),
+        }
+    }
+
+    /// The transformed machine (state id == frequency rank).
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Maps an original state id to its transformed id (its rank).
+    pub fn to_transformed(&self, orig: StateId) -> StateId {
+        self.rank_of[orig as usize]
+    }
+
+    /// Maps a transformed state id back to the original machine.
+    pub fn to_original(&self, transformed: StateId) -> StateId {
+        self.orig_of[transformed as usize]
+    }
+
+    /// The Figure 4(b) hot test: with `hot_states` rows resident in shared
+    /// memory, a transition out of `s` is cached iff `s < hot_states`.
+    #[inline(always)]
+    pub fn is_hot(s: StateId, hot_states: u32) -> bool {
+        s < hot_states
+    }
+
+    /// How many of the highest-ranked rows fit into `shared_bytes` of shared
+    /// memory, with 4-byte entries and the machine's stride — the §IV-B
+    /// promotion rule ("until there is no more space").
+    pub fn hot_rows_for_budget(&self, shared_bytes: usize) -> u32 {
+        let row_bytes = self.dfa.stride() * std::mem::size_of::<StateId>();
+        if row_bytes == 0 {
+            return 0;
+        }
+        ((shared_bytes / row_bytes) as u32).min(self.dfa.n_states())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{div7, fig4_dfa};
+    use crate::profile::FrequencyProfile;
+
+    #[test]
+    fn fig4_transformation_example() {
+        // The paper profiles the Figure 4 DFA and finds S0, S1 hottest (freq
+        // 4 each) and S2, S3 cold (freq 2 each). Build a training input that
+        // reproduces that ranking: plain text visits S0/S1 mostly.
+        let d = fig4_dfa();
+        let profile = FrequencyProfile::collect(&d, b"a/b/c/d x/*y*/ /*z*/");
+        let t = TransformedDfa::from_profile(&d, &profile);
+        // The two hottest original states map to transformed ids 0 and 1.
+        let ranked = profile.ranked_states();
+        assert_eq!(t.to_transformed(ranked[0]), 0);
+        assert_eq!(t.to_transformed(ranked[1]), 1);
+        // Round trip.
+        for s in 0..d.n_states() {
+            assert_eq!(t.to_original(t.to_transformed(s)), s);
+        }
+    }
+
+    #[test]
+    fn transformed_machine_is_equivalent() {
+        let d = fig4_dfa();
+        let profile = FrequencyProfile::collect(&d, b"/* hot */ cold /*x*/");
+        let t = TransformedDfa::from_profile(&d, &profile);
+        for input in [
+            &b"/* hello */"[..],
+            b"///***///",
+            b"plain text",
+            b"/*unclosed",
+            b"",
+        ] {
+            assert_eq!(d.accepts(input), t.dfa().accepts(input), "input {input:?}");
+            assert_eq!(t.to_original(t.dfa().run(input)), d.run(input));
+        }
+    }
+
+    #[test]
+    fn hot_test_is_rank_comparison() {
+        assert!(TransformedDfa::is_hot(0, 2));
+        assert!(TransformedDfa::is_hot(1, 2));
+        assert!(!TransformedDfa::is_hot(2, 2));
+    }
+
+    #[test]
+    fn hot_rows_budget() {
+        let d = div7();
+        let t = TransformedDfa::identity(&d);
+        let row = d.stride() * 4;
+        assert_eq!(t.hot_rows_for_budget(row * 3), 3);
+        assert_eq!(t.hot_rows_for_budget(row * 100), 7, "capped at n_states");
+        assert_eq!(t.hot_rows_for_budget(0), 0);
+    }
+
+    #[test]
+    fn identity_transform_round_trips() {
+        let d = div7();
+        let t = TransformedDfa::identity(&d);
+        for s in 0..d.n_states() {
+            assert_eq!(t.to_transformed(s), s);
+            assert_eq!(t.to_original(s), s);
+        }
+        assert_eq!(t.dfa().run(b"1011"), d.run(b"1011"));
+    }
+
+    #[test]
+    fn transformed_start_tracks_mapping() {
+        let d = fig4_dfa();
+        let profile = FrequencyProfile::collect(&d, b"/*****/");
+        let t = TransformedDfa::from_profile(&d, &profile);
+        assert_eq!(t.to_original(t.dfa().start()), d.start());
+    }
+}

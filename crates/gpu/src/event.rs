@@ -1,0 +1,67 @@
+//! CUDA-event-like timing over simulated kernels.
+//!
+//! The paper reports "GPU kernel time collected by using CUDA events"
+//! (§V-A). [`EventTimer`] provides the same interface shape over the
+//! simulator: record kernels between `start` and `stop`, read the elapsed
+//! simulated time.
+
+use crate::spec::DeviceSpec;
+use crate::stats::KernelStats;
+
+/// Accumulates the simulated time of a sequence of kernel launches, like a
+/// CUDA event pair bracketing them on a stream.
+#[derive(Clone, Debug, Default)]
+pub struct EventTimer {
+    cycles: u64,
+    kernels: u64,
+}
+
+impl EventTimer {
+    /// A fresh timer at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed kernel (its cycles append to the stream timeline).
+    pub fn record(&mut self, stats: &KernelStats) {
+        self.cycles += stats.cycles;
+        self.kernels += 1;
+    }
+
+    /// Total elapsed simulated cycles.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total elapsed simulated time in microseconds on `spec`.
+    pub fn elapsed_us(&self, spec: &DeviceSpec) -> f64 {
+        spec.cycles_to_us(self.cycles)
+    }
+
+    /// Number of kernels recorded.
+    pub fn kernel_count(&self) -> u64 {
+        self.kernels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates_kernels() {
+        let mut t = EventTimer::new();
+        t.record(&KernelStats { cycles: 100, ..KernelStats::default() });
+        t.record(&KernelStats { cycles: 50, ..KernelStats::default() });
+        assert_eq!(t.elapsed_cycles(), 150);
+        assert_eq!(t.kernel_count(), 2);
+    }
+
+    #[test]
+    fn elapsed_us_uses_clock() {
+        let mut t = EventTimer::new();
+        t.record(&KernelStats { cycles: 1000, ..KernelStats::default() });
+        let spec = DeviceSpec::test_unit();
+        assert!((t.elapsed_us(&spec) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Grid launches: multiple independent thread blocks.
+//!
+//! The latency-sensitive schemes run in a single cooperative block (shared
+//! memory and `__syncthreads()` are block-scoped), but throughput-oriented
+//! workloads want the whole device: a *grid* of blocks, each with its own
+//! barrier domain, scheduled onto the SMs in waves. Blocks never
+//! communicate; the grid completes when its slowest wave does.
+//!
+//! The scheduling model is the classic occupancy picture: with `B` blocks
+//! and `S` SMs (one resident block per SM — our blocks are up to 1024
+//! threads, which caps residency on Ampere), blocks execute in
+//! `ceil(B / S)` waves; each wave's duration is the maximum block time in
+//! it, and waves are serialized.
+
+use crate::kernel::{launch, RoundKernel};
+use crate::occupancy::{max_resident_blocks, BlockRequirements};
+use crate::spec::DeviceSpec;
+use crate::stats::KernelStats;
+
+/// Statistics of a whole grid launch.
+#[derive(Clone, Debug)]
+pub struct GridStats {
+    /// Per-block kernel statistics, in submission order.
+    pub blocks: Vec<KernelStats>,
+    /// Number of scheduling waves the grid needed.
+    pub waves: u32,
+    /// Grid completion time in cycles (sum of wave maxima).
+    pub cycles: u64,
+}
+
+impl GridStats {
+    /// Aggregate global transactions across all blocks.
+    pub fn total_global_transactions(&self) -> u64 {
+        self.blocks.iter().map(|b| b.global_transactions).sum()
+    }
+
+    /// The slowest single block.
+    pub fn max_block_cycles(&self) -> u64 {
+        self.blocks.iter().map(|b| b.cycles).max().unwrap_or(0)
+    }
+}
+
+/// Launches one block per kernel in `blocks` (each with its thread count)
+/// and schedules them onto the device's SMs in waves.
+pub fn launch_grid<K: RoundKernel>(
+    spec: &DeviceSpec,
+    blocks: &mut [(usize, K)],
+) -> GridStats {
+    launch_grid_waves(spec, blocks, spec.n_sms.max(1) as usize)
+}
+
+/// Like [`launch_grid`], with the wave width derived from the kernel's
+/// resource requirements via the occupancy calculator: blocks per wave =
+/// `max_resident_blocks(spec, req) × n_sms`.
+pub fn launch_grid_occupancy<K: RoundKernel>(
+    spec: &DeviceSpec,
+    blocks: &mut [(usize, K)],
+    req: &BlockRequirements,
+) -> GridStats {
+    let resident = max_resident_blocks(spec, req);
+    assert!(resident > 0, "a single block exceeds the SM's resources: {req:?}");
+    launch_grid_waves(spec, blocks, (resident * spec.n_sms.max(1)) as usize)
+}
+
+fn launch_grid_waves<K: RoundKernel>(
+    spec: &DeviceSpec,
+    blocks: &mut [(usize, K)],
+    per_wave: usize,
+) -> GridStats {
+    assert!(!blocks.is_empty(), "a grid needs at least one block");
+    let per_wave = per_wave.max(1);
+    let mut stats = Vec::with_capacity(blocks.len());
+    let mut cycles = 0u64;
+    let mut waves = 0u32;
+    for wave in blocks.chunks_mut(per_wave) {
+        let mut wave_max = 0u64;
+        for (n_threads, kernel) in wave.iter_mut() {
+            let s = launch(spec, *n_threads, kernel);
+            wave_max = wave_max.max(s.cycles);
+            stats.push(s);
+        }
+        cycles += wave_max;
+        waves += 1;
+    }
+    GridStats { blocks: stats, waves, cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{RoundOutcome, ThreadCtx};
+
+    struct Work(u64);
+
+    impl RoundKernel for Work {
+        fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+            ctx.alu(self.0);
+            RoundOutcome::ACTIVE
+        }
+        fn after_sync(&mut self, _round: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn one_wave_runs_blocks_concurrently() {
+        let spec = DeviceSpec::test_unit(); // 1 SM
+        let mut blocks = vec![(4usize, Work(10))];
+        let g = launch_grid(&spec, &mut blocks);
+        assert_eq!(g.waves, 1);
+        assert_eq!(g.cycles, g.blocks[0].cycles);
+    }
+
+    #[test]
+    fn waves_serialize_beyond_sm_count() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        // 5 equal blocks on 2 SMs: 3 waves, each gated by one block.
+        let mut blocks: Vec<(usize, Work)> = (0..5).map(|_| (2usize, Work(7))).collect();
+        let g = launch_grid(&spec, &mut blocks);
+        assert_eq!(g.waves, 3);
+        let per_block = g.blocks[0].cycles;
+        assert_eq!(g.cycles, 3 * per_block);
+        assert_eq!(g.blocks.len(), 5);
+    }
+
+    #[test]
+    fn wave_duration_is_gated_by_the_slowest_block() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        let mut blocks = vec![(1usize, Work(5)), (1usize, Work(500))];
+        let g = launch_grid(&spec, &mut blocks);
+        assert_eq!(g.waves, 1);
+        assert_eq!(g.cycles, g.max_block_cycles());
+        assert!(g.cycles >= 500);
+    }
+
+    #[test]
+    fn occupancy_widens_waves_for_light_kernels() {
+        let mut spec = DeviceSpec::test_unit(); // 1 SM, max 4 blocks/SM
+        spec.n_sms = 1;
+        // 8 light blocks of 2 threads: occupancy allows 4 resident -> 2 waves.
+        let req = BlockRequirements { threads: 2, shared_bytes: 0, regs_per_thread: 8 };
+        let mut blocks: Vec<(usize, Work)> = (0..8).map(|_| (2usize, Work(9))).collect();
+        let g = launch_grid_occupancy(&spec, &mut blocks, &req);
+        assert_eq!(g.waves, 2);
+        // The naive one-block-per-SM scheduler needs 8 waves.
+        let mut blocks: Vec<(usize, Work)> = (0..8).map(|_| (2usize, Work(9))).collect();
+        let naive = launch_grid(&spec, &mut blocks);
+        assert_eq!(naive.waves, 8);
+        assert!(g.cycles < naive.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the SM's resources")]
+    fn occupancy_rejects_oversized_blocks() {
+        let spec = DeviceSpec::test_unit();
+        let req = BlockRequirements {
+            threads: 2,
+            shared_bytes: usize::MAX / 2,
+            regs_per_thread: 8,
+        };
+        let mut blocks = vec![(2usize, Work(1))];
+        let _ = launch_grid_occupancy(&spec, &mut blocks, &req);
+    }
+
+    #[test]
+    fn aggregate_counters_sum_blocks() {
+        struct Loader;
+        impl RoundKernel for Loader {
+            fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                ctx.global(0, tid as u64 * 64, 1);
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let spec = DeviceSpec::test_unit();
+        let mut blocks = vec![(3usize, Loader), (3usize, Loader)];
+        let g = launch_grid(&spec, &mut blocks);
+        assert_eq!(g.total_global_transactions(), 6);
+    }
+}

@@ -1,0 +1,448 @@
+//! Round-based kernel execution.
+//!
+//! A [`RoundKernel`] describes what each thread does between two consecutive
+//! block-wide barriers. The launcher steps every thread through the current
+//! round (grouped by warp so coalescing can be modelled), merges the
+//! per-thread clocks at the barrier — round time is the *maximum* thread
+//! time, exactly like `__syncthreads()` — then asks the kernel whether
+//! another round follows.
+//!
+//! Threads run sequentially inside the simulator, so kernels are free to
+//! mutate their own shared state from `round`; it is the kernel author's
+//! responsibility to preserve lockstep semantics where the algorithm needs
+//! them (e.g. by double-buffering values that are "communicated" across the
+//! barrier), just as it would be on real hardware.
+
+use std::collections::HashSet;
+
+use crate::spec::DeviceSpec;
+use crate::stats::KernelStats;
+
+/// What a thread reports at the end of its round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// The thread did useful work this round (false = idle).
+    pub active: bool,
+    /// The thread (re-)executed chunk work as part of verification/recovery.
+    /// Feeds the Table III utilization metric.
+    pub recovering: bool,
+}
+
+impl RoundOutcome {
+    /// An idle thread.
+    pub const IDLE: RoundOutcome = RoundOutcome { active: false, recovering: false };
+    /// A thread doing non-recovery work.
+    pub const ACTIVE: RoundOutcome = RoundOutcome { active: true, recovering: false };
+    /// A thread doing recovery work.
+    pub const RECOVERING: RoundOutcome = RoundOutcome { active: true, recovering: true };
+}
+
+/// Per-thread execution context handed to [`RoundKernel::round`].
+///
+/// All cost-charging goes through this: the kernel calls the access methods
+/// and the simulator accumulates cycles on the thread's clock and counters in
+/// [`KernelStats`].
+pub struct ThreadCtx<'a> {
+    /// This thread's id within the block.
+    pub tid: usize,
+    spec: &'a DeviceSpec,
+    clock: u64,
+    stats: &'a mut KernelStats,
+    window: &'a mut HashSet<(u32, u64)>,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// The device being simulated.
+    pub fn spec(&self) -> &DeviceSpec {
+        self.spec
+    }
+
+    /// This thread's clock (cycles since kernel start).
+    pub fn cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Charges `n` ALU operations.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.clock += n * self.spec.alu_latency;
+        self.stats.alu_ops += n;
+    }
+
+    /// Charges `n` shared-memory accesses (loads and stores cost the same).
+    #[inline]
+    pub fn shared(&mut self, n: u64) {
+        self.clock += n * self.spec.shared_latency;
+        self.stats.shared_accesses += n;
+    }
+
+    /// Charges a global-memory access of `bytes` bytes at `offset` within
+    /// memory region `region`.
+    ///
+    /// Coalescing: accesses are grouped into segments of
+    /// `global_segment_bytes`. The first access to a segment by any thread of
+    /// this warp in the current round pays a full transaction; subsequent
+    /// accesses to the same segment hit the L1/broadcast path, which shares
+    /// storage with shared memory on Ampere and costs the same as a shared
+    /// access. This is what makes Nearest-First's same-chunk scheduling
+    /// cheap (Fig 9) and what amortizes streaming input reads — while
+    /// keeping a cached global row no cheaper than a resident shared row.
+    #[inline]
+    pub fn global(&mut self, region: u32, offset: u64, bytes: u64) {
+        let seg_size = self.spec.global_segment_bytes;
+        let first = offset / seg_size;
+        let last = (offset + bytes.max(1) - 1) / seg_size;
+        for seg in first..=last {
+            if self.window.insert((region, seg)) {
+                self.clock += self.spec.global_latency;
+                self.stats.global_transactions += 1;
+            } else {
+                self.clock += self.spec.shared_latency;
+                self.stats.global_coalesced_hits += 1;
+            }
+        }
+    }
+
+    /// Charges one shared-memory hash-table probe (counted as a shared
+    /// access; latency pipelines with the access it guards).
+    #[inline]
+    pub fn probe(&mut self) {
+        self.clock += self.spec.hash_probe_latency;
+        self.stats.shared_accesses += 1;
+    }
+
+    /// Charges `n` warp shuffles (register-to-register thread communication,
+    /// the `end_state_comm` of Algorithm 3).
+    #[inline]
+    pub fn shuffle(&mut self, n: u64) {
+        self.clock += n * self.spec.shuffle_latency;
+        self.stats.shuffles += n;
+    }
+
+    /// Charges `n` atomic operations (the concurrent speculation queue).
+    #[inline]
+    pub fn atomic(&mut self, n: u64) {
+        self.clock += n * self.spec.atomic_latency;
+        self.stats.atomics += n;
+    }
+
+    /// Records that the cycles spent since `start_cycles` were chunk
+    /// re-execution (recovery) work; increments the recovery-run counter.
+    pub fn credit_recovery(&mut self, start_cycles: u64) {
+        self.stats.recovery_cycles += self.clock.saturating_sub(start_cycles);
+        self.stats.recovery_runs += 1;
+    }
+}
+
+/// A kernel expressed as barrier-delimited rounds.
+pub trait RoundKernel {
+    /// Executes thread `tid`'s work for the current round.
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome;
+
+    /// Called once after each barrier with the index of the round that just
+    /// completed; return `true` to run another round. Kernel-global control
+    /// flow (the frontier advance of Algorithms 3-5) lives here.
+    fn after_sync(&mut self, completed_round: u64) -> bool;
+}
+
+/// Safety valve: a kernel that runs this many rounds is assumed stuck.
+pub const DEFAULT_MAX_ROUNDS: u64 = 1 << 22;
+
+/// Launches `kernel` with `n_threads` threads in one block and runs it to
+/// completion, returning the collected statistics.
+///
+/// ```
+/// use gspecpal_gpu::{launch, DeviceSpec, RoundKernel, RoundOutcome, ThreadCtx};
+///
+/// /// Every thread does ten ALU ops in a single round.
+/// struct Burn;
+/// impl RoundKernel for Burn {
+///     fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+///         ctx.alu(10);
+///         RoundOutcome::ACTIVE
+///     }
+///     fn after_sync(&mut self, _round: u64) -> bool { false }
+/// }
+///
+/// let spec = DeviceSpec::test_unit();
+/// let stats = launch(&spec, 8, &mut Burn);
+/// assert_eq!(stats.alu_ops, 80);
+/// assert_eq!(stats.rounds, 1);
+/// ```
+///
+/// Panics if `n_threads` exceeds the device's block capacity or if the
+/// kernel exceeds `DEFAULT_MAX_ROUNDS` rounds (which indicates a bug in the
+/// kernel's termination logic, the moral equivalent of a hung GPU).
+pub fn launch<K: RoundKernel>(spec: &DeviceSpec, n_threads: usize, kernel: &mut K) -> KernelStats {
+    assert!(n_threads > 0, "kernel needs at least one thread");
+    assert!(
+        n_threads <= spec.max_threads_per_block as usize,
+        "{n_threads} threads exceed the block capacity of {}",
+        spec.max_threads_per_block
+    );
+    let warp = spec.warp_size as usize;
+    let n_warps = n_threads.div_ceil(warp);
+    let mut clocks = vec![0u64; n_threads];
+    let mut stats = KernelStats::default();
+    let mut windows: Vec<HashSet<(u32, u64)>> = vec![HashSet::new(); n_warps];
+
+    let mut round = 0u64;
+    loop {
+        assert!(round < DEFAULT_MAX_ROUNDS, "kernel exceeded {DEFAULT_MAX_ROUNDS} rounds");
+        let round_start = clocks.first().copied().unwrap_or(0);
+        let txns_before = stats.global_transactions;
+        let mut active = 0u32;
+        let mut recovering = 0u32;
+        // Indexing is deliberate: each warp's window is reused across its
+        // threads' contexts, and clocks are written back per thread.
+        #[allow(clippy::needless_range_loop)]
+        for w in 0..n_warps {
+            windows[w].clear();
+            let lo = w * warp;
+            let hi = ((w + 1) * warp).min(n_threads);
+            for tid in lo..hi {
+                let mut ctx = ThreadCtx {
+                    tid,
+                    spec,
+                    clock: clocks[tid],
+                    stats: &mut stats,
+                    window: &mut windows[w],
+                };
+                let outcome = kernel.round(tid, &mut ctx);
+                clocks[tid] = ctx.clock;
+                active += u32::from(outcome.active);
+                recovering += u32::from(outcome.recovering);
+            }
+        }
+        // Barrier: everyone waits for the slowest thread — or for the memory
+        // system, whichever binds (bandwidth roofline: concurrent recoveries
+        // contend for global memory, the Fig 9 effect).
+        let compute_max = clocks.iter().copied().max().unwrap_or(0);
+        let bw_floor = round_start
+            + (stats.global_transactions - txns_before) * spec.bandwidth_millicycles_per_txn
+                / 1000;
+        let max = compute_max.max(bw_floor) + spec.barrier_latency;
+        clocks.fill(max);
+        stats.rounds += 1;
+        stats.active_per_round.push(active);
+        stats.recovering_per_round.push(recovering);
+        stats.round_durations.push(max - round_start);
+        let continue_ = kernel.after_sync(round);
+        round += 1;
+        if !continue_ {
+            break;
+        }
+    }
+    stats.cycles = clocks.into_iter().max().unwrap_or(0);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kernel: every thread does `tid + 1` ALU ops in one round.
+    struct AluKernel;
+
+    impl RoundKernel for AluKernel {
+        fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+            ctx.alu(tid as u64 + 1);
+            RoundOutcome::ACTIVE
+        }
+        fn after_sync(&mut self, _round: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_time_is_max_thread_time() {
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 8, &mut AluKernel);
+        // Slowest thread: 8 ALU cycles, plus 1 barrier cycle.
+        assert_eq!(stats.cycles, 8 + 1);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.alu_ops, (1..=8).sum::<u64>());
+        assert_eq!(stats.active_per_round, vec![8]);
+    }
+
+    /// Kernel: runs `n` rounds of one ALU op each.
+    struct MultiRound {
+        remaining: u64,
+    }
+
+    impl RoundKernel for MultiRound {
+        fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+            ctx.alu(1);
+            RoundOutcome::ACTIVE
+        }
+        fn after_sync(&mut self, _round: u64) -> bool {
+            self.remaining -= 1;
+            self.remaining > 0
+        }
+    }
+
+    #[test]
+    fn rounds_accumulate_barrier_costs() {
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 2, &mut MultiRound { remaining: 3 });
+        assert_eq!(stats.rounds, 3);
+        // Each round: 1 ALU + 1 barrier.
+        assert_eq!(stats.cycles, 3 * 2);
+    }
+
+    /// Kernel: all threads of a warp read the same global segment.
+    struct BroadcastLoad;
+
+    impl RoundKernel for BroadcastLoad {
+        fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+            ctx.global(0, 0, 1);
+            RoundOutcome::ACTIVE
+        }
+        fn after_sync(&mut self, _round: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn same_segment_loads_coalesce_within_warp() {
+        let spec = DeviceSpec::test_unit(); // warp size 4
+        let stats = launch(&spec, 8, &mut BroadcastLoad);
+        // Two warps: one transaction each, the other 3 threads coalesce.
+        assert_eq!(stats.global_transactions, 2);
+        assert_eq!(stats.global_coalesced_hits, 6);
+    }
+
+    /// Kernel: each thread streams over its own disjoint region.
+    struct StridedLoad;
+
+    impl RoundKernel for StridedLoad {
+        fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+            // 4-byte segments on the test device: each thread touches its own.
+            ctx.global(0, tid as u64 * 64, 1);
+            RoundOutcome::ACTIVE
+        }
+        fn after_sync(&mut self, _round: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn distinct_segments_pay_full_transactions() {
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 4, &mut StridedLoad);
+        assert_eq!(stats.global_transactions, 4);
+        assert_eq!(stats.global_coalesced_hits, 0);
+    }
+
+    #[test]
+    fn coalescing_window_resets_each_round() {
+        struct TwoRoundLoad;
+        impl RoundKernel for TwoRoundLoad {
+            fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                ctx.global(0, 0, 1);
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, round: u64) -> bool {
+                round == 0
+            }
+        }
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 1, &mut TwoRoundLoad);
+        // Same segment, but separate rounds: two transactions.
+        assert_eq!(stats.global_transactions, 2);
+    }
+
+    #[test]
+    fn multi_segment_access_counts_each_segment() {
+        struct WideLoad;
+        impl RoundKernel for WideLoad {
+            fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                ctx.global(0, 0, 10); // 4-byte segments: spans 3 segments
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 1, &mut WideLoad);
+        assert_eq!(stats.global_transactions, 3);
+    }
+
+    #[test]
+    fn recovery_crediting() {
+        struct Recover;
+        impl RoundKernel for Recover {
+            fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                if tid == 0 {
+                    let start = ctx.cycles();
+                    ctx.alu(10);
+                    ctx.credit_recovery(start);
+                    RoundOutcome::RECOVERING
+                } else {
+                    RoundOutcome::IDLE
+                }
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 4, &mut Recover);
+        assert_eq!(stats.recovery_cycles, 10);
+        assert_eq!(stats.recovery_runs, 1);
+        assert_eq!(stats.recovering_per_round, vec![1]);
+        assert_eq!(stats.active_per_round, vec![1]);
+        assert!((stats.avg_active_threads_during_recovery() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "block capacity")]
+    fn too_many_threads_panics() {
+        let spec = DeviceSpec::test_unit();
+        launch(&spec, 100_000, &mut AluKernel);
+    }
+
+    #[test]
+    fn bandwidth_roofline_stretches_memory_heavy_rounds() {
+        struct ManyLoads;
+        impl RoundKernel for ManyLoads {
+            fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                // Each thread touches 10 distinct segments: 40 transactions
+                // total, 10 compute cycles per thread.
+                for i in 0..10u64 {
+                    ctx.global(0, (tid as u64 * 1000 + i) * 64, 1);
+                }
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let mut spec = DeviceSpec::test_unit();
+        spec.bandwidth_millicycles_per_txn = 2000; // 2 cycles per transaction
+        let stats = launch(&spec, 4, &mut ManyLoads);
+        // Compute bound would be 10 cycles; the 40 transactions need 80.
+        assert_eq!(stats.global_transactions, 40);
+        assert_eq!(stats.round_durations, vec![80 + 1]);
+        assert_eq!(stats.cycles, 81);
+    }
+
+    #[test]
+    fn regions_do_not_coalesce_across_each_other() {
+        struct TwoRegions;
+        impl RoundKernel for TwoRegions {
+            fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                ctx.global(0, 0, 1);
+                ctx.global(1, 0, 1);
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 1, &mut TwoRegions);
+        assert_eq!(stats.global_transactions, 2);
+    }
+}

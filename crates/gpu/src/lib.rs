@@ -1,0 +1,41 @@
+//! Deterministic SIMT GPU cost-model simulator.
+//!
+//! This crate is the reproduction's substitute for the paper's Nvidia GeForce
+//! RTX 3090 (§V-A). The schemes in `gspecpal` are written as *round-based
+//! kernels*: a kernel is a sequence of barrier-delimited rounds, exactly the
+//! `while … { …; sync(); }` shape of the paper's Algorithms 3-5. The
+//! simulator steps every thread through each round, charges cycles for every
+//! ALU operation and memory access, models warp-level coalescing of global
+//! memory transactions, and merges per-thread clocks at each barrier the way
+//! real hardware serializes on `__syncthreads()`.
+//!
+//! What is modelled (because the paper's results depend on it):
+//!
+//! * **shared vs. global latency** — the §IV-B hot-table optimization;
+//! * **coalescing / broadcast of warp global loads** — the Fig 9 locality
+//!   advantage of NF over RR;
+//! * **barrier-aligned round time = max over threads** — warp divergence at
+//!   chunk granularity, and why a single must-be-done recovery stalls a
+//!   whole verification round;
+//! * **per-round active-thread counts** — Table III's utilization metric.
+//!
+//! What is deliberately not modelled: instruction-level warp divergence,
+//! DRAM banking, L2, and multi-block scheduling — none of which the paper's
+//! analysis (§III-C) depends on. All counts are deterministic, so every
+//! experiment in EXPERIMENTS.md reproduces bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod grid;
+pub mod kernel;
+pub mod occupancy;
+pub mod spec;
+pub mod stats;
+
+pub use event::EventTimer;
+pub use grid::{launch_grid, GridStats};
+pub use occupancy::{max_resident_blocks, occupancy, BlockRequirements};
+pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
+pub use spec::DeviceSpec;
+pub use stats::KernelStats;

@@ -1,0 +1,110 @@
+//! Occupancy: how many blocks fit on one SM at once.
+//!
+//! The classic CUDA occupancy calculation, reduced to the three resources
+//! our model tracks: resident threads, shared memory, and the register
+//! file. The grid scheduler uses this to size its waves — a kernel that
+//! hogs shared memory (a big hot table) runs fewer blocks concurrently.
+
+use crate::spec::DeviceSpec;
+
+/// Per-block resource requirements of a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRequirements {
+    /// Threads per block.
+    pub threads: u32,
+    /// Shared memory per block, in bytes.
+    pub shared_bytes: usize,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+}
+
+impl BlockRequirements {
+    /// Requirements of a block that uses `threads` threads and nothing else
+    /// remarkable (a light kernel: 32 registers, no shared memory).
+    pub fn light(threads: u32) -> Self {
+        BlockRequirements { threads, shared_bytes: 0, regs_per_thread: 32 }
+    }
+}
+
+/// Maximum blocks of the given shape resident on one SM. Returns 0 when a
+/// single block already exceeds some resource (the launch would fail on real
+/// hardware).
+pub fn max_resident_blocks(spec: &DeviceSpec, req: &BlockRequirements) -> u32 {
+    if req.threads == 0 || req.threads > spec.max_threads_per_block {
+        return 0;
+    }
+    let by_threads = spec.max_threads_per_sm / req.threads.max(1);
+    let by_shared = if req.shared_bytes == 0 {
+        u32::MAX
+    } else if req.shared_bytes > spec.shared_mem_bytes {
+        0
+    } else {
+        (spec.shared_mem_bytes / req.shared_bytes) as u32
+    };
+    let block_regs = req.regs_per_thread.saturating_mul(req.threads);
+    let by_regs = if block_regs == 0 {
+        u32::MAX
+    } else if block_regs > spec.registers_per_sm {
+        0
+    } else {
+        spec.registers_per_sm / block_regs
+    };
+    by_threads.min(by_shared).min(by_regs).min(spec.max_blocks_per_sm)
+}
+
+/// Occupancy as a fraction of the SM's thread capacity (the figure the CUDA
+/// occupancy calculator reports).
+pub fn occupancy(spec: &DeviceSpec, req: &BlockRequirements) -> f64 {
+    let blocks = max_resident_blocks(spec, req);
+    f64::from(blocks * req.threads) / f64::from(spec.max_threads_per_sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtx() -> DeviceSpec {
+        DeviceSpec::rtx3090()
+    }
+
+    #[test]
+    fn light_blocks_hit_the_thread_cap() {
+        // 256-thread light blocks: 1536/256 = 6 blocks, full occupancy.
+        let r = BlockRequirements::light(256);
+        assert_eq!(max_resident_blocks(&rtx(), &r), 6);
+        assert!((occupancy(&rtx(), &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        // A block using 60 KB of the 100 KB shared memory: only one fits.
+        let r = BlockRequirements { threads: 256, shared_bytes: 60 * 1024, regs_per_thread: 32 };
+        assert_eq!(max_resident_blocks(&rtx(), &r), 1);
+        assert!(occupancy(&rtx(), &r) < 0.2);
+    }
+
+    #[test]
+    fn registers_limit_residency() {
+        // 128 regs/thread × 512 threads = 64k regs: one block per SM.
+        let r = BlockRequirements { threads: 512, shared_bytes: 0, regs_per_thread: 128 };
+        assert_eq!(max_resident_blocks(&rtx(), &r), 1);
+    }
+
+    #[test]
+    fn oversized_blocks_cannot_launch() {
+        let r = BlockRequirements { threads: 4096, shared_bytes: 0, regs_per_thread: 32 };
+        assert_eq!(max_resident_blocks(&rtx(), &r), 0);
+        let r = BlockRequirements { threads: 64, shared_bytes: 101 * 1024, regs_per_thread: 32 };
+        assert_eq!(max_resident_blocks(&rtx(), &r), 0);
+        let r = BlockRequirements { threads: 1024, shared_bytes: 0, regs_per_thread: 65 };
+        assert_eq!(max_resident_blocks(&rtx(), &r), 0, "66560 regs exceed the file");
+    }
+
+    #[test]
+    fn hardware_block_cap_applies() {
+        // Tiny blocks would fit 1536/32 = 48 times by threads alone, but the
+        // hardware caps resident blocks at 16.
+        let r = BlockRequirements::light(32);
+        assert_eq!(max_resident_blocks(&rtx(), &r), 16);
+    }
+}

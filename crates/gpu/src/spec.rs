@@ -1,0 +1,180 @@
+//! Device descriptions.
+
+/// Cost parameters of a simulated GPU.
+///
+/// Latencies are *amortized issue costs* in cycles, not raw pipeline depths:
+/// resident warps hide most raw latency, so what a throughput model needs is
+/// the effective per-access cost ratios. The defaults follow public Ampere
+/// microbenchmark ratios (shared ≈ 20× cheaper than an uncoalesced global
+/// access); the paper's experiments all report normalized quantities, so only
+/// these ratios matter for reproducing its figures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub n_sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Shared memory available to a thread block, in bytes.
+    pub shared_mem_bytes: usize,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum threads in one block.
+    pub max_threads_per_block: u32,
+    /// Maximum threads resident on one SM.
+    pub max_threads_per_sm: u32,
+    /// 32-bit registers in one SM's register file.
+    pub registers_per_sm: u32,
+    /// Hardware cap on resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Cycles per shared-memory access.
+    pub shared_latency: u64,
+    /// Cycles per global-memory *transaction* (one coalesced segment).
+    pub global_latency: u64,
+    /// Bytes per global transaction segment (coalescing granularity).
+    pub global_segment_bytes: u64,
+    /// Cycles per ALU op.
+    pub alu_latency: u64,
+    /// Cycles for a warp shuffle / thread-communication step.
+    pub shuffle_latency: u64,
+    /// Cycles consumed by a block-wide barrier.
+    pub barrier_latency: u64,
+    /// Cycles for an atomic RMW on shared memory.
+    pub atomic_latency: u64,
+    /// Effective extra cycles of a shared-memory hash-table probe that
+    /// precedes a row access (PM's cached-row test, §IV-B). Banked shared
+    /// memory lets the probe pipeline with the following row fetch, so the
+    /// *additional* latency is below a standalone shared access.
+    pub hash_probe_latency: u64,
+    /// Memory-bandwidth roofline: issue cost per global transaction in
+    /// *milli-cycles*. A round's wall time is at least
+    /// `transactions_issued × bandwidth_millicycles_per_txn / 1000`,
+    /// modelling the contention the paper observes when many threads recover
+    /// concurrently (Fig 9). The default reflects a single resident block's
+    /// share of an SM's load/store throughput.
+    pub bandwidth_millicycles_per_txn: u64,
+    /// Core clock in GHz, to convert cycles to wall time for reports.
+    pub clock_ghz: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation platform (§V-A): GeForce RTX 3090, Ampere —
+    /// 82 SMs × 128 cores, 100 KB shared memory per SM, warp size 32.
+    pub fn rtx3090() -> Self {
+        DeviceSpec {
+            name: "GeForce RTX 3090 (simulated)",
+            n_sms: 82,
+            cores_per_sm: 128,
+            shared_mem_bytes: 100 * 1024,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            registers_per_sm: 65_536,
+            max_blocks_per_sm: 16,
+            shared_latency: 2,
+            global_latency: 36,
+            global_segment_bytes: 32,
+            alu_latency: 1,
+            shuffle_latency: 4,
+            barrier_latency: 8,
+            atomic_latency: 12,
+            hash_probe_latency: 1,
+            bandwidth_millicycles_per_txn: 600,
+            clock_ghz: 1.695,
+        }
+    }
+
+    /// An NVIDIA A100 (Ampere, SXM): 108 SMs, 164 KB shared memory per SM
+    /// configurable to the block, wider register files — the data-center
+    /// sibling of the paper's RTX 3090. Included to check that the
+    /// reproduction's conclusions are not artifacts of one device shape.
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100-SXM (simulated)",
+            n_sms: 108,
+            cores_per_sm: 64,
+            shared_mem_bytes: 164 * 1024,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            registers_per_sm: 65_536,
+            max_blocks_per_sm: 32,
+            shared_latency: 2,
+            global_latency: 33,
+            global_segment_bytes: 32,
+            alu_latency: 1,
+            shuffle_latency: 4,
+            barrier_latency: 8,
+            atomic_latency: 12,
+            hash_probe_latency: 1,
+            bandwidth_millicycles_per_txn: 450,
+            clock_ghz: 1.41,
+        }
+    }
+
+    /// A tiny device for unit tests: everything costs 1 cycle and segments
+    /// are 4 bytes, so expected counts are easy to compute by hand.
+    pub fn test_unit() -> Self {
+        DeviceSpec {
+            name: "unit-test device",
+            n_sms: 1,
+            cores_per_sm: 32,
+            shared_mem_bytes: 16 * 1024,
+            warp_size: 4,
+            max_threads_per_block: 64,
+            max_threads_per_sm: 128,
+            registers_per_sm: 4096,
+            max_blocks_per_sm: 4,
+            shared_latency: 1,
+            global_latency: 1,
+            global_segment_bytes: 4,
+            alu_latency: 1,
+            shuffle_latency: 1,
+            barrier_latency: 1,
+            atomic_latency: 1,
+            hash_probe_latency: 1,
+            bandwidth_millicycles_per_txn: 0,
+            clock_ghz: 1.0,
+        }
+    }
+
+    /// Converts cycles to microseconds at this device's clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_matches_paper_specs() {
+        let d = DeviceSpec::rtx3090();
+        assert_eq!(d.n_sms, 82);
+        assert_eq!(d.cores_per_sm, 128);
+        assert_eq!(d.shared_mem_bytes, 100 * 1024);
+        assert_eq!(d.warp_size, 32);
+    }
+
+    #[test]
+    fn shared_is_much_cheaper_than_global() {
+        let d = DeviceSpec::rtx3090();
+        assert!(d.global_latency >= 10 * d.shared_latency);
+    }
+
+    #[test]
+    fn a100_has_more_shared_memory_than_rtx3090() {
+        let a = DeviceSpec::a100();
+        let r = DeviceSpec::rtx3090();
+        assert!(a.shared_mem_bytes > r.shared_mem_bytes);
+        assert!(a.n_sms > r.n_sms);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let d = DeviceSpec::test_unit();
+        assert!((d.cycles_to_us(1000) - 1.0).abs() < 1e-9);
+    }
+}

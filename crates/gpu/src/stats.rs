@@ -1,0 +1,173 @@
+//! Kernel execution statistics.
+
+use crate::spec::DeviceSpec;
+
+/// Counters collected while a kernel runs.
+///
+/// `cycles` is the kernel's simulated execution time: the maximum per-thread
+/// clock after the final barrier, which is what a CUDA event pair around the
+/// kernel launch would measure (§V-A reports GPU kernel time from CUDA
+/// events).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Simulated kernel time in cycles.
+    pub cycles: u64,
+    /// Number of barrier-delimited rounds executed.
+    pub rounds: u64,
+    /// Global-memory transactions issued (after coalescing).
+    pub global_transactions: u64,
+    /// Global accesses that were absorbed by coalescing/broadcast within a
+    /// warp (no new transaction needed).
+    pub global_coalesced_hits: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// ALU operations.
+    pub alu_ops: u64,
+    /// Warp shuffles / explicit thread communications.
+    pub shuffles: u64,
+    /// Atomic operations.
+    pub atomics: u64,
+    /// Per-round count of threads that reported doing work.
+    pub active_per_round: Vec<u32>,
+    /// Per-round count of threads that reported doing *recovery* work
+    /// (re-executing a chunk). Feeds Table III.
+    pub recovering_per_round: Vec<u32>,
+    /// Wall-clock duration of each round in cycles (including the
+    /// memory-bandwidth roofline and the barrier). Feeds Fig 9.
+    pub round_durations: Vec<u64>,
+    /// Cycles attributable to chunk re-execution (recovery work), summed
+    /// over threads. Feeds Fig 9's per-chunk recovery cost.
+    pub recovery_cycles: u64,
+    /// Number of chunk re-executions performed during verification/recovery.
+    pub recovery_runs: u64,
+}
+
+impl KernelStats {
+    /// Average number of threads active in rounds where at least one thread
+    /// performed recovery work — the paper's Table III "Average #Active
+    /// Threads" during recovery. Returns 0.0 when no recovery ever happened.
+    pub fn avg_active_threads_during_recovery(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for &r in &self.recovering_per_round {
+            if r > 0 {
+                sum += u64::from(r);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Mean recovery cycles per re-executed chunk (Fig 9's y-axis before
+    /// normalization). Returns 0.0 if no recovery ran.
+    pub fn recovery_cycles_per_run(&self) -> f64 {
+        if self.recovery_runs == 0 {
+            0.0
+        } else {
+            self.recovery_cycles as f64 / self.recovery_runs as f64
+        }
+    }
+
+    /// Mean wall duration of rounds in which at least one thread recovered —
+    /// the "recovery execution time per chunk" of Fig 9: under contention a
+    /// chunk re-execution round takes longer than a solo one.
+    pub fn avg_recovery_round_duration(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for (i, &r) in self.recovering_per_round.iter().enumerate() {
+            if r > 0 {
+                sum += self.round_durations.get(i).copied().unwrap_or(0);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// A one-line summary for logs.
+    pub fn brief(&self) -> String {
+        format!(
+            "{} cycles over {} rounds ({} global txns, {} coalesced, {} shared, {} alu)",
+            self.cycles,
+            self.rounds,
+            self.global_transactions,
+            self.global_coalesced_hits,
+            self.shared_accesses,
+            self.alu_ops
+        )
+    }
+
+    /// Kernel time in microseconds on `spec`.
+    pub fn time_us(&self, spec: &DeviceSpec) -> f64 {
+        spec.cycles_to_us(self.cycles)
+    }
+
+    /// Merges another kernel's counters into this one, treating the two
+    /// kernels as launched back-to-back (cycles add).
+    pub fn merge_sequential(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.rounds += other.rounds;
+        self.global_transactions += other.global_transactions;
+        self.global_coalesced_hits += other.global_coalesced_hits;
+        self.shared_accesses += other.shared_accesses;
+        self.alu_ops += other.alu_ops;
+        self.shuffles += other.shuffles;
+        self.atomics += other.atomics;
+        self.active_per_round.extend_from_slice(&other.active_per_round);
+        self.recovering_per_round.extend_from_slice(&other.recovering_per_round);
+        self.round_durations.extend_from_slice(&other.round_durations);
+        self.recovery_cycles += other.recovery_cycles;
+        self.recovery_runs += other.recovery_runs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_active_ignores_quiet_rounds() {
+        let s = KernelStats {
+            recovering_per_round: vec![0, 4, 0, 2, 0],
+            ..KernelStats::default()
+        };
+        assert!((s.avg_active_threads_during_recovery() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_active_zero_when_no_recovery() {
+        let s = KernelStats { recovering_per_round: vec![0, 0], ..KernelStats::default() };
+        assert_eq!(s.avg_active_threads_during_recovery(), 0.0);
+    }
+
+    #[test]
+    fn brief_mentions_cycles_and_rounds() {
+        let s = KernelStats { cycles: 42, rounds: 3, ..KernelStats::default() };
+        let b = s.brief();
+        assert!(b.contains("42 cycles"));
+        assert!(b.contains("3 rounds"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KernelStats { cycles: 10, rounds: 2, ..KernelStats::default() };
+        let b = KernelStats { cycles: 5, rounds: 1, ..KernelStats::default() };
+        a.merge_sequential(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.rounds, 3);
+    }
+
+    #[test]
+    fn recovery_cycles_per_run() {
+        let s = KernelStats { recovery_cycles: 100, recovery_runs: 4, ..KernelStats::default() };
+        assert!((s.recovery_cycles_per_run() - 25.0).abs() < 1e-12);
+        assert_eq!(KernelStats::default().recovery_cycles_per_run(), 0.0);
+    }
+}

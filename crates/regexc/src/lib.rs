@@ -1,0 +1,57 @@
+//! Regex-to-DFA compiler: the RE2 substitute for the GSpecPal reproduction.
+//!
+//! The paper's evaluation (§V-B) compiles disjunctions of Perl-compatible
+//! regular expressions to DFAs with RE2. This crate provides the same
+//! pipeline from scratch: a regex parser ([`parser`]), Thompson NFA
+//! construction ([`thompson`]), and determinization + minimization into the
+//! dense-table [`gspecpal_fsm::Dfa`] the framework consumes ([`compile`]).
+//!
+//! Two match semantics are offered:
+//!
+//! * **anchored** — the DFA accepts iff the whole input is in the language;
+//! * **search** (default, what the paper's workloads use) — the DFA is in an
+//!   accepting state after position `i` iff some pattern matches a substring
+//!   ending at `i` (the `Σ*(p₁|…|pₖ)` construction).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod parser;
+pub mod thompson;
+
+pub use ast::Ast;
+pub use compile::{compile, compile_asts, compile_set, CompileConfig, MatchSemantics};
+pub use parser::{parse, ParseError};
+
+/// Errors from the full compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegexError {
+    /// The pattern failed to parse.
+    Parse(ParseError),
+    /// Determinization blew the state budget.
+    Fsm(gspecpal_fsm::FsmError),
+}
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegexError::Parse(e) => write!(f, "parse error: {e}"),
+            RegexError::Fsm(e) => write!(f, "compilation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl From<ParseError> for RegexError {
+    fn from(e: ParseError) -> Self {
+        RegexError::Parse(e)
+    }
+}
+
+impl From<gspecpal_fsm::FsmError> for RegexError {
+    fn from(e: gspecpal_fsm::FsmError) -> Self {
+        RegexError::Fsm(e)
+    }
+}

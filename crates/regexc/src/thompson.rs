@@ -1,0 +1,278 @@
+//! Thompson construction: regex AST → epsilon-NFA.
+
+use gspecpal_fsm::nfa::{Nfa, NfaBuilder};
+use gspecpal_fsm::StateId;
+
+use crate::ast::Ast;
+
+/// An NFA fragment under construction: entry state and exit state. The exit
+/// has no outgoing edges until the fragment is composed.
+#[derive(Clone, Copy, Debug)]
+struct Frag {
+    start: StateId,
+    end: StateId,
+}
+
+/// Builds fragments for one or more ASTs into a shared NFA, alternating all
+/// of them (`p₁|…|pₖ`), optionally preceded by an unanchored `Σ*` self-loop.
+pub struct ThompsonCompiler {
+    builder: NfaBuilder,
+}
+
+impl Default for ThompsonCompiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThompsonCompiler {
+    /// Creates an empty compiler.
+    pub fn new() -> Self {
+        ThompsonCompiler { builder: NfaBuilder::new() }
+    }
+
+    fn frag(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty => {
+                let s = self.builder.add_state(false);
+                let e = self.builder.add_state(false);
+                self.builder.add_epsilon(s, e);
+                Frag { start: s, end: e }
+            }
+            Ast::Class(c) => {
+                let s = self.builder.add_state(false);
+                let e = self.builder.add_state(false);
+                for &(lo, hi) in c.ranges() {
+                    self.builder.add_range(s, lo, hi, e);
+                }
+                Frag { start: s, end: e }
+            }
+            Ast::Concat(parts) => {
+                let mut frags = parts.iter().map(|p| self.frag(p)).collect::<Vec<_>>();
+                if frags.is_empty() {
+                    return self.frag(&Ast::Empty);
+                }
+                let first = frags[0];
+                let mut prev = first;
+                for f in frags.drain(1..) {
+                    self.builder.add_epsilon(prev.end, f.start);
+                    prev = f;
+                }
+                Frag { start: first.start, end: prev.end }
+            }
+            Ast::Alternate(branches) => {
+                let s = self.builder.add_state(false);
+                let e = self.builder.add_state(false);
+                for b in branches {
+                    let f = self.frag(b);
+                    self.builder.add_epsilon(s, f.start);
+                    self.builder.add_epsilon(f.end, e);
+                }
+                Frag { start: s, end: e }
+            }
+            Ast::Repeat { node, min, max } => self.repeat_frag(node, *min, *max),
+        }
+    }
+
+    fn repeat_frag(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Frag {
+        match (min, max) {
+            // Kleene star.
+            (0, None) => {
+                let s = self.builder.add_state(false);
+                let e = self.builder.add_state(false);
+                let f = self.frag(node);
+                self.builder.add_epsilon(s, f.start);
+                self.builder.add_epsilon(s, e);
+                self.builder.add_epsilon(f.end, f.start);
+                self.builder.add_epsilon(f.end, e);
+                Frag { start: s, end: e }
+            }
+            // Plus: one copy followed by a star.
+            (1, None) => {
+                let f = self.frag(node);
+                let star = self.repeat_frag(node, 0, None);
+                self.builder.add_epsilon(f.end, star.start);
+                Frag { start: f.start, end: star.end }
+            }
+            // min ≥ 2 unbounded: (min-1 copies) then plus.
+            (m, None) => {
+                let prefix = self.repeat_frag(node, m - 1, Some(m - 1));
+                let plus = self.repeat_frag(node, 1, None);
+                self.builder.add_epsilon(prefix.end, plus.start);
+                Frag { start: prefix.start, end: plus.end }
+            }
+            // Bounded: min required copies, then (max-min) optional copies.
+            (m, Some(x)) => {
+                debug_assert!(x >= m);
+                let s = self.builder.add_state(false);
+                let e = self.builder.add_state(false);
+                let mut cursor = s;
+                for _ in 0..m {
+                    let f = self.frag(node);
+                    self.builder.add_epsilon(cursor, f.start);
+                    cursor = f.end;
+                }
+                for _ in m..x {
+                    let f = self.frag(node);
+                    self.builder.add_epsilon(cursor, f.start);
+                    self.builder.add_epsilon(cursor, e); // skip the rest
+                    cursor = f.end;
+                }
+                self.builder.add_epsilon(cursor, e);
+                Frag { start: s, end: e }
+            }
+        }
+    }
+
+    /// Compiles `asts` as the alternation `p₁|…|pₖ`. When `unanchored` is
+    /// set, the start state gets a `Σ` self-loop first — the `Σ*(p₁|…|pₖ)`
+    /// search construction used by the paper's workloads.
+    pub fn compile(self, asts: &[Ast], unanchored: bool) -> Nfa {
+        let tagged: Vec<(Ast, bool)> =
+            asts.iter().map(|a| (a.clone(), !unanchored)).collect();
+        self.compile_mixed(&tagged)
+    }
+
+    /// Compiles a mix of anchored and floating patterns: each `(ast, true)`
+    /// can only match starting at position 0 (a `^`-anchored rule), while
+    /// `(ast, false)` matches anywhere (`Σ* ast`). The construction uses an
+    /// origin state for the anchored fragments and a self-looping hub for
+    /// the floating ones; the origin is left behind after the first byte.
+    pub fn compile_mixed(mut self, asts: &[(Ast, bool)]) -> Nfa {
+        assert!(!asts.is_empty(), "need at least one pattern");
+        let origin = self.builder.add_state(false);
+        let any_floating = asts.iter().any(|(_, anchored)| !anchored);
+        let hub = if any_floating {
+            let hub = self.builder.add_state(false);
+            self.builder.add_range(hub, 0, 255, hub);
+            self.builder.add_epsilon(origin, hub);
+            Some(hub)
+        } else {
+            None
+        };
+        for (ast, anchored) in asts {
+            let f = self.frag(ast);
+            let from = if *anchored { origin } else { hub.expect("floating needs a hub") };
+            self.builder.add_epsilon(from, f.start);
+            self.builder.set_accepting(f.end, true);
+        }
+        self.builder.build(origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa_for(pattern: &str, unanchored: bool) -> Nfa {
+        let ast = parse(pattern).unwrap();
+        ThompsonCompiler::new().compile(&[ast], unanchored)
+    }
+
+    #[test]
+    fn anchored_literal() {
+        let n = nfa_for("abc", false);
+        assert!(n.accepts(b"abc"));
+        assert!(!n.accepts(b"abcd"));
+        assert!(!n.accepts(b"xabc"));
+    }
+
+    #[test]
+    fn unanchored_search() {
+        let n = nfa_for("abc", true);
+        assert!(n.accepts(b"abc"));
+        assert!(n.accepts(b"xxabc"));
+        assert!(!n.accepts(b"abcd"), "search accepts only at a match end");
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let n = nfa_for("ab*c", false);
+        assert!(n.accepts(b"ac"));
+        assert!(n.accepts(b"abbbc"));
+        assert!(!n.accepts(b"a"));
+        let n = nfa_for("ab+c", false);
+        assert!(!n.accepts(b"ac"));
+        assert!(n.accepts(b"abc"));
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        let n = nfa_for("a{2,4}", false);
+        assert!(!n.accepts(b"a"));
+        assert!(n.accepts(b"aa"));
+        assert!(n.accepts(b"aaa"));
+        assert!(n.accepts(b"aaaa"));
+        assert!(!n.accepts(b"aaaaa"));
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let n = nfa_for("(ab){3}", false);
+        assert!(n.accepts(b"ababab"));
+        assert!(!n.accepts(b"abab"));
+        assert!(!n.accepts(b"abababab"));
+    }
+
+    #[test]
+    fn min_unbounded_repeat() {
+        let n = nfa_for("a{3,}", false);
+        assert!(!n.accepts(b"aa"));
+        assert!(n.accepts(b"aaa"));
+        assert!(n.accepts(b"aaaaaaa"));
+    }
+
+    #[test]
+    fn alternation_of_patterns() {
+        let asts = vec![parse("cat").unwrap(), parse("dog").unwrap()];
+        let n = ThompsonCompiler::new().compile(&asts, false);
+        assert!(n.accepts(b"cat"));
+        assert!(n.accepts(b"dog"));
+        assert!(!n.accepts(b"cow"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let n = nfa_for("", false);
+        assert!(n.accepts(b""));
+        assert!(!n.accepts(b"a"));
+    }
+
+    #[test]
+    fn zero_repetition_matches_empty_only() {
+        let n = nfa_for("a{0}", false);
+        assert!(n.accepts(b""));
+        assert!(!n.accepts(b"a"));
+        let n = nfa_for("ba{0}c", false);
+        assert!(n.accepts(b"bc"));
+        assert!(!n.accepts(b"bac"));
+    }
+
+    #[test]
+    fn alternation_with_empty_branch() {
+        let n = nfa_for("ab|", false);
+        assert!(n.accepts(b""));
+        assert!(n.accepts(b"ab"));
+        assert!(!n.accepts(b"a"));
+    }
+
+    #[test]
+    fn anchored_and_floating_mix() {
+        use crate::ast::Ast;
+        let a = parse("aa").unwrap();
+        let b = parse("bb").unwrap();
+        let n = ThompsonCompiler::new()
+            .compile_mixed(&[(a, true), (b, false)]);
+        assert!(n.accepts(b"aa"), "anchored matches at start");
+        assert!(!n.accepts(b"xaa"), "anchored cannot float");
+        assert!(n.accepts(b"xbb"), "floating matches anywhere");
+    }
+
+    #[test]
+    fn optional_chain() {
+        let n = nfa_for("colou?r", false);
+        assert!(n.accepts(b"color"));
+        assert!(n.accepts(b"colour"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Benchmark families (the three applications of §V-B).
+
+/// The application a benchmark FSM models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Network intrusion detection (Snort rules over network traffic).
+    Snort,
+    /// Virus detection (ClamAV signatures over binary executables).
+    ClamAV,
+    /// IBM's PowerEN regular-expression benchmark over its trace files.
+    PowerEn,
+}
+
+impl Family {
+    /// All three families, in the paper's order.
+    pub fn all() -> [Family; 3] {
+        [Family::Snort, Family::ClamAV, Family::PowerEn]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Snort => "Snort",
+            Family::ClamAV => "ClamAV",
+            Family::PowerEn => "PowerEN",
+        }
+    }
+
+    /// Number of FSMs per family (the paper builds 12 each).
+    pub const FSMS_PER_FAMILY: usize = 12;
+
+    /// How many of the family's FSMs should exhibit highly input-sensitive
+    /// speculation (Table II: Snort 3, ClamAV 5, PowerEN 6).
+    pub fn input_sensitive_quota(self) -> usize {
+        match self {
+            Family::Snort => 3,
+            Family::ClamAV => 5,
+            Family::PowerEn => 6,
+        }
+    }
+
+    /// The speculation-queue depth range (counter modulus) characteristic of
+    /// the family's hard benchmarks. PowerEN runs deepest — its Fig 7
+    /// register sweet spot is 18 rather than 16.
+    pub fn counter_moduli(self) -> std::ops::Range<u32> {
+        match self {
+            Family::Snort => 9..14,
+            Family::ClamAV => 10..15,
+            Family::PowerEn => 14..19,
+        }
+    }
+
+    /// Rough keyword-set size for the family's signature machines — drives
+    /// the state-count ordering of Table II (Snort ≫ ClamAV ≫ PowerEN).
+    pub fn keyword_count(self) -> usize {
+        match self {
+            Family::Snort => 40,
+            Family::ClamAV => 18,
+            Family::PowerEn => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_match_table2() {
+        assert_eq!(Family::Snort.input_sensitive_quota(), 3);
+        assert_eq!(Family::ClamAV.input_sensitive_quota(), 5);
+        assert_eq!(Family::PowerEn.input_sensitive_quota(), 6);
+    }
+
+    #[test]
+    fn poweren_runs_deepest_queues() {
+        assert!(Family::PowerEn.counter_moduli().end > Family::Snort.counter_moduli().end);
+    }
+
+    #[test]
+    fn snort_has_most_keywords() {
+        assert!(Family::Snort.keyword_count() > Family::ClamAV.keyword_count());
+        assert!(Family::ClamAV.keyword_count() > Family::PowerEn.keyword_count());
+    }
+}

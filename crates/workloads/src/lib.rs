@@ -1,0 +1,30 @@
+//! Synthetic benchmark suite standing in for ANMLZoo/AutomataZoo (§V-B).
+//!
+//! The paper evaluates on 36 DFAs — 12 each compiled from Snort, ClamAV and
+//! PowerEN rule sets — with 10 MB proprietary input traces. Neither the rule
+//! sets' DFAs nor the traces are redistributable, so this crate synthesizes
+//! families with the *same measured characteristics* (the axes Table II
+//! itself uses to describe the benchmarks):
+//!
+//! * state-count ranges per family (Snort largest, PowerEN smallest);
+//! * spec-1 / spec-4 lookback accuracy distributions;
+//! * a per-family quota of FSMs with highly input-sensitive speculation;
+//! * 10-step convergence (`#uniqStates`) distributions.
+//!
+//! Each benchmark belongs to a behavioural [`Tier`] engineered from three
+//! primitives: Aho-Corasick keyword/regex machines (fast convergence),
+//! slow-retreat chains (convergent over a chunk but opaque to 2-byte
+//! lookback), and class-trigger counters (permutation components that never
+//! converge and set the speculation-queue depth). The tier mix per family
+//! mirrors which scheme wins where in the paper's Figure 8 / Table III.
+
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod inputs;
+pub mod suite;
+pub mod tiers;
+
+pub use family::Family;
+pub use suite::{build_family, build_suite, Benchmark};
+pub use tiers::Tier;

@@ -1,0 +1,314 @@
+//! The 36-FSM benchmark suite (12 per family, §V-B).
+
+use gspecpal_fsm::Dfa;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::family::Family;
+use crate::inputs;
+use crate::tiers::{build_tier_dfa, Tier};
+
+/// One benchmark: a machine plus the recipe for its input stream.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Which application the FSM models.
+    pub family: Family,
+    /// 1-based index within the family (`Snort3` = index 3).
+    pub index: usize,
+    /// Behavioural tier.
+    pub tier: Tier,
+    /// The compiled machine.
+    pub dfa: Dfa,
+    spice: Vec<Vec<u8>>,
+    window_alphabet: Option<Vec<u8>>,
+    skew: f64,
+    seed: u64,
+}
+
+impl Benchmark {
+    /// Display name matching the paper (`Snort1` … `PowerEN12`).
+    pub fn name(&self) -> String {
+        format!("{}{}", self.family, self.index)
+    }
+
+    /// A one-line description for logs and reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} [{}]: {} states, {} byte classes",
+            self.name(),
+            self.tier.name(),
+            self.dfa.n_states(),
+            self.dfa.alphabet_len()
+        )
+    }
+
+    /// Generates this benchmark's input stream of `len` bytes. Twenty
+    /// different streams per benchmark exist in the paper; pass a different
+    /// `variant` to get independent draws.
+    pub fn generate_input(&self, len: usize, variant: u64) -> Vec<u8> {
+        let seed = self.seed ^ (variant.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match self.tier {
+            Tier::SlowConvergence => {
+                let alphabet =
+                    self.window_alphabet.as_deref().expect("window tier has an alphabet");
+                inputs::window_text(seed, len, alphabet, self.skew)
+            }
+            Tier::InputSensitive => {
+                // Segments must dwarf a chunk (so whole chunks sit inside one
+                // regime) while the selector's spread-out boundary sampling
+                // still sees several of each.
+                let family = self.family;
+                let segment = (len / 16).max(256);
+                inputs::regime_switching(
+                    seed,
+                    len,
+                    segment,
+                    move |s, n| easy_regime(family, s, n),
+                    move |s, n| hard_regime(family, s, n),
+                )
+            }
+            _ => match self.family {
+                Family::Snort => inputs::network_trace(seed, len, &self.spice),
+                Family::ClamAV => inputs::executable_blob(seed, len, &self.spice),
+                Family::PowerEn => inputs::pattern_text(seed, len, &self.spice),
+            },
+        }
+    }
+}
+
+/// Reset-rich segment: prediction-friendly (the counter is pinned by
+/// frequent reset bytes).
+fn easy_regime(family: Family, seed: u64, len: usize) -> Vec<u8> {
+    use rand::RngExt;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6561_7379);
+    match family {
+        // Short protocol lines: a newline every 2-4 bytes.
+        Family::Snort => {
+            let mut out = Vec::with_capacity(len);
+            while out.len() < len {
+                for _ in 0..rng.random_range(2..4) {
+                    out.push(rng.random_range(b'a'..=b'z'));
+                }
+                out.push(b'\n');
+            }
+            out.truncate(len);
+            out
+        }
+        // Zero-padding-dominated region of an executable.
+        Family::ClamAV => (0..len)
+            .map(|_| if rng.random_bool(0.5) { 0u8 } else { rng.random_range(b'A'..=b'Z') })
+            .collect(),
+        // Comma-dense CSV-ish numbers.
+        Family::PowerEn => {
+            let mut out = Vec::with_capacity(len);
+            while out.len() < len {
+                for _ in 0..rng.random_range(1..3) {
+                    out.push(rng.random_range(b'0'..=b'9'));
+                }
+                out.push(b',');
+            }
+            out.truncate(len);
+            out
+        }
+    }
+}
+
+/// Trigger-rich, reset-free segment: the counter churns and prediction is
+/// hopeless beyond enumerating its phases.
+fn hard_regime(family: Family, seed: u64, len: usize) -> Vec<u8> {
+    use rand::RngExt;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6861_7264);
+    match family {
+        // Binary payload burst: high-bit bytes, no newlines.
+        Family::Snort | Family::ClamAV => (0..len)
+            .map(|_| if rng.random_bool(0.4) { rng.random_range(0x80..=0xff) } else { rng.random_range(b'a'..=b'z') })
+            .collect(),
+        // Digit runs without separators.
+        Family::PowerEn => (0..len)
+            .map(|_| if rng.random_bool(0.5) { rng.random_range(b'0'..=b'9') } else { rng.random_range(b'a'..=b'z') })
+            .collect(),
+    }
+}
+
+/// The tier of each family member (1-based index order), arranged to match
+/// the paper's observations: PM wins the first couple of FSMs, SRE the next
+/// pair, aggressive recovery the bulk, with the family's input-sensitive
+/// quota at the tail (Table II / Fig 8 / Table III).
+pub fn tier_layout(family: Family) -> [Tier; Family::FSMS_PER_FAMILY] {
+    use Tier::*;
+    match family {
+        Family::Snort => [
+            SpecKFriendly,
+            SpecKFriendly,
+            SlowConvergence,
+            SlowConvergence,
+            NonConvergent,
+            NonConvergent,
+            NonConvergent,
+            NonConvergent,
+            NonConvergent,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+        ],
+        Family::ClamAV => [
+            SpecKFriendly,
+            SpecKFriendly,
+            SpecKFriendly,
+            SlowConvergence,
+            SlowConvergence,
+            NonConvergent,
+            NonConvergent,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+        ],
+        Family::PowerEn => [
+            SpecKFriendly,
+            SpecKFriendly,
+            SlowConvergence,
+            NonConvergent,
+            NonConvergent,
+            NonConvergent,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+            InputSensitive,
+        ],
+    }
+}
+
+/// Builds one family's 12 benchmarks.
+pub fn build_family(family: Family, seed: u64) -> Vec<Benchmark> {
+    tier_layout(family)
+        .into_iter()
+        .enumerate()
+        .map(|(i, tier)| {
+            let index = i + 1;
+            let bench_seed = seed
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add((family as u64) << 32 | index as u64);
+            let mut rng = StdRng::seed_from_u64(bench_seed);
+            let m = build_tier_dfa(family, tier, &mut rng);
+            Benchmark {
+                family,
+                index,
+                tier,
+                dfa: m.dfa,
+                spice: m.spice,
+                window_alphabet: m.window_alphabet,
+                skew: m.skew,
+                seed: bench_seed,
+            }
+        })
+        .collect()
+}
+
+/// Builds the full 36-FSM suite.
+///
+/// ```
+/// let suite = gspecpal_workloads::build_suite(1);
+/// assert_eq!(suite.len(), 36);
+/// let b = &suite[0];
+/// let input = b.generate_input(4096, 0);
+/// assert_eq!(input.len(), 4096);
+/// ```
+pub fn build_suite(seed: u64) -> Vec<Benchmark> {
+    Family::all().into_iter().flat_map(|f| build_family(f, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Suite construction compiles 36 machines; share one across tests.
+    fn suite1() -> &'static [Benchmark] {
+        static SUITE: OnceLock<Vec<Benchmark>> = OnceLock::new();
+        SUITE.get_or_init(|| build_suite(1))
+    }
+
+    #[test]
+    fn suite_has_36_benchmarks() {
+        let suite = suite1();
+        assert_eq!(suite.len(), 36);
+        for f in Family::all() {
+            assert_eq!(suite.iter().filter(|b| b.family == f).count(), 12);
+        }
+    }
+
+    #[test]
+    fn input_sensitive_quotas_match_table2() {
+        let suite = suite1();
+        for f in Family::all() {
+            let n = suite
+                .iter()
+                .filter(|b| b.family == f && b.tier == Tier::InputSensitive)
+                .count();
+            assert_eq!(n, f.input_sensitive_quota(), "{f}");
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic_in_seed() {
+        let a = build_suite(7);
+        let b = build_suite(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dfa.n_states(), y.dfa.n_states());
+            assert_eq!(x.generate_input(2048, 0), y.generate_input(2048, 0));
+        }
+        let c = build_suite(8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.dfa.n_states() != y.dfa.n_states()
+            || x.generate_input(2048, 0) != y.generate_input(2048, 0)));
+    }
+
+    #[test]
+    fn input_variants_differ() {
+        let suite = suite1();
+        let b = &suite[0];
+        assert_ne!(b.generate_input(4096, 0), b.generate_input(4096, 1));
+    }
+
+    #[test]
+    fn benchmarks_fire_matches_on_their_inputs() {
+        // Signature-bearing benchmarks should actually match their streams.
+        let suite = suite1();
+        for b in suite.iter().filter(|b| b.tier == Tier::SpecKFriendly) {
+            let input = b.generate_input(64 * 1024, 0);
+            assert!(b.dfa.count_matches(&input) > 0, "{} never fires", b.name());
+        }
+    }
+
+    #[test]
+    fn describe_mentions_name_and_tier() {
+        let b = &suite1()[0];
+        let d = b.describe();
+        assert!(d.contains("Snort1"));
+        assert!(d.contains("spec-k"));
+        assert!(d.contains("states"));
+    }
+
+    #[test]
+    fn names_match_paper_style() {
+        let suite = suite1();
+        assert_eq!(suite[0].name(), "Snort1");
+        assert_eq!(suite[12].name(), "ClamAV1");
+        assert_eq!(suite[35].name(), "PowerEN12");
+    }
+
+    #[test]
+    fn state_counts_follow_family_ordering() {
+        let suite = suite1();
+        let mean = |f: Family| {
+            let v: Vec<u32> =
+                suite.iter().filter(|b| b.family == f).map(|b| b.dfa.n_states()).collect();
+            v.iter().sum::<u32>() as f64 / v.len() as f64
+        };
+        assert!(mean(Family::Snort) > mean(Family::PowerEn));
+        assert!(mean(Family::ClamAV) > mean(Family::PowerEn));
+    }
+}

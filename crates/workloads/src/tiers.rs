@@ -1,0 +1,411 @@
+//! Behavioural tiers and the FSM primitives that realize them.
+//!
+//! The paper's 36 benchmarks span four observable behaviours (Table II,
+//! Table III, Fig 8), each of which favours a different scheme:
+//!
+//! | tier | lookback-2 | chunk convergence | winner | construction |
+//! |------|-----------|-------------------|--------|--------------|
+//! | [`Tier::SpecKFriendly`] | truth in top-4 | none | PM | signatures × shallow counter (m ≤ 4) |
+//! | [`Tier::SlowConvergence`] | truth deep | strong | SRE | slow-retreat chains |
+//! | [`Tier::NonConvergent`] | truth in top-16 | none | RR/NF | signatures × deep counter (m = 9…18) |
+//! | [`Tier::InputSensitive`] | regime-dependent | regime-dependent | NF | signatures × resettable counter, regime-switching input |
+
+use gspecpal_fsm::classes::ByteClasses;
+use gspecpal_fsm::combinators::{product, sliding_window_dfa, ProductAccept};
+use gspecpal_fsm::dfa::{Dfa, DfaBuilder, StateId};
+use gspecpal_regex::{compile_set, CompileConfig};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::family::Family;
+
+/// The behavioural class of a benchmark FSM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Enumerative speculation (spec-4) covers the truth; recovery is waste.
+    SpecKFriendly,
+    /// 2-byte lookback is blind but predecessor end states converge to the
+    /// truth within a chunk.
+    SlowConvergence,
+    /// Nothing converges; only enumerating the top-≈16 speculative states
+    /// (aggressive recovery) works.
+    NonConvergent,
+    /// Speculation quality flips between input regimes.
+    InputSensitive,
+}
+
+impl Tier {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::SpecKFriendly => "spec-k",
+            Tier::SlowConvergence => "converge",
+            Tier::NonConvergent => "deep-spec",
+            Tier::InputSensitive => "input-sens",
+        }
+    }
+}
+
+/// Builds a class-trigger counter: `m` states, bytes satisfying `trigger`
+/// advance the count (mod m), everything else leaves it unchanged.
+/// Incrementing is a permutation for every `m`, so the machine never
+/// converges — it carries `m`-deep mode information across arbitrarily long
+/// inputs, which is exactly what defeats both lookback prediction (beyond
+/// rank m) and end-state forwarding.
+pub fn class_counter(m: u32, trigger: impl Fn(u8) -> bool) -> Dfa {
+    assert!(m >= 1);
+    let classes = ByteClasses::refine(|a, b| trigger(a) != trigger(b));
+    build_counter(m, classes, &trigger, None::<fn(u8) -> bool>)
+}
+
+/// A counter with a reset class: `reset` bytes send the count back to 0.
+/// Windows containing a reset byte pin the counter — prediction becomes easy
+/// — while reset-free regions behave like [`class_counter`]. Feeding it a
+/// regime-switching input produces *input-sensitive* speculation.
+pub fn reset_counter(
+    m: u32,
+    trigger: impl Fn(u8) -> bool,
+    reset: impl Fn(u8) -> bool,
+) -> Dfa {
+    assert!(m >= 1);
+    let classes =
+        ByteClasses::refine(|a, b| trigger(a) != trigger(b) || reset(a) != reset(b));
+    build_counter(m, classes, &trigger, Some(reset))
+}
+
+fn build_counter(
+    m: u32,
+    classes: ByteClasses,
+    trigger: &impl Fn(u8) -> bool,
+    reset: Option<impl Fn(u8) -> bool>,
+) -> Dfa {
+    let reps = classes.representatives();
+    let mut b = DfaBuilder::new(classes.clone());
+    for _ in 0..m {
+        b.add_state(false);
+    }
+    for r in 0..m {
+        let s = r as StateId;
+        for (c, &rep) in reps.iter().enumerate() {
+            let target = if reset.as_ref().is_some_and(|f| f(rep)) {
+                0
+            } else if trigger(rep) {
+                ((r + 1) % m) as StateId
+            } else {
+                s
+            };
+            b.set_transition(s, c as u16, target).expect("state exists");
+        }
+    }
+    b.build(0).expect("counter is total")
+}
+
+/// Generates the family's signature rule set (regex patterns) and compiles
+/// the disjunction to a minimal search DFA — the §V-B pipeline with our RE2
+/// substitute.
+pub fn signature_dfa(family: Family, rng: &mut StdRng) -> (Dfa, Vec<Vec<u8>>) {
+    signature_dfa_with(family, rng, false)
+}
+
+/// Like [`signature_dfa`], optionally restricted to plain literal
+/// signatures (no bounded gaps or digit patterns). Literal sets have shallow
+/// prefixes, so chunk boundaries rarely land mid-rule — the easy-to-predict
+/// regime of the spec-k tier.
+pub fn signature_dfa_with(
+    family: Family,
+    rng: &mut StdRng,
+    literals_only: bool,
+) -> (Dfa, Vec<Vec<u8>>) {
+    let mut rules = generate_rules(family, rng);
+    if literals_only {
+        for r in rules.iter_mut() {
+            // Replace each pattern with its literal witness.
+            let lit = r.1.clone();
+            r.0 = lit
+                .iter()
+                .map(|&b| {
+                    if b.is_ascii_alphanumeric() || b == b' ' || b == b'/' {
+                        (b as char).to_string()
+                    } else {
+                        format!("\\x{b:02x}")
+                    }
+                })
+                .collect();
+        }
+    }
+    let refs: Vec<&str> = rules.iter().map(|(p, _)| p.as_str()).collect();
+    let dfa = compile_set(&refs, CompileConfig::default())
+        .expect("generated rules always compile");
+    let spice = rules.into_iter().map(|(_, lit)| lit).collect();
+    (dfa, spice)
+}
+
+/// Family-flavoured rule generation: each rule is a regex pattern plus a
+/// literal byte string that matches it (for seeding the input generators).
+fn generate_rules(family: Family, rng: &mut StdRng) -> Vec<(String, Vec<u8>)> {
+    let n = family.keyword_count();
+    let mut rules = Vec::with_capacity(n);
+    match family {
+        Family::Snort => {
+            const TOKENS: &[&str] = &[
+                "attack", "exploit", "overflow", "shellcode", "passwd", "cmd", "admin",
+                "select", "union", "script", "eval", "payload", "root", "login",
+            ];
+            for i in 0..n {
+                let t = TOKENS[rng.random_range(0..TOKENS.len())];
+                let u = TOKENS[rng.random_range(0..TOKENS.len())];
+                match i % 5 {
+                    0 => {
+                        let r = format!("{t}{}", rng.random_range(0..100));
+                        rules.push((r.clone(), r.into_bytes()));
+                    }
+                    1 => {
+                        let r = format!("GET /{t}/{u}");
+                        rules.push((r.clone(), r.into_bytes()));
+                    }
+                    2 => rules.push((format!("{t}\\.(exe|php)"), format!("{t}.exe").into_bytes())),
+                    3 => {
+                        // A content rule with a bounded gap, Snort `distance`
+                        // style — these are what make NIDS DFAs large.
+                        let lit = format!("{t}=XX{u}");
+                        rules.push((format!("{t}=.{{2,4}}{u}"), lit.into_bytes()));
+                    }
+                    _ => rules.push((t.to_string(), t.as_bytes().to_vec())),
+                }
+            }
+        }
+        Family::ClamAV => {
+            // Hex byte-string signatures, ClamAV style.
+            for i in 0..n {
+                let len = rng.random_range(4..9);
+                let mut sig = String::new();
+                let mut literal = Vec::new();
+                for _ in 0..len {
+                    let b = rng.random_range(0x20..=0xff_u32) as u8;
+                    sig.push_str(&format!("\\x{b:02x}"));
+                    literal.push(b);
+                }
+                if i % 6 == 0 {
+                    // A wildcard skip byte, like ClamAV's `??`.
+                    let b = rng.random_range(0x20..=0xff_u32) as u8;
+                    sig.push('.');
+                    sig.push_str(&format!("\\x{b:02x}"));
+                    literal.push(b'?');
+                    literal.push(b);
+                }
+                rules.push((sig, literal));
+            }
+        }
+        Family::PowerEn => {
+            const STEMS: &[&str] = &["err", "warn", "fail", "pass", "time", "addr"];
+            for i in 0..n {
+                let s = STEMS[rng.random_range(0..STEMS.len())];
+                match i % 3 {
+                    0 => rules.push((format!("{s}(or|ing)?s?"), s.as_bytes().to_vec())),
+                    1 => {
+                        let lit = format!("123,45 {s}");
+                        rules.push((format!("[0-9]{{2,4}},[0-9]{{2}} {s}"), lit.into_bytes()));
+                    }
+                    _ => rules.push((s.to_string(), s.as_bytes().to_vec())),
+                }
+            }
+        }
+    }
+    rules
+}
+
+/// Trigger predicate for the family's counters (which bytes advance the
+/// mode): binary payload bytes for the network/binary families, digits for
+/// the text-trace family.
+pub fn family_trigger(family: Family) -> fn(u8) -> bool {
+    match family {
+        Family::Snort => |b| b >= 0x80,
+        Family::ClamAV => |b| b >= 0x80,
+        Family::PowerEn => |b| b.is_ascii_digit(),
+    }
+}
+
+/// Reset predicate (which bytes pin the counter) — newline for traffic, NUL
+/// padding for executables, comma for CSV-like traces.
+pub fn family_reset(family: Family) -> fn(u8) -> bool {
+    match family {
+        Family::Snort => |b| b == b'\n',
+        Family::ClamAV => |b| b == 0,
+        Family::PowerEn => |b| b == b',',
+    }
+}
+
+/// Letter pool for the slow-convergence tier's sliding-window machines —
+/// bytes common in every family's input streams, so windows keep churning.
+const WINDOW_POOL: &[u8] = b"aeiostnr l/d";
+
+/// Window-machine alphabet size per family (`W = size + 1` candidate states
+/// survive a 2-byte lookback; chosen so spec-4 covers well under half).
+fn window_alphabet(family: Family, rng: &mut StdRng) -> Vec<u8> {
+    let size = match family {
+        Family::Snort => 8,
+        Family::ClamAV => 7,
+        Family::PowerEn => 4,
+    };
+    // Rotate through the pool so different benchmarks get different letters.
+    let off = rng.random_range(0..WINDOW_POOL.len());
+    (0..size).map(|i| WINDOW_POOL[(off + i) % WINDOW_POOL.len()]).collect()
+}
+
+/// A built tier machine plus the metadata its input generator needs.
+#[derive(Clone, Debug)]
+pub struct TierMachine {
+    /// The compiled machine.
+    pub dfa: Dfa,
+    /// Literal tokens the input generators embed so rules actually fire.
+    pub spice: Vec<Vec<u8>>,
+    /// For window machines: the letter alphabet (drives `window_text`).
+    pub window_alphabet: Option<Vec<u8>>,
+    /// For window machines: probability mass on the four hot letters — the
+    /// knob that sets PM's effective spec-4 accuracy on this benchmark.
+    pub skew: f64,
+}
+
+/// Builds the tier machine for one benchmark.
+pub fn build_tier_dfa(family: Family, tier: Tier, rng: &mut StdRng) -> TierMachine {
+    match tier {
+        Tier::SpecKFriendly => {
+            // m = 3 keeps the whole candidate set (3 counter phases × the
+            // converged signature root, plus an occasional prefix state)
+            // inside spec-4's reach, and literal-only signatures keep chunk
+            // boundaries out of rule prefixes: enumerative speculation
+            // almost never misses, which is precisely the regime where PM
+            // wins.
+            let (kw, spice) = signature_dfa_with(family, rng, true);
+            let ctr = class_counter(3, family_trigger(family));
+            let dfa = product(&kw, &ctr, ProductAccept::First).expect("product fits");
+            TierMachine { dfa, spice, window_alphabet: None, skew: 0.0 }
+        }
+        Tier::SlowConvergence => {
+            // A sliding-window machine: total convergence after 3 symbols
+            // (end-state forwarding is always right) but W equally-likely
+            // lookback candidates (enumerative speculation misses most).
+            let alphabet = window_alphabet(family, rng);
+            let accept: Vec<u8> = (0..3).map(|_| alphabet[0]).collect();
+            let dfa = sliding_window_dfa(&alphabet, 3, &accept).expect("window fits");
+            let skew = 0.88 + 0.07 * rng.random::<f64>();
+            TierMachine { dfa, spice: vec![accept], window_alphabet: Some(alphabet), skew }
+        }
+        Tier::NonConvergent => {
+            let (kw, spice) = signature_dfa(family, rng);
+            let moduli = family.counter_moduli();
+            let m = rng.random_range(moduli.start..moduli.end);
+            let ctr = class_counter(m, family_trigger(family));
+            let dfa = product(&kw, &ctr, ProductAccept::First).expect("product fits");
+            TierMachine { dfa, spice, window_alphabet: None, skew: 0.0 }
+        }
+        Tier::InputSensitive => {
+            let (kw, spice) = signature_dfa(family, rng);
+            let moduli = family.counter_moduli();
+            let m = rng.random_range(moduli.start..moduli.end);
+            let ctr = reset_counter(m, family_trigger(family), family_reset(family));
+            let dfa = product(&kw, &ctr, ProductAccept::First).expect("product fits");
+            TierMachine { dfa, spice, window_alphabet: None, skew: 0.0 }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gspecpal_fsm::profile::unique_states_after;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn class_counter_counts_triggers() {
+        let d = class_counter(5, |b| b == b'!');
+        assert_eq!(d.run(b"a!b!!c"), 3);
+        assert_eq!(d.run(b"abc"), 0);
+        assert_eq!(d.run(b"!!!!!"), 0, "wraps mod 5");
+    }
+
+    #[test]
+    fn class_counter_never_converges() {
+        let d = class_counter(7, |b| b >= 0x80);
+        assert_eq!(unique_states_after(&d, &[0x90, 0x10, 0x85, 0x20]), 7);
+    }
+
+    #[test]
+    fn reset_counter_resets() {
+        let d = reset_counter(5, |b| b == b'!', |b| b == b'\n');
+        assert_eq!(d.run(b"!!\n!"), 1);
+        // A reset collapses all states at once.
+        assert_eq!(unique_states_after(&d, b"x\ny"), 1);
+        // Without resets it stays a permutation.
+        assert_eq!(unique_states_after(&d, b"x!y"), 5);
+    }
+
+    #[test]
+    fn signature_dfas_fire_on_spice() {
+        for family in Family::all() {
+            let (d, spice) = signature_dfa(family, &mut rng());
+            assert!(d.n_states() > 2, "{family}: {} states", d.n_states());
+            for s in spice.iter().take(3) {
+                let mut input = b"  ".to_vec();
+                input.extend_from_slice(s);
+                assert!(d.count_matches(&input) > 0, "{family}: spice {s:?} must match");
+            }
+        }
+    }
+
+    #[test]
+    fn tier_machines_build_for_all_families() {
+        for family in Family::all() {
+            for tier in [
+                Tier::SpecKFriendly,
+                Tier::SlowConvergence,
+                Tier::NonConvergent,
+                Tier::InputSensitive,
+            ] {
+                let d = build_tier_dfa(family, tier, &mut rng()).dfa;
+                assert!(d.n_states() >= 4, "{family}/{}: {} states", tier.name(), d.n_states());
+                // Every machine is total: a junk run never panics.
+                let junk: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+                let _ = d.run(&junk);
+            }
+        }
+    }
+
+    #[test]
+    fn speck_tier_queue_depth_at_most_4_on_quiet_windows() {
+        let d = build_tier_dfa(Family::Snort, Tier::SpecKFriendly, &mut rng()).dfa;
+        // A quiet ASCII window: the keyword component collapses to its root,
+        // leaving only the ≤4 counter phases.
+        let uniq = unique_states_after(&d, b"qu");
+        assert!(uniq <= 8, "uniq = {uniq}");
+    }
+
+    #[test]
+    fn nonconvergent_tier_is_a_deep_permutation() {
+        let d = build_tier_dfa(Family::PowerEn, Tier::NonConvergent, &mut rng()).dfa;
+        // Ten text bytes leave at least the counter modulus alive.
+        let uniq = unique_states_after(&d, b"ab 12 cd 3");
+        assert!(uniq >= 9, "uniq = {uniq}");
+    }
+
+    #[test]
+    fn slow_convergence_tier_collapses_over_ten_junk_bytes() {
+        let d = build_tier_dfa(Family::PowerEn, Tier::SlowConvergence, &mut rng()).dfa;
+        let uniq = unique_states_after(&d, b"ZZZZZZZZZZ");
+        assert!(uniq <= 4, "uniq = {uniq}");
+    }
+
+    #[test]
+    fn state_count_ordering_follows_table2() {
+        let mut r = rng();
+        let snort = build_tier_dfa(Family::Snort, Tier::NonConvergent, &mut r).dfa;
+        let clam = build_tier_dfa(Family::ClamAV, Tier::NonConvergent, &mut r).dfa;
+        let pen = build_tier_dfa(Family::PowerEn, Tier::NonConvergent, &mut r).dfa;
+        assert!(snort.n_states() > pen.n_states());
+        assert!(clam.n_states() > pen.n_states());
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the paper's Figure 1 example, end to end.
+//!
+//! Builds *div7* (accepts binary numbers divisible by 7), runs it through
+//! the GSpecPal framework on the simulated RTX 3090, and shows the scheme
+//! the selector picked, the verified answer, and the speedup over a
+//! sequential device run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gspecpal::{GSpecPal, SchemeConfig, SchemeKind};
+use gspecpal_fsm::examples::div7;
+use gspecpal_gpu::DeviceSpec;
+
+fn main() {
+    let dfa = div7();
+    println!("FSM: div7 — {} states, alphabet {} classes", dfa.n_states(), dfa.alphabet_len());
+
+    // A large binary number: pseudo-random bits, deterministic.
+    let mut x = 0x2545F4914F6CDD1Du64;
+    let input: Vec<u8> = (0..512 * 1024)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 1 == 1 {
+                b'1'
+            } else {
+                b'0'
+            }
+        })
+        .collect();
+
+    let device = DeviceSpec::rtx3090();
+    let framework = GSpecPal::new(device.clone())
+        .with_config(SchemeConfig { n_chunks: 256, ..SchemeConfig::default() });
+
+    // Let the decision tree pick a scheme and run it.
+    let report = framework.process(&dfa, &input);
+    println!(
+        "selector profile: spec-1 {:.1}%, spec-4 {:.1}%, 10-step unique states {:.1}",
+        report.profile.spec1_accuracy * 100.0,
+        report.profile.spec4_accuracy * 100.0,
+        report.profile.convergence.mean_unique_states,
+    );
+    println!("selected scheme: {} — {}", report.selected, report.reason);
+    println!(
+        "divisible by 7? {} (end state s{})",
+        if report.accepted() { "yes" } else { "no" },
+        report.end_state()
+    );
+
+    // Compare against the sequential reference on the same device.
+    let seq = framework.run_with(&dfa, &input, SchemeKind::Sequential);
+    assert_eq!(seq.end_state, report.end_state(), "speculation must be exact");
+    println!(
+        "simulated kernel time: {:.1} µs (sequential: {:.1} µs, {:.1}x speedup)",
+        report.outcome.total_us(&device),
+        seq.total_us(&device),
+        seq.total_cycles() as f64 / report.outcome.total_cycles() as f64,
+    );
+    println!(
+        "runtime speculation accuracy: {:.1}%, avg threads active in recovery: {:.1}",
+        report.outcome.runtime_accuracy() * 100.0,
+        report.outcome.avg_active_threads_during_recovery(),
+    );
+}

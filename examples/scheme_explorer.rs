@@ -1,0 +1,69 @@
+//! Scheme explorer: sweep schemes × chunk counts × spec-k on one benchmark.
+//!
+//! Useful for building intuition about the §III-C cost model: how the chunk
+//! count moves the verification floor, and how spec-k trades redundant
+//! execution (α_k, Fig 3) against recovery probability.
+//!
+//! ```text
+//! cargo run --release --example scheme_explorer [-- <FSM name, e.g. Snort6>]
+//! ```
+
+use gspecpal::{GSpecPal, SchemeConfig, SchemeKind};
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::build_suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Snort6".to_string());
+    let suite = build_suite(1);
+    let bench = suite
+        .iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| panic!("unknown FSM {name}; try Snort1..PowerEN12"));
+    let input = bench.generate_input(256 * 1024, 0);
+    println!(
+        "{} — tier {}, {} states, input {} KiB\n",
+        bench.name(),
+        bench.tier.name(),
+        bench.dfa.n_states(),
+        input.len() / 1024
+    );
+
+    let device = DeviceSpec::rtx3090();
+
+    // Sweep 1: chunk count (threads) per scheme.
+    println!("total cycles by chunk count:");
+    println!("{:<8} {:>12} {:>12} {:>12} {:>12}", "N", "PM", "SRE", "RR", "NF");
+    for n_chunks in [64usize, 128, 256, 512] {
+        let fw = GSpecPal::new(device.clone())
+            .with_config(SchemeConfig { n_chunks, ..SchemeConfig::default() });
+        let cycles = |s| fw.run_with(&bench.dfa, &input, s).total_cycles();
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12}",
+            n_chunks,
+            cycles(SchemeKind::Pm),
+            cycles(SchemeKind::Sre),
+            cycles(SchemeKind::Rr),
+            cycles(SchemeKind::Nf)
+        );
+    }
+
+    // Sweep 2: spec-k for PM (the Fig 3 trade-off, with recovery included).
+    println!("\nPM total cycles by k (redundancy vs. coverage):");
+    println!("{:<8} {:>12} {:>10}", "k", "cycles", "accuracy%");
+    for k in [1usize, 2, 4, 6, 8] {
+        let fw = GSpecPal::new(device.clone())
+            .with_config(SchemeConfig { spec_k: k, ..SchemeConfig::default() });
+        let o = fw.run_with(&bench.dfa, &input, SchemeKind::Pm);
+        println!("{:<8} {:>12} {:>10.1}", k, o.total_cycles(), o.runtime_accuracy() * 100.0);
+    }
+
+    // Sweep 3: the Fig 7 register budget for RR.
+    println!("\nRR total cycles by VR_others register budget:");
+    println!("{:<8} {:>12}", "R", "cycles");
+    for r in [4usize, 8, 12, 16, 20, 24] {
+        let fw = GSpecPal::new(device.clone())
+            .with_config(SchemeConfig { vr_others_registers: r, ..SchemeConfig::default() });
+        let o = fw.run_with(&bench.dfa, &input, SchemeKind::Rr);
+        println!("{:<8} {:>12}", r, o.total_cycles());
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the GSpecPal reproduction.
+//!
+//! Re-exports the public surface of every workspace crate so examples and
+//! integration tests can depend on a single package. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+#![warn(missing_docs)]
+
+pub use gspecpal as framework;
+pub use gspecpal_fsm as fsm;
+pub use gspecpal_gpu as gpu;
+pub use gspecpal_regex as regex;
+pub use gspecpal_workloads as workloads;

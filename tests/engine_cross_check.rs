@@ -1,0 +1,52 @@
+//! Three-way cross-validation on random machines: the simulated GPU
+//! schemes, the real-thread multicore engines, and the host reference must
+//! all produce identical verified results.
+
+use gspecpal::cpu::{run_speculative, run_speculative_rr, run_speculative_sre};
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_fsm::random::{random_dfa, random_input};
+use gspecpal_gpu::DeviceSpec;
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spawns real threads; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_and_multicore_engines_agree(
+        seed in 0u64..4_000,
+        n_states in 2u32..20,
+        input_len in 16usize..1200,
+        n_workers in 1usize..10,
+    ) {
+        let dfa = random_dfa(seed, n_states, 5);
+        let input = random_input(seed ^ 0xE, input_len);
+        let host_end = dfa.run(&input);
+
+        // Simulated device, all four GSpecPal schemes.
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&dfa, n_states);
+        let config = SchemeConfig {
+            n_chunks: n_workers.min(input_len),
+            ..SchemeConfig::default()
+        };
+        let job = Job::new(&spec, &table, &input, config).expect("valid");
+        for scheme in SchemeKind::gspecpal_schemes() {
+            prop_assert_eq!(run_scheme(scheme, &job).end_state, host_end, "{}", scheme);
+        }
+
+        // Real threads, all three multicore engines.
+        let naive = run_speculative(&dfa, &input, n_workers);
+        let sre = run_speculative_sre(&dfa, &input, n_workers);
+        let rr = run_speculative_rr(&dfa, &input, n_workers);
+        prop_assert_eq!(naive.end_state, host_end);
+        prop_assert_eq!(sre.end_state, host_end);
+        prop_assert_eq!(rr.end_state, host_end);
+
+        // Per-chunk agreement between the engines that share a partition.
+        prop_assert_eq!(&naive.chunk_ends, &sre.chunk_ends);
+        prop_assert_eq!(&naive.chunk_ends, &rr.chunk_ends);
+    }
+}

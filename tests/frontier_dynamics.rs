@@ -1,0 +1,91 @@
+//! The frontier trace makes the schemes' recovery dynamics directly
+//! observable: these tests pin the trajectories the paper's narrative
+//! describes.
+
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_fsm::combinators::sliding_window_dfa;
+use gspecpal_fsm::examples::ones_counter;
+use gspecpal_fsm::random::random_input;
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_workloads::inputs::window_text;
+
+fn trace(
+    dfa: &gspecpal_fsm::Dfa,
+    input: &[u8],
+    scheme: SchemeKind,
+    n_chunks: usize,
+) -> Vec<u32> {
+    let spec = DeviceSpec::rtx3090();
+    let table = DeviceTable::transformed(dfa, dfa.n_states());
+    let config = SchemeConfig { n_chunks, ..SchemeConfig::default() };
+    let job = Job::new(&spec, &table, input, config).unwrap();
+    let out = run_scheme(scheme, &job);
+    assert_eq!(out.end_state, dfa.run(input));
+    out.frontier_trace
+}
+
+fn bits(seed: u64, len: usize) -> Vec<u8> {
+    random_input(seed, len).into_iter().map(|b| if b & 1 == 1 { b'1' } else { b'0' }).collect()
+}
+
+#[test]
+fn frontier_is_monotone_and_complete() {
+    let d = ones_counter(9, &[0]);
+    let input = bits(5, 12_800);
+    for scheme in [SchemeKind::Naive, SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf]
+    {
+        let t = trace(&d, &input, scheme, 64);
+        assert!(!t.is_empty(), "{scheme}");
+        for w in t.windows(2) {
+            assert!(w[0] <= w[1], "{scheme}: frontier must be monotone: {t:?}");
+        }
+        assert_eq!(*t.last().unwrap(), 64, "{scheme}: frontier must reach N");
+    }
+}
+
+#[test]
+fn sre_crawls_where_nf_jumps() {
+    // On a permutation machine, SRE's frontier advances ~1 chunk per
+    // iteration; NF's seeded records let it jump. Fewer trace entries =
+    // fewer verification rounds = the whole Fig 8 story in one vector.
+    let d = ones_counter(11, &[0]);
+    let input = bits(6, 25_600);
+    let sre = trace(&d, &input, SchemeKind::Sre, 128);
+    let nf = trace(&d, &input, SchemeKind::Nf, 128);
+    // SRE needs a recovery round for nearly every chunk (2 rounds per
+    // iteration); NF's pre-seeded records skip most of them.
+    assert!(
+        nf.len() * 4 <= sre.len() * 3,
+        "NF rounds {} should be well below SRE's {}",
+        nf.len(),
+        sre.len()
+    );
+    // On a permutation machine every link's end value changes the round its
+    // chunk is verified, so chained multi-advance cannot fire: both walk one
+    // chunk per verify round, and the entire gap is recovery rounds.
+    let max_jump = |t: &[u32]| t.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+    assert_eq!(max_jump(&nf), 1);
+}
+
+#[test]
+fn convergent_machines_finish_in_a_handful_of_rounds() {
+    let d = sliding_window_dfa(b"aeiostn", 3, b"aaa").unwrap();
+    let input = window_text(7, 25_600, b"aeiostn", 0.9);
+    let t = trace(&d, &input, SchemeKind::Sre, 128);
+    // One speculative wave then chained multi-advance: a few rounds total,
+    // with the frontier leaping through long runs of stable matches.
+    assert!(t.len() < 16, "SRE on a convergent machine took {} rounds: {t:?}", t.len());
+    let max_jump = t.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+    assert!(max_jump > 16, "expected chained advances, max jump {max_jump}");
+}
+
+#[test]
+fn naive_walks_exactly_one_chunk_per_round() {
+    let d = ones_counter(9, &[0]);
+    let input = bits(8, 6400);
+    let t = trace(&d, &input, SchemeKind::Naive, 32);
+    let expected: Vec<u32> = (2..=32).collect();
+    assert_eq!(t, expected, "Algorithm 2's walker is strictly sequential");
+}

@@ -1,0 +1,99 @@
+//! Device-side match counting (the output function φ generalized to
+//! reporting): when `count_matches` is enabled, every scheme's verified
+//! match total must equal the host's `Dfa::count_matches` — including all
+//! the speculative paths and recoveries whose counts must be discarded or
+//! adopted along with their end states.
+
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_fsm::combinators::keyword_dfa;
+use gspecpal_fsm::random::{random_dfa, random_input};
+use gspecpal_gpu::DeviceSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_scheme_counts_matches_exactly(
+        seed in 0u64..8_000,
+        n_states in 2u32..24,
+        input_len in 1usize..1200,
+        n_chunks in 1usize..20,
+        spec_k in 1usize..5,
+    ) {
+        let dfa = random_dfa(seed, n_states, 6);
+        let input = random_input(seed ^ 0xC0, input_len);
+        let expected = dfa.count_matches(&input);
+        let spec = DeviceSpec::test_unit();
+        let table = DeviceTable::transformed(&dfa, n_states);
+        let config = SchemeConfig {
+            n_chunks: n_chunks.min(input_len),
+            spec_k,
+            count_matches: true,
+            ..SchemeConfig::default()
+        };
+        let job = Job::new(&spec, &table, &input, config).expect("valid");
+        for scheme in SchemeKind::all() {
+            let out = run_scheme(scheme, &job);
+            prop_assert_eq!(
+                out.match_count,
+                Some(expected),
+                "{} must count {} matches", scheme, expected
+            );
+        }
+    }
+}
+
+#[test]
+fn counting_is_off_by_default() {
+    let dfa = random_dfa(1, 8, 4);
+    let input = random_input(2, 256);
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&dfa, 8);
+    let job = Job::new(&spec, &table, &input, SchemeConfig::with_chunks(8)).unwrap();
+    let out = run_scheme(SchemeKind::Rr, &job);
+    assert_eq!(out.match_count, None);
+}
+
+#[test]
+fn counting_costs_extra_alu_work() {
+    let dfa = random_dfa(3, 8, 4);
+    let input = random_input(4, 2048);
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&dfa, 8);
+    let base_cfg = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+    let count_cfg = SchemeConfig { count_matches: true, ..base_cfg };
+    let base = run_scheme(
+        SchemeKind::Sequential,
+        &Job::new(&spec, &table, &input, base_cfg).unwrap(),
+    );
+    let counted = run_scheme(
+        SchemeKind::Sequential,
+        &Job::new(&spec, &table, &input, count_cfg).unwrap(),
+    );
+    assert!(counted.execute.alu_ops > base.execute.alu_ops);
+    assert_eq!(base.end_state, counted.end_state);
+}
+
+#[test]
+fn keyword_scan_counts_real_hits() {
+    // An end-to-end check with a meaningful workload: overlapping keywords
+    // counted per end position.
+    let dfa = keyword_dfa(&[b"abab", b"ba"]).unwrap();
+    let mut input = b"xabababx".repeat(60);
+    input.extend_from_slice(b"ba");
+    let expected = dfa.count_matches(&input);
+    assert!(expected > 0);
+
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&dfa, dfa.n_states());
+    let config =
+        SchemeConfig { n_chunks: 16, count_matches: true, ..SchemeConfig::default() };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    for scheme in [SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf] {
+        let out = run_scheme(scheme, &job);
+        assert_eq!(out.match_count, Some(expected), "{scheme}");
+    }
+}

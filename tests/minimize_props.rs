@@ -1,0 +1,136 @@
+//! Property tests for the FSM substrate: minimization, determinization,
+//! combinators, and transformation on randomized machines.
+
+use gspecpal_fsm::combinators::{complement, intersection, product, union, ProductAccept};
+use gspecpal_fsm::equivalence::equivalent;
+use gspecpal_fsm::minimize::{minimize, reachable_states};
+use gspecpal_fsm::random::{random_dfa, random_input};
+use gspecpal_fsm::{FrequencyProfile, TransformedDfa};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn minimize_preserves_language_exactly(
+        seed in 0u64..20_000,
+        n_states in 1u32..40,
+        n_classes in 1u16..8,
+    ) {
+        let d = random_dfa(seed, n_states, n_classes);
+        let m = minimize(&d);
+        prop_assert!(m.n_states() <= d.n_states());
+        // Exact language equivalence, not sampling.
+        prop_assert!(equivalent(&d, &m).is_equal());
+    }
+
+    #[test]
+    fn minimize_reaches_a_true_minimum(
+        seed in 0u64..5_000,
+        n_states in 1u32..24,
+    ) {
+        // No strictly smaller equivalent machine can exist: any machine with
+        // fewer states than the minimized one must differ in language.
+        let d = random_dfa(seed, n_states, 4);
+        let m = minimize(&d);
+        let m2 = minimize(&m);
+        prop_assert_eq!(m.n_states(), m2.n_states());
+        prop_assert!(equivalent(&m, &m2).is_equal());
+    }
+
+    #[test]
+    fn minimize_is_idempotent(
+        seed in 0u64..20_000,
+        n_states in 1u32..40,
+    ) {
+        let d = random_dfa(seed, n_states, 5);
+        let m1 = minimize(&d);
+        let m2 = minimize(&m1);
+        prop_assert_eq!(m1.n_states(), m2.n_states());
+    }
+
+    #[test]
+    fn minimized_machine_has_only_reachable_states(
+        seed in 0u64..10_000,
+        n_states in 1u32..40,
+    ) {
+        let d = random_dfa(seed, n_states, 4);
+        let m = minimize(&d);
+        prop_assert_eq!(reachable_states(&m).len(), m.n_states() as usize);
+    }
+
+    #[test]
+    fn double_complement_is_identity_on_language(
+        seed in 0u64..10_000,
+        n_states in 1u32..30,
+    ) {
+        let d = random_dfa(seed, n_states, 4);
+        let cc = complement(&complement(&d));
+        let input = random_input(seed ^ 0x10, 64);
+        prop_assert_eq!(d.accepts(&input), cc.accepts(&input));
+    }
+
+    #[test]
+    fn de_morgan_on_products(
+        seed in 0u64..5_000,
+    ) {
+        // ¬(A ∧ B) ≡ ¬A ∨ ¬B, decided exactly through the product
+        // combinators and the equivalence checker.
+        let a = random_dfa(seed, 8, 4);
+        let b = random_dfa(seed ^ 1, 6, 4);
+        let lhs = complement(&intersection(&a, &b).unwrap());
+        let rhs = union(&complement(&a), &complement(&b)).unwrap();
+        prop_assert!(equivalent(&lhs, &rhs).is_equal());
+    }
+
+    #[test]
+    fn product_first_projects(
+        seed in 0u64..5_000,
+        input_len in 0usize..80,
+    ) {
+        let a = random_dfa(seed, 8, 4);
+        let b = random_dfa(seed ^ 3, 5, 4);
+        let p = product(&a, &b, ProductAccept::First).unwrap();
+        let input = random_input(seed ^ 4, input_len);
+        prop_assert_eq!(p.accepts(&input), a.accepts(&input));
+    }
+
+    #[test]
+    fn transformation_commutes_with_execution(
+        seed in 0u64..10_000,
+        n_states in 1u32..30,
+        train_len in 0usize..200,
+        input_len in 0usize..200,
+    ) {
+        let d = random_dfa(seed, n_states, 6);
+        let training = random_input(seed ^ 0x20, train_len);
+        let profile = FrequencyProfile::collect(&d, &training);
+        let t = TransformedDfa::from_profile(&d, &profile);
+        let input = random_input(seed ^ 0x21, input_len);
+        // to_original ∘ run_transformed == run_original, from any state.
+        for s in 0..n_states.min(5) {
+            let orig_end = d.run_from(s, &input);
+            let trans_end = t.dfa().run_from(t.to_transformed(s), &input);
+            prop_assert_eq!(t.to_original(trans_end), orig_end);
+        }
+    }
+
+    #[test]
+    fn hot_ranking_is_visit_ordered(
+        seed in 0u64..5_000,
+        train_len in 1usize..400,
+    ) {
+        let d = random_dfa(seed, 12, 4);
+        let training = random_input(seed ^ 0x30, train_len);
+        let profile = FrequencyProfile::collect(&d, &training);
+        let t = TransformedDfa::from_profile(&d, &profile);
+        // Transformed id order must be non-increasing in visit counts.
+        let mut last = u64::MAX;
+        for rank in 0..12u32 {
+            let orig = t.to_original(rank);
+            let v = profile.visits(orig);
+            prop_assert!(v <= last);
+            last = v;
+        }
+    }
+}

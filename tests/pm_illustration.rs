@@ -1,0 +1,73 @@
+//! The paper's Figure 2: Parallel Merge running div7 with two speculative
+//! paths per thread, intra/inter-warp verification, and delayed recovery.
+
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal::{SchemeConfig, SchemeKind};
+use gspecpal_fsm::examples::div7;
+use gspecpal_gpu::DeviceSpec;
+
+fn pm_outcome(input: &[u8], k: usize, n_chunks: usize) -> gspecpal::RunOutcome {
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let config = SchemeConfig { n_chunks, spec_k: k, ..SchemeConfig::default() };
+    let job = Job::new(&spec, &table, input, config).unwrap();
+    run_scheme(SchemeKind::Pm, &job)
+}
+
+#[test]
+fn spec2_maintains_two_paths_per_thread() {
+    // Fig 2 runs each thread from two speculative states. The execution
+    // phase must do roughly twice the table work of spec-1 while sharing
+    // input loads.
+    let input: Vec<u8> = b"10110101".repeat(64);
+    let one = pm_outcome(&input, 1, 8);
+    let two = pm_outcome(&input, 2, 8);
+    assert_eq!(one.end_state, two.end_state);
+    assert!(two.execute.shared_accesses > one.execute.shared_accesses);
+    assert_eq!(
+        two.execute.global_transactions, one.execute.global_transactions,
+        "the input stream is read once per step regardless of k"
+    );
+}
+
+#[test]
+fn mismatched_paths_are_recovered_delayed_and_sequentially() {
+    // div7's queue holds all seven residues; spec-2 covers the truth only
+    // when it ranks in the top two. Misses surface as must-be-done
+    // recoveries in the sequential stage — executed one thread at a time
+    // (the bottleneck motivating this paper).
+    let input: Vec<u8> = b"110101011001011".repeat(40);
+    let out = pm_outcome(&input, 2, 16);
+    assert_eq!(out.end_state, div7().run(&input));
+    assert!(out.recovery_runs() > 0, "spec-2 cannot cover all residues");
+    assert!(
+        (out.avg_active_threads_during_recovery() - 1.0).abs() < 1e-12,
+        "PM recovery is sequential"
+    );
+}
+
+#[test]
+fn merge_rounds_scale_logarithmically() {
+    // The tree-like verification runs ceil(log2 N) rounds.
+    let input: Vec<u8> = b"1011".repeat(256);
+    for (n, expected_merge_rounds) in [(4usize, 2u64), (16, 4), (64, 6)] {
+        let out = pm_outcome(&input, 7, n); // k=7 covers everything: no recovery
+        assert_eq!(out.recovery_runs(), 0, "N={n}");
+        assert_eq!(out.verify.rounds, expected_merge_rounds, "N={n}");
+    }
+}
+
+#[test]
+fn wider_speculation_trades_execution_for_recovery() {
+    let input: Vec<u8> = b"1101010110010111".repeat(64);
+    let k2 = pm_outcome(&input, 2, 16);
+    let k7 = pm_outcome(&input, 7, 16);
+    // k=7 covers all residues: recovery disappears...
+    assert!(k2.recovery_runs() > 0);
+    assert_eq!(k7.recovery_runs(), 0);
+    // ...at the price of more speculative execution (the α_k factor).
+    assert!(k7.execute.cycles > k2.execute.cycles);
+    assert_eq!(k2.end_state, k7.end_state);
+}

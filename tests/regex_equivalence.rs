@@ -1,0 +1,161 @@
+//! Cross-validation of the regex compiler: compiled DFAs agree with direct
+//! NFA simulation and with brute-force search semantics on randomized
+//! pattern/input pairs.
+
+use gspecpal_fsm::minimize::minimize;
+use gspecpal_fsm::subset::determinize;
+use gspecpal_regex::thompson::ThompsonCompiler;
+use gspecpal_regex::{compile, compile_set, parse, CompileConfig, MatchSemantics};
+use proptest::prelude::*;
+
+/// A strategy producing simple-but-varied regex strings from a safe grammar.
+fn regex_strategy() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        "[a-d]",                               // literal-ish class
+        Just(".".to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("cd".to_string()),
+        Just("[^a]".to_string()),
+        Just(r"\d".to_string()),
+    ];
+    let unit = (atom, prop_oneof![Just(""), Just("*"), Just("+"), Just("?"), Just("{1,3}")])
+        .prop_map(|(a, r)| {
+            if r.is_empty() || a.len() == 1 || a.starts_with('[') || a.starts_with('\\') {
+                format!("{a}{r}")
+            } else {
+                format!("({a}){r}")
+            }
+        });
+    prop::collection::vec(unit, 1..4).prop_map(|units| units.join(""))
+}
+
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'd'), Just(b'1'), Just(b'z')],
+        0..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn anchored_dfa_agrees_with_nfa_simulation(
+        pattern in regex_strategy(),
+        input in input_strategy(),
+    ) {
+        let ast = parse(&pattern).expect("grammar emits valid patterns");
+        let nfa = ThompsonCompiler::new().compile(std::slice::from_ref(&ast), false);
+        let dfa = compile(
+            &pattern,
+            CompileConfig { semantics: MatchSemantics::Anchored, ..Default::default() },
+        )
+        .expect("compiles");
+        prop_assert_eq!(nfa.accepts(&input), dfa.accepts(&input), "pattern {}", pattern);
+    }
+
+    #[test]
+    fn search_dfa_matches_bruteforce_windows(
+        pattern in regex_strategy(),
+        input in input_strategy(),
+    ) {
+        let anchored = compile(
+            &pattern,
+            CompileConfig { semantics: MatchSemantics::Anchored, ..Default::default() },
+        )
+        .expect("compiles");
+        let search = compile(&pattern, CompileConfig::default()).expect("compiles");
+        // The search DFA accepts after position i iff some window ending at
+        // i — including the empty window, since patterns like `a*` contain
+        // ε — is in the anchored language.
+        let matches_empty = anchored.accepts(b"");
+        let mut s = search.start();
+        for i in 0..input.len() {
+            s = search.next(s, input[i]);
+            let brute = matches_empty || (0..=i).any(|j| anchored.accepts(&input[j..=i]));
+            prop_assert_eq!(
+                search.is_accepting(s),
+                brute,
+                "pattern {} at position {}", pattern, i
+            );
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_search_language(
+        pattern in regex_strategy(),
+        input in input_strategy(),
+    ) {
+        let raw = compile(
+            &pattern,
+            CompileConfig { minimize: false, ..Default::default() },
+        )
+        .expect("compiles");
+        let min = minimize(&raw);
+        prop_assert!(min.n_states() <= raw.n_states());
+        prop_assert!(
+            gspecpal_fsm::equivalence::equivalent(&raw, &min).is_equal(),
+            "pattern {}", pattern
+        );
+        prop_assert_eq!(raw.count_matches(&input), min.count_matches(&input));
+    }
+
+    #[test]
+    fn determinize_then_minimize_is_idempotent(
+        pattern in regex_strategy(),
+    ) {
+        let ast = parse(&pattern).expect("valid");
+        let nfa = ThompsonCompiler::new().compile(std::slice::from_ref(&ast), true);
+        let dfa = determinize(&nfa).expect("fits");
+        let m1 = minimize(&dfa);
+        let m2 = minimize(&m1);
+        prop_assert_eq!(m1.n_states(), m2.n_states(), "pattern {}", pattern);
+    }
+
+    #[test]
+    fn pretty_printer_round_trips(
+        pattern in regex_strategy(),
+    ) {
+        // parse -> print -> parse -> compile must give the same language as
+        // the original compile (checked exactly via DFA equivalence).
+        let ast = parse(&pattern).expect("valid");
+        let printed = ast.to_pattern();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed pattern {printed:?} fails to parse: {e}"));
+        let d1 = compile(&pattern, CompileConfig::default()).expect("compiles");
+        let d2 = gspecpal_regex::compile_asts(
+            std::slice::from_ref(&reparsed),
+            CompileConfig::default(),
+        )
+        .expect("compiles");
+        prop_assert!(
+            gspecpal_fsm::equivalence::equivalent(&d1, &d2).is_equal(),
+            "pattern {} printed as {}", pattern, printed
+        );
+    }
+
+    #[test]
+    fn disjunction_equals_union_of_matches(
+        p1 in regex_strategy(),
+        p2 in regex_strategy(),
+        input in input_strategy(),
+    ) {
+        let d1 = compile(&p1, CompileConfig::default()).expect("compiles");
+        let d2 = compile(&p2, CompileConfig::default()).expect("compiles");
+        let both = compile_set(&[p1.as_str(), p2.as_str()], CompileConfig::default())
+            .expect("compiles");
+        // At every position: the set machine accepts iff either accepts.
+        let (mut s1, mut s2, mut sb) = (d1.start(), d2.start(), both.start());
+        for (i, &b) in input.iter().enumerate() {
+            s1 = d1.next(s1, b);
+            s2 = d2.next(s2, b);
+            sb = both.next(sb, b);
+            prop_assert_eq!(
+                both.is_accepting(sb),
+                d1.is_accepting(s1) || d2.is_accepting(s2),
+                "{} | {} at {}", p1, p2, i
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Robustness: no input should ever panic the parser, the determinizer, or
+//! the schemes — errors must surface as `Result`s, not crashes.
+
+use gspecpal_fsm::nfa::NfaBuilder;
+use gspecpal_fsm::random::random_input;
+use gspecpal_fsm::subset::determinize;
+use gspecpal_regex::{compile, parse, CompileConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII never panics the parser (it may error).
+    #[test]
+    fn parser_never_panics(pattern in "[ -~]{0,24}") {
+        let _ = parse(&pattern);
+    }
+
+    /// Arbitrary ASCII never panics the full compilation pipeline either;
+    /// successful compiles yield machines that can scan arbitrary bytes.
+    #[test]
+    fn compiler_never_panics(
+        pattern in "[ -~]{0,16}",
+        probe_seed in 0u64..1000,
+    ) {
+        let cfg = CompileConfig { state_limit: 10_000, ..Default::default() };
+        if let Ok(dfa) = compile(&pattern, cfg) {
+            let probe = random_input(probe_seed, 64);
+            let _ = dfa.run(&probe);
+            let _ = dfa.count_matches(&probe);
+        }
+    }
+
+    /// Random NFAs determinize into DFAs that agree with direct simulation.
+    #[test]
+    fn random_nfa_determinizes_faithfully(
+        seed in 0u64..5_000,
+        n_states in 1u32..12,
+        n_edges in 0u32..30,
+        n_eps in 0u32..8,
+        input_len in 0usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = NfaBuilder::new();
+        for _ in 0..n_states {
+            b.add_state(rng.random_range(0..4u8) == 0);
+        }
+        for _ in 0..n_edges {
+            let from = rng.random_range(0..n_states);
+            let to = rng.random_range(0..n_states);
+            let lo: u8 = rng.random_range(b'a'..=b'e');
+            let hi: u8 = rng.random_range(lo..=b'f');
+            b.add_range(from, lo, hi, to);
+        }
+        for _ in 0..n_eps {
+            let from = rng.random_range(0..n_states);
+            let to = rng.random_range(0..n_states);
+            b.add_epsilon(from, to);
+        }
+        let nfa = b.build(0);
+        let dfa = determinize(&nfa).expect("small NFA fits any budget");
+        // Agreement on random probes over the active alphabet.
+        let probe: Vec<u8> = (0..input_len)
+            .map(|_| rng.random_range(b'a'..=b'g'))
+            .collect();
+        for end in 0..=probe.len() {
+            prop_assert_eq!(
+                nfa.accepts(&probe[..end]),
+                dfa.accepts(&probe[..end]),
+                "prefix length {}", end
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's Figure 4: frequency-based DFA transformation on the 4-state
+//! comment-recognizer machine, plus its interaction with the device table.
+
+use gspecpal::table::{DeviceTable, TableLayout};
+use gspecpal_fsm::examples::fig4_dfa;
+use gspecpal_fsm::{FrequencyProfile, TransformedDfa};
+use gspecpal_gpu::DeviceSpec;
+
+/// A training input on which S0/S1 (outside comments, after slash) dominate,
+/// matching the frequency column of Figure 4(a).
+fn fig4_training() -> &'static [u8] {
+    b"int x = a / b; // average\nint y = c / d; /* note */ done"
+}
+
+#[test]
+fn hot_states_get_the_low_ids() {
+    let d = fig4_dfa();
+    let profile = FrequencyProfile::collect(&d, fig4_training());
+    let t = TransformedDfa::from_profile(&d, &profile);
+    // The two most-visited original states occupy transformed ids 0 and 1 —
+    // the shadowed hot rows of Figure 4(b).
+    let ranked = profile.ranked_states();
+    assert_eq!(t.to_transformed(ranked[0]), 0);
+    assert_eq!(t.to_transformed(ranked[1]), 1);
+    assert_eq!(t.to_transformed(ranked[2]), 2);
+    assert_eq!(t.to_transformed(ranked[3]), 3);
+}
+
+#[test]
+fn mapping_rules_preserve_semantics() {
+    let d = fig4_dfa();
+    let profile = FrequencyProfile::collect(&d, fig4_training());
+    let t = TransformedDfa::from_profile(&d, &profile);
+    for input in [
+        &b"/* comment */ code"[..],
+        b"///*//*/",
+        b"no comments here",
+        b"/*unterminated",
+        b"",
+        b"a/*b*/c/*d*/e",
+    ] {
+        // Running the transformed machine and mapping back equals running
+        // the original — the Figure 4(b) state-mapping rules.
+        assert_eq!(t.to_original(t.dfa().run(input)), d.run(input), "{input:?}");
+        assert_eq!(t.dfa().accepts(input), d.accepts(input), "{input:?}");
+    }
+}
+
+#[test]
+fn hot_test_replaces_hash_lookup() {
+    // With 2 of 4 rows resident, the transformed layout answers "cached?"
+    // with the single comparison `state < 2`; the hashed layout needs a
+    // probe. Per-step shared-access counts expose the difference.
+    let d = fig4_dfa();
+    let profile = FrequencyProfile::collect(&d, fig4_training());
+    let t = TransformedDfa::from_profile(&d, &profile);
+
+    assert!(TransformedDfa::is_hot(0, 2));
+    assert!(TransformedDfa::is_hot(1, 2));
+    assert!(!TransformedDfa::is_hot(2, 2));
+    assert!(!TransformedDfa::is_hot(3, 2));
+
+    // Device cost comparison over the same stream.
+    use gspecpal::schemes::{run_scheme, Job};
+    use gspecpal::{SchemeConfig, SchemeKind};
+    let spec = DeviceSpec::test_unit();
+    let input = fig4_training().repeat(40);
+    let config = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
+
+    let transformed_table = DeviceTable::transformed(t.dfa(), 2);
+    let job = Job::new(&spec, &transformed_table, &input, config).unwrap();
+    let fast = run_scheme(SchemeKind::Sequential, &job);
+
+    let hashed_table = DeviceTable::hashed(&d, &profile, 2);
+    let job = Job::new(&spec, &hashed_table, &input, config).unwrap();
+    let slow = run_scheme(SchemeKind::Sequential, &job);
+
+    assert_eq!(t.to_original(fast.end_state), slow.end_state, "same answer");
+    assert!(
+        slow.execute.shared_accesses > fast.execute.shared_accesses,
+        "hash probes cost extra shared accesses: {} vs {}",
+        slow.execute.shared_accesses,
+        fast.execute.shared_accesses
+    );
+    assert!(slow.total_cycles() > fast.total_cycles());
+}
+
+#[test]
+fn budget_rule_promotes_highest_frequencies_first() {
+    let d = fig4_dfa();
+    let profile = FrequencyProfile::collect(&d, fig4_training());
+    let t = TransformedDfa::from_profile(&d, &profile);
+    let row_bytes = d.stride() * 4;
+    assert_eq!(t.hot_rows_for_budget(2 * row_bytes), 2);
+    assert_eq!(t.hot_rows_for_budget(100 * row_bytes), 4, "capped at |Q|");
+    // Coverage grows with every promoted row.
+    assert!(profile.hot_coverage(1) < profile.hot_coverage(2));
+    assert!(profile.hot_coverage(2) <= profile.hot_coverage(4));
+}
+
+#[test]
+fn layouts_agree_under_every_scheme() {
+    use gspecpal::{GSpecPal, SchemeConfig, SchemeKind};
+    let d = fig4_dfa();
+    let input = fig4_training().repeat(100);
+    let config = SchemeConfig { n_chunks: 16, ..SchemeConfig::default() };
+    let fw_t = GSpecPal::new(DeviceSpec::test_unit()).with_config(config);
+    let fw_h = GSpecPal::new(DeviceSpec::test_unit())
+        .with_config(config)
+        .with_layout(TableLayout::Hashed);
+    for scheme in SchemeKind::gspecpal_schemes() {
+        let a = fw_t.run_with(&d, &input, scheme);
+        let b = fw_h.run_with(&d, &input, scheme);
+        assert_eq!(a.end_state, b.end_state, "{scheme}");
+        assert_eq!(a.accepted, b.accepted, "{scheme}");
+    }
+}
