@@ -13,10 +13,7 @@ use gspecpal_workloads::{build_suite, Tier};
 fn bench_ablation(c: &mut Criterion) {
     let suite = build_suite(1);
     let spec = DeviceSpec::rtx3090();
-    let b = suite
-        .iter()
-        .find(|b| b.tier == Tier::NonConvergent)
-        .expect("deep-spec benchmark");
+    let b = suite.iter().find(|b| b.tier == Tier::NonConvergent).expect("deep-spec benchmark");
     let input = b.generate_input(32 * 1024, 0);
     let training = &input[..2048];
     let profile = FrequencyProfile::collect(&b.dfa, training);

@@ -13,16 +13,15 @@ fn bench_fig8(c: &mut Criterion) {
     let spec = DeviceSpec::rtx3090();
     let mut group = c.benchmark_group("fig8_schemes");
     group.sample_size(10);
-    for tier in [
-        Tier::SpecKFriendly,
-        Tier::SlowConvergence,
-        Tier::NonConvergent,
-        Tier::InputSensitive,
-    ] {
+    for tier in
+        [Tier::SpecKFriendly, Tier::SlowConvergence, Tier::NonConvergent, Tier::InputSensitive]
+    {
         let b = suite.iter().find(|b| b.tier == tier).expect("tier present");
-        let input = b.generate_input(32 * 1024, 0);
+        // Grid scale: 8192 chunks fill 8 blocks of 1024 threads on the
+        // RTX 3090 spec, so block simulation spreads across host cores.
+        let input = b.generate_input(512 * 1024, 0);
         let table = DeviceTable::transformed(&b.dfa, b.dfa.n_states());
-        let config = SchemeConfig { n_chunks: 64, ..SchemeConfig::default() };
+        let config = SchemeConfig { n_chunks: 8192, ..SchemeConfig::default() };
         let job = Job::new(&spec, &table, &input, config).expect("valid job");
         for scheme in SchemeKind::gspecpal_schemes() {
             group.bench_with_input(

@@ -8,9 +8,9 @@
 //! `fig9`, `ablation`, `selector`, or `all` (default).
 
 use gspecpal_bench::{
-    run_ablation, run_budget_ablation, run_fig3, run_fig7, run_fig8, run_fig9,
-    run_cpu_scaling, run_device_sensitivity, run_model_validation, run_motivation, run_table2,
-    run_table3, ExperimentConfig,
+    run_ablation, run_budget_ablation, run_cpu_scaling, run_device_sensitivity, run_fig3, run_fig7,
+    run_fig8, run_fig9, run_model_validation, run_motivation, run_table2, run_table3,
+    ExperimentConfig,
 };
 
 fn main() {
@@ -24,8 +24,7 @@ fn main() {
         match args[i].as_str() {
             "--input-kb" => {
                 i += 1;
-                cfg.input_len = args[i].parse::<usize>().expect("--input-kb takes a number")
-                    * 1024;
+                cfg.input_len = args[i].parse::<usize>().expect("--input-kb takes a number") * 1024;
             }
             "--seed" => {
                 i += 1;

@@ -31,8 +31,9 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
 impl Fig3Report {
     /// CSV rendering: one row per family, one column per k.
     pub fn to_csv(&self) -> String {
-        let header: Vec<String> =
-            std::iter::once("family".to_string()).chain(self.ks.iter().map(|k| format!("spec_{k}"))).collect();
+        let header: Vec<String> = std::iter::once("family".to_string())
+            .chain(self.ks.iter().map(|k| format!("spec_{k}")))
+            .collect();
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let rows: Vec<Vec<String>> = self
             .per_family
@@ -67,8 +68,15 @@ impl Table2Report {
             .collect();
         to_csv(
             &[
-                "family", "states_min", "states_max", "states_mean", "spec1_mean_pct",
-                "spec4_mean_pct", "input_sensitive", "uniq10_mean", "profiling_s",
+                "family",
+                "states_min",
+                "states_max",
+                "states_mean",
+                "spec1_mean_pct",
+                "spec4_mean_pct",
+                "input_sensitive",
+                "uniq10_mean",
+                "profiling_s",
             ],
             &rows,
         )
@@ -117,8 +125,17 @@ impl Fig8Report {
             .collect();
         to_csv(
             &[
-                "fsm", "tier", "pm_cycles", "sre_cycles", "rr_cycles", "nf_cycles",
-                "sre_speedup", "rr_speedup", "nf_speedup", "selected", "selected_speedup",
+                "fsm",
+                "tier",
+                "pm_cycles",
+                "sre_cycles",
+                "rr_cycles",
+                "nf_cycles",
+                "sre_speedup",
+                "rr_speedup",
+                "nf_speedup",
+                "selected",
+                "selected_speedup",
             ],
             &rows,
         )
@@ -144,8 +161,16 @@ impl Table3Report {
             .collect();
         to_csv(
             &[
-                "snort", "tier", "pm_acc_pct", "sre_acc_pct", "rr_acc_pct", "nf_acc_pct",
-                "pm_active", "sre_active", "rr_active", "nf_active",
+                "snort",
+                "tier",
+                "pm_acc_pct",
+                "sre_acc_pct",
+                "rr_acc_pct",
+                "nf_acc_pct",
+                "pm_active",
+                "sre_active",
+                "rr_active",
+                "nf_active",
             ],
             &rows,
         )
@@ -167,11 +192,8 @@ impl Fig9Report {
 impl AblationReport {
     /// CSV rendering.
     pub fn to_csv(&self) -> String {
-        let rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|(n, r)| vec![n.clone(), format!("{r:.4}")])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|(n, r)| vec![n.clone(), format!("{r:.4}")]).collect();
         to_csv(&["fsm", "hashed_over_transformed"], &rows)
     }
 }
@@ -189,10 +211,8 @@ mod tests {
 
     #[test]
     fn csv_shape() {
-        let text = to_csv(
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()], vec!["3".into(), "4,5".into()]],
-        );
+        let text =
+            to_csv(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4,5".into()]]);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines, vec!["a,b", "1,2", "3,\"4,5\""]);
     }

@@ -199,8 +199,10 @@ pub fn run_table2(cfg: &ExperimentConfig) -> Table2Report {
             prof_time += p.profiling_seconds;
         }
         let rng = |v: &[f64]| {
-            (v.iter().cloned().fold(f64::INFINITY, f64::min),
-             v.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            (
+                v.iter().cloned().fold(f64::INFINITY, f64::min),
+                v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            )
         };
         let (s_lo, s_hi) = rng(&states);
         let (a1_lo, a1_hi) = rng(&spec1);
@@ -227,8 +229,17 @@ impl Table2Report {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let header: Vec<String> = [
-            "Source", "#States range", "mean", "spec-1 range %", "mean %", "spec-4 range %",
-            "mean %", "#input-sens.", "#uniq(10) range", "mean", "Profiling (s)",
+            "Source",
+            "#States range",
+            "mean",
+            "spec-1 range %",
+            "mean %",
+            "spec-4 range %",
+            "mean %",
+            "#input-sens.",
+            "#uniq(10) range",
+            "mean",
+            "Profiling (s)",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -413,11 +424,10 @@ impl Fig8Report {
 
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
-        let header: Vec<String> =
-            ["FSM", "tier", "SRE", "RR", "NF", "Selected", "Sel.speedup"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let header: Vec<String> = ["FSM", "tier", "SRE", "RR", "NF", "Selected", "Sel.speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -562,8 +572,7 @@ pub fn run_fig7(cfg: &ExperimentConfig) -> Fig7Report {
         let mut sums = vec![0.0; registers.len()];
         let mut count = 0usize;
         for b in suite.iter().filter(|b| {
-            b.family == family
-                && matches!(b.tier, Tier::NonConvergent | Tier::InputSensitive)
+            b.family == family && matches!(b.tier, Tier::NonConvergent | Tier::InputSensitive)
         }) {
             let input = b.generate_input(cfg.input_len, 0);
             let mut cycles = Vec::with_capacity(registers.len());
@@ -588,11 +597,7 @@ pub fn run_fig7(cfg: &ExperimentConfig) -> Fig7Report {
 impl Fig7Report {
     /// The register count with the lowest mean time for `family`.
     pub fn best_registers(&self, family: Family) -> usize {
-        let (_, v) = self
-            .per_family
-            .iter()
-            .find(|(f, _)| *f == family)
-            .expect("family present");
+        let (_, v) = self.per_family.iter().find(|(f, _)| *f == family).expect("family present");
         let mut best = 0;
         for i in 1..v.len() {
             if v[i] < v[best] {
@@ -646,8 +651,7 @@ pub fn run_fig9(cfg: &ExperimentConfig) -> Fig9Report {
         let picks: Vec<&Benchmark> = suite
             .iter()
             .filter(|b| {
-                b.family == family
-                    && matches!(b.tier, Tier::NonConvergent | Tier::InputSensitive)
+                b.family == family && matches!(b.tier, Tier::NonConvergent | Tier::InputSensitive)
             })
             .take(4)
             .collect();
@@ -679,11 +683,8 @@ impl Fig9Report {
     pub fn render(&self) -> String {
         let header: Vec<String> =
             ["FSM", "RR / SRE", "NF / SRE"].iter().map(|s| s.to_string()).collect();
-        let rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|(n, rr, nf)| vec![n.clone(), f2(*rr), f2(*nf)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|(n, rr, nf)| vec![n.clone(), f2(*rr), f2(*nf)]).collect();
         let (mrr, mnf) = self.means();
         format!(
             "Figure 9: recovery execution time per chunk, normalized to SRE\n{}\
@@ -836,12 +837,17 @@ mod tests {
         }
         // SRE wins every convergent FSM by a wide margin.
         for row in r.rows.iter().filter(|r| r.tier == Tier::SlowConvergence) {
-            assert!(row.speedup(SchemeKind::Sre) > 2.0, "{}: SRE {:.2}", row.name, row.speedup(SchemeKind::Sre));
+            assert!(
+                row.speedup(SchemeKind::Sre) > 2.0,
+                "{}: SRE {:.2}",
+                row.name,
+                row.speedup(SchemeKind::Sre)
+            );
         }
         // Aggressive recovery wins every deep/sensitive FSM.
-        for row in r.rows.iter().filter(|r| {
-            matches!(r.tier, Tier::NonConvergent | Tier::InputSensitive)
-        }) {
+        for row in
+            r.rows.iter().filter(|r| matches!(r.tier, Tier::NonConvergent | Tier::InputSensitive))
+        {
             let agg = row.speedup(SchemeKind::Rr).max(row.speedup(SchemeKind::Nf));
             assert!(agg > 1.5, "{}: aggressive best {agg:.2}", row.name);
             assert!(row.speedup(SchemeKind::Sre) < 2.0, "{}", row.name);
@@ -894,8 +900,7 @@ pub fn run_ablation(cfg: &ExperimentConfig) -> AblationReport {
     for family in Family::all() {
         for b in suite.iter().filter(|b| b.family == family).take(4) {
             let input = b.generate_input(cfg.input_len, 0);
-            let training_len =
-                ((input.len() as f64 * 0.005) as usize).max(512).min(input.len());
+            let training_len = ((input.len() as f64 * 0.005) as usize).max(512).min(input.len());
             let freq = FrequencyProfile::collect(&b.dfa, &input[..training_len]);
             let transformed = TransformedDfa::from_profile(&b.dfa, &freq);
             let tdfa = transformed.dfa();

@@ -193,8 +193,8 @@ pub fn run_model_validation(cfg: &ExperimentConfig) -> ModelValidationReport {
                 .sum::<f64>();
         // Equation 3: C + T_p1 plus the per-chunk verification stream with
         // the recovery probability (recovery rounds pay a barrier too).
-        let sr_model = sr_time(&params, &rr_p)
-            + rr_p.iter().sum::<f64>() * cfg.device.barrier_latency as f64;
+        let sr_model =
+            sr_time(&params, &rr_p) + rr_p.iter().sum::<f64>() * cfg.device.barrier_latency as f64;
 
         rows.push((
             b.name(),
@@ -208,16 +208,12 @@ pub fn run_model_validation(cfg: &ExperimentConfig) -> ModelValidationReport {
 impl ModelValidationReport {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
-        let header: Vec<String> =
-            ["FSM", "Eq.2 model / sim (PM)", "Eq.3 model / sim (RR)"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
-        let rows: Vec<Vec<String>> = self
-            .rows
+        let header: Vec<String> = ["FSM", "Eq.2 model / sim (PM)", "Eq.3 model / sim (RR)"]
             .iter()
-            .map(|(n, a, b)| vec![n.clone(), f2(*a), f2(*b)])
+            .map(|s| s.to_string())
             .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|(n, a, b)| vec![n.clone(), f2(*a), f2(*b)]).collect();
         let pm_mean = mean(&self.rows.iter().map(|r| r.1).collect::<Vec<_>>());
         let sr_mean = mean(&self.rows.iter().map(|r| r.2).collect::<Vec<_>>());
         format!(
@@ -283,12 +279,11 @@ pub fn run_cpu_scaling(cfg: &ExperimentConfig) -> CpuScalingReport {
 impl CpuScalingReport {
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
-        let header: Vec<String> = [
-            "FSM", "tier", "threads", "naive recov.", "SRE recov.", "naive ms", "SRE ms",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        let header: Vec<String> =
+            ["FSM", "tier", "threads", "naive recov.", "SRE recov.", "naive ms", "SRE ms"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -397,11 +392,8 @@ impl SensitivityReport {
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|(n, a, b, c)| vec![n.clone(), f2(*a), f2(*b), f2(*c)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.rows.iter().map(|(n, a, b, c)| vec![n.clone(), f2(*a), f2(*b), f2(*c)]).collect();
         format!(
             "Cost-model sensitivity: tier winners under perturbed device              constants (all ratios > 1 = conclusions stable)\n{}stable: {}\n",
             render_table(&header, &rows),
@@ -437,14 +429,8 @@ mod tests {
         let r = run_model_validation(&tiny());
         assert!(!r.rows.is_empty());
         for (name, pm_ratio, sr_ratio) in &r.rows {
-            assert!(
-                (0.2..5.0).contains(pm_ratio),
-                "{name}: Eq.2 ratio {pm_ratio} out of range"
-            );
-            assert!(
-                (0.2..5.0).contains(sr_ratio),
-                "{name}: Eq.3 ratio {sr_ratio} out of range"
-            );
+            assert!((0.2..5.0).contains(pm_ratio), "{name}: Eq.2 ratio {pm_ratio} out of range");
+            assert!((0.2..5.0).contains(sr_ratio), "{name}: Eq.3 ratio {sr_ratio} out of range");
         }
     }
 

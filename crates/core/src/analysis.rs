@@ -43,10 +43,8 @@ impl CostParams {
 pub fn pm_time(params: &CostParams, n_chunks: usize, p_mismatch: &[f64]) -> f64 {
     let log_n = (n_chunks.max(2) as f64).log2().ceil();
     let merge = log_n * (params.t_comm_k() + params.t_ver_k());
-    let sequential: f64 = p_mismatch
-        .iter()
-        .map(|p| p * (params.t_comm1 + params.t_ver_k() + params.t_p1))
-        .sum();
+    let sequential: f64 =
+        p_mismatch.iter().map(|p| p * (params.t_comm1 + params.t_ver_k() + params.t_p1)).sum();
     params.c + params.t_p1 * params.alpha_k + merge + sequential
 }
 
@@ -55,10 +53,8 @@ pub fn pm_time(params: &CostParams, n_chunks: usize, p_mismatch: &[f64]) -> f64 
 /// becomes a must-be-done recovery at the frontier (Equation 4 folds the
 /// accuracy increments Δ_End and Δ_Specs into this probability).
 pub fn sr_time(params: &CostParams, p_recover: &[f64]) -> f64 {
-    let verification: f64 = p_recover
-        .iter()
-        .map(|p| params.t_comm1 + params.t_ver1 + p * params.t_p1)
-        .sum();
+    let verification: f64 =
+        p_recover.iter().map(|p| params.t_comm1 + params.t_ver1 + p * params.t_p1).sum();
     params.c + params.t_p1 + verification
 }
 

@@ -71,7 +71,10 @@ impl SchemeConfig {
         positive("spec_k", self.spec_k)?;
         positive("vr_end_registers", self.vr_end_registers)?;
         positive("lookback", self.lookback)?;
-        if input_len > 0 && self.n_chunks > input_len {
+        if input_len == 0 {
+            return Err(CoreError::EmptyInput { n_chunks: self.n_chunks });
+        }
+        if self.n_chunks > input_len {
             return Err(CoreError::TooManyChunks { n_chunks: self.n_chunks, input_len });
         }
         Ok(())
@@ -100,5 +103,12 @@ mod tests {
         assert!(c.validate(1 << 20).is_err());
         let c = SchemeConfig { spec_k: 0, ..SchemeConfig::default() };
         assert!(c.validate(1 << 20).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_a_structured_error() {
+        use crate::error::CoreError;
+        let c = SchemeConfig::default();
+        assert_eq!(c.validate(0), Err(CoreError::EmptyInput { n_chunks: 256 }));
     }
 }

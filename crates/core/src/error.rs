@@ -18,12 +18,11 @@ pub enum CoreError {
         /// Input length in bytes.
         input_len: usize,
     },
-    /// The chunk count exceeds what one thread block can host.
-    BlockCapacity {
+    /// The input stream is empty but chunks were requested: the schemes'
+    /// speculation and verification invariants assume at least one byte.
+    EmptyInput {
         /// Requested chunk count.
         n_chunks: usize,
-        /// The device's block capacity.
-        capacity: u32,
     },
 }
 
@@ -33,14 +32,12 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidConfig { field, problem } => {
                 write!(f, "invalid configuration: {field} {problem}")
             }
-            CoreError::TooManyChunks { n_chunks, input_len } => write!(
-                f,
-                "n_chunks ({n_chunks}) exceeds the input length ({input_len} bytes)"
-            ),
-            CoreError::BlockCapacity { n_chunks, capacity } => write!(
-                f,
-                "n_chunks ({n_chunks}) exceeds the device block capacity ({capacity})"
-            ),
+            CoreError::TooManyChunks { n_chunks, input_len } => {
+                write!(f, "n_chunks ({n_chunks}) exceeds the input length ({input_len} bytes)")
+            }
+            CoreError::EmptyInput { n_chunks } => {
+                write!(f, "input is empty but {n_chunks} chunk(s) were requested")
+            }
         }
     }
 }
@@ -56,8 +53,9 @@ mod tests {
         let e = CoreError::TooManyChunks { n_chunks: 300, input_len: 10 };
         assert!(e.to_string().contains("300"));
         assert!(e.to_string().contains("10"));
-        let e = CoreError::BlockCapacity { n_chunks: 4096, capacity: 1024 };
-        assert!(e.to_string().contains("1024"));
+        let e = CoreError::EmptyInput { n_chunks: 4096 };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("empty"));
         let e = CoreError::InvalidConfig { field: "spec_k", problem: "must be positive".into() };
         assert!(e.to_string().contains("spec_k"));
     }

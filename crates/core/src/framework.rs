@@ -126,8 +126,7 @@ impl GSpecPal {
                     &self.device,
                 );
                 let table = DeviceTable::transformed(transformed.dfa(), hot);
-                let job = Job::new(&self.device, &table, input, config)
-                    .expect("validated config");
+                let job = Job::new(&self.device, &table, input, config).expect("validated config");
                 let mut out = run_scheme(scheme, &job);
                 // Map states back to the caller's numbering.
                 out.end_state = transformed.to_original(out.end_state);
@@ -139,8 +138,7 @@ impl GSpecPal {
             TableLayout::Hashed => {
                 let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Hashed, &self.device);
                 let table = DeviceTable::hashed(dfa, &freq, hot);
-                let job = Job::new(&self.device, &table, input, config)
-                    .expect("validated config");
+                let job = Job::new(&self.device, &table, input, config).expect("validated config");
                 run_scheme(scheme, &job)
             }
         };
@@ -150,10 +148,7 @@ impl GSpecPal {
     /// Runs all four GSpecPal schemes and returns their outcomes (used by
     /// the evaluation harness for the Fig 8 comparison).
     pub fn run_all(&self, dfa: &Dfa, input: &[u8]) -> Vec<RunOutcome> {
-        SchemeKind::gspecpal_schemes()
-            .into_iter()
-            .map(|s| self.run_with(dfa, input, s))
-            .collect()
+        SchemeKind::gspecpal_schemes().into_iter().map(|s| self.run_with(dfa, input, s)).collect()
     }
 
     /// Clamps the chunk count for short inputs so the configuration stays
@@ -240,7 +235,8 @@ mod tests {
         // Force everything cold-capable: tiny shared memory budget comes from
         // the test device; both layouts share it.
         let fw_t = GSpecPal::new(small_device()).with_config(config);
-        let fw_h = GSpecPal::new(small_device()).with_config(config).with_layout(TableLayout::Hashed);
+        let fw_h =
+            GSpecPal::new(small_device()).with_config(config).with_layout(TableLayout::Hashed);
         let t = fw_t.run_with(&d, &input, SchemeKind::Sre);
         let h = fw_h.run_with(&d, &input, SchemeKind::Sre);
         assert_eq!(t.end_state, h.end_state);

@@ -30,6 +30,14 @@ pub struct NfaRunOutcome {
 
 /// Runs `nfa` over `input` with `n_threads` cooperating threads.
 ///
+/// This engine is *deliberately* single-block: every step shares the active
+/// set through shared memory and a barrier, neither of which crosses block
+/// boundaries, so the thread count is bounded by the device's block
+/// capacity (active states beyond it wrap round-robin onto the same
+/// threads). Scaling an NFA engine across blocks means splitting the input,
+/// which is exactly the speculation problem the DFA schemes solve — use
+/// those for multi-block runs.
+///
 /// Cost model per step: the input byte is loaded once (coalesced broadcast);
 /// the active states are divided round-robin across threads; each assigned
 /// state costs one shared-memory transition fetch plus one ALU op per
@@ -42,7 +50,13 @@ pub fn run_nfa_device(
     n_threads: usize,
 ) -> NfaRunOutcome {
     assert!(n_threads > 0);
-    assert!(n_threads <= spec.max_threads_per_block as usize);
+    assert!(
+        n_threads <= spec.max_threads_per_block as usize,
+        "the cooperative NFA engine is single-block by design: {} threads exceed \
+         the block capacity of {}",
+        n_threads,
+        spec.max_threads_per_block
+    );
     let mut kernel = NfaKernel {
         nfa,
         input,
@@ -103,8 +117,7 @@ impl RoundKernel for NfaKernel<'_> {
                 let st = self.nfa.state(s);
                 ctx.shared(1); // fetch the state's transition list header
                 ctx.alu(st.ranges.len() as u64); // range comparisons
-                successors +=
-                    st.ranges.iter().filter(|r| r.lo <= b && b <= r.hi).count() as u64;
+                successors += st.ranges.iter().filter(|r| r.lo <= b && b <= r.hi).count() as u64;
             }
             // Frontier construction: one shared atomic per discovered
             // successor (set insertion with dedup).

@@ -17,7 +17,10 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use gspecpal_fsm::{Dfa, StateId};
-use gspecpal_gpu::{launch, DeviceSpec, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+use gspecpal_gpu::{
+    launch_grid, BlockDim, DeviceSpec, GridKernel, KernelStats, RoundKernel, RoundOutcome,
+    ThreadCtx,
+};
 
 use crate::specq::SpecQueue;
 
@@ -60,7 +63,7 @@ pub fn predict(
         lookback: lookback as u64,
         queue_sizes: queues.iter().map(|q| q.initial_len() as u64).collect(),
     };
-    let stats = launch(spec, chunks.len().min(spec.max_threads_per_block as usize), &mut kernel);
+    let stats = launch_grid(spec, chunks.len(), &mut kernel);
     Prediction { queues, stats }
 }
 
@@ -84,21 +87,36 @@ struct PredictCost {
     queue_sizes: Vec<u64>,
 }
 
-impl RoundKernel for PredictCost {
+/// One block's view of the prediction cost model. The kernel is read-only
+/// per thread, so every block shares the same description; global thread ids
+/// address `queue_sizes` directly.
+struct PredictCostBlock<'s>(&'s PredictCost);
+
+impl RoundKernel for PredictCostBlock<'_> {
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
-        if tid == 0 || tid >= self.n_threads {
+        let cost = self.0;
+        if tid == 0 || tid >= cost.n_threads {
             return RoundOutcome::IDLE; // Chunk 0 needs no prediction.
         }
-        let steps = self.states_per_lane * self.lookback;
+        let steps = cost.states_per_lane * cost.lookback;
         ctx.shared(steps);
         ctx.alu(steps);
         // Frequency ranking of the end-state set.
-        ctx.alu(self.queue_sizes.get(tid).copied().unwrap_or(0) * 2);
+        ctx.alu(cost.queue_sizes.get(tid).copied().unwrap_or(0) * 2);
         RoundOutcome::ACTIVE
     }
 
     fn after_sync(&mut self, _round: u64) -> bool {
         false
+    }
+}
+
+impl GridKernel for PredictCost {
+    type Block<'s> = PredictCostBlock<'s>;
+
+    fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<PredictCostBlock<'s>> {
+        let shared: &'s PredictCost = self;
+        dims.iter().map(|_| PredictCostBlock(shared)).collect()
     }
 }
 

@@ -41,6 +41,47 @@ struct ChunkRecords {
     dropped: u64,
 }
 
+impl ChunkRecords {
+    fn push_own(&mut self, own_cap: usize, rec: VrRecord) {
+        if self.own.iter().any(|r| r.start == rec.start) {
+            return; // Same start state re-executed: result is identical.
+        }
+        if self.own.len() < own_cap {
+            self.own.push(rec);
+        } else {
+            self.own.remove(0);
+            self.own.push(rec);
+        }
+    }
+
+    fn push_other(&mut self, ctx: &mut ThreadCtx<'_>, others_cap: usize, rec: VrRecord) {
+        // Store {start, end, matches} to shared memory for the owner to
+        // pick up.
+        ctx.shared(2);
+        if self.others.iter().any(|r| r.start == rec.start)
+            || self.own.iter().any(|r| r.start == rec.start)
+        {
+            return;
+        }
+        if self.others.len() < others_cap {
+            self.others.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn scan(&self, ctx: &mut ThreadCtx<'_>, target: StateId) -> Option<VrRecord> {
+        ctx.alu(self.own.len() as u64);
+        ctx.shared(self.others.len() as u64);
+        ctx.alu(self.others.len() as u64);
+        self.find(target)
+    }
+
+    fn find(&self, target: StateId) -> Option<VrRecord> {
+        self.own.iter().chain(self.others.iter()).find(|r| r.start == target).copied()
+    }
+}
+
 /// Per-chunk record store for a whole job.
 #[derive(Clone, Debug)]
 pub struct VrStore {
@@ -69,16 +110,7 @@ impl VrStore {
     /// negligible device cost). If the window is full the oldest own record
     /// is overwritten — registers are a fixed file, not a growable buffer.
     pub fn push_own(&mut self, cid: usize, rec: VrRecord) {
-        let c = &mut self.chunks[cid];
-        if c.own.iter().any(|r| r.start == rec.start) {
-            return; // Same start state re-executed: result is identical.
-        }
-        if c.own.len() < self.own_cap {
-            c.own.push(rec);
-        } else {
-            c.own.remove(0);
-            c.own.push(rec);
-        }
+        self.chunks[cid].push_own(self.own_cap, rec);
     }
 
     /// Pushes a record produced by a *different* thread: the writer stores it
@@ -87,20 +119,7 @@ impl VrStore {
     /// for verification purposes (the Fig 7 "too few registers" failure
     /// mode) and counted in [`VrStore::dropped`].
     pub fn push_other(&mut self, ctx: &mut ThreadCtx<'_>, cid: usize, rec: VrRecord) {
-        // Store {start, end, matches} to shared memory for the owner to
-        // pick up.
-        ctx.shared(2);
-        let c = &mut self.chunks[cid];
-        if c.others.iter().any(|r| r.start == rec.start)
-            || c.own.iter().any(|r| r.start == rec.start)
-        {
-            return;
-        }
-        if c.others.len() < self.others_cap {
-            c.others.push(rec);
-        } else {
-            c.dropped += 1;
-        }
+        self.chunks[cid].push_other(ctx, self.others_cap, rec);
     }
 
     /// Scans chunk `cid`'s records for one whose `start` equals `target`,
@@ -108,17 +127,36 @@ impl VrStore {
     /// (registers) and one shared load + compare per cross-thread record
     /// (the owner re-reads the staging area every round to see new records).
     pub fn scan(&self, ctx: &mut ThreadCtx<'_>, cid: usize, target: StateId) -> Option<VrRecord> {
-        let c = &self.chunks[cid];
-        ctx.alu(c.own.len() as u64);
-        ctx.shared(c.others.len() as u64);
-        ctx.alu(c.others.len() as u64);
-        c.own.iter().chain(c.others.iter()).find(|r| r.start == target).copied()
+        self.chunks[cid].scan(ctx, target)
     }
 
     /// Host-side lookup without device cost.
     pub fn find(&self, cid: usize, target: StateId) -> Option<VrRecord> {
-        let c = &self.chunks[cid];
-        c.own.iter().chain(c.others.iter()).find(|r| r.start == target).copied()
+        self.chunks[cid].find(target)
+    }
+
+    /// Splits the store into disjoint contiguous views, one per entry of
+    /// `lens` (which must sum to the chunk count). Each view keeps *global*
+    /// chunk-id indexing, so a grid block operating on chunks `lo..hi` can
+    /// use its slice exactly like the whole store.
+    pub fn split_lens<'a>(&'a mut self, lens: &[usize]) -> Vec<VrSlice<'a>> {
+        assert_eq!(
+            lens.iter().sum::<usize>(),
+            self.chunks.len(),
+            "split lengths must cover every chunk exactly once"
+        );
+        let own_cap = self.own_cap;
+        let others_cap = self.others_cap;
+        let mut rest: &'a mut [ChunkRecords] = &mut self.chunks;
+        let mut base = 0usize;
+        let mut out = Vec::with_capacity(lens.len());
+        for &len in lens {
+            let (mine, tail) = rest.split_at_mut(len);
+            out.push(VrSlice { base, chunks: mine, own_cap, others_cap });
+            rest = tail;
+            base += len;
+        }
+        out
     }
 
     /// Total records currently held for chunk `cid`.
@@ -134,6 +172,46 @@ impl VrStore {
     /// Total cross-thread records dropped for lack of registers.
     pub fn dropped(&self) -> u64 {
         self.chunks.iter().map(|c| c.dropped).sum()
+    }
+}
+
+/// A disjoint view over a contiguous chunk range of a [`VrStore`], produced
+/// by [`VrStore::split_lens`] for grid blocks. All methods take *global*
+/// chunk ids (the view knows its offset), mirroring how a block's threads
+/// address shared state by their global thread ids.
+#[derive(Debug)]
+pub struct VrSlice<'a> {
+    base: usize,
+    chunks: &'a mut [ChunkRecords],
+    own_cap: usize,
+    others_cap: usize,
+}
+
+impl VrSlice<'_> {
+    fn chunk(&mut self, cid: usize) -> &mut ChunkRecords {
+        &mut self.chunks[cid - self.base]
+    }
+
+    /// [`VrStore::push_own`] restricted to this view's chunk range.
+    pub fn push_own(&mut self, cid: usize, rec: VrRecord) {
+        let cap = self.own_cap;
+        self.chunk(cid).push_own(cap, rec);
+    }
+
+    /// [`VrStore::push_other`] restricted to this view's chunk range.
+    pub fn push_other(&mut self, ctx: &mut ThreadCtx<'_>, cid: usize, rec: VrRecord) {
+        let cap = self.others_cap;
+        self.chunk(cid).push_other(ctx, cap, rec);
+    }
+
+    /// [`VrStore::scan`] restricted to this view's chunk range.
+    pub fn scan(&self, ctx: &mut ThreadCtx<'_>, cid: usize, target: StateId) -> Option<VrRecord> {
+        self.chunks[cid - self.base].scan(ctx, target)
+    }
+
+    /// [`VrStore::find`] restricted to this view's chunk range.
+    pub fn find(&self, cid: usize, target: StateId) -> Option<VrRecord> {
+        self.chunks[cid - self.base].find(target)
     }
 }
 

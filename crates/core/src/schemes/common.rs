@@ -4,10 +4,12 @@
 use std::ops::Range;
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+use gspecpal_gpu::{
+    launch_grid, BlockDim, GridKernel, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+};
 
 use crate::predict::{predict, Prediction};
-use crate::records::{VrRecord, VrStore};
+use crate::records::{VrRecord, VrSlice, VrStore};
 use crate::schemes::Job;
 use crate::specq::SpecQueue;
 use crate::table::DeviceTable;
@@ -39,13 +41,8 @@ pub struct ExecPhase {
 /// thread (`k = 1` for everything except PM).
 pub fn exec_phase(job: &Job<'_>, k: usize) -> ExecPhase {
     let chunks = job.chunks();
-    let Prediction { mut queues, stats: predict_stats } = predict(
-        job.table.dfa(),
-        job.input,
-        &chunks,
-        job.config.lookback,
-        job.spec,
-    );
+    let Prediction { mut queues, stats: predict_stats } =
+        predict(job.table.dfa(), job.input, &chunks, job.config.lookback, job.spec);
     // PM stores its k speculative paths in the thread's own registers, so the
     // own-record window must fit them.
     let own_cap = job.config.vr_end_registers.max(k);
@@ -62,7 +59,7 @@ pub fn exec_phase(job: &Job<'_>, k: usize) -> ExecPhase {
         spec_starts: vec![0; chunks.len()],
         counts: vec![0; chunks.len()],
     };
-    let exec_stats = launch(job.spec, chunks.len(), &mut kernel);
+    let exec_stats = launch_grid(job.spec, chunks.len(), &mut kernel);
     let ends = kernel.ends;
     let spec_starts = kernel.spec_starts;
     let counts = kernel.counts;
@@ -82,13 +79,31 @@ struct ExecKernel<'a> {
     counts: Vec<u64>,
 }
 
-impl RoundKernel for ExecKernel<'_> {
+/// One grid block of the speculative execution: chunks are one-to-one with
+/// threads and share nothing, so a block is just a disjoint window of the
+/// job's state, addressed by global thread id.
+struct ExecBlock<'s> {
+    table: &'s DeviceTable<'s>,
+    input: &'s [u8],
+    chunks: &'s [Range<usize>],
+    base: usize,
+    queues: &'s mut [SpecQueue],
+    vr: VrSlice<'s>,
+    k: usize,
+    count_matches: bool,
+    ends: &'s mut [StateId],
+    spec_starts: &'s mut [StateId],
+    counts: &'s mut [u64],
+}
+
+impl RoundKernel for ExecBlock<'_> {
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let rel = tid - self.base;
         // Dequeue up to k speculative start states (chunk 0 has exactly one,
         // the machine's certain start state).
         let mut starts: Vec<StateId> = Vec::with_capacity(self.k);
         for _ in 0..self.k {
-            match self.queues[tid].dequeue(ctx) {
+            match self.queues[rel].dequeue(ctx) {
                 Some(s) => starts.push(s),
                 None => break,
             }
@@ -107,14 +122,55 @@ impl RoundKernel for ExecKernel<'_> {
         for ((s0, s1), m) in starts.iter().zip(states.iter()).zip(counts.iter()) {
             self.vr.push_own(tid, VrRecord { start: *s0, end: *s1, matches: *m });
         }
-        self.spec_starts[tid] = starts[0];
-        self.ends[tid] = states[0];
-        self.counts[tid] = counts[0];
+        self.spec_starts[rel] = starts[0];
+        self.ends[rel] = states[0];
+        self.counts[rel] = counts[0];
         RoundOutcome::ACTIVE
     }
 
     fn after_sync(&mut self, _round: u64) -> bool {
         false
+    }
+}
+
+impl GridKernel for ExecKernel<'_> {
+    type Block<'s>
+        = ExecBlock<'s>
+    where
+        Self: 's;
+
+    fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<ExecBlock<'s>> {
+        let lens: Vec<usize> = dims.iter().map(BlockDim::len).collect();
+        let vr_slices = self.vr.split_lens(&lens);
+        let mut queues: &'s mut [SpecQueue] = self.queues;
+        let mut ends: &'s mut [StateId] = &mut self.ends;
+        let mut spec_starts: &'s mut [StateId] = &mut self.spec_starts;
+        let mut counts: &'s mut [u64] = &mut self.counts;
+        let mut out = Vec::with_capacity(dims.len());
+        for (dim, vr) in dims.iter().zip(vr_slices) {
+            let (q, q_rest) = queues.split_at_mut(dim.len());
+            let (e, e_rest) = ends.split_at_mut(dim.len());
+            let (s, s_rest) = spec_starts.split_at_mut(dim.len());
+            let (c, c_rest) = counts.split_at_mut(dim.len());
+            queues = q_rest;
+            ends = e_rest;
+            spec_starts = s_rest;
+            counts = c_rest;
+            out.push(ExecBlock {
+                table: self.table,
+                input: self.input,
+                chunks: self.chunks,
+                base: dim.tids.start,
+                queues: q,
+                vr,
+                k: self.k,
+                count_matches: self.count_matches,
+                ends: e,
+                spec_starts: s,
+                counts: c,
+            });
+        }
+        out
     }
 }
 
@@ -159,8 +215,7 @@ mod tests {
         let k4 = exec_phase(&job, 4);
         assert!(k4.exec_stats.shared_accesses > 3 * k1.exec_stats.shared_accesses);
         assert_eq!(
-            k4.exec_stats.global_transactions,
-            k1.exec_stats.global_transactions,
+            k4.exec_stats.global_transactions, k1.exec_stats.global_transactions,
             "input loads are shared across the k paths"
         );
         // The redundancy factor α_k > 1 (Fig 3's premise).

@@ -10,9 +10,13 @@
 use std::ops::Range;
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+use gspecpal_gpu::{
+    block_dims, launch_blocks, launch_grid, BlockDim, GridKernel, KernelStats, RoundKernel,
+    RoundOutcome, ThreadCtx,
+};
 
 use crate::run::{RunOutcome, SchemeKind};
+use crate::schemes::stitch::fold_grid;
 use crate::schemes::Job;
 use crate::table::DeviceTable;
 
@@ -30,20 +34,44 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
         count_matches: job.config.count_matches,
         n_states,
     };
-    let exec_stats = launch(job.spec, n, &mut exec);
+    let exec_stats = launch_grid(job.spec, n, &mut exec);
     let maps = exec.maps;
     let count_maps = exec.counts;
 
-    // Merge: log2(N) rounds of parallel function composition; each thread
-    // composes |Q| entries (kept as a cost model — the final walk below is
-    // the same composition restricted to the ground-truth path).
+    // Merge: per-block parallel function composition (log2(B) rounds; each
+    // thread composes |Q| entries), then one compose round per extra block to
+    // fold the block functions together — kept as a cost model; the final
+    // walk below is the same composition restricted to the ground-truth path.
     let mut verify = KernelStats::default();
     if n > 1 {
-        let mut merge = ComposeKernel {
-            q: u64::from(n_states),
-            rounds_left: n.next_power_of_two().ilog2(),
-        };
-        verify.merge_sequential(&launch(job.spec, n, &mut merge));
+        let dims = block_dims(job.spec, n);
+        let mut merges: Vec<(usize, ComposeKernel)> = dims
+            .iter()
+            .filter(|d| d.len() > 1)
+            .map(|d| {
+                (
+                    d.len(),
+                    ComposeKernel {
+                        q: u64::from(n_states),
+                        rounds_left: d.len().next_power_of_two().ilog2(),
+                    },
+                )
+            })
+            .collect();
+        if !merges.is_empty() {
+            fold_grid(&mut verify, &launch_blocks(job.spec, &mut merges));
+        }
+        if dims.len() > 1 {
+            let mut fold = ComposeKernel {
+                q: u64::from(n_states),
+                rounds_left: dims.len().next_power_of_two().ilog2(),
+            };
+            // One thread per block function; the compose cost is modelled by
+            // the round count, so a grid wider than one block (n > capacity²)
+            // still fits by folding more functions per thread.
+            let width = dims.len().min(job.spec.max_threads_per_block as usize);
+            verify.merge_sequential(&gspecpal_gpu::launch(job.spec, width, &mut fold));
+        }
     }
 
     // Ground-truth walk through the per-chunk functions (host side; the
@@ -83,8 +111,22 @@ struct ExecKernel<'a, 'j> {
     n_states: u32,
 }
 
-impl RoundKernel for ExecKernel<'_, '_> {
+/// One grid block of the enumerative execution: chunks are independent, so a
+/// block is a disjoint window of the per-chunk function tables.
+struct ExecBlock<'s, 'j> {
+    table: &'s DeviceTable<'j>,
+    input: &'s [u8],
+    chunks: &'s [Range<usize>],
+    base: usize,
+    maps: &'s mut [Vec<StateId>],
+    counts: &'s mut [Vec<u64>],
+    count_matches: bool,
+    n_states: u32,
+}
+
+impl RoundKernel for ExecBlock<'_, '_> {
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let rel = tid - self.base;
         let mut states: Vec<StateId> = (0..self.n_states).collect();
         let mut counts = vec![0u64; self.n_states as usize];
         self.table.run_chunk_multi_with(
@@ -95,13 +137,43 @@ impl RoundKernel for ExecKernel<'_, '_> {
             &mut counts,
             self.count_matches,
         );
-        self.maps[tid] = states;
-        self.counts[tid] = counts;
+        self.maps[rel] = states;
+        self.counts[rel] = counts;
         RoundOutcome::ACTIVE
     }
 
     fn after_sync(&mut self, _round: u64) -> bool {
         false
+    }
+}
+
+impl<'j> GridKernel for ExecKernel<'_, 'j> {
+    type Block<'s>
+        = ExecBlock<'s, 'j>
+    where
+        Self: 's;
+
+    fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<ExecBlock<'s, 'j>> {
+        let mut maps: &'s mut [Vec<StateId>] = &mut self.maps;
+        let mut counts: &'s mut [Vec<u64>] = &mut self.counts;
+        let mut out = Vec::with_capacity(dims.len());
+        for dim in dims {
+            let (m, m_rest) = maps.split_at_mut(dim.len());
+            let (c, c_rest) = counts.split_at_mut(dim.len());
+            maps = m_rest;
+            counts = c_rest;
+            out.push(ExecBlock {
+                table: self.table,
+                input: self.input,
+                chunks: self.chunks,
+                base: dim.tids.start,
+                maps: m,
+                counts: c,
+                count_matches: self.count_matches,
+                n_states: self.n_states,
+            });
+        }
+        out
     }
 }
 
@@ -145,6 +217,24 @@ mod tests {
         assert_eq!(out.end_state, d.run(&input));
         assert_eq!(out.recovery_runs(), 0);
         assert!((out.runtime_accuracy() - 1.0).abs() < 1e-12);
+        let mut s = d.start();
+        for (i, r) in job.chunks().into_iter().enumerate() {
+            s = d.run_from(s, &input[r]);
+            assert_eq!(out.chunk_ends[i], s, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn enumerative_exact_across_block_boundaries() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit(); // 64-thread blocks
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"110101011001".repeat(50);
+        let config = SchemeConfig { n_chunks: 150, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Enumerative, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        assert_eq!(out.recovery_runs(), 0);
         let mut s = d.start();
         for (i, r) in job.chunks().into_iter().enumerate() {
             s = d.run_from(s, &input[r]);

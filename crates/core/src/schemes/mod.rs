@@ -17,6 +17,7 @@ mod pm;
 mod rr;
 mod sequential;
 mod sre;
+mod stitch;
 mod vr_kernel;
 
 pub use common::{exec_phase, ExecPhase};
@@ -54,12 +55,6 @@ impl<'a> Job<'a> {
         config: SchemeConfig,
     ) -> Result<Self, crate::error::CoreError> {
         config.validate(input.len())?;
-        if config.n_chunks > spec.max_threads_per_block as usize {
-            return Err(crate::error::CoreError::BlockCapacity {
-                n_chunks: config.n_chunks,
-                capacity: spec.max_threads_per_block,
-            });
-        }
         Ok(Job { spec, table, input, config })
     }
 

@@ -1,83 +1,145 @@
 //! Algorithm 2: default speculative DFA parallelization with *sequential*
 //! verification and recovery.
 //!
-//! After the parallel spec-1 execution, a single walker visits chunks in
-//! order: if the predecessor's verified end state matches the chunk's
-//! speculated start, the chunk's result is reused; otherwise the chunk is
-//! re-executed — one thread active, all others idle. This is the
-//! under-utilization the paper's aggressive recovery attacks.
+//! After the parallel spec-1 execution, a walker visits chunks in order: if
+//! the predecessor's verified end state matches the chunk's speculated
+//! start, the chunk's result is reused; otherwise the chunk is re-executed —
+//! one thread active, all others idle. This is the under-utilization the
+//! paper's aggressive recovery attacks.
+//!
+//! The walk communicates through shared memory, so at grid scale each block
+//! walks its own chunk window from a block-level speculated incoming state
+//! (all blocks in parallel, one walker per block) and the boundary stitch
+//! validates the seams afterwards — see [`crate::schemes::stitch`].
+
+use std::ops::Range;
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{launch, RoundKernel, RoundOutcome, ThreadCtx};
+use gspecpal_gpu::{
+    block_dims, launch_blocks, BlockDim, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+};
 
-use crate::records::VrStore;
+use crate::records::{VrRecord, VrSlice};
 use crate::run::{RunOutcome, SchemeKind};
 use crate::schemes::common::exec_phase;
+use crate::schemes::stitch::{fold_grid, stitch_blocks};
 use crate::schemes::Job;
 
 pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     let phase = exec_phase(job, 1);
-    let n = phase.chunks.len();
-    let mut kernel = VerifyKernel {
-        job,
-        chunks: &phase.chunks,
-        vr: phase.vr,
-        ends: phase.ends,
-        counts: phase.counts,
-        cursor: 1,
-        checks: 0,
-        matches: 0,
-        frontier_trace: Vec::new(),
-    };
-    let verify = if n > 1 {
-        launch(job.spec, n, &mut kernel)
-    } else {
-        Default::default()
-    };
-    let end_state = *kernel.ends.last().expect("at least one chunk");
+    let chunks = phase.chunks;
+    let mut vr = phase.vr;
+    let mut ends = phase.ends;
+    let mut counts = phase.counts;
+    let n = chunks.len();
+
+    let mut verify = KernelStats::default();
+    let mut checks = 0u64;
+    let mut matches = 0u64;
+    let mut frontier_trace = Vec::new();
+
+    if n > 1 {
+        let dims = block_dims(job.spec, n);
+        let incomings: Vec<StateId> =
+            dims.iter().map(|d| if d.index == 0 { 0 } else { ends[d.tids.start - 1] }).collect();
+        let lens: Vec<usize> = dims.iter().map(BlockDim::len).collect();
+        {
+            let vr_slices = vr.split_lens(&lens);
+            let mut e_rest: &mut [StateId] = &mut ends;
+            let mut c_rest: &mut [u64] = &mut counts;
+            let mut blocks: Vec<(usize, NaiveBlock<'_, '_>)> = Vec::with_capacity(dims.len());
+            for (dim, vr_slice) in dims.iter().zip(vr_slices) {
+                let (e, er) = e_rest.split_at_mut(dim.len());
+                let (c, cr) = c_rest.split_at_mut(dim.len());
+                e_rest = er;
+                c_rest = cr;
+                blocks.push((
+                    dim.len(),
+                    NaiveBlock {
+                        job,
+                        chunks: &chunks,
+                        base: dim.tids.start,
+                        n_local: dim.len(),
+                        incoming: incomings[dim.index],
+                        vr: vr_slice,
+                        ends: e,
+                        counts: c,
+                        cursor: usize::from(dim.index == 0),
+                        checks: 0,
+                        matches: 0,
+                        frontier_trace: Vec::new(),
+                    },
+                ));
+            }
+            let grid = launch_blocks(job.spec, &mut blocks);
+            fold_grid(&mut verify, &grid);
+            for (_, block) in blocks {
+                checks += block.checks;
+                matches += block.matches;
+                frontier_trace.extend_from_slice(&block.frontier_trace);
+            }
+        }
+        let stitched =
+            stitch_blocks(job, &chunks, &dims, &incomings, &mut vr, &mut ends, &mut counts);
+        verify.merge_sequential(&stitched.stats);
+        checks += stitched.checks;
+        matches += stitched.matches;
+    }
+
+    let end_state = *ends.last().expect("at least one chunk");
     RunOutcome {
         scheme: SchemeKind::Naive,
         end_state,
         accepted: job.table.dfa().is_accepting(end_state),
-        chunk_ends: kernel.ends,
+        chunk_ends: ends,
         predict: phase.predict_stats,
         execute: phase.exec_stats,
         verify,
-        verification_checks: kernel.checks,
-        verification_matches: kernel.matches,
-        match_count: job.config.count_matches.then(|| kernel.counts.iter().sum()),
-        frontier_trace: kernel.frontier_trace,
+        verification_checks: checks,
+        verification_matches: matches,
+        match_count: job.config.count_matches.then(|| counts.iter().sum()),
+        frontier_trace,
     }
 }
 
-struct VerifyKernel<'a, 'j> {
+/// One block's sequential walk over its chunk window. `ends`/`counts` are
+/// the block's slices (relative indexing); record accesses go through the
+/// block's [`VrSlice`] by global chunk id.
+struct NaiveBlock<'a, 'j> {
     job: &'a Job<'j>,
-    chunks: &'a [std::ops::Range<usize>],
-    vr: VrStore,
-    /// ends[i] becomes the *verified* end state of chunk i once the cursor
-    /// passes it.
-    ends: Vec<StateId>,
-    counts: Vec<u64>,
+    chunks: &'a [Range<usize>],
+    base: usize,
+    n_local: usize,
+    /// Verified (block 0) or block-speculated incoming end state for the
+    /// block's first chunk.
+    incoming: StateId,
+    vr: VrSlice<'a>,
+    /// ends[i] becomes the (block-relative) verified end state of local
+    /// chunk i once the cursor passes it.
+    ends: &'a mut [StateId],
+    counts: &'a mut [u64],
     cursor: usize,
     checks: u64,
     matches: u64,
     frontier_trace: Vec<u32>,
 }
 
-impl RoundKernel for VerifyKernel<'_, '_> {
+impl RoundKernel for NaiveBlock<'_, '_> {
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         if tid != self.cursor {
             return RoundOutcome::IDLE;
         }
-        // Receive the verified end state of the predecessor chunk.
-        let end_p = self.ends[tid - 1];
+        let rel = self.cursor;
+        // Receive the verified end state of the predecessor chunk (the
+        // block's incoming speculation for the first local chunk).
+        let end_p = if rel == 0 { self.incoming } else { self.ends[rel - 1] };
         ctx.shuffle(1);
         self.checks += 1;
-        match self.vr.scan(ctx, tid, end_p) {
+        match self.vr.scan(ctx, self.base + rel, end_p) {
             Some(rec) => {
                 self.matches += 1;
-                self.ends[tid] = rec.end;
-                self.counts[tid] = rec.matches;
+                self.ends[rel] = rec.end;
+                self.counts[rel] = rec.matches;
                 RoundOutcome::ACTIVE
             }
             None => {
@@ -86,13 +148,17 @@ impl RoundKernel for VerifyKernel<'_, '_> {
                 let run = self.job.table.run_chunk_with(
                     ctx,
                     self.job.input,
-                    self.chunks[tid].clone(),
+                    self.chunks[self.base + rel].clone(),
                     end_p,
                     self.job.config.count_matches,
                 );
                 ctx.credit_recovery(t0);
-                self.ends[tid] = run.end;
-                self.counts[tid] = run.matches;
+                self.vr.push_own(
+                    self.base + rel,
+                    VrRecord { start: end_p, end: run.end, matches: run.matches },
+                );
+                self.ends[rel] = run.end;
+                self.counts[rel] = run.matches;
                 RoundOutcome::RECOVERING
             }
         }
@@ -100,8 +166,8 @@ impl RoundKernel for VerifyKernel<'_, '_> {
 
     fn after_sync(&mut self, _round: u64) -> bool {
         self.cursor += 1;
-        self.frontier_trace.push(self.cursor as u32);
-        self.cursor < self.chunks.len()
+        self.frontier_trace.push((self.base + self.cursor) as u32);
+        self.cursor < self.n_local
     }
 }
 
@@ -142,5 +208,22 @@ mod tests {
         let out = run_scheme(SchemeKind::Naive, &job);
         assert_eq!(out.end_state, d.run(&input));
         assert_eq!(out.accepted, d.accepts(&input));
+    }
+
+    #[test]
+    fn naive_is_exact_across_block_boundaries() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit(); // 64-thread blocks
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(50);
+        let config = SchemeConfig { n_chunks: 200, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Naive, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        let mut s = d.start();
+        for (i, r) in job.chunks().into_iter().enumerate() {
+            s = d.run_from(s, &input[r]);
+            assert_eq!(out.chunk_ends[i], s, "chunk {i}");
+        }
     }
 }

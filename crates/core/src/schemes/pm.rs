@@ -5,7 +5,7 @@
 //! 1. **spec-k execution**: each thread maintains `k` transition paths from
 //!    the `k` best-ranked speculative start states (the redundancy factor
 //!    α_k of §III-C — Fig 3 measures exactly this phase);
-//! 2. **tree merge**: `log₂ N` rounds of intra/inter-warp verification in
+//! 2. **tree merge**: `log₂ B` rounds of intra/inter-warp verification in
 //!    which every thread forwards its `k` end states to its successor and
 //!    checks the `k` received states against its own speculated starts.
 //!    Mismatching paths are only *marked invalid* — recovery is delayed
@@ -16,65 +16,128 @@
 //!    must-be-done recovery executed by a single thread while every other
 //!    thread idles — Equation 2's `Σ P_i × (T_comm + T_ver + T_p1)` term and
 //!    the bottleneck this paper attacks.
+//!
+//! Both the merge (shuffles/shared memory) and the walk are block-scoped, so
+//! at grid scale every block merges and walks its own chunk window from a
+//! block-level speculated incoming state, and the boundary stitch of
+//! [`crate::schemes::stitch`] validates the seams afterwards.
 
 use std::ops::Range;
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+use gspecpal_gpu::{
+    block_dims, launch_blocks, BlockDim, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+};
 
-use crate::records::VrStore;
+use crate::records::{VrRecord, VrSlice};
 use crate::run::{RunOutcome, SchemeKind};
 use crate::schemes::common::{exec_phase, ExecPhase};
+use crate::schemes::stitch::{fold_grid, stitch_blocks};
 use crate::schemes::Job;
 
 pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     let k = job.config.spec_k;
-    let ExecPhase { chunks, vr, ends, counts, predict_stats, exec_stats, .. } =
+    let ExecPhase { chunks, mut vr, mut ends, mut counts, predict_stats, exec_stats, .. } =
         exec_phase(job, k);
     let n = chunks.len();
 
     let mut verify = KernelStats::default();
+    let mut checks = 0u64;
+    let mut matches = 0u64;
+    let mut frontier_trace = Vec::new();
 
-    // Phase 2: parallel tree-like merge — log2(N) rounds, every thread
-    // forwarding k end states and checking k received ones.
     if n > 1 {
-        let mut merge = MergeKernel { k: k as u64, rounds_left: n.next_power_of_two().ilog2() };
-        verify.merge_sequential(&launch(job.spec, n, &mut merge));
+        let dims = block_dims(job.spec, n);
+        let incomings: Vec<StateId> =
+            dims.iter().map(|d| if d.index == 0 { 0 } else { ends[d.tids.start - 1] }).collect();
+
+        // Phase 2: parallel tree-like merge, one per block — log2(B) rounds,
+        // every thread forwarding k end states and checking k received ones.
+        // (A one-chunk trailing block has nothing to merge.)
+        let mut merges: Vec<(usize, MergeKernel)> = dims
+            .iter()
+            .filter(|d| d.len() > 1)
+            .map(|d| {
+                (
+                    d.len(),
+                    MergeKernel { k: k as u64, rounds_left: d.len().next_power_of_two().ilog2() },
+                )
+            })
+            .collect();
+        if !merges.is_empty() {
+            fold_grid(&mut verify, &launch_blocks(job.spec, &mut merges));
+        }
+
+        // Phase 3: per-block sequential verification and recovery along each
+        // block's speculated ground truth.
+        let lens: Vec<usize> = dims.iter().map(BlockDim::len).collect();
+        {
+            let vr_slices = vr.split_lens(&lens);
+            let mut e_rest: &mut [StateId] = &mut ends;
+            let mut c_rest: &mut [u64] = &mut counts;
+            let mut idle: Vec<PmBlock<'_, '_>> = Vec::new();
+            let mut pending: Vec<(usize, PmBlock<'_, '_>)> = Vec::new();
+            for (dim, vr_slice) in dims.iter().zip(vr_slices) {
+                let (e, er) = e_rest.split_at_mut(dim.len());
+                let (c, cr) = c_rest.split_at_mut(dim.len());
+                e_rest = er;
+                c_rest = cr;
+                let mut block = PmBlock {
+                    job,
+                    chunks: &chunks,
+                    base: dim.tids.start,
+                    n_local: dim.len(),
+                    incoming: incomings[dim.index],
+                    vr: vr_slice,
+                    k: k as u64,
+                    ends: e,
+                    counts: c,
+                    cursor: usize::from(dim.index == 0),
+                    checks: 0,
+                    matches: 0,
+                    frontier_trace: Vec::new(),
+                };
+                // Advance through merge-verified chunks before deciding
+                // whether the block needs a walker kernel at all.
+                block.skip_matches();
+                if block.cursor < block.n_local {
+                    pending.push((dim.len(), block));
+                } else {
+                    idle.push(block);
+                }
+            }
+            if !pending.is_empty() {
+                fold_grid(&mut verify, &launch_blocks(job.spec, &mut pending));
+            }
+            let mut blocks: Vec<PmBlock<'_, '_>> =
+                idle.into_iter().chain(pending.into_iter().map(|(_, b)| b)).collect();
+            blocks.sort_by_key(|b| b.base);
+            for block in blocks {
+                checks += block.checks;
+                matches += block.matches;
+                frontier_trace.extend_from_slice(&block.frontier_trace);
+            }
+        }
+        let stitched =
+            stitch_blocks(job, &chunks, &dims, &incomings, &mut vr, &mut ends, &mut counts);
+        verify.merge_sequential(&stitched.stats);
+        checks += stitched.checks;
+        matches += stitched.matches;
     }
 
-    // Phase 3: sequential verification and recovery along the ground truth.
-    let mut walker = SeqRecoverKernel {
-        job,
-        chunks: &chunks,
-        vr,
-        k: k as u64,
-        ends,
-        counts,
-        cursor: 1,
-        checks: 0,
-        matches: 0,
-        frontier_trace: Vec::new(),
-    };
-    // Advance through matching chunks before deciding whether a kernel is
-    // needed at all (they were verified during the merge).
-    walker.skip_matches();
-    if walker.cursor < n {
-        verify.merge_sequential(&launch(job.spec, n, &mut walker));
-    }
-
-    let end_state = *walker.ends.last().expect("at least one chunk");
+    let end_state = *ends.last().expect("at least one chunk");
     RunOutcome {
         scheme: SchemeKind::Pm,
         end_state,
         accepted: job.table.dfa().is_accepting(end_state),
-        chunk_ends: walker.ends,
+        chunk_ends: ends,
         predict: predict_stats,
         execute: exec_stats,
         verify,
-        verification_checks: walker.checks,
-        verification_matches: walker.matches,
-        match_count: job.config.count_matches.then(|| walker.counts.iter().sum()),
-        frontier_trace: walker.frontier_trace,
+        verification_checks: checks,
+        verification_matches: matches,
+        match_count: job.config.count_matches.then(|| counts.iter().sum()),
+        frontier_trace,
     }
 }
 
@@ -102,31 +165,44 @@ impl RoundKernel for MergeKernel {
     }
 }
 
-/// The sequential stage: walks the ground truth chunk by chunk. Chunks whose
-/// k-path record set contains the verified incoming state cost nothing here
-/// (already verified and composed in the merge); every miss runs a one-thread
-/// recovery round.
-struct SeqRecoverKernel<'a, 'j> {
+/// One block of the sequential stage: walks the block's speculated ground
+/// truth chunk by chunk. Chunks whose k-path record set contains the
+/// incoming verified state cost nothing here (already verified and composed
+/// in the merge); every miss runs a one-thread recovery round.
+struct PmBlock<'a, 'j> {
     job: &'a Job<'j>,
     chunks: &'a [Range<usize>],
-    vr: VrStore,
+    base: usize,
+    n_local: usize,
+    /// Verified (block 0) or block-speculated incoming end state for the
+    /// block's first chunk.
+    incoming: StateId,
+    vr: VrSlice<'a>,
     k: u64,
-    ends: Vec<StateId>,
-    counts: Vec<u64>,
+    ends: &'a mut [StateId],
+    counts: &'a mut [u64],
     cursor: usize,
     checks: u64,
     matches: u64,
     frontier_trace: Vec<u32>,
 }
 
-impl SeqRecoverKernel<'_, '_> {
+impl PmBlock<'_, '_> {
+    fn prev_end(&self) -> StateId {
+        if self.cursor == 0 {
+            self.incoming
+        } else {
+            self.ends[self.cursor - 1]
+        }
+    }
+
     /// Consumes the run of chunks (starting at `cursor`) whose records cover
     /// the incoming verified end state. Host-side: the device already paid
     /// for these checks in the merge rounds.
     fn skip_matches(&mut self) {
-        while self.cursor < self.chunks.len() {
-            let prev = self.ends[self.cursor - 1];
-            match self.vr.find(self.cursor, prev) {
+        while self.cursor < self.n_local {
+            let prev = self.prev_end();
+            match self.vr.find(self.base + self.cursor, prev) {
                 Some(rec) => {
                     self.checks += 1;
                     self.matches += 1;
@@ -140,12 +216,12 @@ impl SeqRecoverKernel<'_, '_> {
     }
 }
 
-impl RoundKernel for SeqRecoverKernel<'_, '_> {
+impl RoundKernel for PmBlock<'_, '_> {
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         if tid != self.cursor {
             return RoundOutcome::IDLE;
         }
-        let prev = self.ends[tid - 1];
+        let prev = self.prev_end();
         ctx.shuffle(1);
         ctx.alu(self.k); // re-check the k paths against the verified state
         self.checks += 1;
@@ -153,11 +229,15 @@ impl RoundKernel for SeqRecoverKernel<'_, '_> {
         let run = self.job.table.run_chunk_with(
             ctx,
             self.job.input,
-            self.chunks[tid].clone(),
+            self.chunks[self.base + tid].clone(),
             prev,
             self.job.config.count_matches,
         );
         ctx.credit_recovery(t0);
+        self.vr.push_own(
+            self.base + tid,
+            VrRecord { start: prev, end: run.end, matches: run.matches },
+        );
         self.ends[tid] = run.end;
         self.counts[tid] = run.matches;
         RoundOutcome::RECOVERING
@@ -166,8 +246,8 @@ impl RoundKernel for SeqRecoverKernel<'_, '_> {
     fn after_sync(&mut self, _round: u64) -> bool {
         self.cursor += 1;
         self.skip_matches();
-        self.frontier_trace.push(self.cursor as u32);
-        self.cursor < self.chunks.len()
+        self.frontier_trace.push((self.base + self.cursor) as u32);
+        self.cursor < self.n_local
     }
 }
 
@@ -245,5 +325,22 @@ mod tests {
         let out = run_scheme(SchemeKind::Pm, &job);
         assert_eq!(out.end_state, d.run(&input));
         assert_eq!(out.accepted, d.accepts(&input));
+    }
+
+    #[test]
+    fn pm_exact_across_block_boundaries() {
+        let d = div7();
+        let spec = DeviceSpec::test_unit(); // 64-thread blocks
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"11010101100101110101".repeat(50);
+        let config = SchemeConfig { n_chunks: 180, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Pm, &job);
+        assert_eq!(out.end_state, d.run(&input));
+        let mut s = d.start();
+        for (i, r) in job.chunks().into_iter().enumerate() {
+            s = d.run_from(s, &input[r]);
+            assert_eq!(out.chunk_ends[i], s, "chunk {i}");
+        }
     }
 }

@@ -12,8 +12,7 @@ use crate::schemes::Job;
 
 pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     let chunks = job.chunks();
-    let mut kernel =
-        SeqKernel { job, chunk_ends: Vec::with_capacity(chunks.len()), matches: 0 };
+    let mut kernel = SeqKernel { job, chunk_ends: Vec::with_capacity(chunks.len()), matches: 0 };
     let exec = launch(job.spec, 1, &mut kernel);
     let end_state = *kernel.chunk_ends.last().expect("at least one chunk");
     RunOutcome {

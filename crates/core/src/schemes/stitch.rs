@@ -1,0 +1,150 @@
+//! Block-boundary stitching for grid-scale verification (and the shared
+//! grid-stats folding helper).
+//!
+//! A single thread block can host at most `max_threads_per_block` chunks,
+//! and the verification kernels are *cooperative*: threads exchange end
+//! states through shared memory and `__syncthreads()`, neither of which
+//! crosses block boundaries on real hardware. Scaling past one block
+//! therefore extends the paper's speculation one level up: each block runs
+//! its verification loop assuming the *speculated* exec-phase end of its
+//! predecessor chunk as the incoming state (block-level speculation), and a
+//! sequential host-driven pass afterwards validates the block boundaries in
+//! order — exactly the shape of Algorithm 2's sequential walk, lifted from
+//! chunks to blocks.
+//!
+//! When a block's speculated incoming state turns out right (the common
+//! case on convergent machines, and guaranteed for block 0), its results
+//! are already exact and the stitch costs nothing. When it was wrong, the
+//! block's chunks are re-resolved in order from the true incoming state: a
+//! record hit in `VR` settles a chunk for the price of a scan, a miss is a
+//! must-be-done re-execution by a single thread — the same economics as
+//! chunk-level recovery, charged through the same simulator.
+
+use std::ops::Range;
+
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{
+    launch, BlockDim, GridStats, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+};
+
+use crate::records::{VrRecord, VrStore};
+use crate::schemes::Job;
+
+/// Folds a heterogeneous grid launch into one sequential-equivalent stats
+/// record (counters summed, event streams concatenated in block order,
+/// cycles = the grid's wave-scheduled completion time) and merges it into
+/// `verify` as a back-to-back kernel.
+pub(crate) fn fold_grid(verify: &mut KernelStats, grid: &GridStats) {
+    let mut combined = KernelStats::default();
+    for block in &grid.blocks {
+        combined.absorb_block(block);
+    }
+    combined.cycles = grid.cycles;
+    verify.merge_sequential(&combined);
+}
+
+/// What the boundary stitch did: its simulated cost plus the verification
+/// checks it performed while re-resolving mispredicted blocks.
+pub(crate) struct StitchOutcome {
+    pub stats: KernelStats,
+    pub checks: u64,
+    pub matches: u64,
+}
+
+/// Validates every block boundary in order. `incomings[b]` is the state
+/// block `b` speculated as its incoming; `ends`/`counts` hold the per-chunk
+/// results the blocks produced under that speculation and are rewritten in
+/// place for blocks whose speculation missed.
+pub(crate) fn stitch_blocks(
+    job: &Job<'_>,
+    chunks: &[Range<usize>],
+    dims: &[BlockDim],
+    incomings: &[StateId],
+    vr: &mut VrStore,
+    ends: &mut [StateId],
+    counts: &mut [u64],
+) -> StitchOutcome {
+    let mut out = StitchOutcome { stats: KernelStats::default(), checks: 0, matches: 0 };
+    for dim in &dims[1..] {
+        let lo = dim.tids.start;
+        let true_in = ends[lo - 1];
+        if true_in == incomings[dim.index] {
+            continue; // Block speculation verified: results already exact.
+        }
+        let mut kernel = StitchKernel {
+            job,
+            chunks,
+            vr,
+            end: dim.tids.end,
+            cursor: lo,
+            state: true_in,
+            ends,
+            counts,
+            checks: 0,
+            matches: 0,
+        };
+        let stats = launch(job.spec, 1, &mut kernel);
+        out.checks += kernel.checks;
+        out.matches += kernel.matches;
+        out.stats.merge_sequential(&stats);
+    }
+    out
+}
+
+/// One-thread re-resolution of a mispredicted block's chunks from the true
+/// incoming state: record hits are reused, misses re-executed (recovery).
+struct StitchKernel<'a, 'j> {
+    job: &'a Job<'j>,
+    chunks: &'a [Range<usize>],
+    vr: &'a mut VrStore,
+    end: usize,
+    cursor: usize,
+    state: StateId,
+    ends: &'a mut [StateId],
+    counts: &'a mut [u64],
+    checks: u64,
+    matches: u64,
+}
+
+impl RoundKernel for StitchKernel<'_, '_> {
+    fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let cid = self.cursor;
+        // Receive the verified end state of the predecessor chunk.
+        ctx.shuffle(1);
+        self.checks += 1;
+        let outcome = match self.vr.scan(ctx, cid, self.state) {
+            Some(rec) => {
+                self.matches += 1;
+                self.ends[cid] = rec.end;
+                self.counts[cid] = rec.matches;
+                RoundOutcome::ACTIVE
+            }
+            None => {
+                // Must-be-done recovery from the verified state.
+                let t0 = ctx.cycles();
+                let run = self.job.table.run_chunk_with(
+                    ctx,
+                    self.job.input,
+                    self.chunks[cid].clone(),
+                    self.state,
+                    self.job.config.count_matches,
+                );
+                ctx.credit_recovery(t0);
+                self.vr.push_own(
+                    cid,
+                    VrRecord { start: self.state, end: run.end, matches: run.matches },
+                );
+                self.ends[cid] = run.end;
+                self.counts[cid] = run.matches;
+                RoundOutcome::RECOVERING
+            }
+        };
+        self.state = self.ends[cid];
+        outcome
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        self.cursor += 1;
+        self.cursor < self.end
+    }
+}

@@ -20,15 +20,24 @@
 //! * **NF**: non-rear threads drain the speculation queues nearest to the
 //!   frontier first (Algorithm 5's `NF_Sched`), piling many threads — often
 //!   whole warps, which coalesce — onto the same chunk.
+//!
+//! Shared memory and barriers are block-scoped, so the loop runs *per
+//! block*: each block verifies its own chunk window against a block-level
+//! speculated incoming state, all blocks in parallel, and the boundary
+//! stitch of [`crate::schemes::stitch`] validates the block seams
+//! afterwards. A single block reproduces the pre-grid behaviour exactly.
 
 use std::ops::Range;
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{launch, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
+use gspecpal_gpu::{
+    block_dims, launch_blocks, BlockDim, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+};
 
-use crate::records::{VrRecord, VrStore};
+use crate::records::{VrRecord, VrSlice};
 use crate::run::{RunOutcome, SchemeKind};
 use crate::schemes::common::{exec_phase, ExecPhase};
+use crate::schemes::stitch::{fold_grid, stitch_blocks};
 use crate::schemes::Job;
 use crate::specq::SpecQueue;
 
@@ -56,48 +65,88 @@ impl RecoveryPolicy {
 /// Runs the full scheme (prediction, spec-1 execution, verification &
 /// recovery under `policy`).
 pub(crate) fn run_with_policy(job: &Job<'_>, policy: RecoveryPolicy) -> RunOutcome {
-    let ExecPhase { chunks, queues, vr, ends, counts: phase_counts, predict_stats, exec_stats, .. } =
-        exec_phase(job, 1);
+    let ExecPhase {
+        chunks,
+        mut queues,
+        mut vr,
+        mut ends,
+        counts: phase_counts,
+        predict_stats,
+        exec_stats,
+        ..
+    } = exec_phase(job, 1);
     let n = chunks.len();
+    let mut counts: Vec<u64> = (0..n).map(|i| phase_counts.get(i).copied().unwrap_or(0)).collect();
 
-    let mut kernel = VrKernel {
-        job,
-        chunks: &chunks,
-        queues,
-        vr,
-        ends_prev: ends.clone(),
-        counts_cur: (0..n).map(|i| phase_counts.get(i).copied().unwrap_or(0)).collect(),
-        ends_cur: ends,
-        found: vec![false; n],
-        endp: vec![0; n],
-        spec_budget: vec![job.config.spec_recovery_budget; n],
-        f: 1,
-        phase: Phase::Verify,
-        policy,
-        nf_cursor: 0,
-        checks: 0,
-        matches: 0,
-        frontier_trace: Vec::new(),
-    };
-    let verify = if n > 1 {
-        launch(job.spec, n, &mut kernel)
-    } else {
-        KernelStats::default()
-    };
+    let mut verify = KernelStats::default();
+    let mut checks = 0u64;
+    let mut matches = 0u64;
+    let mut frontier_trace = Vec::new();
 
-    let end_state = *kernel.ends_cur.last().expect("at least one chunk");
+    if n > 1 {
+        let dims = block_dims(job.spec, n);
+        // Block-level speculation: each block assumes the exec-phase end of
+        // its predecessor chunk as incoming (snapshot *before* any block
+        // rewrites its window).
+        let incomings: Vec<StateId> =
+            dims.iter().map(|d| if d.index == 0 { 0 } else { ends[d.tids.start - 1] }).collect();
+        let lens: Vec<usize> = dims.iter().map(BlockDim::len).collect();
+        {
+            let vr_slices = vr.split_lens(&lens);
+            let mut q_rest: &mut [SpecQueue] = &mut queues;
+            let mut e_rest: &mut [StateId] = &mut ends;
+            let mut c_rest: &mut [u64] = &mut counts;
+            let mut blocks: Vec<(usize, VrBlock<'_, '_>)> = Vec::with_capacity(dims.len());
+            for (dim, vr_slice) in dims.iter().zip(vr_slices) {
+                let (q, qr) = q_rest.split_at_mut(dim.len());
+                let (e, er) = e_rest.split_at_mut(dim.len());
+                let (c, cr) = c_rest.split_at_mut(dim.len());
+                q_rest = qr;
+                e_rest = er;
+                c_rest = cr;
+                blocks.push((
+                    dim.len(),
+                    VrBlock::new(
+                        job,
+                        &chunks,
+                        dim,
+                        incomings[dim.index],
+                        q,
+                        vr_slice,
+                        e,
+                        c,
+                        policy,
+                    ),
+                ));
+            }
+            let grid = launch_blocks(job.spec, &mut blocks);
+            fold_grid(&mut verify, &grid);
+            for (_, block) in blocks {
+                checks += block.checks;
+                matches += block.matches;
+                frontier_trace.extend_from_slice(&block.frontier_trace);
+            }
+        }
+        let stitched =
+            stitch_blocks(job, &chunks, &dims, &incomings, &mut vr, &mut ends, &mut counts);
+        verify.merge_sequential(&stitched.stats);
+        checks += stitched.checks;
+        matches += stitched.matches;
+    }
+
+    let end_state = *ends.last().expect("at least one chunk");
     RunOutcome {
         scheme: policy.scheme(),
         end_state,
         accepted: job.table.dfa().is_accepting(end_state),
-        match_count: job.config.count_matches.then(|| kernel.counts_cur.iter().sum()),
-        frontier_trace: kernel.frontier_trace,
-        chunk_ends: kernel.ends_cur,
+        match_count: job.config.count_matches.then(|| counts.iter().sum()),
+        frontier_trace,
+        chunk_ends: ends,
         predict: predict_stats,
         execute: exec_stats,
         verify,
-        verification_checks: kernel.checks,
-        verification_matches: kernel.matches,
+        verification_checks: checks,
+        verification_matches: matches,
     }
 }
 
@@ -107,50 +156,96 @@ enum Phase {
     Recover,
 }
 
-struct VrKernel<'a, 'j> {
+/// One block's verification-and-recovery loop over chunks
+/// `base..base+n_local`, indexed by global thread/chunk id.
+struct VrBlock<'a, 'j> {
     job: &'a Job<'j>,
     chunks: &'a [Range<usize>],
-    queues: Vec<SpecQueue>,
-    vr: VrStore,
+    base: usize,
+    n_local: usize,
+    /// End state forwarded into the block's first chunk: ground truth for
+    /// block 0 (whose first chunk ran from the machine's start state),
+    /// block-level speculation for every other block.
+    incoming: StateId,
+    /// Block 0's first chunk needs no verification (its start is certain).
+    trusted_first: bool,
+    queues: &'a mut [SpecQueue],
+    vr: VrSlice<'a>,
     /// End states as of the last barrier (what `end_state_comm` returns).
     ends_prev: Vec<StateId>,
     /// End states being written this round.
-    ends_cur: Vec<StateId>,
+    ends_cur: &'a mut [StateId],
     /// Match count associated with each chunk's current end value (the
     /// output-function tally of the record or re-execution that set it).
-    counts_cur: Vec<u64>,
+    counts_cur: &'a mut [u64],
     found: Vec<bool>,
     endp: Vec<StateId>,
     /// Remaining speculative (non-frontier) recoveries per thread.
     spec_budget: Vec<u32>,
-    /// The frontier: chunks `0..f` are verified.
+    /// The block frontier: local chunks `0..f` are verified (relative to the
+    /// block's incoming state).
     f: usize,
     phase: Phase,
     policy: RecoveryPolicy,
-    /// NF_Sched scan hint: queues before this chunk id are known drained
-    /// (they never refill, so the scan is amortized O(1) — on hardware this
-    /// is a shared first-non-empty pointer).
+    /// NF_Sched scan hint: queues before this local chunk id are known
+    /// drained (they never refill, so the scan is amortized O(1) — on
+    /// hardware this is a shared first-non-empty pointer).
     nf_cursor: usize,
     checks: u64,
     matches: u64,
     frontier_trace: Vec<u32>,
 }
 
-impl VrKernel<'_, '_> {
-    fn n(&self) -> usize {
-        self.chunks.len()
+impl<'a, 'j> VrBlock<'a, 'j> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        job: &'a Job<'j>,
+        chunks: &'a [Range<usize>],
+        dim: &BlockDim,
+        incoming: StateId,
+        queues: &'a mut [SpecQueue],
+        vr: VrSlice<'a>,
+        ends_cur: &'a mut [StateId],
+        counts_cur: &'a mut [u64],
+        policy: RecoveryPolicy,
+    ) -> Self {
+        let n_local = dim.len();
+        let trusted_first = dim.index == 0;
+        VrBlock {
+            job,
+            chunks,
+            base: dim.tids.start,
+            n_local,
+            incoming,
+            trusted_first,
+            queues,
+            vr,
+            ends_prev: ends_cur.to_vec(),
+            ends_cur,
+            counts_cur,
+            found: vec![false; n_local],
+            endp: vec![0; n_local],
+            spec_budget: vec![job.config.spec_recovery_budget; n_local],
+            f: usize::from(trusted_first),
+            phase: Phase::Verify,
+            policy,
+            nf_cursor: 0,
+            checks: 0,
+            matches: 0,
+            frontier_trace: Vec::new(),
+        }
     }
 
     /// Seeding a chunk beyond its record-window capacity is pure waste: the
     /// extra records would be dropped (§IV-C). One slot is taken by the
     /// chunk's own speculative-execution record.
-    fn seeding_exhausted(&self, cid: usize) -> bool {
-        let tried = self.queues[cid].initial_len() - self.queues[cid].remaining();
+    fn seeding_exhausted(&self, rel: usize) -> bool {
+        let tried = self.queues[rel].initial_len() - self.queues[rel].remaining();
         tried > self.job.config.vr_others_registers
     }
 
-    fn verify_round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
-        if tid == 0 || tid < self.f {
+    fn verify_round(&mut self, rel: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        if (self.trusted_first && rel == 0) || rel < self.f {
             // Verify rounds are cheap (communication + record scan); keeping
             // the verified threads idle here and batching their speculative
             // seeding into the must-be-done recovery rounds hides the
@@ -159,34 +254,35 @@ impl VrKernel<'_, '_> {
             // recovery in the frontier").
             return RoundOutcome::IDLE;
         }
-        // end_state_comm: receive the predecessor's current end state.
-        let end_p = self.ends_prev[tid - 1];
+        // end_state_comm: receive the predecessor's current end state (the
+        // block's speculated incoming for the first local chunk).
+        let end_p = if rel == 0 { self.incoming } else { self.ends_prev[rel - 1] };
         ctx.shuffle(1);
-        self.endp[tid] = end_p;
-        match self.vr.scan(ctx, tid, end_p) {
+        self.endp[rel] = end_p;
+        match self.vr.scan(ctx, self.base + rel, end_p) {
             Some(rec) => {
-                self.found[tid] = true;
-                self.ends_cur[tid] = rec.end;
-                self.counts_cur[tid] = rec.matches;
+                self.found[rel] = true;
+                self.ends_cur[rel] = rec.end;
+                self.counts_cur[rel] = rec.matches;
             }
             None => {
-                self.found[tid] = false;
+                self.found[rel] = false;
             }
         }
         RoundOutcome::ACTIVE
     }
 
-    fn recover_round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+    fn recover_round(&mut self, rel: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         let f = self.f;
-        let rear = tid >= f;
+        let rear = rel >= f;
         if rear {
             // Rear threads follow the SRE strategy: re-execute the own chunk
             // from the forwarded end state. The frontier's recovery is
             // must-be-done; other rear threads recover speculatively, at most
             // `spec_budget` times, and only when no record already covers
             // their forwarded state.
-            if tid != f {
-                if self.found[tid] || self.spec_budget[tid] == 0 {
+            if rel != f {
+                if self.found[rel] || self.spec_budget[rel] == 0 {
                     // Nothing useful to do on the own chunk. Under SRE the
                     // thread idles (the one-to-one binding); the aggressive
                     // schemes reassign it like a verified thread — §III-A:
@@ -195,26 +291,29 @@ impl VrKernel<'_, '_> {
                     return match self.policy {
                         RecoveryPolicy::Sre => RoundOutcome::IDLE,
                         RecoveryPolicy::RoundRobin | RecoveryPolicy::NearestFirst => {
-                            self.seed_round(tid, ctx)
+                            self.seed_round(rel, ctx)
                         }
                     };
                 }
-                self.spec_budget[tid] -= 1;
+                self.spec_budget[rel] -= 1;
             }
-            let st = self.endp[tid];
+            let st = self.endp[rel];
             let t0 = ctx.cycles();
             let run = self.job.table.run_chunk_with(
                 ctx,
                 self.job.input,
-                self.chunks[tid].clone(),
+                self.chunks[self.base + rel].clone(),
                 st,
                 self.job.config.count_matches,
             );
             ctx.credit_recovery(t0);
-            self.vr.push_own(tid, VrRecord { start: st, end: run.end, matches: run.matches });
-            if !self.found[tid] {
-                self.ends_cur[tid] = run.end;
-                self.counts_cur[tid] = run.matches;
+            self.vr.push_own(
+                self.base + rel,
+                VrRecord { start: st, end: run.end, matches: run.matches },
+            );
+            if !self.found[rel] {
+                self.ends_cur[rel] = run.end;
+                self.counts_cur[rel] = run.matches;
             }
             RoundOutcome::RECOVERING
         } else {
@@ -224,7 +323,7 @@ impl VrKernel<'_, '_> {
             match self.policy {
                 RecoveryPolicy::Sre => RoundOutcome::IDLE,
                 RecoveryPolicy::RoundRobin | RecoveryPolicy::NearestFirst => {
-                    self.seed_round(tid, ctx)
+                    self.seed_round(rel, ctx)
                 }
             }
         }
@@ -234,10 +333,11 @@ impl VrKernel<'_, '_> {
     /// chunk past the frontier (RR: round-robin, Algorithm 4 line 23; NF:
     /// nearest non-drained queue, Algorithm 5 lines 29-33), dequeue the next
     /// speculative state, execute the chunk, and forward the record into the
-    /// owner's `VR^others` window.
-    fn seed_round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+    /// owner's `VR^others` window. All candidates are block-local: the
+    /// speculation queues live in the block's shared memory.
+    fn seed_round(&mut self, rel: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         let f = self.f;
-        let n = self.n();
+        let n = self.n_local;
         debug_assert!(f < n);
         let (cid, st) = match self.policy {
             RecoveryPolicy::Sre => return RoundOutcome::IDLE,
@@ -246,7 +346,7 @@ impl VrKernel<'_, '_> {
                 if avail == 0 {
                     return RoundOutcome::IDLE;
                 }
-                let cid = f + 1 + (tid % avail);
+                let cid = f + 1 + (rel % avail);
                 if self.seeding_exhausted(cid) {
                     return RoundOutcome::IDLE;
                 }
@@ -279,22 +379,27 @@ impl VrKernel<'_, '_> {
         let run = self.job.table.run_chunk_with(
             ctx,
             self.job.input,
-            self.chunks[cid].clone(),
+            self.chunks[self.base + cid].clone(),
             st,
             self.job.config.count_matches,
         );
         ctx.credit_recovery(t0);
-        self.vr
-            .push_other(ctx, cid, VrRecord { start: st, end: run.end, matches: run.matches });
+        self.vr.push_other(
+            ctx,
+            self.base + cid,
+            VrRecord { start: st, end: run.end, matches: run.matches },
+        );
         RoundOutcome::RECOVERING
     }
 }
 
-impl RoundKernel for VrKernel<'_, '_> {
+impl RoundKernel for VrBlock<'_, '_> {
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        // `launch_blocks` hands each block kernel block-local thread ids.
+        let rel = tid;
         match self.phase {
-            Phase::Verify => self.verify_round(tid, ctx),
-            Phase::Recover => self.recover_round(tid, ctx),
+            Phase::Verify => self.verify_round(rel, ctx),
+            Phase::Recover => self.recover_round(rel, ctx),
         }
     }
 
@@ -314,7 +419,7 @@ impl RoundKernel for VrKernel<'_, '_> {
                     // round.
                     self.matches += 1;
                     self.f += 1;
-                    while self.f < self.n()
+                    while self.f < self.n_local
                         && self.found[self.f]
                         && self.endp[self.f] == self.ends_cur[self.f - 1]
                     {
@@ -325,17 +430,17 @@ impl RoundKernel for VrKernel<'_, '_> {
                 } else {
                     self.phase = Phase::Recover;
                 }
-                self.ends_prev.copy_from_slice(&self.ends_cur);
+                self.ends_prev.copy_from_slice(self.ends_cur);
             }
             Phase::Recover => {
                 // The frontier's must-be-done recovery resolved chunk f.
-                self.ends_prev.copy_from_slice(&self.ends_cur);
+                self.ends_prev.copy_from_slice(self.ends_cur);
                 self.f += 1;
                 self.phase = Phase::Verify;
             }
         }
-        self.frontier_trace.push(self.f as u32);
-        self.f < self.n()
+        self.frontier_trace.push((self.base + self.f) as u32);
+        self.f < self.n_local
     }
 }
 
@@ -367,7 +472,8 @@ mod tests {
     #[test]
     fn all_policies_exact_on_nonconvergent_div7() {
         let input: Vec<u8> = b"110101011001011101".repeat(16);
-        for policy in [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        for policy in
+            [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
         {
             check_exact(&div7(), &input, 16, policy);
         }
@@ -378,9 +484,29 @@ mod tests {
         let d = keyword_dfa(&[b"attack", b"worm", b"exploit"]).unwrap();
         let mut input = b"benign traffic attack packet worm xx ".repeat(12);
         input.extend_from_slice(b"exploit");
-        for policy in [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        for policy in
+            [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
         {
             check_exact(&d, &input, 8, policy);
+        }
+    }
+
+    #[test]
+    fn all_policies_exact_across_block_boundaries() {
+        // 200 chunks on a 64-thread device: a 4-block grid with block-level
+        // speculation and a boundary stitch — still bit-exact.
+        let input: Vec<u8> = b"110101011001011101".repeat(64);
+        for policy in
+            [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        {
+            check_exact(&div7(), &input, 200, policy);
+        }
+        let d = keyword_dfa(&[b"attack", b"worm"]).unwrap();
+        let input = b"benign traffic attack packet worm xx ".repeat(40);
+        for policy in
+            [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        {
+            check_exact(&d, &input, 150, policy);
         }
     }
 
@@ -432,7 +558,8 @@ mod tests {
         let input = b"1101011";
         let config = SchemeConfig { n_chunks: 1, ..SchemeConfig::default() };
         let job = Job::new(&spec, &table, input, config).unwrap();
-        for policy in [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
+        for policy in
+            [RecoveryPolicy::Sre, RecoveryPolicy::RoundRobin, RecoveryPolicy::NearestFirst]
         {
             let out = run_with_policy(&job, policy);
             assert_eq!(out.end_state, d.run(input));

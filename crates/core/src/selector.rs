@@ -113,8 +113,10 @@ impl Selector {
             }
         }
 
-        let spec1_accuracy = if total == 0 { 0.0 } else { f64::from(spec1_hits) / f64::from(total) };
-        let spec4_accuracy = if total == 0 { 0.0 } else { f64::from(spec4_hits) / f64::from(total) };
+        let spec1_accuracy =
+            if total == 0 { 0.0 } else { f64::from(spec1_hits) / f64::from(total) };
+        let spec4_accuracy =
+            if total == 0 { 0.0 } else { f64::from(spec4_hits) / f64::from(total) };
         let portion_accs: Vec<f64> = per_portion_hits
             .iter()
             .zip(&per_portion_total)

@@ -126,7 +126,11 @@ mod tests {
             got: Vec<Option<StateId>>,
         }
         impl RoundKernel for K {
-            fn round(&mut self, _tid: usize, ctx: &mut gspecpal_gpu::ThreadCtx<'_>) -> RoundOutcome {
+            fn round(
+                &mut self,
+                _tid: usize,
+                ctx: &mut gspecpal_gpu::ThreadCtx<'_>,
+            ) -> RoundOutcome {
                 let s = self.q.dequeue(ctx);
                 self.got.push(s);
                 RoundOutcome::ACTIVE

@@ -123,8 +123,8 @@ impl<'a> DeviceTable<'a> {
             ctx.shared(1);
         } else {
             let class = self.dfa.classes().class(b) as u64;
-            let offset =
-                (u64::from(s) * self.dfa.stride() as u64 + class) * std::mem::size_of::<StateId>() as u64;
+            let offset = (u64::from(s) * self.dfa.stride() as u64 + class)
+                * std::mem::size_of::<StateId>() as u64;
             ctx.global(REGION_TABLE, offset, std::mem::size_of::<StateId>() as u64);
         }
         self.dfa.next(s, b)

@@ -10,8 +10,10 @@
 //! — see the `motivation` experiment in `gspecpal-bench`.
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{launch, DeviceSpec, KernelStats, RoundKernel, RoundOutcome, ThreadCtx};
-
+use gspecpal_gpu::{
+    launch_blocks, launch_grid, BlockDim, DeviceSpec, GridKernel, KernelStats, RoundKernel,
+    RoundOutcome, ThreadCtx,
+};
 
 use crate::table::DeviceTable;
 
@@ -50,23 +52,17 @@ impl BatchOutcome {
 
 /// Runs `streams` over the same machine, one device thread per stream —
 /// stream-level parallelism exactly as throughput-oriented engines do.
+/// Batches larger than one block become a grid of full blocks scheduled in
+/// SM waves; [`run_stream_parallel_grid`] exposes the block size explicitly.
 pub fn run_stream_parallel(
     spec: &DeviceSpec,
     table: &DeviceTable<'_>,
     streams: &[&[u8]],
 ) -> BatchOutcome {
     assert!(!streams.is_empty(), "need at least one stream");
-    assert!(
-        streams.len() <= spec.max_threads_per_block as usize,
-        "more streams than block capacity; use run_stream_parallel_grid"
-    );
     let mut kernel = StreamKernel { table, streams, end_states: vec![0; streams.len()] };
-    let stats = launch(spec, streams.len(), &mut kernel);
-    let accepted = kernel
-        .end_states
-        .iter()
-        .map(|&s| table.dfa().is_accepting(s))
-        .collect();
+    let stats = launch_grid(spec, streams.len(), &mut kernel);
+    let accepted = kernel.end_states.iter().map(|&s| table.dfa().is_accepting(s)).collect();
     BatchOutcome {
         end_states: kernel.end_states,
         accepted,
@@ -93,7 +89,7 @@ pub fn run_stream_parallel_grid(
             (shard.len(), StreamKernel { table, streams: shard, end_states: vec![0; shard.len()] })
         })
         .collect();
-    let grid = gspecpal_gpu::launch_grid(spec, &mut blocks);
+    let grid = launch_blocks(spec, &mut blocks);
 
     let mut end_states = Vec::with_capacity(streams.len());
     for (_, k) in &blocks {
@@ -106,12 +102,7 @@ pub fn run_stream_parallel_grid(
         stats.merge_sequential(b);
     }
     stats.cycles = grid.cycles;
-    BatchOutcome {
-        end_states,
-        accepted,
-        stats,
-        total_bytes: streams.iter().map(|s| s.len()).sum(),
-    }
+    BatchOutcome { end_states, accepted, stats, total_bytes: streams.iter().map(|s| s.len()).sum() }
 }
 
 struct StreamKernel<'a, 'j> {
@@ -133,12 +124,57 @@ impl RoundKernel for StreamKernel<'_, '_> {
     }
 }
 
+/// One grid block's slice of a [`StreamKernel`]: streams `base..base+len`,
+/// addressed by global thread id.
+struct StreamBlock<'s> {
+    table: &'s DeviceTable<'s>,
+    base: usize,
+    streams: &'s [&'s [u8]],
+    end_states: &'s mut [StateId],
+}
+
+impl RoundKernel for StreamBlock<'_> {
+    fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let stream = self.streams[tid - self.base];
+        self.end_states[tid - self.base] =
+            self.table.run_chunk(ctx, stream, 0..stream.len(), self.table.dfa().start());
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        false
+    }
+}
+
+impl GridKernel for StreamKernel<'_, '_> {
+    type Block<'s>
+        = StreamBlock<'s>
+    where
+        Self: 's;
+
+    fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<StreamBlock<'s>> {
+        let mut ends: &'s mut [StateId] = &mut self.end_states;
+        let mut out = Vec::with_capacity(dims.len());
+        for dim in dims {
+            let (mine, rest) = ends.split_at_mut(dim.len());
+            ends = rest;
+            out.push(StreamBlock {
+                table: self.table,
+                base: dim.tids.start,
+                streams: &self.streams[dim.tids.start..dim.tids.end],
+                end_states: mine,
+            });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::SchemeConfig;
-    use crate::schemes::{run_scheme, Job};
     use crate::run::SchemeKind;
+    use crate::schemes::{run_scheme, Job};
     use gspecpal_fsm::examples::div7;
 
     fn streams_of(base: &[u8], n: usize) -> Vec<Vec<u8>> {

@@ -55,7 +55,8 @@ pub fn product(a: &Dfa, b: &Dfa, accept: ProductAccept) -> Result<Dfa, FsmError>
     let mut queue: VecDeque<(StateId, StateId)> = VecDeque::new();
 
     let start_pair = (a.start(), b.start());
-    let start = builder.add_state(accept.apply(a.is_accepting(a.start()), b.is_accepting(b.start())));
+    let start =
+        builder.add_state(accept.apply(a.is_accepting(a.start()), b.is_accepting(b.start())));
     index.insert(start_pair, start);
     queue.push_back(start_pair);
 
@@ -67,8 +68,7 @@ pub fn product(a: &Dfa, b: &Dfa, accept: ProductAccept) -> Result<Dfa, FsmError>
             let to = match index.get(&(ta, tb)) {
                 Some(&t) => t,
                 None => {
-                    let t = builder
-                        .add_state(accept.apply(a.is_accepting(ta), b.is_accepting(tb)));
+                    let t = builder.add_state(accept.apply(a.is_accepting(ta), b.is_accepting(tb)));
                     index.insert((ta, tb), t);
                     queue.push_back((ta, tb));
                     t
@@ -201,7 +201,11 @@ pub fn keyword_dfa(keywords: &[&[u8]]) -> Result<Dfa, FsmError> {
     }
     for node in 0..n_nodes {
         for c in 0..n_classes {
-            builder.set_transition(node as StateId, c as u16, goto[node * n_classes + c] as StateId)?;
+            builder.set_transition(
+                node as StateId,
+                c as u16,
+                goto[node * n_classes + c] as StateId,
+            )?;
         }
     }
     builder.build(0)
@@ -238,10 +242,8 @@ pub fn sliding_window_dfa(alphabet: &[u8], k: usize, accept_word: &[u8]) -> Resu
         .collect();
 
     let accept_id: usize = accept_word.iter().fold(0, |acc, &b| {
-        let l = alphabet
-            .iter()
-            .position(|&x| x == b)
-            .expect("accept word uses only alphabet bytes");
+        let l =
+            alphabet.iter().position(|&x| x == b).expect("accept word uses only alphabet bytes");
         acc * w + l
     });
     // Start state: the all-foreign window.

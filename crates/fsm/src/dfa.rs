@@ -326,7 +326,12 @@ impl DfaBuilder {
     }
 
     /// Sets `δ(from, class) = to`.
-    pub fn set_transition(&mut self, from: StateId, class: u16, to: StateId) -> Result<(), FsmError> {
+    pub fn set_transition(
+        &mut self,
+        from: StateId,
+        class: u16,
+        to: StateId,
+    ) -> Result<(), FsmError> {
         let n = self.rows.len() as u32;
         if from as usize >= self.rows.len() {
             return Err(FsmError::InvalidState { state: from, n_states: n });
@@ -342,7 +347,12 @@ impl DfaBuilder {
     }
 
     /// Sets `δ(from, class(b)) = to` for a raw byte `b`.
-    pub fn set_transition_byte(&mut self, from: StateId, b: u8, to: StateId) -> Result<(), FsmError> {
+    pub fn set_transition_byte(
+        &mut self,
+        from: StateId,
+        b: u8,
+        to: StateId,
+    ) -> Result<(), FsmError> {
         let class = self.classes.class(b);
         self.set_transition(from, class, to)
     }

@@ -53,10 +53,8 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     }
 
     // Hopcroft partition refinement.
-    let mut block_of: Vec<u32> = reachable
-        .iter()
-        .map(|&s| u32::from(dfa.is_accepting(s)))
-        .collect();
+    let mut block_of: Vec<u32> =
+        reachable.iter().map(|&s| u32::from(dfa.is_accepting(s))).collect();
     let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
     for (i, &b) in block_of.iter().enumerate() {
         blocks[b as usize].push(i as u32);
@@ -148,9 +146,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
                       // after the reachability pass, kept for safety).
         }
         let rep_state = reachable[members[0] as usize];
-        builder
-            .set_accepting(new, dfa.is_accepting(rep_state))
-            .expect("state was added above");
+        builder.set_accepting(new, dfa.is_accepting(rep_state)).expect("state was added above");
         for c in 0..k {
             let t_dense = dense_of[dfa.next_by_class(rep_state, c as u16) as usize];
             let t_new = order[block_of[t_dense] as usize];

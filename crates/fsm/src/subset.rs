@@ -115,17 +115,7 @@ mod tests {
     fn determinized_machine_agrees_with_nfa() {
         let n = ends_with_ab();
         let d = determinize(&n).unwrap();
-        for input in [
-            &b""[..],
-            b"ab",
-            b"xxab",
-            b"aab",
-            b"ba",
-            b"a",
-            b"abab",
-            b"abba",
-            b"zzzzzab",
-        ] {
+        for input in [&b""[..], b"ab", b"xxab", b"aab", b"ba", b"a", b"abab", b"abba", b"zzzzzab"] {
             assert_eq!(n.accepts(input), d.accepts(input), "input {input:?}");
         }
     }

@@ -36,11 +36,7 @@ impl TransformedDfa {
     /// Identity transformation (no profile available).
     pub fn identity(dfa: &Dfa) -> Self {
         let n = dfa.n_states();
-        TransformedDfa {
-            dfa: dfa.clone(),
-            rank_of: (0..n).collect(),
-            orig_of: (0..n).collect(),
-        }
+        TransformedDfa { dfa: dfa.clone(), rank_of: (0..n).collect(), orig_of: (0..n).collect() }
     }
 
     /// The transformed machine (state id == frequency rank).
@@ -106,13 +102,7 @@ mod tests {
         let d = fig4_dfa();
         let profile = FrequencyProfile::collect(&d, b"/* hot */ cold /*x*/");
         let t = TransformedDfa::from_profile(&d, &profile);
-        for input in [
-            &b"/* hello */"[..],
-            b"///***///",
-            b"plain text",
-            b"/*unclosed",
-            b"",
-        ] {
+        for input in [&b"/* hello */"[..], b"///***///", b"plain text", b"/*unclosed", b""] {
             assert_eq!(d.accepts(input), t.dfa().accepts(input), "input {input:?}");
             assert_eq!(t.to_original(t.dfa().run(input)), d.run(input));
         }

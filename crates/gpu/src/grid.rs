@@ -1,23 +1,158 @@
 //! Grid launches: multiple independent thread blocks.
 //!
-//! The latency-sensitive schemes run in a single cooperative block (shared
-//! memory and `__syncthreads()` are block-scoped), but throughput-oriented
-//! workloads want the whole device: a *grid* of blocks, each with its own
-//! barrier domain, scheduled onto the SMs in waves. Blocks never
-//! communicate; the grid completes when its slowest wave does.
+//! A single cooperative block (shared memory and `__syncthreads()` are
+//! block-scoped) caps a kernel at `max_threads_per_block` threads — and one
+//! block is not a GPU: the RTX 3090 has 82 SMs. [`launch_grid`] scales a
+//! round-based kernel past that limit by partitioning its threads into
+//! blocks, simulating the blocks **concurrently on host worker threads**
+//! (a rayon pool — blocks never communicate, so they are embarrassingly
+//! parallel), and merging the per-block [`KernelStats`] deterministically:
 //!
-//! The scheduling model is the classic occupancy picture: with `B` blocks
-//! and `S` SMs (one resident block per SM — our blocks are up to 1024
-//! threads, which caps residency on Ampere), blocks execute in
-//! `ceil(B / S)` waves; each wave's duration is the maximum block time in
-//! it, and waves are serialized.
+//! * counters (ALU, memory, atomics, recovery) are summed;
+//! * per-round event streams are concatenated in block order;
+//! * `cycles` follows the SM-occupancy wave model (see [`crate::occupancy`]):
+//!   blocks are scheduled `resident × n_sms` at a time, each wave lasts as
+//!   long as its slowest block, and waves serialize.
+//!
+//! The merge depends only on block boundaries and kernel behaviour — never
+//! on host scheduling — so the result is bit-identical for every rayon
+//! worker count, including 1 (the sequential reference).
+//!
+//! [`launch_blocks`] is the lower-level API for heterogeneous grids: the
+//! caller brings one pre-built kernel per block (used by throughput-mode
+//! batch scans, where blocks differ in shape).
 
-use crate::kernel::{launch, RoundKernel};
+use rayon::prelude::*;
+
+use crate::kernel::{launch, run_block, RoundKernel};
 use crate::occupancy::{max_resident_blocks, BlockRequirements};
 use crate::spec::DeviceSpec;
 use crate::stats::KernelStats;
 
-/// Statistics of a whole grid launch.
+/// The shape of one block within a grid launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockDim {
+    /// Position of this block in the grid (submission order).
+    pub index: usize,
+    /// The *global* thread ids this block hosts.
+    pub tids: std::ops::Range<usize>,
+}
+
+impl BlockDim {
+    /// Number of threads in this block.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Whether the block is empty (never true for dims built by
+    /// [`block_dims`]).
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+}
+
+/// Partitions `n_threads` global threads into blocks of at most
+/// `max_threads_per_block`: every block full except possibly the last.
+pub fn block_dims(spec: &DeviceSpec, n_threads: usize) -> Vec<BlockDim> {
+    assert!(n_threads > 0, "kernel needs at least one thread");
+    let per_block = spec.max_threads_per_block.max(1) as usize;
+    (0..n_threads.div_ceil(per_block))
+        .map(|index| {
+            let lo = index * per_block;
+            BlockDim { index, tids: lo..((lo + per_block).min(n_threads)) }
+        })
+        .collect()
+}
+
+/// A kernel that can hand out its state as per-block [`RoundKernel`]s.
+///
+/// `split` receives the grid's block dims and must return one block kernel
+/// per dim. Each block kernel sees the *global* thread ids of its dim in
+/// `round`, and borrows a disjoint slice of the parent's state — mirroring
+/// how a CUDA grid partitions its working set, and exactly what lets the
+/// simulator run blocks on concurrent host threads. Results written through
+/// those borrows land in the parent when the blocks drop.
+pub trait GridKernel {
+    /// The per-block kernel, borrowing from `self` for `'s`.
+    type Block<'s>: RoundKernel + Send
+    where
+        Self: 's;
+
+    /// Splits `self` into one block kernel per entry of `dims`.
+    fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<Self::Block<'s>>;
+}
+
+/// Launches `kernel` with `n_threads` threads as a grid of blocks of
+/// `max_threads_per_block`, simulating blocks concurrently and merging
+/// their statistics deterministically (see the module docs).
+///
+/// The single-block case reduces exactly to [`launch`]: same stats, same
+/// cycles. The block simulations run on the ambient rayon pool; the merged
+/// result is bit-identical for every pool size.
+///
+/// ```
+/// use gspecpal_gpu::{
+///     launch_grid, BlockDim, DeviceSpec, GridKernel, RoundKernel, RoundOutcome, ThreadCtx,
+/// };
+///
+/// /// Every thread does ten ALU ops in a single round.
+/// struct Burn;
+/// impl RoundKernel for Burn {
+///     fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+///         ctx.alu(10);
+///         RoundOutcome::ACTIVE
+///     }
+///     fn after_sync(&mut self, _round: u64) -> bool { false }
+/// }
+///
+/// /// Stateless kernel: every block is another `Burn`.
+/// struct BurnGrid;
+/// impl GridKernel for BurnGrid {
+///     type Block<'s> = Burn;
+///     fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<Burn> {
+///         dims.iter().map(|_| Burn).collect()
+///     }
+/// }
+///
+/// // 8192 threads on a 64-thread-block device: a 128-block grid.
+/// let spec = DeviceSpec::test_unit();
+/// let stats = launch_grid(&spec, 8192, &mut BurnGrid);
+/// assert_eq!(stats.alu_ops, 81_920);
+/// ```
+pub fn launch_grid<G: GridKernel>(
+    spec: &DeviceSpec,
+    n_threads: usize,
+    kernel: &mut G,
+) -> KernelStats {
+    let dims = block_dims(spec, n_threads);
+    let blocks = kernel.split(&dims);
+    assert_eq!(blocks.len(), dims.len(), "GridKernel::split must return one block kernel per dim");
+    let width = dims[0].len() as u32;
+    let work: Vec<(BlockDim, G::Block<'_>)> = dims.into_iter().zip(blocks).collect();
+    let per_block: Vec<KernelStats> = work
+        .into_par_iter()
+        .map(|(dim, mut block)| run_block(spec, dim.tids.start, dim.len(), &mut block))
+        .collect();
+    merge_grid(spec, width, &per_block)
+}
+
+/// Merges per-block stats into grid stats: counters summed, event streams
+/// concatenated in block order, cycles from the occupancy wave model.
+fn merge_grid(spec: &DeviceSpec, block_width: u32, per_block: &[KernelStats]) -> KernelStats {
+    let mut merged = KernelStats::default();
+    for stats in per_block {
+        merged.absorb_block(stats);
+    }
+    let resident = max_resident_blocks(spec, &BlockRequirements::light(block_width)).max(1);
+    let per_wave = (resident * spec.n_sms.max(1)) as usize;
+    merged.cycles = per_block
+        .chunks(per_wave)
+        .map(|wave| wave.iter().map(|b| b.cycles).max().unwrap_or(0))
+        .sum();
+    merged
+}
+
+/// Statistics of a whole heterogeneous grid launch ([`launch_blocks`]).
 #[derive(Clone, Debug)]
 pub struct GridStats {
     /// Per-block kernel statistics, in submission order.
@@ -41,45 +176,43 @@ impl GridStats {
 }
 
 /// Launches one block per kernel in `blocks` (each with its thread count)
-/// and schedules them onto the device's SMs in waves.
-pub fn launch_grid<K: RoundKernel>(
+/// and schedules them onto the device's SMs in waves, one resident block
+/// per SM. Blocks simulate concurrently on the rayon pool; per-block stats
+/// and wave accounting are deterministic regardless of pool size.
+pub fn launch_blocks<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
 ) -> GridStats {
-    launch_grid_waves(spec, blocks, spec.n_sms.max(1) as usize)
+    launch_block_waves(spec, blocks, spec.n_sms.max(1) as usize)
 }
 
-/// Like [`launch_grid`], with the wave width derived from the kernel's
+/// Like [`launch_blocks`], with the wave width derived from the kernel's
 /// resource requirements via the occupancy calculator: blocks per wave =
 /// `max_resident_blocks(spec, req) × n_sms`.
-pub fn launch_grid_occupancy<K: RoundKernel>(
+pub fn launch_blocks_occupancy<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
     req: &BlockRequirements,
 ) -> GridStats {
     let resident = max_resident_blocks(spec, req);
     assert!(resident > 0, "a single block exceeds the SM's resources: {req:?}");
-    launch_grid_waves(spec, blocks, (resident * spec.n_sms.max(1)) as usize)
+    launch_block_waves(spec, blocks, (resident * spec.n_sms.max(1)) as usize)
 }
 
-fn launch_grid_waves<K: RoundKernel>(
+fn launch_block_waves<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
     per_wave: usize,
 ) -> GridStats {
     assert!(!blocks.is_empty(), "a grid needs at least one block");
     let per_wave = per_wave.max(1);
-    let mut stats = Vec::with_capacity(blocks.len());
+    let work: Vec<&mut (usize, K)> = blocks.iter_mut().collect();
+    let stats: Vec<KernelStats> =
+        work.into_par_iter().map(|(n_threads, kernel)| launch(spec, *n_threads, kernel)).collect();
     let mut cycles = 0u64;
     let mut waves = 0u32;
-    for wave in blocks.chunks_mut(per_wave) {
-        let mut wave_max = 0u64;
-        for (n_threads, kernel) in wave.iter_mut() {
-            let s = launch(spec, *n_threads, kernel);
-            wave_max = wave_max.max(s.cycles);
-            stats.push(s);
-        }
-        cycles += wave_max;
+    for wave in stats.chunks(per_wave) {
+        cycles += wave.iter().map(|s| s.cycles).max().unwrap_or(0);
         waves += 1;
     }
     GridStats { blocks: stats, waves, cycles }
@@ -106,7 +239,7 @@ mod tests {
     fn one_wave_runs_blocks_concurrently() {
         let spec = DeviceSpec::test_unit(); // 1 SM
         let mut blocks = vec![(4usize, Work(10))];
-        let g = launch_grid(&spec, &mut blocks);
+        let g = launch_blocks(&spec, &mut blocks);
         assert_eq!(g.waves, 1);
         assert_eq!(g.cycles, g.blocks[0].cycles);
     }
@@ -117,7 +250,7 @@ mod tests {
         spec.n_sms = 2;
         // 5 equal blocks on 2 SMs: 3 waves, each gated by one block.
         let mut blocks: Vec<(usize, Work)> = (0..5).map(|_| (2usize, Work(7))).collect();
-        let g = launch_grid(&spec, &mut blocks);
+        let g = launch_blocks(&spec, &mut blocks);
         assert_eq!(g.waves, 3);
         let per_block = g.blocks[0].cycles;
         assert_eq!(g.cycles, 3 * per_block);
@@ -129,7 +262,7 @@ mod tests {
         let mut spec = DeviceSpec::test_unit();
         spec.n_sms = 2;
         let mut blocks = vec![(1usize, Work(5)), (1usize, Work(500))];
-        let g = launch_grid(&spec, &mut blocks);
+        let g = launch_blocks(&spec, &mut blocks);
         assert_eq!(g.waves, 1);
         assert_eq!(g.cycles, g.max_block_cycles());
         assert!(g.cycles >= 500);
@@ -142,11 +275,11 @@ mod tests {
         // 8 light blocks of 2 threads: occupancy allows 4 resident -> 2 waves.
         let req = BlockRequirements { threads: 2, shared_bytes: 0, regs_per_thread: 8 };
         let mut blocks: Vec<(usize, Work)> = (0..8).map(|_| (2usize, Work(9))).collect();
-        let g = launch_grid_occupancy(&spec, &mut blocks, &req);
+        let g = launch_blocks_occupancy(&spec, &mut blocks, &req);
         assert_eq!(g.waves, 2);
         // The naive one-block-per-SM scheduler needs 8 waves.
         let mut blocks: Vec<(usize, Work)> = (0..8).map(|_| (2usize, Work(9))).collect();
-        let naive = launch_grid(&spec, &mut blocks);
+        let naive = launch_blocks(&spec, &mut blocks);
         assert_eq!(naive.waves, 8);
         assert!(g.cycles < naive.cycles);
     }
@@ -155,13 +288,10 @@ mod tests {
     #[should_panic(expected = "exceeds the SM's resources")]
     fn occupancy_rejects_oversized_blocks() {
         let spec = DeviceSpec::test_unit();
-        let req = BlockRequirements {
-            threads: 2,
-            shared_bytes: usize::MAX / 2,
-            regs_per_thread: 8,
-        };
+        let req =
+            BlockRequirements { threads: 2, shared_bytes: usize::MAX / 2, regs_per_thread: 8 };
         let mut blocks = vec![(2usize, Work(1))];
-        let _ = launch_grid_occupancy(&spec, &mut blocks, &req);
+        let _ = launch_blocks_occupancy(&spec, &mut blocks, &req);
     }
 
     #[test]
@@ -178,7 +308,105 @@ mod tests {
         }
         let spec = DeviceSpec::test_unit();
         let mut blocks = vec![(3usize, Loader), (3usize, Loader)];
-        let g = launch_grid(&spec, &mut blocks);
+        let g = launch_blocks(&spec, &mut blocks);
         assert_eq!(g.total_global_transactions(), 6);
+    }
+
+    /// Grid kernel: thread `tid` writes `tid` into its slot and charges
+    /// `tid % 7` ALU ops — verifies global tids, disjoint splitting, and
+    /// result write-back through the block borrows.
+    struct SlotGrid {
+        slots: Vec<usize>,
+    }
+
+    struct SlotBlock<'s> {
+        base: usize,
+        slots: &'s mut [usize],
+    }
+
+    impl RoundKernel for SlotBlock<'_> {
+        fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+            ctx.alu((tid % 7) as u64);
+            self.slots[tid - self.base] = tid;
+            RoundOutcome::ACTIVE
+        }
+        fn after_sync(&mut self, _round: u64) -> bool {
+            false
+        }
+    }
+
+    impl GridKernel for SlotGrid {
+        type Block<'s> = SlotBlock<'s>;
+        fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<SlotBlock<'s>> {
+            let mut rest: &mut [usize] = &mut self.slots;
+            let mut out = Vec::with_capacity(dims.len());
+            for dim in dims {
+                let (mine, tail) = rest.split_at_mut(dim.len());
+                out.push(SlotBlock { base: dim.tids.start, slots: mine });
+                rest = tail;
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn grid_passes_global_tids_and_writes_back() {
+        let spec = DeviceSpec::test_unit(); // 64-thread blocks
+        let n = 1000;
+        let mut kernel = SlotGrid { slots: vec![usize::MAX; n] };
+        let stats = launch_grid(&spec, n, &mut kernel);
+        assert_eq!(kernel.slots, (0..n).collect::<Vec<_>>());
+        assert_eq!(stats.alu_ops, (0..n as u64).map(|t| t % 7).sum::<u64>());
+        // 1000 threads over 64-thread blocks: 16 blocks.
+        assert_eq!(stats.active_per_round.len(), 16);
+        assert_eq!(stats.active_per_round.iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn single_block_grid_equals_launch() {
+        let spec = DeviceSpec::test_unit();
+        let direct = launch(&spec, 48, &mut Work(13));
+        let via_grid = launch_grid(&spec, 48, &mut WorkGrid(13));
+        assert_eq!(via_grid, direct);
+    }
+
+    struct WorkGrid(u64);
+    impl GridKernel for WorkGrid {
+        type Block<'s> = Work;
+        fn split(&mut self, dims: &[BlockDim]) -> Vec<Work> {
+            dims.iter().map(|_| Work(self.0)).collect()
+        }
+    }
+
+    #[test]
+    fn grid_cycles_follow_the_wave_model() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        spec.max_blocks_per_sm = 1;
+        spec.max_threads_per_sm = spec.max_threads_per_block;
+        // 5 full blocks on 2 SMs, one resident each: 3 waves.
+        let n = 5 * spec.max_threads_per_block as usize;
+        let stats = launch_grid(&spec, n, &mut WorkGrid(7));
+        let one_block = launch(&spec, spec.max_threads_per_block as usize, &mut Work(7));
+        assert_eq!(stats.cycles, 3 * one_block.cycles);
+    }
+
+    #[test]
+    fn grid_stats_identical_across_pool_sizes() {
+        let spec = DeviceSpec::test_unit();
+        let n = 777;
+        let run = |workers: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+            pool.install(|| {
+                let mut kernel = SlotGrid { slots: vec![0; n] };
+                (launch_grid(&spec, n, &mut kernel), kernel.slots)
+            })
+        };
+        let (seq_stats, seq_slots) = run(1);
+        for workers in [2, 4, 8] {
+            let (stats, slots) = run(workers);
+            assert_eq!(stats, seq_stats, "{workers} workers");
+            assert_eq!(slots, seq_slots, "{workers} workers");
+        }
     }
 }

@@ -43,7 +43,8 @@ impl RoundOutcome {
 /// and the simulator accumulates cycles on the thread's clock and counters in
 /// [`KernelStats`].
 pub struct ThreadCtx<'a> {
-    /// This thread's id within the block.
+    /// This thread's global id (block base + lane for grid launches; equal
+    /// to the in-block id for single-block launches).
     pub tid: usize,
     spec: &'a DeviceSpec,
     clock: u64,
@@ -172,14 +173,30 @@ pub const DEFAULT_MAX_ROUNDS: u64 = 1 << 22;
 ///
 /// Panics if `n_threads` exceeds the device's block capacity or if the
 /// kernel exceeds `DEFAULT_MAX_ROUNDS` rounds (which indicates a bug in the
-/// kernel's termination logic, the moral equivalent of a hung GPU).
+/// kernel's termination logic, the moral equivalent of a hung GPU). Wider
+/// launches go through [`crate::grid::launch_grid`], which partitions the
+/// threads into blocks of this size and runs them as a grid.
 pub fn launch<K: RoundKernel>(spec: &DeviceSpec, n_threads: usize, kernel: &mut K) -> KernelStats {
-    assert!(n_threads > 0, "kernel needs at least one thread");
     assert!(
         n_threads <= spec.max_threads_per_block as usize,
-        "{n_threads} threads exceed the block capacity of {}",
+        "{n_threads} threads exceed the block capacity of {}; use launch_grid",
         spec.max_threads_per_block
     );
+    run_block(spec, 0, n_threads, kernel)
+}
+
+/// Simulates one block whose threads carry *global* ids
+/// `tid_base .. tid_base + n_threads`. This is the primitive behind both
+/// [`launch`] (`tid_base = 0`) and the multi-block grid launcher; warps,
+/// coalescing windows, and barriers are all block-local, exactly as on
+/// hardware.
+pub(crate) fn run_block<K: RoundKernel + ?Sized>(
+    spec: &DeviceSpec,
+    tid_base: usize,
+    n_threads: usize,
+    kernel: &mut K,
+) -> KernelStats {
+    assert!(n_threads > 0, "kernel needs at least one thread");
     let warp = spec.warp_size as usize;
     let n_warps = n_threads.div_ceil(warp);
     let mut clocks = vec![0u64; n_threads];
@@ -202,13 +219,13 @@ pub fn launch<K: RoundKernel>(spec: &DeviceSpec, n_threads: usize, kernel: &mut 
             let hi = ((w + 1) * warp).min(n_threads);
             for tid in lo..hi {
                 let mut ctx = ThreadCtx {
-                    tid,
+                    tid: tid_base + tid,
                     spec,
                     clock: clocks[tid],
                     stats: &mut stats,
                     window: &mut windows[w],
                 };
-                let outcome = kernel.round(tid, &mut ctx);
+                let outcome = kernel.round(tid_base + tid, &mut ctx);
                 clocks[tid] = ctx.clock;
                 active += u32::from(outcome.active);
                 recovering += u32::from(outcome.recovering);
@@ -219,8 +236,7 @@ pub fn launch<K: RoundKernel>(spec: &DeviceSpec, n_threads: usize, kernel: &mut 
         // contend for global memory, the Fig 9 effect).
         let compute_max = clocks.iter().copied().max().unwrap_or(0);
         let bw_floor = round_start
-            + (stats.global_transactions - txns_before) * spec.bandwidth_millicycles_per_txn
-                / 1000;
+            + (stats.global_transactions - txns_before) * spec.bandwidth_millicycles_per_txn / 1000;
         let max = compute_max.max(bw_floor) + spec.barrier_latency;
         clocks.fill(max);
         stats.rounds += 1;

@@ -19,10 +19,17 @@
 //!   whole verification round;
 //! * **per-round active-thread counts** — Table III's utilization metric.
 //!
+//! Kernels scale past one block through the grid layer: [`launch_grid`]
+//! partitions a [`GridKernel`]'s threads into blocks of
+//! `max_threads_per_block`, simulates the blocks concurrently on host
+//! worker threads, and merges their statistics under the SM-occupancy wave
+//! model — so multi-block scheduling *is* modelled, at block granularity.
+//!
 //! What is deliberately not modelled: instruction-level warp divergence,
-//! DRAM banking, L2, and multi-block scheduling — none of which the paper's
-//! analysis (§III-C) depends on. All counts are deterministic, so every
-//! experiment in EXPERIMENTS.md reproduces bit-for-bit.
+//! DRAM banking, L2, and intra-wave block preemption — none of which the
+//! paper's analysis (§III-C) depends on. All counts are deterministic
+//! (including across host worker counts), so every experiment in
+//! EXPERIMENTS.md reproduces bit-for-bit.
 
 #![warn(missing_docs)]
 
@@ -34,8 +41,11 @@ pub mod spec;
 pub mod stats;
 
 pub use event::EventTimer;
-pub use grid::{launch_grid, GridStats};
-pub use occupancy::{max_resident_blocks, occupancy, BlockRequirements};
+pub use grid::{
+    block_dims, launch_blocks, launch_blocks_occupancy, launch_grid, BlockDim, GridKernel,
+    GridStats,
+};
 pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
+pub use occupancy::{max_resident_blocks, occupancy, BlockRequirements};
 pub use spec::DeviceSpec;
 pub use stats::KernelStats;

@@ -109,10 +109,12 @@ impl KernelStats {
         spec.cycles_to_us(self.cycles)
     }
 
-    /// Merges another kernel's counters into this one, treating the two
-    /// kernels as launched back-to-back (cycles add).
-    pub fn merge_sequential(&mut self, other: &KernelStats) {
-        self.cycles += other.cycles;
+    /// Merges another *block's* counters into this one, treating the two as
+    /// concurrent blocks of a single grid launch: every counter sums and the
+    /// per-round event streams concatenate (block order), but `cycles` is
+    /// left untouched — concurrent blocks do not serialize, so grid time is
+    /// the scheduler's job (the occupancy wave model in [`crate::grid`]).
+    pub fn absorb_block(&mut self, other: &KernelStats) {
         self.rounds += other.rounds;
         self.global_transactions += other.global_transactions;
         self.global_coalesced_hits += other.global_coalesced_hits;
@@ -126,6 +128,13 @@ impl KernelStats {
         self.recovery_cycles += other.recovery_cycles;
         self.recovery_runs += other.recovery_runs;
     }
+
+    /// Merges another kernel's counters into this one, treating the two
+    /// kernels as launched back-to-back (cycles add).
+    pub fn merge_sequential(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.absorb_block(other);
+    }
 }
 
 #[cfg(test)]
@@ -134,10 +143,7 @@ mod tests {
 
     #[test]
     fn avg_active_ignores_quiet_rounds() {
-        let s = KernelStats {
-            recovering_per_round: vec![0, 4, 0, 2, 0],
-            ..KernelStats::default()
-        };
+        let s = KernelStats { recovering_per_round: vec![0, 4, 0, 2, 0], ..KernelStats::default() };
         assert!((s.avg_active_threads_during_recovery() - 3.0).abs() < 1e-12);
     }
 

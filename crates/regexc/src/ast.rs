@@ -220,11 +220,9 @@ impl Ast {
             Ast::Class(c) => Ast::Class(c.case_fold()),
             Ast::Concat(xs) => Ast::Concat(xs.iter().map(Ast::case_fold).collect()),
             Ast::Alternate(xs) => Ast::Alternate(xs.iter().map(Ast::case_fold).collect()),
-            Ast::Repeat { node, min, max } => Ast::Repeat {
-                node: Box::new(node.case_fold()),
-                min: *min,
-                max: *max,
-            },
+            Ast::Repeat { node, min, max } => {
+                Ast::Repeat { node: Box::new(node.case_fold()), min: *min, max: *max }
+            }
         }
     }
 }

@@ -128,8 +128,7 @@ impl ThompsonCompiler {
     /// set, the start state gets a `Σ` self-loop first — the `Σ*(p₁|…|pₖ)`
     /// search construction used by the paper's workloads.
     pub fn compile(self, asts: &[Ast], unanchored: bool) -> Nfa {
-        let tagged: Vec<(Ast, bool)> =
-            asts.iter().map(|a| (a.clone(), !unanchored)).collect();
+        let tagged: Vec<(Ast, bool)> = asts.iter().map(|a| (a.clone(), !unanchored)).collect();
         self.compile_mixed(&tagged)
     }
 
@@ -259,11 +258,9 @@ mod tests {
 
     #[test]
     fn anchored_and_floating_mix() {
-        use crate::ast::Ast;
         let a = parse("aa").unwrap();
         let b = parse("bb").unwrap();
-        let n = ThompsonCompiler::new()
-            .compile_mixed(&[(a, true), (b, false)]);
+        let n = ThompsonCompiler::new().compile_mixed(&[(a, true), (b, false)]);
         assert!(n.accepts(b"aa"), "anchored matches at start");
         assert!(!n.accepts(b"xaa"), "anchored cannot float");
         assert!(n.accepts(b"xbb"), "floating matches anywhere");

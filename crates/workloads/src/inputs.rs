@@ -333,13 +333,7 @@ mod tests {
 
     #[test]
     fn regime_switching_alternates() {
-        let t = regime_switching(
-            1,
-            100,
-            10,
-            |_, n| vec![b'E'; n],
-            |_, n| vec![b'H'; n],
-        );
+        let t = regime_switching(1, 100, 10, |_, n| vec![b'E'; n], |_, n| vec![b'H'; n]);
         assert_eq!(&t[0..10], &[b'E'; 10]);
         assert_eq!(&t[10..20], &[b'H'; 10]);
         assert_eq!(&t[20..30], &[b'E'; 10]);

@@ -121,11 +121,23 @@ fn hard_regime(family: Family, seed: u64, len: usize) -> Vec<u8> {
     match family {
         // Binary payload burst: high-bit bytes, no newlines.
         Family::Snort | Family::ClamAV => (0..len)
-            .map(|_| if rng.random_bool(0.4) { rng.random_range(0x80..=0xff) } else { rng.random_range(b'a'..=b'z') })
+            .map(|_| {
+                if rng.random_bool(0.4) {
+                    rng.random_range(0x80..=0xff)
+                } else {
+                    rng.random_range(b'a'..=b'z')
+                }
+            })
             .collect(),
         // Digit runs without separators.
         Family::PowerEn => (0..len)
-            .map(|_| if rng.random_bool(0.5) { rng.random_range(b'0'..=b'9') } else { rng.random_range(b'a'..=b'z') })
+            .map(|_| {
+                if rng.random_bool(0.5) {
+                    rng.random_range(b'0'..=b'9')
+                } else {
+                    rng.random_range(b'a'..=b'z')
+                }
+            })
             .collect(),
     }
 }
@@ -189,9 +201,8 @@ pub fn build_family(family: Family, seed: u64) -> Vec<Benchmark> {
         .enumerate()
         .map(|(i, tier)| {
             let index = i + 1;
-            let bench_seed = seed
-                .wrapping_mul(0x100000001b3)
-                .wrapping_add((family as u64) << 32 | index as u64);
+            let bench_seed =
+                seed.wrapping_mul(0x100000001b3).wrapping_add((family as u64) << 32 | index as u64);
             let mut rng = StdRng::seed_from_u64(bench_seed);
             let m = build_tier_dfa(family, tier, &mut rng);
             Benchmark {
@@ -245,10 +256,8 @@ mod tests {
     fn input_sensitive_quotas_match_table2() {
         let suite = suite1();
         for f in Family::all() {
-            let n = suite
-                .iter()
-                .filter(|b| b.family == f && b.tier == Tier::InputSensitive)
-                .count();
+            let n =
+                suite.iter().filter(|b| b.family == f && b.tier == Tier::InputSensitive).count();
             assert_eq!(n, f.input_sensitive_quota(), "{f}");
         }
     }

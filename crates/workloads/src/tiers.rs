@@ -62,14 +62,9 @@ pub fn class_counter(m: u32, trigger: impl Fn(u8) -> bool) -> Dfa {
 /// Windows containing a reset byte pin the counter — prediction becomes easy
 /// — while reset-free regions behave like [`class_counter`]. Feeding it a
 /// regime-switching input produces *input-sensitive* speculation.
-pub fn reset_counter(
-    m: u32,
-    trigger: impl Fn(u8) -> bool,
-    reset: impl Fn(u8) -> bool,
-) -> Dfa {
+pub fn reset_counter(m: u32, trigger: impl Fn(u8) -> bool, reset: impl Fn(u8) -> bool) -> Dfa {
     assert!(m >= 1);
-    let classes =
-        ByteClasses::refine(|a, b| trigger(a) != trigger(b) || reset(a) != reset(b));
+    let classes = ByteClasses::refine(|a, b| trigger(a) != trigger(b) || reset(a) != reset(b));
     build_counter(m, classes, &trigger, Some(reset))
 }
 
@@ -134,8 +129,7 @@ pub fn signature_dfa_with(
         }
     }
     let refs: Vec<&str> = rules.iter().map(|(p, _)| p.as_str()).collect();
-    let dfa = compile_set(&refs, CompileConfig::default())
-        .expect("generated rules always compile");
+    let dfa = compile_set(&refs, CompileConfig::default()).expect("generated rules always compile");
     let spice = rules.into_iter().map(|(_, lit)| lit).collect();
     (dfa, spice)
 }
@@ -148,8 +142,20 @@ fn generate_rules(family: Family, rng: &mut StdRng) -> Vec<(String, Vec<u8>)> {
     match family {
         Family::Snort => {
             const TOKENS: &[&str] = &[
-                "attack", "exploit", "overflow", "shellcode", "passwd", "cmd", "admin",
-                "select", "union", "script", "eval", "payload", "root", "login",
+                "attack",
+                "exploit",
+                "overflow",
+                "shellcode",
+                "passwd",
+                "cmd",
+                "admin",
+                "select",
+                "union",
+                "script",
+                "eval",
+                "payload",
+                "root",
+                "login",
             ];
             for i in 0..n {
                 let t = TOKENS[rng.random_range(0..TOKENS.len())];

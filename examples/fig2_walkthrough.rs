@@ -30,8 +30,7 @@ fn main() {
     let pred = predict(&d, &input, &chunks, 2, &spec);
     println!("speculation queues (top-2 of each, as in Fig 2's spec-2):");
     for (i, q) in pred.queues.iter().enumerate() {
-        let top: Vec<String> =
-            q.candidates().take(2).map(|s| format!("s{s}")).collect();
+        let top: Vec<String> = q.candidates().take(2).map(|s| format!("s{s}")).collect();
         println!("  chunk {i}: QS = [{}] ({} candidates)", top.join(", "), q.initial_len());
     }
 
@@ -46,10 +45,8 @@ fn main() {
     for (i, range) in chunks.iter().enumerate() {
         let piece = &input[range.clone()];
         let starts: Vec<_> = pred.queues[i].candidates().take(2).collect();
-        let paths: Vec<String> = starts
-            .iter()
-            .map(|&s0| format!("s{s0}->s{}", d.run_from(s0, piece)))
-            .collect();
+        let paths: Vec<String> =
+            starts.iter().map(|&s0| format!("s{s0}->s{}", d.run_from(s0, piece))).collect();
         let new_truth = d.run_from(truth, piece);
         let covered = starts.contains(&truth);
         println!(
@@ -74,10 +71,10 @@ fn main() {
         out.recovery_runs(),
         out.total_cycles()
     );
-    println!("verified end state: s{} ({})", out.end_state, if out.accepted {
-        "divisible by 7"
-    } else {
-        "not divisible by 7"
-    });
+    println!(
+        "verified end state: s{} ({})",
+        out.end_state,
+        if out.accepted { "divisible by 7" } else { "not divisible by 7" }
+    );
     assert_eq!(out.end_state, d.run(&input));
 }

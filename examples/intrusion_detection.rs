@@ -35,10 +35,8 @@ fn main() {
     );
 
     // Synthetic traffic with occasional rule hits.
-    let spice: Vec<Vec<u8>> = [&b"attack"[..], b"GET /admin", b"exploit42"]
-        .iter()
-        .map(|s| s.to_vec())
-        .collect();
+    let spice: Vec<Vec<u8>> =
+        [&b"attack"[..], b"GET /admin", b"exploit42"].iter().map(|s| s.to_vec()).collect();
     let trace = network_trace(0xC0FFEE, 512 * 1024, &spice);
 
     // Ground-truth detections (host scan).

@@ -66,10 +66,7 @@ fn main() {
     let seq = run_scheme(SchemeKind::Sequential, &job);
     let nf = run_scheme(SchemeKind::Nf, &job);
     assert_eq!(nf.end_state, seq.end_state);
-    println!(
-        "DFA sequential (1 stream):      {:>10} cycles",
-        seq.total_cycles()
-    );
+    println!("DFA sequential (1 stream):      {:>10} cycles", seq.total_cycles());
     println!(
         "GSpecPal NF (1 stream):         {:>10} cycles | {:.1}x faster response \
          than a stream-parallel thread",

@@ -17,18 +17,14 @@ use gspecpal_workloads::inputs::executable_blob;
 fn main() {
     // Hex signatures with a skip byte, like ClamAV's `aa bb ?? cc`.
     let signatures = [
-        r"\x4d\x5a\x90\x00\x03",             // MZ header fragment
-        r"\xde\xad\xbe\xef",                 // classic marker
-        r"\x55\x8b\xec.\x83\xec",            // prologue with one skip byte
-        r"\xe8....\xc3",                     // call rel32; ret
-        r"\x90\x90\x90\x90\x90",             // NOP sled
+        r"\x4d\x5a\x90\x00\x03",  // MZ header fragment
+        r"\xde\xad\xbe\xef",      // classic marker
+        r"\x55\x8b\xec.\x83\xec", // prologue with one skip byte
+        r"\xe8....\xc3",          // call rel32; ret
+        r"\x90\x90\x90\x90\x90",  // NOP sled
     ];
     let dfa = compile_set(&signatures, CompileConfig::default()).expect("signatures compile");
-    println!(
-        "compiled {} signatures into a DFA with {} states",
-        signatures.len(),
-        dfa.n_states()
-    );
+    println!("compiled {} signatures into a DFA with {} states", signatures.len(), dfa.n_states());
 
     // An executable-like stream with a few planted signatures.
     let planted: Vec<Vec<u8>> =
@@ -47,7 +43,14 @@ fn main() {
     // Compare every scheme head to head.
     let seq = framework.run_with(&dfa, &blob, SchemeKind::Sequential);
     println!("\n{:<6} {:>12} {:>10} {:>10} {:>8}", "scheme", "cycles", "µs", "speedup", "acc%");
-    println!("{:<6} {:>12} {:>10.1} {:>10} {:>8}", "Seq", seq.total_cycles(), seq.total_us(&device), "1.0", "-");
+    println!(
+        "{:<6} {:>12} {:>10.1} {:>10} {:>8}",
+        "Seq",
+        seq.total_cycles(),
+        seq.total_us(&device),
+        "1.0",
+        "-"
+    );
     for scheme in SchemeKind::gspecpal_schemes() {
         let o = framework.run_with(&dfa, &blob, scheme);
         assert_eq!(o.end_state, seq.end_state, "{scheme} must be exact");

@@ -1,0 +1,149 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so this local crate keeps
+//! the `harness = false` bench targets compiling and running. It measures
+//! with `std::time::Instant` and prints mean wall-clock per iteration — no
+//! statistics, plots, or baselines, but enough to compare configurations by
+//! eye (which is all the figures harness asks of `cargo bench`).
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A named group; benchmarks report as `group/function/parameter`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, total_iters: 0, elapsed_ns: 0 };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `f` with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, total_iters: 0, elapsed_ns: 0 };
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Ends the group (prints nothing; reports are per-benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mean =
+            if b.total_iters == 0 { 0.0 } else { b.elapsed_ns as f64 / b.total_iters as f64 };
+        println!(
+            "{}/{}: {:.3} ms/iter ({} iters)",
+            self.name,
+            id.label(),
+            mean / 1.0e6,
+            b.total_iters,
+        );
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        BenchmarkId { function: s.into(), parameter: None }
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    samples: usize,
+    total_iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one warm-up).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.total_iters += self.samples as u64;
+    }
+}
+
+/// Prevents the optimizer from deleting a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group of benchmark functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the subset of the `crossbeam` API this workspace
+//! uses: `crossbeam::thread::scope` with `spawn(|_| ..)`, implemented on
+//! `std::thread::scope` (available since Rust 1.63, which removed the need
+//! for crossbeam's unsafe scoped threads in the first place).
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`; wraps the std scope so spawn
+    /// closures receive a `&Scope` argument like crossbeam's do.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure's `&Scope` argument allows
+        /// nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; every spawned thread is joined before
+    /// this returns. A panicking child propagates as a panic at scope exit
+    /// (std semantics), so the `Ok` arm carries crossbeam's meaning: no
+    /// worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let data = &data;
+                s.spawn(move |_| *slot = data[i] * 10);
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length distribution for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u128 + 1;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::for_test("lengths_respect_bounds");
+        let strat = vec(0u8..=255, 1..4);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()), "{}", v.len());
+        }
+    }
+}

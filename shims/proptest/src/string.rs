@@ -1,0 +1,135 @@
+//! Sampling strings from the tiny regex dialect used as `&str` strategies.
+//!
+//! Supports exactly what the test suite writes: sequences of character
+//! classes (`[a-d]`, `[ -~]`) or literal characters, each optionally
+//! followed by a `{m,n}` repetition. Anything else is rejected loudly so a
+//! silently-wrong strategy cannot slip in.
+
+use crate::test_runner::TestRng;
+
+/// One atom: a set of `(lo, hi)` inclusive char ranges plus its repetition.
+struct Atom {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Draws one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = (atom.max - atom.min) as u128 + 1;
+        let reps = atom.min + rng.below(span) as usize;
+        let total: u128 = atom.ranges.iter().map(|&(lo, hi)| hi as u128 - lo as u128 + 1).sum();
+        for _ in 0..reps {
+            let mut idx = rng.below(total);
+            for &(lo, hi) in &atom.ranges {
+                let size = hi as u128 - lo as u128 + 1;
+                if idx < size {
+                    out.push(char::from_u32(lo as u32 + idx as u32).expect("valid char"));
+                    break;
+                }
+                idx -= size;
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in strategy {pattern:?}"))
+                    + i;
+                let body = &chars[i + 1..close];
+                assert!(
+                    !body.is_empty() && body[0] != '^',
+                    "unsupported class in strategy {pattern:?}"
+                );
+                i = close + 1;
+                parse_class(body, pattern)
+            }
+            c => {
+                assert!(
+                    !"\\^$.|?*+(){}".contains(c),
+                    "unsupported regex syntax {c:?} in strategy {pattern:?}"
+                );
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in strategy {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let (lo, hi) = body
+                .split_once(',')
+                .unwrap_or_else(|| panic!("need {{m,n}} repetition in strategy {pattern:?}"));
+            (
+                lo.parse().expect("numeric repetition bound"),
+                hi.parse().expect("numeric repetition bound"),
+            )
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in strategy {pattern:?}");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            assert!(body[j] <= body[j + 2], "inverted class range in strategy {pattern:?}");
+            ranges.push((body[j], body[j + 2]));
+            j += 3;
+        } else {
+            ranges.push((body[j], body[j]));
+            j += 1;
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in strategy {pattern:?}");
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_match_their_class() {
+        let mut rng = TestRng::for_test("samples_match_their_class");
+        for _ in 0..100 {
+            let s = sample_pattern("[a-d]", &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+
+            let t = sample_pattern("[ -~]{0,24}", &mut rng);
+            assert!(t.len() <= 24);
+            assert!(t.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn literals_and_mixed_atoms() {
+        let mut rng = TestRng::for_test("literals_and_mixed_atoms");
+        let s = sample_pattern("ab[0-1]{2,2}", &mut rng);
+        assert_eq!(&s[..2], "ab");
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of the `rand` 0.10 API this workspace
+//! uses.
+//!
+//! The build environment has no access to a crates.io mirror, so every
+//! external dependency is provided as a local shim crate (see
+//! `shims/README.md`). This one implements deterministic seeded generation —
+//! `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and the [`RngExt`]
+//! sampling helpers (`random`, `random_range`, `random_bool`) — on top of a
+//! SplitMix64 core. Streams differ from upstream `rand`, which is fine: the
+//! workspace only relies on *determinism*, never on a specific stream.
+
+#![warn(missing_docs)]
+
+/// Concrete generators.
+pub mod rngs {
+    /// The standard deterministic generator: SplitMix64.
+    ///
+    /// Passes through every 64-bit state exactly once; plenty for synthetic
+    /// workload generation (which is all the workspace asks of it).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator that can be built from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw entropy source: one 64-bit word at a time.
+pub trait RngCore {
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Multiplies a raw 64-bit draw into `0..span` without modulo bias worth
+/// caring about (fixed-point multiply-shift).
+fn scale(raw: u64, span: u128) -> u128 {
+    (raw as u128 * span) >> 64
+}
+
+/// An integer type uniformly sampleable from ranges.
+pub trait SampleUniform: Copy {
+    /// Widens to `i128` (every supported type fits).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is always in range by construction.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that can be sampled uniformly.
+///
+/// Single blanket impls per range shape (mirroring upstream) so type
+/// inference unifies the range's element type with the result's use site.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(lo + scale(rng.next_u64(), (hi - lo) as u128) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(lo + scale(rng.next_u64(), (hi - lo) as u128 + 1) as i128)
+    }
+}
+
+/// A type with a "default" uniform distribution, for [`RngExt::random`].
+pub trait Random {
+    /// Draws one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws a value of `T` from its default uniform distribution.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Draws uniformly from `range`. Panics on an empty range.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Random>::random(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,82 @@
+//! The parallel-iterator facade: `into_par_iter().map(f).collect()`.
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The produced iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A parallel iterator: a source plus a (possibly mapped) pipeline.
+pub trait ParallelIterator: Sized {
+    /// Element type produced by the pipeline.
+    type Item: Send;
+
+    /// Applies `f` to every element, in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> MapParIter<Self, F> {
+        MapParIter { inner: self, f }
+    }
+
+    /// Runs the pipeline; implementation detail behind [`collect`].
+    ///
+    /// [`collect`]: ParallelIterator::collect
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Runs the pipeline and gathers results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct MapParIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for MapParIter<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        crate::par_map(self.inner.run(), self.f)
+    }
+}
+
+/// Collection types buildable from an ordered parallel result.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Self {
+        v
+    }
+}

@@ -82,7 +82,12 @@ fn div7_defeats_speculation_but_not_correctness() {
     let nf = fw.run_with(&d, &input, SchemeKind::Nf);
     // Aggressive recovery converts the sequential walk into parallel
     // coverage: far fewer cycles than naive speculation.
-    assert!(rr.total_cycles() < naive.total_cycles() / 2, "RR {} vs naive {}", rr.total_cycles(), naive.total_cycles());
+    assert!(
+        rr.total_cycles() < naive.total_cycles() / 2,
+        "RR {} vs naive {}",
+        rr.total_cycles(),
+        naive.total_cycles()
+    );
     assert!(nf.total_cycles() < naive.total_cycles() / 2);
     assert_eq!(rr.end_state, d.run(&input));
     assert_eq!(nf.end_state, d.run(&input));

@@ -37,14 +37,8 @@ fn sequential_cost_is_linear_in_input() {
 
     let short: Vec<u8> = b"10".repeat(1000);
     let long: Vec<u8> = b"10".repeat(4000);
-    let a = run_scheme(
-        SchemeKind::Sequential,
-        &Job::new(&spec, &table, &short, config).unwrap(),
-    );
-    let b = run_scheme(
-        SchemeKind::Sequential,
-        &Job::new(&spec, &table, &long, config).unwrap(),
-    );
+    let a = run_scheme(SchemeKind::Sequential, &Job::new(&spec, &table, &short, config).unwrap());
+    let b = run_scheme(SchemeKind::Sequential, &Job::new(&spec, &table, &long, config).unwrap());
     let ratio = b.total_cycles() as f64 / a.total_cycles() as f64;
     assert!((3.5..4.5).contains(&ratio), "4x input gave {ratio:.2}x cycles");
 }
@@ -61,14 +55,10 @@ fn cold_tables_are_slower() {
 
     let hot_table = DeviceTable::transformed(&d, d.n_states());
     let cold_table = DeviceTable::transformed(&d, 0);
-    let hot = run_scheme(
-        SchemeKind::Sequential,
-        &Job::new(&spec, &hot_table, &input, config).unwrap(),
-    );
-    let cold = run_scheme(
-        SchemeKind::Sequential,
-        &Job::new(&spec, &cold_table, &input, config).unwrap(),
-    );
+    let hot =
+        run_scheme(SchemeKind::Sequential, &Job::new(&spec, &hot_table, &input, config).unwrap());
+    let cold =
+        run_scheme(SchemeKind::Sequential, &Job::new(&spec, &cold_table, &input, config).unwrap());
     assert_eq!(hot.end_state, cold.end_state);
     assert!(
         cold.total_cycles() > hot.total_cycles() * 2,
@@ -145,11 +135,9 @@ fn slowest_thread_gates_the_round() {
 #[test]
 fn pm_sequential_recovery_rounds_cost_chunk_time() {
     let d = ones_counter(9, &[0]); // queue depth 9 > spec-4 -> frequent misses
-    // Pseudo-random bits so boundary contexts don't repeat periodically.
-    let input: Vec<u8> = random_input(9, 6400)
-        .into_iter()
-        .map(|b| if b & 1 == 1 { b'1' } else { b'0' })
-        .collect();
+                                   // Pseudo-random bits so boundary contexts don't repeat periodically.
+    let input: Vec<u8> =
+        random_input(9, 6400).into_iter().map(|b| if b & 1 == 1 { b'1' } else { b'0' }).collect();
     let spec = DeviceSpec::rtx3090();
     let table = DeviceTable::transformed(&d, d.n_states());
     let config = SchemeConfig { n_chunks: 64, ..SchemeConfig::default() };

@@ -65,14 +65,10 @@ fn counting_costs_extra_alu_work() {
     let table = DeviceTable::transformed(&dfa, 8);
     let base_cfg = SchemeConfig { n_chunks: 8, ..SchemeConfig::default() };
     let count_cfg = SchemeConfig { count_matches: true, ..base_cfg };
-    let base = run_scheme(
-        SchemeKind::Sequential,
-        &Job::new(&spec, &table, &input, base_cfg).unwrap(),
-    );
-    let counted = run_scheme(
-        SchemeKind::Sequential,
-        &Job::new(&spec, &table, &input, count_cfg).unwrap(),
-    );
+    let base =
+        run_scheme(SchemeKind::Sequential, &Job::new(&spec, &table, &input, base_cfg).unwrap());
+    let counted =
+        run_scheme(SchemeKind::Sequential, &Job::new(&spec, &table, &input, count_cfg).unwrap());
     assert!(counted.execute.alu_ops > base.execute.alu_ops);
     assert_eq!(base.end_state, counted.end_state);
 }
@@ -89,8 +85,7 @@ fn keyword_scan_counts_real_hits() {
 
     let spec = DeviceSpec::test_unit();
     let table = DeviceTable::transformed(&dfa, dfa.n_states());
-    let config =
-        SchemeConfig { n_chunks: 16, count_matches: true, ..SchemeConfig::default() };
+    let config = SchemeConfig { n_chunks: 16, count_matches: true, ..SchemeConfig::default() };
     let job = Job::new(&spec, &table, &input, config).unwrap();
     for scheme in [SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf] {
         let out = run_scheme(scheme, &job);

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 /// A strategy producing simple-but-varied regex strings from a safe grammar.
 fn regex_strategy() -> impl Strategy<Value = String> {
     let atom = prop_oneof![
-        "[a-d]",                               // literal-ish class
+        "[a-d]", // literal-ish class
         Just(".".to_string()),
         Just("a".to_string()),
         Just("b".to_string()),

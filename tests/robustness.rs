@@ -1,13 +1,66 @@
 //! Robustness: no input should ever panic the parser, the determinizer, or
 //! the schemes — errors must surface as `Result`s, not crashes.
 
+use gspecpal::config::SchemeConfig;
+use gspecpal::error::CoreError;
+use gspecpal::run::SchemeKind;
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal_fsm::examples::div7;
 use gspecpal_fsm::nfa::NfaBuilder;
 use gspecpal_fsm::random::random_input;
 use gspecpal_fsm::subset::determinize;
+use gspecpal_gpu::DeviceSpec;
 use gspecpal_regex::{compile, parse, CompileConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Empty input with chunks requested is a structured error, not a panic
+/// deep inside a kernel.
+#[test]
+fn empty_input_is_rejected_with_a_structured_error() {
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    for n_chunks in [1, 4, 256] {
+        let config = SchemeConfig { n_chunks, ..SchemeConfig::default() };
+        let err = Job::new(&spec, &table, b"", config).unwrap_err();
+        assert_eq!(err, CoreError::EmptyInput { n_chunks }, "n_chunks={n_chunks}");
+    }
+}
+
+/// A one-byte input runs through every scheme without panicking and stays
+/// exact (n_chunks is forced to 1 by validation, so this is the degenerate
+/// single-chunk path).
+#[test]
+fn one_byte_inputs_run_every_scheme() {
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    for input in [&b"0"[..], b"1"] {
+        let config = SchemeConfig { n_chunks: 1, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, input, config).unwrap();
+        for kind in [
+            SchemeKind::Sequential,
+            SchemeKind::Naive,
+            SchemeKind::Enumerative,
+            SchemeKind::Pm,
+            SchemeKind::Sre,
+            SchemeKind::Rr,
+            SchemeKind::Nf,
+        ] {
+            let out = run_scheme(kind, &job);
+            assert_eq!(out.end_state, d.run(input), "{kind:?} on {input:?}");
+        }
+        // More chunks than bytes is the other structured rejection.
+        let config = SchemeConfig { n_chunks: 2, ..SchemeConfig::default() };
+        assert_eq!(
+            Job::new(&spec, &table, input, config).unwrap_err(),
+            CoreError::TooManyChunks { n_chunks: 2, input_len: 1 }
+        );
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

@@ -142,10 +142,7 @@ fn phase_decomposition_follows_equation_1() {
 
     let a = job_outcome(&d, &short, config, SchemeKind::Rr);
     let b = job_outcome(&d, &long, config, SchemeKind::Rr);
-    assert_eq!(
-        a.total_cycles(),
-        a.predict.cycles + a.execute.cycles + a.verify.cycles
-    );
+    assert_eq!(a.total_cycles(), a.predict.cycles + a.execute.cycles + a.verify.cycles);
     // C is constant; T_par grows with the chunk length.
     assert_eq!(a.predict.cycles, b.predict.cycles);
     assert!(b.execute.cycles > 5 * a.execute.cycles);

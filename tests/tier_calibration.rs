@@ -68,12 +68,7 @@ fn deep_tier_defeats_lookback_and_forwarding() {
     for b in suite().iter().filter(|b| b.tier == Tier::NonConvergent) {
         let input = b.generate_input(INPUT, 0);
         let p = selector.profile(&b.dfa, &input);
-        assert!(
-            p.spec4_accuracy < 0.9,
-            "{}: spec-4 must miss ({:.2})",
-            b.name(),
-            p.spec4_accuracy
-        );
+        assert!(p.spec4_accuracy < 0.9, "{}: spec-4 must miss ({:.2})", b.name(), p.spec4_accuracy);
         assert!(
             !p.convergence.converges_strongly(b.dfa.n_states()),
             "{}: must not converge",
@@ -130,8 +125,7 @@ fn benchmarks_eventually_match() {
 fn tier_quotas_match_design() {
     use gspecpal_workloads::Family;
     for f in Family::all() {
-        let tiers: Vec<Tier> =
-            suite().iter().filter(|b| b.family == f).map(|b| b.tier).collect();
+        let tiers: Vec<Tier> = suite().iter().filter(|b| b.family == f).map(|b| b.tier).collect();
         assert_eq!(tiers.len(), 12, "{f}");
         let count = |t: Tier| tiers.iter().filter(|&&x| x == t).count();
         assert!(count(Tier::SpecKFriendly) >= 2, "{f} needs PM-friendly FSMs");

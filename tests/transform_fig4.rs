@@ -105,9 +105,8 @@ fn layouts_agree_under_every_scheme() {
     let input = fig4_training().repeat(100);
     let config = SchemeConfig { n_chunks: 16, ..SchemeConfig::default() };
     let fw_t = GSpecPal::new(DeviceSpec::test_unit()).with_config(config);
-    let fw_h = GSpecPal::new(DeviceSpec::test_unit())
-        .with_config(config)
-        .with_layout(TableLayout::Hashed);
+    let fw_h =
+        GSpecPal::new(DeviceSpec::test_unit()).with_config(config).with_layout(TableLayout::Hashed);
     for scheme in SchemeKind::gspecpal_schemes() {
         let a = fw_t.run_with(&d, &input, scheme);
         let b = fw_h.run_with(&d, &input, scheme);
