@@ -38,6 +38,17 @@ fn bench_ablation(c: &mut Criterion) {
         bench.iter(|| run_scheme(SchemeKind::Rr, job).total_cycles());
     });
 
+    // The two layouts claim different shared-memory footprints, which the
+    // occupancy calculator turns into different resident-block shapes.
+    for (name, job) in [("transformed", &job_t), ("hashed", &job_h)] {
+        if let Some(shape) = run_scheme(SchemeKind::Rr, job).verify.shape {
+            eprintln!(
+                "ablation {name}: verify occupancy {} resident/SM, {} blocks/wave, {} waves",
+                shape.resident_per_sm, shape.blocks_per_wave, shape.waves
+            );
+        }
+    }
+
     group.finish();
 }
 

@@ -17,12 +17,26 @@ fn bench_fig8(c: &mut Criterion) {
         [Tier::SpecKFriendly, Tier::SlowConvergence, Tier::NonConvergent, Tier::InputSensitive]
     {
         let b = suite.iter().find(|b| b.tier == tier).expect("tier present");
-        // Grid scale: 8192 chunks fill 8 blocks of 1024 threads on the
-        // RTX 3090 spec, so block simulation spreads across host cores.
+        // Grid scale: 8192 chunks span dozens of occupancy-sized blocks on
+        // the RTX 3090 spec, so block simulation spreads across host cores.
         let input = b.generate_input(512 * 1024, 0);
         let table = DeviceTable::transformed(&b.dfa, b.dfa.n_states());
         let config = SchemeConfig { n_chunks: 8192, ..SchemeConfig::default() };
         let job = Job::new(&spec, &table, &input, config).expect("valid job");
+        // Report the occupancy shape the grid scheduler actually achieved
+        // for this benchmark's kernels.
+        let probe = run_scheme(SchemeKind::Nf, &job);
+        for (phase, stats) in [("exec", &probe.execute), ("verify", &probe.verify)] {
+            if let Some(shape) = stats.shape {
+                eprintln!(
+                    "fig8 {}: {phase} occupancy {} resident/SM, {} blocks/wave, {} waves",
+                    b.name(),
+                    shape.resident_per_sm,
+                    shape.blocks_per_wave,
+                    shape.waves
+                );
+            }
+        }
         for scheme in SchemeKind::gspecpal_schemes() {
             group.bench_with_input(
                 BenchmarkId::new(b.name(), scheme.name()),

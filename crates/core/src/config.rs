@@ -1,5 +1,23 @@
 //! Scheme and framework configuration.
 
+/// How cross-block seams are resolved after the per-block phases finish.
+///
+/// Blocks speculate their incoming state from the predictor; when a block's
+/// true incoming state (the previous block's verified end) disagrees, the
+/// boundary chunks must be re-walked. The sequential policy walks the seams
+/// left to right — O(blocks) dependent launches. The tree policy composes
+/// seams pair-wise in log2(blocks) rounds, re-resolving only the seams that
+/// actually mismatched, so stitch time grows logarithmically in the block
+/// count (the multi-block analogue of PM's tree merge).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StitchPolicy {
+    /// Left-to-right seam walk; one dependent launch per block boundary.
+    Sequential,
+    /// Pair-wise tree stitch: log2(blocks) rounds of concurrent seam checks.
+    #[default]
+    Tree,
+}
+
 /// Parameters shared by all parallel schemes.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SchemeConfig {
@@ -35,6 +53,11 @@ pub struct SchemeConfig {
     /// sequential walk); larger values re-speculate every time the forwarded
     /// state changes.
     pub spec_recovery_budget: u32,
+    /// How cross-block seams are stitched once every block has verified its
+    /// own chunks. Defaults to the parallel tree stitch; `Sequential`
+    /// reproduces the original left-to-right walk (and is what the
+    /// differential harness cross-checks the tree against).
+    pub stitch: StitchPolicy,
 }
 
 impl Default for SchemeConfig {
@@ -47,6 +70,7 @@ impl Default for SchemeConfig {
             lookback: 2,
             count_matches: false,
             spec_recovery_budget: 1,
+            stitch: StitchPolicy::Tree,
         }
     }
 }
@@ -92,6 +116,7 @@ mod tests {
         assert_eq!(c.spec_k, 4);
         assert_eq!(c.vr_others_registers, 16);
         assert_eq!(c.lookback, 2);
+        assert_eq!(c.stitch, StitchPolicy::Tree);
     }
 
     #[test]

@@ -24,6 +24,17 @@ pub enum CoreError {
         /// Requested chunk count.
         n_chunks: usize,
     },
+    /// Even a one-thread block of this job's kernels exceeds the device's
+    /// per-SM resources (in practice: the hot transition table plus the
+    /// per-thread speculation state outgrow shared memory). No block shape
+    /// can launch, so the job is rejected up front instead of panicking
+    /// inside a scheme.
+    Unlaunchable {
+        /// Shared bytes one block would need at the narrowest width.
+        shared_bytes: usize,
+        /// Shared bytes one SM actually has.
+        shared_available: usize,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -37,6 +48,13 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::EmptyInput { n_chunks } => {
                 write!(f, "input is empty but {n_chunks} chunk(s) were requested")
+            }
+            CoreError::Unlaunchable { shared_bytes, shared_available } => {
+                write!(
+                    f,
+                    "no block shape fits the device: one block needs {shared_bytes} shared \
+                     bytes but an SM has {shared_available}"
+                )
             }
         }
     }
@@ -58,5 +76,8 @@ mod tests {
         assert!(e.to_string().contains("empty"));
         let e = CoreError::InvalidConfig { field: "spec_k", problem: "must be positive".into() };
         assert!(e.to_string().contains("spec_k"));
+        let e = CoreError::Unlaunchable { shared_bytes: 200_000, shared_available: 102_400 };
+        assert!(e.to_string().contains("200000"));
+        assert!(e.to_string().contains("102400"));
     }
 }

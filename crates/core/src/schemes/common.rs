@@ -5,7 +5,8 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_grid, BlockDim, GridKernel, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    launch_grid, BlockDim, BlockRequirements, GridKernel, KernelStats, RoundKernel, RoundOutcome,
+    ThreadCtx,
 };
 
 use crate::predict::{predict, Prediction};
@@ -48,6 +49,7 @@ pub fn exec_phase(job: &Job<'_>, k: usize) -> ExecPhase {
     let own_cap = job.config.vr_end_registers.max(k);
     let mut vr = VrStore::new(chunks.len(), own_cap, job.config.vr_others_registers);
     let mut kernel = ExecKernel {
+        job,
         table: job.table,
         input: job.input,
         chunks: &chunks,
@@ -67,6 +69,7 @@ pub fn exec_phase(job: &Job<'_>, k: usize) -> ExecPhase {
 }
 
 struct ExecKernel<'a> {
+    job: &'a Job<'a>,
     table: &'a DeviceTable<'a>,
     input: &'a [u8],
     chunks: &'a [Range<usize>],
@@ -138,6 +141,10 @@ impl GridKernel for ExecKernel<'_> {
         = ExecBlock<'s>
     where
         Self: 's;
+
+    fn requirements(&self, width: u32) -> BlockRequirements {
+        self.job.exec_requirements(width)
+    }
 
     fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<ExecBlock<'s>> {
         let lens: Vec<usize> = dims.iter().map(BlockDim::len).collect();

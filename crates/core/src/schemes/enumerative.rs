@@ -11,8 +11,8 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    block_dims, launch_blocks, launch_grid, BlockDim, GridKernel, KernelStats, RoundKernel,
-    RoundOutcome, ThreadCtx,
+    block_dims_width, fit_block_width, launch_blocks_auto, launch_grid, BlockDim,
+    BlockRequirements, GridKernel, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
 use crate::run::{RunOutcome, SchemeKind};
@@ -26,6 +26,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     let n_states = job.table.dfa().n_states();
 
     let mut exec = ExecKernel {
+        job,
         table: job.table,
         input: job.input,
         chunks: &chunks,
@@ -44,7 +45,11 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     // walk below is the same composition restricted to the ground-truth path.
     let mut verify = KernelStats::default();
     if n > 1 {
-        let dims = block_dims(job.spec, n);
+        // The same occupancy-fitted width the exec grid used, so the merge
+        // cost model sees the real block partition.
+        let width = fit_block_width(job.spec, |w| job.enumerative_requirements(w))
+            .expect("Job::new checked launchability");
+        let dims = block_dims_width(width as usize, n);
         let mut merges: Vec<(usize, ComposeKernel)> = dims
             .iter()
             .filter(|d| d.len() > 1)
@@ -59,7 +64,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
             })
             .collect();
         if !merges.is_empty() {
-            fold_grid(&mut verify, &launch_blocks(job.spec, &mut merges));
+            fold_grid(&mut verify, &launch_blocks_auto(job.spec, &mut merges));
         }
         if dims.len() > 1 {
             let mut fold = ComposeKernel {
@@ -102,6 +107,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
 }
 
 struct ExecKernel<'a, 'j> {
+    job: &'a Job<'a>,
     table: &'a DeviceTable<'j>,
     input: &'a [u8],
     chunks: &'a [Range<usize>],
@@ -153,6 +159,10 @@ impl<'j> GridKernel for ExecKernel<'_, 'j> {
     where
         Self: 's;
 
+    fn requirements(&self, width: u32) -> BlockRequirements {
+        self.job.enumerative_requirements(width)
+    }
+
     fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<ExecBlock<'s, 'j>> {
         let mut maps: &'s mut [Vec<StateId>] = &mut self.maps;
         let mut counts: &'s mut [Vec<u64>] = &mut self.counts;
@@ -183,6 +193,11 @@ struct ComposeKernel {
 }
 
 impl RoundKernel for ComposeKernel {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        // One |Q|-entry function map staged through shared memory per round.
+        BlockRequirements { threads, shared_bytes: 4 * self.q as usize, regs_per_thread: 32 }
+    }
+
     fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         // Compose |Q| entries through shared memory.
         ctx.shared(self.q);

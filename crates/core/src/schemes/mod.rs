@@ -25,7 +25,9 @@ pub use common::{exec_phase, ExecPhase};
 use std::ops::Range;
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::DeviceSpec;
+use gspecpal_gpu::{
+    block_dims_width, fit_block_width, max_resident_blocks, BlockDim, BlockRequirements, DeviceSpec,
+};
 
 use crate::config::SchemeConfig;
 use crate::partition::partition;
@@ -55,7 +57,19 @@ impl<'a> Job<'a> {
         config: SchemeConfig,
     ) -> Result<Self, crate::error::CoreError> {
         config.validate(input.len())?;
-        Ok(Job { spec, table, input, config })
+        let job = Job { spec, table, input, config };
+        // Launchability gate: if even a one-thread block of the execution or
+        // verification kernels exceeds the SM (a hot table bigger than shared
+        // memory), reject the job here instead of panicking mid-scheme.
+        for req in [job.exec_requirements(1), job.vr_requirements(1)] {
+            if max_resident_blocks(spec, &req) == 0 {
+                return Err(crate::error::CoreError::Unlaunchable {
+                    shared_bytes: req.shared_bytes,
+                    shared_available: spec.shared_mem_bytes,
+                });
+            }
+        }
+        Ok(job)
     }
 
     /// The chunk partition `Π` of this job's input.
@@ -66,6 +80,71 @@ impl<'a> Job<'a> {
     /// Ground truth end state, computed host-side (for tests/verification).
     pub fn truth(&self) -> StateId {
         self.table.dfa().run(self.input)
+    }
+
+    /// Shared-memory bytes of per-thread device state in the speculation
+    /// kernels: the staged speculation queue — up to `VR^others` records plus
+    /// the thread's own forwarded end states — at 8 bytes per record slot
+    /// (start, end, match count packed), plus a 16-byte staging slot for the
+    /// boundary exchange. Queues longer than the state count are pointless
+    /// (a record per distinct start state at most), so the slot count is
+    /// clamped there.
+    fn shared_bytes_per_thread(&self) -> usize {
+        let slots = (self.config.vr_others_registers + self.config.spec_k + 1)
+            .min(self.table.dfa().n_states() as usize + 1);
+        8 * slots + 16
+    }
+
+    /// Per-block resources of the speculative-execution kernels (the `T_par`
+    /// phase): the hot table in shared memory, per-thread speculation queues,
+    /// and registers for the VR^end window plus the spec-k path states.
+    /// Register counts are capped at 255, the hardware per-thread spill cap.
+    pub fn exec_requirements(&self, threads: u32) -> BlockRequirements {
+        let own = self.config.vr_end_registers.max(self.config.spec_k);
+        let regs = (16 + 4 * own + 2 * self.config.spec_k).min(255) as u32;
+        BlockRequirements {
+            threads,
+            shared_bytes: self.table.shared_footprint_bytes()
+                + threads as usize * self.shared_bytes_per_thread(),
+            regs_per_thread: regs,
+        }
+    }
+
+    /// Per-block resources of the verification & recovery kernels (the
+    /// `T_v&r` phase): the hot table, the staged `VR^others` queues, and
+    /// registers for the full record window (VR^end + VR^others, 4 registers
+    /// per record) plus loop state.
+    pub fn vr_requirements(&self, threads: u32) -> BlockRequirements {
+        let records =
+            self.config.vr_end_registers.max(self.config.spec_k) + self.config.vr_others_registers;
+        let regs = (24 + 4 * records).min(255) as u32;
+        BlockRequirements {
+            threads,
+            shared_bytes: self.table.shared_footprint_bytes()
+                + threads as usize * self.shared_bytes_per_thread(),
+            regs_per_thread: regs,
+        }
+    }
+
+    /// Per-block resources of the enumerative kernels: the hot table in
+    /// shared memory and a register per live state mapping entry (clamped —
+    /// big machines spill the map to local memory rather than registers).
+    pub fn enumerative_requirements(&self, threads: u32) -> BlockRequirements {
+        let live = (self.table.dfa().n_states() as usize).min(120);
+        BlockRequirements {
+            threads,
+            shared_bytes: self.table.shared_footprint_bytes(),
+            regs_per_thread: (16 + 2 * live).min(255) as u32,
+        }
+    }
+
+    /// The block partition the VR-based schemes launch for `n_threads`
+    /// chunk-owning threads: blocks as wide as the occupancy calculator lets
+    /// the verification kernel be on this device.
+    pub fn vr_dims(&self, n_threads: usize) -> Vec<BlockDim> {
+        let width = fit_block_width(self.spec, |w| self.vr_requirements(w))
+            .expect("Job::new checked launchability");
+        block_dims_width(width as usize, n_threads)
     }
 }
 

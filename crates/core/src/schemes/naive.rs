@@ -16,7 +16,8 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    block_dims, launch_blocks, BlockDim, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, RoundKernel, RoundOutcome,
+    ThreadCtx,
 };
 
 use crate::records::{VrRecord, VrSlice};
@@ -39,7 +40,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     let mut frontier_trace = Vec::new();
 
     if n > 1 {
-        let dims = block_dims(job.spec, n);
+        let dims = job.vr_dims(n);
         let incomings: Vec<StateId> =
             dims.iter().map(|d| if d.index == 0 { 0 } else { ends[d.tids.start - 1] }).collect();
         let lens: Vec<usize> = dims.iter().map(BlockDim::len).collect();
@@ -71,7 +72,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
                     },
                 ));
             }
-            let grid = launch_blocks(job.spec, &mut blocks);
+            let grid = launch_blocks_auto(job.spec, &mut blocks);
             fold_grid(&mut verify, &grid);
             for (_, block) in blocks {
                 checks += block.checks;
@@ -125,6 +126,10 @@ struct NaiveBlock<'a, 'j> {
 }
 
 impl RoundKernel for NaiveBlock<'_, '_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        self.job.vr_requirements(threads)
+    }
+
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         if tid != self.cursor {
             return RoundOutcome::IDLE;

@@ -26,7 +26,8 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    block_dims, launch_blocks, BlockDim, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, RoundKernel, RoundOutcome,
+    ThreadCtx,
 };
 
 use crate::records::{VrRecord, VrSlice};
@@ -47,7 +48,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
     let mut frontier_trace = Vec::new();
 
     if n > 1 {
-        let dims = block_dims(job.spec, n);
+        let dims = job.vr_dims(n);
         let incomings: Vec<StateId> =
             dims.iter().map(|d| if d.index == 0 { 0 } else { ends[d.tids.start - 1] }).collect();
 
@@ -65,7 +66,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
             })
             .collect();
         if !merges.is_empty() {
-            fold_grid(&mut verify, &launch_blocks(job.spec, &mut merges));
+            fold_grid(&mut verify, &launch_blocks_auto(job.spec, &mut merges));
         }
 
         // Phase 3: per-block sequential verification and recovery along each
@@ -107,7 +108,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
                 }
             }
             if !pending.is_empty() {
-                fold_grid(&mut verify, &launch_blocks(job.spec, &mut pending));
+                fold_grid(&mut verify, &launch_blocks_auto(job.spec, &mut pending));
             }
             let mut blocks: Vec<PmBlock<'_, '_>> =
                 idle.into_iter().chain(pending.into_iter().map(|(_, b)| b)).collect();
@@ -151,6 +152,16 @@ struct MergeKernel {
 }
 
 impl RoundKernel for MergeKernel {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        // Each thread holds k end states and k speculated starts in
+        // registers; no shared memory or table accesses in the merge.
+        BlockRequirements {
+            threads,
+            shared_bytes: 0,
+            regs_per_thread: (16 + 4 * self.k).min(255) as u32,
+        }
+    }
+
     fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         // T_comm(k): forward k end states to the successor.
         ctx.shuffle(self.k);
@@ -217,6 +228,10 @@ impl PmBlock<'_, '_> {
 }
 
 impl RoundKernel for PmBlock<'_, '_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        self.job.vr_requirements(threads)
+    }
+
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         if tid != self.cursor {
             return RoundOutcome::IDLE;

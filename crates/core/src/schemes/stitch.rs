@@ -8,34 +8,50 @@
 //! therefore extends the paper's speculation one level up: each block runs
 //! its verification loop assuming the *speculated* exec-phase end of its
 //! predecessor chunk as the incoming state (block-level speculation), and a
-//! sequential host-driven pass afterwards validates the block boundaries in
-//! order — exactly the shape of Algorithm 2's sequential walk, lifted from
-//! chunks to blocks.
+//! host-driven pass afterwards validates the block boundaries.
+//!
+//! Two stitch policies exist ([`StitchPolicy`]):
+//!
+//! * **Sequential** — the original left-to-right seam walk: one dependent
+//!   launch per mispredicted block, `O(B)` seam checks on the critical path.
+//! * **Tree** — the default: seams compose pair-wise in `log2(B)` rounds,
+//!   the multi-block analogue of PM's tree merge. In the round with span
+//!   `s`, clusters of `s` blocks are already internally consistent with
+//!   their leading block's speculated incoming state (the exec/verify
+//!   phases establish this for `s = 1`); the seams between cluster pairs
+//!   are checked *concurrently* (one thread per seam), and only a cluster
+//!   whose leader's speculation disagrees with its left neighbour's now-
+//!   known true boundary state is re-resolved — from the true state, with
+//!   record hits settling chunks for the price of a scan, misses running a
+//!   must-be-done recovery, and re-resolution stopping early when the
+//!   rewritten end state converges with the old one (everything downstream
+//!   already chains from it). Mismatched clusters at the same level are
+//!   disjoint chunk ranges, so their fix-ups run as concurrent one-thread
+//!   blocks, waves sized by the occupancy calculator.
 //!
 //! When a block's speculated incoming state turns out right (the common
 //! case on convergent machines, and guaranteed for block 0), its results
-//! are already exact and the stitch costs nothing. When it was wrong, the
-//! block's chunks are re-resolved in order from the true incoming state: a
-//! record hit in `VR` settles a chunk for the price of a scan, a miss is a
-//! must-be-done re-execution by a single thread — the same economics as
-//! chunk-level recovery, charged through the same simulator.
+//! are already exact and the stitch costs a seam check. All re-execution is
+//! charged through the same simulator as chunk-level recovery.
 
 use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch, BlockDim, GridStats, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    launch, launch_blocks_auto, launch_grid, BlockDim, BlockRequirements, GridKernel, GridStats,
+    KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
-use crate::records::{VrRecord, VrStore};
+use crate::config::StitchPolicy;
+use crate::records::{VrRecord, VrSlice, VrStore};
 use crate::schemes::Job;
 
 /// Folds a heterogeneous grid launch into one sequential-equivalent stats
 /// record (counters summed, event streams concatenated in block order,
-/// cycles = the grid's wave-scheduled completion time) and merges it into
-/// `verify` as a back-to-back kernel.
+/// cycles = the grid's wave-scheduled completion time, occupancy shape
+/// attached) and merges it into `verify` as a back-to-back kernel.
 pub(crate) fn fold_grid(verify: &mut KernelStats, grid: &GridStats) {
-    let mut combined = KernelStats::default();
+    let mut combined = KernelStats { shape: Some(grid.shape()), ..KernelStats::default() };
     for block in &grid.blocks {
         combined.absorb_block(block);
     }
@@ -51,11 +67,34 @@ pub(crate) struct StitchOutcome {
     pub matches: u64,
 }
 
-/// Validates every block boundary in order. `incomings[b]` is the state
-/// block `b` speculated as its incoming; `ends`/`counts` hold the per-chunk
-/// results the blocks produced under that speculation and are rewritten in
-/// place for blocks whose speculation missed.
+/// Validates every block boundary under the job's [`StitchPolicy`].
+/// `incomings[b]` is the state block `b` speculated as its incoming;
+/// `ends`/`counts` hold the per-chunk results the blocks produced under that
+/// speculation and are rewritten in place for blocks whose speculation
+/// missed.
 pub(crate) fn stitch_blocks(
+    job: &Job<'_>,
+    chunks: &[Range<usize>],
+    dims: &[BlockDim],
+    incomings: &[StateId],
+    vr: &mut VrStore,
+    ends: &mut [StateId],
+    counts: &mut [u64],
+) -> StitchOutcome {
+    if dims.len() <= 1 {
+        return StitchOutcome { stats: KernelStats::default(), checks: 0, matches: 0 };
+    }
+    match job.config.stitch {
+        StitchPolicy::Sequential => {
+            stitch_sequential(job, chunks, dims, incomings, vr, ends, counts)
+        }
+        StitchPolicy::Tree => stitch_tree(job, chunks, dims, incomings, vr, ends, counts),
+    }
+}
+
+/// The original left-to-right seam walk: one dependent one-thread launch per
+/// mispredicted block.
+fn stitch_sequential(
     job: &Job<'_>,
     chunks: &[Range<usize>],
     dims: &[BlockDim],
@@ -91,8 +130,209 @@ pub(crate) fn stitch_blocks(
     out
 }
 
+/// Pair-wise tree stitch: `log2(B)` rounds of concurrent seam checks, with
+/// mismatched clusters re-resolved as concurrent one-thread fix-up blocks.
+fn stitch_tree(
+    job: &Job<'_>,
+    chunks: &[Range<usize>],
+    dims: &[BlockDim],
+    incomings: &[StateId],
+    vr: &mut VrStore,
+    ends: &mut [StateId],
+    counts: &mut [u64],
+) -> StitchOutcome {
+    let b = dims.len();
+    let n = chunks.len();
+    let mut out = StitchOutcome { stats: KernelStats::default(), checks: 0, matches: 0 };
+    let mut span = 1usize;
+    while span < b {
+        // Seams between cluster pairs: the leading block of every odd
+        // cluster at this level. All seams are independent and checked in
+        // one concurrent launch (one thread per seam).
+        let seams: Vec<usize> = (span..b).step_by(2 * span).collect();
+        out.stats.merge_sequential(&launch_grid(job.spec, seams.len(), &mut SeamGrid));
+
+        // Host-side mirror of the seam comparisons: a cluster whose leader
+        // speculated the (now known) true boundary state is composed for
+        // free; the rest are re-resolved from the true state.
+        let mut fixups: Vec<(usize, usize, StateId)> = Vec::new();
+        for &right in &seams {
+            let lo = dims[right].tids.start;
+            let true_in = ends[lo - 1];
+            if true_in == incomings[right] {
+                continue;
+            }
+            let last_block = (right + span).min(b) - 1;
+            fixups.push((lo, dims[last_block].tids.end, true_in));
+        }
+
+        if !fixups.is_empty() {
+            // Mismatched clusters are disjoint chunk ranges; cover `0..n`
+            // with alternating gap/fix-up segments so the record store and
+            // result arrays split into disjoint views.
+            let mut lens: Vec<usize> = Vec::new();
+            let mut is_fix: Vec<bool> = Vec::new();
+            let mut pos = 0usize;
+            for &(lo, hi, _) in &fixups {
+                if lo > pos {
+                    lens.push(lo - pos);
+                    is_fix.push(false);
+                }
+                lens.push(hi - lo);
+                is_fix.push(true);
+                pos = hi;
+            }
+            if pos < n {
+                lens.push(n - pos);
+                is_fix.push(false);
+            }
+            let vr_slices = vr.split_lens(&lens);
+            let mut e_rest: &mut [StateId] = ends;
+            let mut c_rest: &mut [u64] = counts;
+            let mut fix_iter = fixups.iter();
+            let mut blocks: Vec<(usize, TreeFixup<'_, '_>)> = Vec::with_capacity(fixups.len());
+            for ((&len, &fix), vr_slice) in lens.iter().zip(&is_fix).zip(vr_slices) {
+                let (e, er) = e_rest.split_at_mut(len);
+                let (c, cr) = c_rest.split_at_mut(len);
+                e_rest = er;
+                c_rest = cr;
+                if fix {
+                    let &(lo, _, true_in) = fix_iter.next().expect("one fixup per fix segment");
+                    blocks.push((
+                        1,
+                        TreeFixup {
+                            job,
+                            chunks,
+                            vr: vr_slice,
+                            base: lo,
+                            len,
+                            state: true_in,
+                            ends: e,
+                            counts: c,
+                            cursor: 0,
+                            done: false,
+                            checks: 0,
+                            matches: 0,
+                        },
+                    ));
+                }
+            }
+            let grid = launch_blocks_auto(job.spec, &mut blocks);
+            fold_grid(&mut out.stats, &grid);
+            for (_, k) in blocks {
+                out.checks += k.checks;
+                out.matches += k.matches;
+            }
+        }
+        span *= 2;
+    }
+    out
+}
+
+/// Device cost of one round of concurrent seam checks: each thread receives
+/// its left neighbour's boundary state and compares it against the cluster
+/// leader's speculation.
+struct SeamGrid;
+
+struct SeamBlock;
+
+impl RoundKernel for SeamBlock {
+    fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        ctx.shuffle(1);
+        ctx.alu(1);
+        RoundOutcome::ACTIVE
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        false
+    }
+}
+
+impl GridKernel for SeamGrid {
+    type Block<'s> = SeamBlock;
+
+    fn split(&mut self, dims: &[BlockDim]) -> Vec<SeamBlock> {
+        dims.iter().map(|_| SeamBlock).collect()
+    }
+}
+
+/// One-thread re-resolution of a mispredicted cluster's chunks from the true
+/// incoming state (tree policy): record hits are reused, misses re-executed
+/// (recovery), and the walk stops early once the rewritten end state equals
+/// the previous one — everything downstream already chains from it.
+/// `ends`/`counts` are the cluster's slices (relative indexing); record
+/// accesses go through the disjoint [`VrSlice`] by global chunk id.
+struct TreeFixup<'a, 'j> {
+    job: &'a Job<'j>,
+    chunks: &'a [Range<usize>],
+    vr: VrSlice<'a>,
+    base: usize,
+    len: usize,
+    state: StateId,
+    ends: &'a mut [StateId],
+    counts: &'a mut [u64],
+    cursor: usize,
+    done: bool,
+    checks: u64,
+    matches: u64,
+}
+
+impl RoundKernel for TreeFixup<'_, '_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        self.job.vr_requirements(threads)
+    }
+
+    fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+        let rel = self.cursor;
+        let cid = self.base + rel;
+        // Receive the verified end state of the predecessor chunk.
+        ctx.shuffle(1);
+        self.checks += 1;
+        let old_end = self.ends[rel];
+        let outcome = match self.vr.scan(ctx, cid, self.state) {
+            Some(rec) => {
+                self.matches += 1;
+                self.ends[rel] = rec.end;
+                self.counts[rel] = rec.matches;
+                RoundOutcome::ACTIVE
+            }
+            None => {
+                // Must-be-done recovery from the verified state.
+                let t0 = ctx.cycles();
+                let run = self.job.table.run_chunk_with(
+                    ctx,
+                    self.job.input,
+                    self.chunks[cid].clone(),
+                    self.state,
+                    self.job.config.count_matches,
+                );
+                ctx.credit_recovery(t0);
+                self.vr.push_own(
+                    cid,
+                    VrRecord { start: self.state, end: run.end, matches: run.matches },
+                );
+                self.ends[rel] = run.end;
+                self.counts[rel] = run.matches;
+                RoundOutcome::RECOVERING
+            }
+        };
+        self.state = self.ends[rel];
+        if self.state == old_end {
+            // Converged: downstream chunks already chain from this state.
+            self.done = true;
+        }
+        outcome
+    }
+
+    fn after_sync(&mut self, _round: u64) -> bool {
+        self.cursor += 1;
+        !self.done && self.cursor < self.len
+    }
+}
+
 /// One-thread re-resolution of a mispredicted block's chunks from the true
-/// incoming state: record hits are reused, misses re-executed (recovery).
+/// incoming state (sequential policy): record hits are reused, misses
+/// re-executed (recovery).
 struct StitchKernel<'a, 'j> {
     job: &'a Job<'j>,
     chunks: &'a [Range<usize>],
@@ -107,6 +347,10 @@ struct StitchKernel<'a, 'j> {
 }
 
 impl RoundKernel for StitchKernel<'_, '_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        self.job.vr_requirements(threads)
+    }
+
     fn round(&mut self, _tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         let cid = self.cursor;
         // Receive the verified end state of the predecessor chunk.
@@ -146,5 +390,178 @@ impl RoundKernel for StitchKernel<'_, '_> {
     fn after_sync(&mut self, _round: u64) -> bool {
         self.cursor += 1;
         self.cursor < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchemeConfig;
+    use crate::table::DeviceTable;
+    use gspecpal_fsm::combinators::keyword_dfa;
+    use gspecpal_fsm::examples::div7;
+    use gspecpal_fsm::Dfa;
+    use gspecpal_gpu::{block_dims_width, DeviceSpec};
+
+    /// Builds a B-block scenario over `width`-chunk blocks where every block
+    /// past the first speculated the wrong incoming state `wrong`: per-chunk
+    /// ends are what each block would have produced chaining from `wrong`
+    /// (block 0 chains from the true start), and the stitch must rewrite
+    /// them to the true chain. Returns the dims and the fabricated
+    /// (incomings, ends, counts).
+    #[allow(clippy::type_complexity)]
+    fn wrong_block_scenario(
+        d: &Dfa,
+        input: &[u8],
+        chunks: &[Range<usize>],
+        width: usize,
+        wrong: StateId,
+    ) -> (Vec<BlockDim>, Vec<StateId>, Vec<StateId>, Vec<u64>) {
+        let dims = block_dims_width(width, chunks.len());
+        let mut ends = vec![0; chunks.len()];
+        for dim in &dims {
+            let mut s = if dim.index == 0 { d.start() } else { wrong };
+            for cid in dim.tids.clone() {
+                s = d.run_from(s, &input[chunks[cid].clone()]);
+                ends[cid] = s;
+            }
+        }
+        let incomings: Vec<StateId> =
+            dims.iter().map(|d| if d.index == 0 { 0 } else { wrong }).collect();
+        let counts = vec![0u64; chunks.len()];
+        (dims, incomings, ends, counts)
+    }
+
+    fn truth_chain(d: &Dfa, input: &[u8], chunks: &[Range<usize>]) -> Vec<StateId> {
+        let mut s = d.start();
+        chunks
+            .iter()
+            .map(|r| {
+                s = d.run_from(s, &input[r.clone()]);
+                s
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stitch_with(
+        policy: StitchPolicy,
+        d: &Dfa,
+        table: &DeviceTable<'_>,
+        spec: &DeviceSpec,
+        input: &[u8],
+        chunks: &[Range<usize>],
+        width: usize,
+        wrong: StateId,
+    ) -> (Vec<StateId>, StitchOutcome) {
+        let config =
+            SchemeConfig { n_chunks: chunks.len(), stitch: policy, ..SchemeConfig::default() };
+        let job = Job::new(spec, table, input, config).unwrap();
+        let (dims, incomings, mut ends, mut counts) =
+            wrong_block_scenario(d, input, chunks, width, wrong);
+        let mut vr = VrStore::new(chunks.len(), 16, 16);
+        let out = stitch_blocks(&job, chunks, &dims, &incomings, &mut vr, &mut ends, &mut counts);
+        (ends, out)
+    }
+
+    /// Both policies repair an all-wrong block speculation to the exact
+    /// sequential chain. div7's per-byte transition is a permutation of the
+    /// state set, so a wrong incoming state *never* converges away — every
+    /// fabricated chunk end is genuinely wrong and must be rewritten.
+    #[test]
+    fn both_policies_repair_wrong_speculation_exactly() {
+        let d = div7();
+        let spec = DeviceSpec::rtx3090();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input: Vec<u8> = b"1101010110010111".repeat(64);
+        let n_chunks = 64;
+        let chunks = crate::partition::partition(input.len(), n_chunks);
+        let wrong = 3;
+        let truth = truth_chain(&d, &input, &chunks);
+        // Sanity: the scenario is a real mispredict, not accidental truth.
+        let (_, _, fabricated, _) = wrong_block_scenario(&d, &input, &chunks, 8, wrong);
+        assert_ne!(fabricated, truth, "scenario must corrupt the chain");
+        for policy in [StitchPolicy::Sequential, StitchPolicy::Tree] {
+            let (ends, out) = stitch_with(policy, &d, &table, &spec, &input, &chunks, 8, wrong);
+            assert_eq!(ends, truth, "{policy:?}");
+            assert!(out.checks > 0, "{policy:?} must have re-resolved chunks");
+        }
+    }
+
+    /// The tree stitch's cycle cost grows ~logarithmically in the block
+    /// count while the sequential walk grows linearly. The scenario is the
+    /// paper's common case on a convergent machine: every block speculated a
+    /// wrong incoming state, but the machine converged inside the block's
+    /// first chunk, so the per-chunk ends are already exact — only the seam
+    /// validation (one re-run per mispredicted cluster, converging
+    /// immediately) remains. Sequential pays one dependent re-resolution per
+    /// seam; the tree pays one *concurrent* fix-up round per level.
+    #[test]
+    fn tree_stitch_cycles_grow_sublinearly_in_blocks() {
+        let d = keyword_dfa(&[b"attack", b"worm"]).unwrap();
+        let spec = DeviceSpec::rtx3090();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        // A state the blocks never actually end in (deep keyword prefix),
+        // so every seam check sees a mispredict.
+        let wrong = d.n_states() - 1;
+        let cycles = |policy: StitchPolicy, n_blocks: usize| {
+            let n_chunks = 8 * n_blocks;
+            let input = b"benign traffic attack packet worm xx ".repeat(n_chunks);
+            let chunks = crate::partition::partition(input.len(), n_chunks);
+            let truth = truth_chain(&d, &input, &chunks);
+            assert_ne!(truth[chunks.len() / 8 - 1], wrong, "seams must mispredict");
+            let config = SchemeConfig { n_chunks, stitch: policy, ..SchemeConfig::default() };
+            let job = Job::new(&spec, &table, &input, config).unwrap();
+            let dims = block_dims_width(8, n_chunks);
+            let incomings: Vec<StateId> =
+                dims.iter().map(|d| if d.index == 0 { 0 } else { wrong }).collect();
+            // Convergent machine: the blocks' results are exact despite the
+            // wrong speculation — the stitch still has to prove it.
+            let mut ends = truth.clone();
+            let mut counts = vec![0u64; n_chunks];
+            let mut vr = VrStore::new(n_chunks, 16, 16);
+            let out =
+                stitch_blocks(&job, &chunks, &dims, &incomings, &mut vr, &mut ends, &mut counts);
+            assert_eq!(ends, truth, "{policy:?} {n_blocks} blocks");
+            out.stats.cycles
+        };
+        let seq_8 = cycles(StitchPolicy::Sequential, 8);
+        let seq_64 = cycles(StitchPolicy::Sequential, 64);
+        let tree_8 = cycles(StitchPolicy::Tree, 8);
+        let tree_64 = cycles(StitchPolicy::Tree, 64);
+        // Sequential: 8x the mispredicted seams => ~8x the cycles.
+        assert!(seq_64 >= 6 * seq_8, "sequential grows linearly ({seq_8} -> {seq_64})");
+        // Tree: 3 more rounds (log2 64 vs log2 8), not 8x the work.
+        assert!(tree_64 <= 4 * tree_8, "tree grows ~log ({tree_8} -> {tree_64})");
+        assert!(tree_64 < seq_64, "tree beats sequential at scale ({tree_64} vs {seq_64})");
+    }
+
+    /// Correct block speculation costs only the seam checks — no chunk is
+    /// rewritten under either policy.
+    #[test]
+    fn correct_speculation_is_free_of_recovery() {
+        let d = keyword_dfa(&[b"attack"]).unwrap();
+        let spec = DeviceSpec::rtx3090();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let input = b"benign attack stream data ".repeat(16);
+        let chunks = crate::partition::partition(input.len(), 32);
+        let truth = truth_chain(&d, &input, &chunks);
+        for policy in [StitchPolicy::Sequential, StitchPolicy::Tree] {
+            let config = SchemeConfig { n_chunks: 32, stitch: policy, ..SchemeConfig::default() };
+            let job = Job::new(&spec, &table, &input, config).unwrap();
+            let dims = block_dims_width(8, 32);
+            // Every block speculated exactly right.
+            let incomings: Vec<StateId> = dims
+                .iter()
+                .map(|d| if d.index == 0 { 0 } else { truth[d.tids.start - 1] })
+                .collect();
+            let mut ends = truth.clone();
+            let mut counts = vec![0u64; 32];
+            let mut vr = VrStore::new(32, 16, 16);
+            let out =
+                stitch_blocks(&job, &chunks, &dims, &incomings, &mut vr, &mut ends, &mut counts);
+            assert_eq!(ends, truth, "{policy:?}");
+            assert_eq!(out.stats.recovery_runs, 0, "{policy:?}");
+        }
     }
 }

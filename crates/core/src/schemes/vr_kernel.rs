@@ -31,7 +31,8 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    block_dims, launch_blocks, BlockDim, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, RoundKernel, RoundOutcome,
+    ThreadCtx,
 };
 
 use crate::records::{VrRecord, VrSlice};
@@ -84,7 +85,7 @@ pub(crate) fn run_with_policy(job: &Job<'_>, policy: RecoveryPolicy) -> RunOutco
     let mut frontier_trace = Vec::new();
 
     if n > 1 {
-        let dims = block_dims(job.spec, n);
+        let dims = job.vr_dims(n);
         // Block-level speculation: each block assumes the exec-phase end of
         // its predecessor chunk as incoming (snapshot *before* any block
         // rewrites its window).
@@ -119,7 +120,7 @@ pub(crate) fn run_with_policy(job: &Job<'_>, policy: RecoveryPolicy) -> RunOutco
                     ),
                 ));
             }
-            let grid = launch_blocks(job.spec, &mut blocks);
+            let grid = launch_blocks_auto(job.spec, &mut blocks);
             fold_grid(&mut verify, &grid);
             for (_, block) in blocks {
                 checks += block.checks;
@@ -394,6 +395,10 @@ impl<'a, 'j> VrBlock<'a, 'j> {
 }
 
 impl RoundKernel for VrBlock<'_, '_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        self.job.vr_requirements(threads)
+    }
+
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         // `launch_blocks` hands each block kernel block-local thread ids.
         let rel = tid;

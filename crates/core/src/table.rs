@@ -63,18 +63,45 @@ impl<'a> DeviceTable<'a> {
         DeviceTable { dfa, layout: TableLayout::Hashed, hot_rows, hot_set }
     }
 
+    /// Fraction of shared memory the hot table must leave free for the
+    /// schemes' own block state (staged speculation queues, `VR^others`
+    /// records, boundary staging). Without this headroom a table sized to
+    /// the last byte of shared memory would leave every kernel unlaunchable
+    /// once its per-thread shared footprint is accounted for.
+    pub const SCHEME_RESERVE_DENOM: usize = 8;
+
     /// Computes how many rows fit in the device's shared memory for the
     /// given layout. The hashed layout sacrifices part of shared memory to
-    /// the hash table itself (2 bytes per machine state).
+    /// the hash table itself (2 bytes per machine state). One eighth of
+    /// shared memory ([`Self::SCHEME_RESERVE_DENOM`]) is held back for the
+    /// launching kernel's per-thread state, so the resulting table always
+    /// leaves the job launchable (at a possibly narrow block width).
     pub fn hot_rows_for_device(dfa: &Dfa, layout: TableLayout, spec: &DeviceSpec) -> u32 {
         let row_bytes = dfa.stride() * std::mem::size_of::<StateId>();
+        let reserve = spec.shared_mem_bytes / Self::SCHEME_RESERVE_DENOM;
         let budget = match layout {
-            TableLayout::Transformed => spec.shared_mem_bytes,
+            TableLayout::Transformed => spec.shared_mem_bytes - reserve,
             TableLayout::Hashed => {
-                spec.shared_mem_bytes.saturating_sub(2 * dfa.n_states() as usize)
+                (spec.shared_mem_bytes - reserve).saturating_sub(2 * dfa.n_states() as usize)
             }
         };
         ((budget / row_bytes.max(1)) as u32).min(dfa.n_states())
+    }
+
+    /// Shared-memory bytes this table occupies per block: the resident hot
+    /// rows, plus (for the hashed layout) the 2-bytes-per-state hash table
+    /// itself. This is the per-block footprint a kernel must declare in its
+    /// [`gspecpal_gpu::BlockRequirements`] — a big hot table lowers the
+    /// occupancy calculator's resident-block count, which is exactly the
+    /// trade-off the paper's §IV-B caching discussion balances.
+    pub fn shared_footprint_bytes(&self) -> usize {
+        let rows = self.hot_rows.min(self.dfa.n_states()) as usize;
+        let row_bytes = self.dfa.stride() * std::mem::size_of::<StateId>();
+        let table = rows * row_bytes;
+        match self.layout {
+            TableLayout::Transformed => table,
+            TableLayout::Hashed => table + 2 * self.dfa.n_states() as usize,
+        }
     }
 
     /// The underlying machine.
@@ -376,5 +403,44 @@ mod tests {
         let t_rows = DeviceTable::hot_rows_for_device(&d, TableLayout::Transformed, &spec);
         let h_rows = DeviceTable::hot_rows_for_device(&d, TableLayout::Hashed, &spec);
         assert!(h_rows <= t_rows);
+    }
+
+    #[test]
+    fn shared_footprint_matches_layout() {
+        let d = div7();
+        let row = d.stride() * std::mem::size_of::<StateId>();
+        let t = DeviceTable::transformed(&d, 3);
+        assert_eq!(t.shared_footprint_bytes(), 3 * row);
+        let profile = FrequencyProfile::uniform(&d);
+        let h = DeviceTable::hashed(&d, &profile, 3);
+        assert_eq!(h.shared_footprint_bytes(), 3 * row + 2 * d.n_states() as usize);
+        // hot_rows beyond the state count never inflate the footprint.
+        let t = DeviceTable::transformed(&d, 1000);
+        assert_eq!(t.shared_footprint_bytes(), d.n_states() as usize * row);
+    }
+
+    #[test]
+    fn big_hot_tables_reduce_resident_blocks() {
+        // A device-filling hot table must cost occupancy: the same 256-thread
+        // block that fits 6-wide with no shared memory fits exactly once when
+        // it carries the full table (ISSUE: "shared-memory-heavy shape
+        // measurably reduces resident blocks/SM vs light").
+        use gspecpal_fsm::random::random_dfa;
+        use gspecpal_gpu::{max_resident_blocks, BlockRequirements};
+        let spec = DeviceSpec::rtx3090();
+        let d = random_dfa(7, 512, 64);
+        let hot = DeviceTable::hot_rows_for_device(&d, TableLayout::Transformed, &spec);
+        let t = DeviceTable::transformed(&d, hot);
+        assert!(t.shared_footprint_bytes() > spec.shared_mem_bytes / 2, "table should be big");
+        let heavy = BlockRequirements {
+            threads: 256,
+            shared_bytes: t.shared_footprint_bytes(),
+            regs_per_thread: 32,
+        };
+        let light = BlockRequirements::light(256);
+        let r_heavy = max_resident_blocks(&spec, &heavy);
+        let r_light = max_resident_blocks(&spec, &light);
+        assert_eq!(r_heavy, 1);
+        assert!(r_heavy < r_light, "{r_heavy} vs {r_light}");
     }
 }

@@ -11,11 +11,18 @@
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks, launch_grid, BlockDim, DeviceSpec, GridKernel, KernelStats, RoundKernel,
-    RoundOutcome, ThreadCtx,
+    launch_blocks_auto, launch_grid, BlockDim, BlockRequirements, DeviceSpec, GridKernel,
+    KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
 use crate::table::DeviceTable;
+
+/// Block resources of a stream-scanning kernel: the hot transition table in
+/// shared memory plus a small per-thread register state (cursor, state,
+/// stream bounds).
+fn stream_requirements(table: &DeviceTable<'_>, threads: u32) -> BlockRequirements {
+    BlockRequirements { threads, shared_bytes: table.shared_footprint_bytes(), regs_per_thread: 32 }
+}
 
 /// Result of a stream-parallel batch run.
 #[derive(Clone, Debug)]
@@ -73,8 +80,8 @@ pub fn run_stream_parallel(
 
 /// Like [`run_stream_parallel`] for batches larger than one block: streams
 /// are sharded into blocks of `threads_per_block` which the device schedules
-/// onto its SMs in waves (the full-device throughput configuration of the
-/// engines §II-B describes).
+/// onto its SMs in occupancy-sized waves (the full-device throughput
+/// configuration of the engines §II-B describes).
 pub fn run_stream_parallel_grid(
     spec: &DeviceSpec,
     table: &DeviceTable<'_>,
@@ -89,7 +96,7 @@ pub fn run_stream_parallel_grid(
             (shard.len(), StreamKernel { table, streams: shard, end_states: vec![0; shard.len()] })
         })
         .collect();
-    let grid = launch_blocks(spec, &mut blocks);
+    let grid = launch_blocks_auto(spec, &mut blocks);
 
     let mut end_states = Vec::with_capacity(streams.len());
     for (_, k) in &blocks {
@@ -97,9 +104,9 @@ pub fn run_stream_parallel_grid(
     }
     let accepted = end_states.iter().map(|&s| table.dfa().is_accepting(s)).collect();
     // Fold the grid totals into a single KernelStats for uniform reporting.
-    let mut stats = KernelStats::default();
+    let mut stats = KernelStats { shape: Some(grid.shape()), ..KernelStats::default() };
     for b in &grid.blocks {
-        stats.merge_sequential(b);
+        stats.absorb_block(b);
     }
     stats.cycles = grid.cycles;
     BatchOutcome { end_states, accepted, stats, total_bytes: streams.iter().map(|s| s.len()).sum() }
@@ -112,6 +119,10 @@ struct StreamKernel<'a, 'j> {
 }
 
 impl RoundKernel for StreamKernel<'_, '_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        stream_requirements(self.table, threads)
+    }
+
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         let stream = self.streams[tid];
         self.end_states[tid] =
@@ -134,6 +145,10 @@ struct StreamBlock<'s> {
 }
 
 impl RoundKernel for StreamBlock<'_> {
+    fn requirements(&self, threads: u32) -> BlockRequirements {
+        stream_requirements(self.table, threads)
+    }
+
     fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
         let stream = self.streams[tid - self.base];
         self.end_states[tid - self.base] =
@@ -151,6 +166,10 @@ impl GridKernel for StreamKernel<'_, '_> {
         = StreamBlock<'s>
     where
         Self: 's;
+
+    fn requirements(&self, width: u32) -> BlockRequirements {
+        stream_requirements(self.table, width)
+    }
 
     fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<StreamBlock<'s>> {
         let mut ends: &'s mut [StateId] = &mut self.end_states;
@@ -242,7 +261,8 @@ mod tests {
         spec.n_sms = 4;
         let streams = streams_of(b"1101", 40);
         let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
-        // Shard into blocks of 8 threads: 5 blocks on 4 SMs -> 2 waves.
+        // Shard into blocks of 8 threads; the occupancy calculator decides
+        // how many ride each SM per wave.
         let grid = run_stream_parallel_grid(&spec, &table, &refs, 8);
         for (i, s) in refs.iter().enumerate() {
             assert_eq!(grid.end_states[i], d.run(s), "stream {i}");
@@ -259,9 +279,11 @@ mod tests {
         let table = DeviceTable::transformed(&d, d.n_states());
         let mut spec = DeviceSpec::test_unit();
         spec.n_sms = 1;
+        // Only one block may be resident at a time, so 4 blocks of 1 thread
+        // on 1 SM serialize into 4 waves.
+        spec.max_blocks_per_sm = 1;
         let stream: Vec<u8> = b"10".repeat(500);
         let refs: Vec<&[u8]> = (0..4).map(|_| stream.as_slice()).collect();
-        // 4 blocks of 1 thread on 1 SM: 4 serialized waves.
         let four_waves = run_stream_parallel_grid(&spec, &table, &refs, 1);
         // 1 block of 4 threads: a single wave.
         let one_wave = run_stream_parallel_grid(&spec, &table, &refs, 4);

@@ -1,0 +1,52 @@
+//! Structured launch failures.
+//!
+//! Real CUDA reports `cudaErrorInvalidConfiguration` / `cudaErrorLaunchOutOfResources`
+//! when a block shape exceeds an SM's resources; the simulator used to paper
+//! over this with a silent 1-resident-block fallback. A [`LaunchError`] makes
+//! the failure explicit so callers can shrink the block (or reject the job)
+//! instead of silently mis-costing the grid.
+
+use crate::occupancy::BlockRequirements;
+
+/// Why a grid launch was rejected before any block ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// No block of the kernel fits on one SM: even the reported shape's
+    /// smallest candidate block exceeds shared memory, the register file, or
+    /// the per-block thread cap — on hardware the launch itself would fail.
+    UnlaunchableShape {
+        /// The offending per-block requirements.
+        req: BlockRequirements,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::UnlaunchableShape { req } => write!(
+                f,
+                "a single block exceeds the SM's resources: {} threads, {} shared bytes, \
+                 {} regs/thread",
+                req.threads, req.shared_bytes, req.regs_per_thread
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_resources() {
+        let e = LaunchError::UnlaunchableShape {
+            req: BlockRequirements { threads: 7, shared_bytes: 123_456, regs_per_thread: 99 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("exceeds the SM's resources"));
+        assert!(s.contains("123456"));
+        assert!(s.contains("99"));
+    }
+}

@@ -24,10 +24,11 @@
 
 use rayon::prelude::*;
 
+use crate::error::LaunchError;
 use crate::kernel::{launch, run_block, RoundKernel};
-use crate::occupancy::{max_resident_blocks, BlockRequirements};
+use crate::occupancy::{fit_block_width, max_resident_blocks, BlockRequirements};
 use crate::spec::DeviceSpec;
-use crate::stats::KernelStats;
+use crate::stats::{KernelStats, LaunchShape};
 
 /// The shape of one block within a grid launch.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,12 +55,20 @@ impl BlockDim {
 /// Partitions `n_threads` global threads into blocks of at most
 /// `max_threads_per_block`: every block full except possibly the last.
 pub fn block_dims(spec: &DeviceSpec, n_threads: usize) -> Vec<BlockDim> {
+    block_dims_width(spec.max_threads_per_block.max(1) as usize, n_threads)
+}
+
+/// Partitions `n_threads` global threads into blocks of at most `width`
+/// threads (an occupancy-fitted width — see
+/// [`crate::occupancy::fit_block_width`]): every block full except possibly
+/// the last.
+pub fn block_dims_width(width: usize, n_threads: usize) -> Vec<BlockDim> {
     assert!(n_threads > 0, "kernel needs at least one thread");
-    let per_block = spec.max_threads_per_block.max(1) as usize;
-    (0..n_threads.div_ceil(per_block))
+    assert!(width > 0, "blocks need at least one thread");
+    (0..n_threads.div_ceil(width))
         .map(|index| {
-            let lo = index * per_block;
-            BlockDim { index, tids: lo..((lo + per_block).min(n_threads)) }
+            let lo = index * width;
+            BlockDim { index, tids: lo..((lo + width).min(n_threads)) }
         })
         .collect()
 }
@@ -80,6 +89,15 @@ pub trait GridKernel {
 
     /// Splits `self` into one block kernel per entry of `dims`.
     fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<Self::Block<'s>>;
+
+    /// Per-block resource requirements at block width `width`. Defaults to
+    /// the light shape; implementors report their true shared-memory and
+    /// register footprint so [`launch_grid`] can pick the block width and
+    /// wave size from the occupancy calculator instead of assuming a light
+    /// kernel (see [`RoundKernel::requirements`]).
+    fn requirements(&self, width: u32) -> BlockRequirements {
+        BlockRequirements::light(width)
+    }
 }
 
 /// Launches `kernel` with `n_threads` threads as a grid of blocks of
@@ -124,31 +142,58 @@ pub fn launch_grid<G: GridKernel>(
     n_threads: usize,
     kernel: &mut G,
 ) -> KernelStats {
-    let dims = block_dims(spec, n_threads);
+    try_launch_grid(spec, n_threads, kernel).unwrap_or_else(|e| panic!("launch_grid: {e}"))
+}
+
+/// Fallible [`launch_grid`]: returns a structured [`LaunchError`] instead of
+/// panicking when no block shape of the kernel fits on an SM. The block
+/// width comes from [`fit_block_width`] over the kernel's reported
+/// [`GridKernel::requirements`], and waves are sized from the resulting
+/// occupancy — a kernel hogging shared memory or registers gets narrower
+/// blocks and fewer resident blocks per SM, exactly as on real hardware.
+pub fn try_launch_grid<G: GridKernel>(
+    spec: &DeviceSpec,
+    n_threads: usize,
+    kernel: &mut G,
+) -> Result<KernelStats, LaunchError> {
+    let width = fit_block_width(spec, |w| kernel.requirements(w))?;
+    let dims = block_dims_width(width as usize, n_threads);
+    // The tail (or sole) block may be narrower than the fitted width; the
+    // wave model schedules by the widest block's footprint.
+    let req = kernel.requirements(dims[0].len() as u32);
+    let resident = max_resident_blocks(spec, &req);
+    if resident == 0 {
+        return Err(LaunchError::UnlaunchableShape { req });
+    }
     let blocks = kernel.split(&dims);
     assert_eq!(blocks.len(), dims.len(), "GridKernel::split must return one block kernel per dim");
-    let width = dims[0].len() as u32;
     let work: Vec<(BlockDim, G::Block<'_>)> = dims.into_iter().zip(blocks).collect();
     let per_block: Vec<KernelStats> = work
         .into_par_iter()
         .map(|(dim, mut block)| run_block(spec, dim.tids.start, dim.len(), &mut block))
         .collect();
-    merge_grid(spec, width, &per_block)
+    Ok(merge_grid(spec, resident, &per_block))
 }
 
 /// Merges per-block stats into grid stats: counters summed, event streams
-/// concatenated in block order, cycles from the occupancy wave model.
-fn merge_grid(spec: &DeviceSpec, block_width: u32, per_block: &[KernelStats]) -> KernelStats {
+/// concatenated in block order, cycles from the occupancy wave model with
+/// `resident` blocks per SM, and the resulting [`LaunchShape`] recorded.
+fn merge_grid(spec: &DeviceSpec, resident: u32, per_block: &[KernelStats]) -> KernelStats {
     let mut merged = KernelStats::default();
     for stats in per_block {
         merged.absorb_block(stats);
     }
-    let resident = max_resident_blocks(spec, &BlockRequirements::light(block_width)).max(1);
     let per_wave = (resident * spec.n_sms.max(1)) as usize;
+    let mut waves = 0u32;
     merged.cycles = per_block
         .chunks(per_wave)
-        .map(|wave| wave.iter().map(|b| b.cycles).max().unwrap_or(0))
+        .map(|wave| {
+            waves += 1;
+            wave.iter().map(|b| b.cycles).max().unwrap_or(0)
+        })
         .sum();
+    merged.shape =
+        Some(LaunchShape { resident_per_sm: resident, blocks_per_wave: per_wave as u32, waves });
     merged
 }
 
@@ -161,6 +206,10 @@ pub struct GridStats {
     pub waves: u32,
     /// Grid completion time in cycles (sum of wave maxima).
     pub cycles: u64,
+    /// Resident blocks per SM the scheduler assumed when forming waves.
+    pub resident_per_sm: u32,
+    /// Blocks scheduled per wave (`resident_per_sm × n_sms`).
+    pub blocks_per_wave: u32,
 }
 
 impl GridStats {
@@ -173,6 +222,16 @@ impl GridStats {
     pub fn max_block_cycles(&self) -> u64 {
         self.blocks.iter().map(|b| b.cycles).max().unwrap_or(0)
     }
+
+    /// The occupancy shape of this launch, for embedding into merged
+    /// [`KernelStats`].
+    pub fn shape(&self) -> LaunchShape {
+        LaunchShape {
+            resident_per_sm: self.resident_per_sm,
+            blocks_per_wave: self.blocks_per_wave,
+            waves: self.waves,
+        }
+    }
 }
 
 /// Launches one block per kernel in `blocks` (each with its thread count)
@@ -183,29 +242,74 @@ pub fn launch_blocks<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
 ) -> GridStats {
-    launch_block_waves(spec, blocks, spec.n_sms.max(1) as usize)
+    launch_block_waves(spec, blocks, 1)
 }
 
 /// Like [`launch_blocks`], with the wave width derived from the kernel's
 /// resource requirements via the occupancy calculator: blocks per wave =
-/// `max_resident_blocks(spec, req) × n_sms`.
+/// `max_resident_blocks(spec, req) × n_sms`. Panics on an unlaunchable
+/// shape; use [`try_launch_blocks_occupancy`] to handle it structurally.
 pub fn launch_blocks_occupancy<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
     req: &BlockRequirements,
 ) -> GridStats {
+    try_launch_blocks_occupancy(spec, blocks, req)
+        .unwrap_or_else(|e| panic!("launch_blocks_occupancy: {e}"))
+}
+
+/// Fallible [`launch_blocks_occupancy`]: a shape with zero resident blocks
+/// becomes a [`LaunchError`] instead of a panic.
+pub fn try_launch_blocks_occupancy<K: RoundKernel + Send>(
+    spec: &DeviceSpec,
+    blocks: &mut [(usize, K)],
+    req: &BlockRequirements,
+) -> Result<GridStats, LaunchError> {
     let resident = max_resident_blocks(spec, req);
-    assert!(resident > 0, "a single block exceeds the SM's resources: {req:?}");
-    launch_block_waves(spec, blocks, (resident * spec.n_sms.max(1)) as usize)
+    if resident == 0 {
+        return Err(LaunchError::UnlaunchableShape { req: *req });
+    }
+    Ok(launch_block_waves(spec, blocks, resident))
+}
+
+/// Like [`launch_blocks`], but each kernel reports its own
+/// [`RoundKernel::requirements`] and the wave width follows the occupancy of
+/// the hungriest block (`min` over blocks of `max_resident_blocks`) — the
+/// conservative choice a driver makes for a heterogeneous grid. Panics on an
+/// unlaunchable shape; use [`try_launch_blocks_auto`] to handle it.
+pub fn launch_blocks_auto<K: RoundKernel + Send>(
+    spec: &DeviceSpec,
+    blocks: &mut [(usize, K)],
+) -> GridStats {
+    try_launch_blocks_auto(spec, blocks).unwrap_or_else(|e| panic!("launch_blocks_auto: {e}"))
+}
+
+/// Fallible [`launch_blocks_auto`].
+pub fn try_launch_blocks_auto<K: RoundKernel + Send>(
+    spec: &DeviceSpec,
+    blocks: &mut [(usize, K)],
+) -> Result<GridStats, LaunchError> {
+    assert!(!blocks.is_empty(), "a grid needs at least one block");
+    let mut resident = u32::MAX;
+    for (n_threads, kernel) in blocks.iter() {
+        let req = kernel.requirements(*n_threads as u32);
+        let r = max_resident_blocks(spec, &req);
+        if r == 0 {
+            return Err(LaunchError::UnlaunchableShape { req });
+        }
+        resident = resident.min(r);
+    }
+    Ok(launch_block_waves(spec, blocks, resident))
 }
 
 fn launch_block_waves<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
-    per_wave: usize,
+    resident: u32,
 ) -> GridStats {
     assert!(!blocks.is_empty(), "a grid needs at least one block");
-    let per_wave = per_wave.max(1);
+    let resident = resident.max(1);
+    let per_wave = (resident * spec.n_sms.max(1)) as usize;
     let work: Vec<&mut (usize, K)> = blocks.iter_mut().collect();
     let stats: Vec<KernelStats> =
         work.into_par_iter().map(|(n_threads, kernel)| launch(spec, *n_threads, kernel)).collect();
@@ -215,7 +319,13 @@ fn launch_block_waves<K: RoundKernel + Send>(
         cycles += wave.iter().map(|s| s.cycles).max().unwrap_or(0);
         waves += 1;
     }
-    GridStats { blocks: stats, waves, cycles }
+    GridStats {
+        blocks: stats,
+        waves,
+        cycles,
+        resident_per_sm: resident,
+        blocks_per_wave: per_wave as u32,
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +476,11 @@ mod tests {
     fn single_block_grid_equals_launch() {
         let spec = DeviceSpec::test_unit();
         let direct = launch(&spec, 48, &mut Work(13));
-        let via_grid = launch_grid(&spec, 48, &mut WorkGrid(13));
+        let mut via_grid = launch_grid(&spec, 48, &mut WorkGrid(13));
+        // The grid launch also reports its occupancy shape; everything else
+        // (cycles included) must match the single-block launch bit-for-bit.
+        let shape = via_grid.shape.take().expect("grid launches report a shape");
+        assert_eq!(shape.waves, 1);
         assert_eq!(via_grid, direct);
     }
 
@@ -389,6 +503,78 @@ mod tests {
         let stats = launch_grid(&spec, n, &mut WorkGrid(7));
         let one_block = launch(&spec, spec.max_threads_per_block as usize, &mut Work(7));
         assert_eq!(stats.cycles, 3 * one_block.cycles);
+    }
+
+    /// A grid kernel that declares a huge shared-memory footprint at every
+    /// width: unlaunchable on any device.
+    struct HogGrid;
+    impl GridKernel for HogGrid {
+        type Block<'s> = Work;
+        fn split(&mut self, dims: &[BlockDim]) -> Vec<Work> {
+            dims.iter().map(|_| Work(1)).collect()
+        }
+        fn requirements(&self, width: u32) -> BlockRequirements {
+            BlockRequirements { threads: width, shared_bytes: usize::MAX / 2, regs_per_thread: 32 }
+        }
+    }
+
+    /// Regression: a zero-resident shape used to be silently clamped to one
+    /// resident block (`.max(1)`), mis-costing the grid; it must now surface
+    /// as a structured launch error.
+    #[test]
+    fn impossible_shapes_error_instead_of_one_block_fallback() {
+        let spec = DeviceSpec::test_unit();
+        let err = try_launch_grid(&spec, 128, &mut HogGrid).unwrap_err();
+        let LaunchError::UnlaunchableShape { req } = err;
+        assert_eq!(req.shared_bytes, usize::MAX / 2);
+        // Auto block launches reject the same shape the same way.
+        struct HogBlock;
+        impl RoundKernel for HogBlock {
+            fn round(&mut self, _tid: usize, _ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+            fn requirements(&self, threads: u32) -> BlockRequirements {
+                BlockRequirements { threads, shared_bytes: usize::MAX / 2, regs_per_thread: 32 }
+            }
+        }
+        let mut blocks = vec![(2usize, HogBlock)];
+        assert!(try_launch_blocks_auto(&spec, &mut blocks).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the SM's resources")]
+    fn launch_grid_panics_on_impossible_shapes() {
+        let spec = DeviceSpec::test_unit();
+        let _ = launch_grid(&spec, 128, &mut HogGrid);
+    }
+
+    /// A register-hungry grid kernel gets a narrower fitted block width, so
+    /// the same thread count spreads across more blocks.
+    struct HeavyGrid;
+    impl GridKernel for HeavyGrid {
+        type Block<'s> = Work;
+        fn split(&mut self, dims: &[BlockDim]) -> Vec<Work> {
+            dims.iter().map(|_| Work(1)).collect()
+        }
+        fn requirements(&self, width: u32) -> BlockRequirements {
+            // test_unit has 4096 registers per SM: 128 regs/thread caps a
+            // block at 32 threads (width fits to 32 on the 4-wide warp).
+            BlockRequirements { threads: width, shared_bytes: 0, regs_per_thread: 128 }
+        }
+    }
+
+    #[test]
+    fn requirements_narrow_the_fitted_block_width() {
+        let spec = DeviceSpec::test_unit(); // 64-thread blocks, 4096 regs/SM
+        let light = launch_grid(&spec, 128, &mut WorkGrid(1));
+        let heavy = launch_grid(&spec, 128, &mut HeavyGrid);
+        // Light: 2 blocks of 64. Heavy: 4 blocks of 32 (4096/128 = 32).
+        assert_eq!(light.active_per_round.len(), 2);
+        assert_eq!(heavy.active_per_round.len(), 4);
+        assert_eq!(heavy.shape.unwrap().resident_per_sm, 1);
     }
 
     #[test]

@@ -144,6 +144,16 @@ pub trait RoundKernel {
     /// completed; return `true` to run another round. Kernel-global control
     /// flow (the frontier advance of Algorithms 3-5) lives here.
     fn after_sync(&mut self, completed_round: u64) -> bool;
+
+    /// Per-block resource requirements when this kernel runs `threads`
+    /// threads in one block. The default is the light shape (32 registers,
+    /// no shared memory); kernels with real shared-memory or register
+    /// footprints (hot tables, record windows, speculation queues) override
+    /// this so the grid scheduler sizes its waves honestly — see
+    /// [`crate::occupancy::max_resident_blocks`].
+    fn requirements(&self, threads: u32) -> crate::occupancy::BlockRequirements {
+        crate::occupancy::BlockRequirements::light(threads)
+    }
 }
 
 /// Safety valve: a kernel that runs this many rounds is assumed stuck.

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
 pub mod grid;
 pub mod kernel;
@@ -40,12 +41,14 @@ pub mod occupancy;
 pub mod spec;
 pub mod stats;
 
+pub use error::LaunchError;
 pub use event::EventTimer;
 pub use grid::{
-    block_dims, launch_blocks, launch_blocks_occupancy, launch_grid, BlockDim, GridKernel,
-    GridStats,
+    block_dims, block_dims_width, launch_blocks, launch_blocks_auto, launch_blocks_occupancy,
+    launch_grid, try_launch_blocks_auto, try_launch_blocks_occupancy, try_launch_grid, BlockDim,
+    GridKernel, GridStats,
 };
 pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
-pub use occupancy::{max_resident_blocks, occupancy, BlockRequirements};
+pub use occupancy::{fit_block_width, max_resident_blocks, occupancy, BlockRequirements};
 pub use spec::DeviceSpec;
-pub use stats::KernelStats;
+pub use stats::{KernelStats, LaunchShape};

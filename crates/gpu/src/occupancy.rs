@@ -5,6 +5,7 @@
 //! file. The grid scheduler uses this to size its waves — a kernel that
 //! hogs shared memory (a big hot table) runs fewer blocks concurrently.
 
+use crate::error::LaunchError;
 use crate::spec::DeviceSpec;
 
 /// Per-block resource requirements of a kernel.
@@ -59,6 +60,32 @@ pub fn occupancy(spec: &DeviceSpec, req: &BlockRequirements) -> f64 {
     f64::from(blocks * req.threads) / f64::from(spec.max_threads_per_sm)
 }
 
+/// Picks the widest launchable block for a kernel whose requirements depend
+/// on its width (shared memory and register use typically scale with the
+/// thread count). Candidates are warp multiples from `max_threads_per_block`
+/// downwards, then sub-warp widths; the first one with at least one resident
+/// block wins. Light kernels get the full block width; shared-memory- or
+/// register-heavy ones get narrower blocks, exactly like tuning a launch
+/// with the CUDA occupancy calculator.
+///
+/// Returns [`LaunchError::UnlaunchableShape`] when even a one-thread block
+/// exceeds some SM resource (e.g. a hot table bigger than shared memory).
+pub fn fit_block_width(
+    spec: &DeviceSpec,
+    req: impl Fn(u32) -> BlockRequirements,
+) -> Result<u32, LaunchError> {
+    let warp = spec.warp_size.max(1);
+    let max = spec.max_threads_per_block.max(1);
+    let warp_multiples = (1..=max / warp).rev().map(|m| m * warp);
+    let sub_warp = (1..warp.min(max + 1)).rev();
+    for width in warp_multiples.chain(sub_warp) {
+        if max_resident_blocks(spec, &req(width)) > 0 {
+            return Ok(width);
+        }
+    }
+    Err(LaunchError::UnlaunchableShape { req: req(1) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +133,113 @@ mod tests {
         // hardware caps resident blocks at 16.
         let r = BlockRequirements::light(32);
         assert_eq!(max_resident_blocks(&rtx(), &r), 16);
+    }
+
+    #[test]
+    fn exactly_at_the_shared_memory_limit_still_launches() {
+        // A block using the RTX 3090's entire shared memory is the boundary
+        // case: exactly one resident block, not zero.
+        let spec = rtx();
+        let r = BlockRequirements {
+            threads: 256,
+            shared_bytes: spec.shared_mem_bytes,
+            regs_per_thread: 32,
+        };
+        assert_eq!(max_resident_blocks(&spec, &r), 1);
+        let r = BlockRequirements { shared_bytes: spec.shared_mem_bytes + 1, ..r };
+        assert_eq!(max_resident_blocks(&spec, &r), 0, "one byte over: unlaunchable");
+    }
+
+    #[test]
+    fn exactly_at_the_register_file_limit_still_launches() {
+        // 64 regs × 1024 threads = 65,536 = the whole register file.
+        let spec = rtx();
+        let r = BlockRequirements { threads: 1024, shared_bytes: 0, regs_per_thread: 64 };
+        assert_eq!(spec.registers_per_sm, 64 * 1024);
+        assert_eq!(max_resident_blocks(&spec, &r), 1);
+        let r = BlockRequirements { regs_per_thread: 65, ..r };
+        assert_eq!(max_resident_blocks(&spec, &r), 0, "one reg/thread over: unlaunchable");
+    }
+
+    #[test]
+    fn zero_thread_blocks_have_zero_residency() {
+        let r = BlockRequirements { threads: 0, shared_bytes: 0, regs_per_thread: 32 };
+        assert_eq!(max_resident_blocks(&rtx(), &r), 0);
+        assert_eq!(occupancy(&rtx(), &r), 0.0);
+    }
+
+    #[test]
+    fn more_shared_bytes_never_increases_residency() {
+        // Monotonicity: walking the shared footprint up can only shrink (or
+        // hold) the resident-block count, and it ends at zero.
+        let spec = rtx();
+        let mut prev = u32::MAX;
+        for shared_kib in 0..=128 {
+            let r = BlockRequirements {
+                threads: 128,
+                shared_bytes: shared_kib * 1024,
+                regs_per_thread: 32,
+            };
+            let resident = max_resident_blocks(&spec, &r);
+            assert!(
+                resident <= prev,
+                "residency must be monotone in shared bytes ({shared_kib} KiB: {resident} > {prev})"
+            );
+            prev = resident;
+        }
+        assert_eq!(prev, 0, "beyond the shared capacity nothing fits");
+    }
+
+    #[test]
+    fn fit_block_width_gives_light_kernels_full_blocks() {
+        let spec = rtx();
+        let width = fit_block_width(&spec, BlockRequirements::light).unwrap();
+        assert_eq!(width, spec.max_threads_per_block);
+    }
+
+    #[test]
+    fn fit_block_width_narrows_register_heavy_kernels() {
+        // 255 regs/thread: 65,536 / 255 = 257 threads; widest warp multiple
+        // below that is 256.
+        let spec = rtx();
+        let width = fit_block_width(&spec, |t| BlockRequirements {
+            threads: t,
+            shared_bytes: 0,
+            regs_per_thread: 255,
+        })
+        .unwrap();
+        assert_eq!(width, 256);
+        assert!(
+            max_resident_blocks(
+                &spec,
+                &BlockRequirements { threads: width, shared_bytes: 0, regs_per_thread: 255 }
+            ) >= 1
+        );
+    }
+
+    #[test]
+    fn fit_block_width_narrows_when_shared_scales_with_threads() {
+        // 1 KiB of shared staging per thread on a 100 KiB SM: at most 100
+        // threads; the widest warp multiple is 96.
+        let spec = rtx();
+        let width = fit_block_width(&spec, |t| BlockRequirements {
+            threads: t,
+            shared_bytes: t as usize * 1024,
+            regs_per_thread: 32,
+        })
+        .unwrap();
+        assert_eq!(width, 96);
+    }
+
+    #[test]
+    fn fit_block_width_rejects_impossible_shapes() {
+        let spec = rtx();
+        let err = fit_block_width(&spec, |t| BlockRequirements {
+            threads: t,
+            shared_bytes: spec.shared_mem_bytes + 1,
+            regs_per_thread: 32,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("exceeds the SM's resources"));
     }
 }

@@ -2,6 +2,21 @@
 
 use crate::spec::DeviceSpec;
 
+/// How the grid scheduler shaped a launch: what the occupancy calculator
+/// allowed per SM and how many waves the grid took. Attached to the merged
+/// stats of every grid launch so benches (and `RunOutcome`) can see the
+/// occupancy a kernel actually achieved — a shared-memory-heavy shape shows
+/// up as fewer resident blocks and more waves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchShape {
+    /// Resident blocks per SM from [`crate::occupancy::max_resident_blocks`].
+    pub resident_per_sm: u32,
+    /// Blocks scheduled per wave (`resident_per_sm × n_sms`).
+    pub blocks_per_wave: u32,
+    /// Waves the grid needed.
+    pub waves: u32,
+}
+
 /// Counters collected while a kernel runs.
 ///
 /// `cycles` is the kernel's simulated execution time: the maximum per-thread
@@ -40,6 +55,10 @@ pub struct KernelStats {
     pub recovery_cycles: u64,
     /// Number of chunk re-executions performed during verification/recovery.
     pub recovery_runs: u64,
+    /// Occupancy shape of the grid launch these stats came from (`None` for
+    /// single-block launches). Merges keep the first shape seen: a scheme's
+    /// phase stats report the shape of that phase's main grid.
+    pub shape: Option<LaunchShape>,
 }
 
 impl KernelStats {
@@ -127,6 +146,9 @@ impl KernelStats {
         self.round_durations.extend_from_slice(&other.round_durations);
         self.recovery_cycles += other.recovery_cycles;
         self.recovery_runs += other.recovery_runs;
+        if self.shape.is_none() {
+            self.shape = other.shape;
+        }
     }
 
     /// Merges another kernel's counters into this one, treating the two

@@ -1,0 +1,107 @@
+//! Randomized differential harness: every scheme, under both stitch
+//! policies, must agree bit-for-bit with the sequential reference — end
+//! state, accept decision, per-chunk end states, and match counts — over
+//! random machines, random and adversarial inputs, and chunk counts from a
+//! single chunk up to dozens of thread blocks.
+//!
+//! The generated machines span the whole structural range (permutation-ish
+//! machines that defeat speculation, convergent machines that reward it,
+//! and everything between), so this is the lockdown for the occupancy-sized
+//! grid launches and the parallel tree stitch: any seam the stitch composes
+//! or re-resolves incorrectly shows up as a chunk-end mismatch.
+
+use gspecpal::config::{SchemeConfig, StitchPolicy};
+use gspecpal::run::SchemeKind;
+use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::table::DeviceTable;
+use gspecpal_fsm::random::{random_dfa, random_input};
+use gspecpal_fsm::{Dfa, FrequencyProfile};
+use gspecpal_gpu::DeviceSpec;
+use proptest::prelude::*;
+
+/// Runs every scheme under both stitch policies against the sequential
+/// reference (and the host-side DFA walk, which never touches the
+/// simulator) on the given table.
+fn check_all(d: &Dfa, table: &DeviceTable<'_>, input: &[u8], n_chunks: usize, spec: &DeviceSpec) {
+    let truth_end = d.run(input);
+    for policy in [StitchPolicy::Sequential, StitchPolicy::Tree] {
+        let config = SchemeConfig {
+            n_chunks,
+            count_matches: true,
+            stitch: policy,
+            ..SchemeConfig::default()
+        };
+        let job = Job::new(spec, table, input, config).unwrap();
+        let reference = run_scheme(SchemeKind::Sequential, &job);
+        assert_eq!(reference.end_state, truth_end, "sequential reference must match the DFA");
+        for kind in SchemeKind::all() {
+            let out = run_scheme(kind, &job);
+            let ctx = format!("{kind:?} / {policy:?} / n_chunks={n_chunks}");
+            assert_eq!(out.end_state, reference.end_state, "end state: {ctx}");
+            assert_eq!(out.accepted, reference.accepted, "accept bit: {ctx}");
+            assert_eq!(out.chunk_ends, reference.chunk_ends, "chunk ends: {ctx}");
+            assert_eq!(out.match_count, reference.match_count, "match count: {ctx}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn schemes_match_sequential_reference(
+        seed in 0u64..1_000_000,
+        n_states in 2u32..24,
+        n_classes in 1u16..8,
+        len in 64usize..512,
+        adversarial in 0u8..2,
+    ) {
+        let d = random_dfa(seed, n_states, n_classes);
+        let input: Vec<u8> = if adversarial == 1 {
+            // Periodic input: a short random pattern repeated. Every chunk
+            // then sees near-identical content, the worst case for
+            // speculation diversity (all queues rank the same states).
+            let pat = random_input(seed ^ 0xDEAD, 7);
+            pat.iter().copied().cycle().take(len).collect()
+        } else {
+            random_input(seed, len)
+        };
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let spec = DeviceSpec::test_unit();
+        // From one chunk through several thread blocks (the test device fits
+        // ~24 verification chunks per block).
+        for n_chunks in [1usize, 2, 7, 31, 64, 150] {
+            check_all(&d, &table, &input, n_chunks.min(input.len()), &spec);
+        }
+    }
+}
+
+/// Deterministic large-grid leg of the harness: ≥64 thread blocks, both
+/// stitch paths, every scheme bit-exact against the sequential reference.
+#[test]
+fn all_schemes_exact_at_64_plus_blocks() {
+    let spec = DeviceSpec::test_unit();
+    let d = random_dfa(7, 12, 5);
+    let input = random_input(7, 8192);
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let n_chunks = 2048;
+    let config = SchemeConfig { n_chunks, ..SchemeConfig::default() };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    assert!(
+        job.vr_dims(n_chunks).len() >= 64,
+        "scenario must span at least 64 blocks, got {}",
+        job.vr_dims(n_chunks).len()
+    );
+    check_all(&d, &table, &input, n_chunks, &spec);
+}
+
+/// The hashed table layout goes through the same stitch machinery; a
+/// multi-block run must stay exact there too.
+#[test]
+fn hashed_layout_exact_across_blocks() {
+    let spec = DeviceSpec::test_unit();
+    let d = random_dfa(11, 16, 6);
+    let input = random_input(11, 2000);
+    let profile = FrequencyProfile::collect(&d, &input[..500]);
+    let table = DeviceTable::hashed(&d, &profile, d.n_states() / 2);
+    check_all(&d, &table, &input, 96, &spec);
+}

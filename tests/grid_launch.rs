@@ -1,7 +1,7 @@
 //! Multi-block grid launches: determinism across host worker counts,
 //! cost-model scaling past one block, and scheme exactness at grid scale.
 
-use gspecpal::config::SchemeConfig;
+use gspecpal::config::{SchemeConfig, StitchPolicy};
 use gspecpal::predict::predict;
 use gspecpal::run::SchemeKind;
 use gspecpal::schemes::{run_scheme, Job};
@@ -55,6 +55,66 @@ fn grid_stats_identical_across_rayon_pool_sizes() {
             assert_eq!(out.frontier_trace, reference.frontier_trace, "{kind:?} @ {workers} trace");
         }
     }
+}
+
+/// Both stitch policies must produce bit-identical outcomes — results *and*
+/// simulated statistics — no matter how many host workers simulate the
+/// blocks. The tree stitch's concurrent fix-up launches are the interesting
+/// case: their stats merge must be block-ordered, not completion-ordered.
+#[test]
+fn stitch_policies_deterministic_across_pool_sizes() {
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let input: Vec<u8> = b"1101010110010111".repeat(60);
+    for policy in [StitchPolicy::Tree, StitchPolicy::Sequential] {
+        let config = SchemeConfig { n_chunks: 200, stitch: policy, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        for kind in [SchemeKind::Naive, SchemeKind::Pm, SchemeKind::Nf] {
+            let reference = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .unwrap()
+                .install(|| run_scheme(kind, &job));
+            for workers in [2, 8] {
+                let out = rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers)
+                    .build()
+                    .unwrap()
+                    .install(|| run_scheme(kind, &job));
+                let ctx = format!("{kind:?} / {policy:?} @ {workers} workers");
+                assert_eq!(out.end_state, reference.end_state, "{ctx}");
+                assert_eq!(out.chunk_ends, reference.chunk_ends, "{ctx}");
+                assert_eq!(out.execute, reference.execute, "{ctx} exec stats");
+                assert_eq!(out.verify, reference.verify, "{ctx} verify stats");
+                assert_eq!(out.verification_checks, reference.verification_checks, "{ctx} checks");
+                assert_eq!(
+                    out.verification_matches, reference.verification_matches,
+                    "{ctx} matches"
+                );
+                assert_eq!(out.frontier_trace, reference.frontier_trace, "{ctx} trace");
+            }
+        }
+    }
+}
+
+/// The exec and verification phases of a multi-block run carry the
+/// occupancy shape the grid scheduler chose, so callers can see waves and
+/// resident blocks per SM.
+#[test]
+fn grid_runs_report_launch_shapes() {
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let input: Vec<u8> = b"1101010110010111".repeat(60);
+    let config = SchemeConfig { n_chunks: 200, ..SchemeConfig::default() };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    let out = run_scheme(SchemeKind::Nf, &job);
+    let exec_shape = out.execute.shape.expect("multi-block exec must record a shape");
+    assert!(exec_shape.waves >= 1);
+    assert!(exec_shape.blocks_per_wave >= 1);
+    let verify_shape = out.verify.shape.expect("multi-block verify must record a shape");
+    assert!(verify_shape.waves >= 1);
 }
 
 /// The prediction cost model must keep growing past one block instead of

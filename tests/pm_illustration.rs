@@ -50,10 +50,19 @@ fn mismatched_paths_are_recovered_delayed_and_sequentially() {
 
 #[test]
 fn merge_rounds_scale_logarithmically() {
-    // The tree-like verification runs ceil(log2 N) rounds.
+    // The tree-like verification runs ceil(log2 N) rounds. Run on a
+    // full-size device whose occupancy-fitted block width keeps all chunks
+    // in one block, so the merge tree is unsharded and no boundary stitch
+    // rounds mix into the count.
+    let d = div7();
+    let spec = DeviceSpec::rtx3090();
+    let table = DeviceTable::transformed(&d, d.n_states());
     let input: Vec<u8> = b"1011".repeat(256);
     for (n, expected_merge_rounds) in [(4usize, 2u64), (16, 4), (64, 6)] {
-        let out = pm_outcome(&input, 7, n); // k=7 covers everything: no recovery
+        // k=7 covers everything: no recovery.
+        let config = SchemeConfig { n_chunks: n, spec_k: 7, ..SchemeConfig::default() };
+        let job = Job::new(&spec, &table, &input, config).unwrap();
+        let out = run_scheme(SchemeKind::Pm, &job);
         assert_eq!(out.recovery_runs(), 0, "N={n}");
         assert_eq!(out.verify.rounds, expected_merge_rounds, "N={n}");
     }
