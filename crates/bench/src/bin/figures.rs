@@ -100,6 +100,7 @@ fn main() {
             let r = run_fig8(&cfg);
             println!("{}", r.render());
             save("fig8", r.to_csv());
+            save("fig8_phases", r.phases_to_csv());
         }
         "fig9" => {
             let r = run_fig9(&cfg);
@@ -132,6 +133,7 @@ fn main() {
             let f8 = run_fig8(&cfg);
             println!("{}", f8.render());
             save("fig8", f8.to_csv());
+            save("fig8_phases", f8.phases_to_csv());
             let t3 = run_table3(&cfg);
             println!("{}", t3.render());
             save("table3", t3.to_csv());

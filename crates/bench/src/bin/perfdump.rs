@@ -1,0 +1,145 @@
+//! Perf-report dumper: runs the fig8, ablation, and motivation experiments
+//! on a small deterministic workload and writes one schema-versioned
+//! `BENCH_<experiment>.json` per experiment (see `gspecpal_bench::perf` for
+//! the schema). CI runs this on every push and gates on the headline
+//! `total_cycles` against the committed baselines.
+//!
+//! ```text
+//! cargo run --release -p gspecpal-bench --bin perfdump -- \
+//!     [--input-kb N] [--seed S] [--chunks N] [--device rtx3090|a100] \
+//!     [--out DIR] [--write-baseline] [--check DIR] [--inflate-percent P]
+//! ```
+//!
+//! - `--out DIR` (default `.`): where the reports are written.
+//! - `--write-baseline`: write to `benches/baseline` instead of `--out`
+//!   (run from the repo root to regenerate the committed baselines).
+//! - `--check DIR`: after writing, compare each report's `total_cycles`
+//!   against `DIR/BENCH_<experiment>.json`; exit non-zero if any experiment
+//!   regressed by more than the gate tolerance or a baseline is missing.
+//! - `--inflate-percent P`: inflate each report's headline total by `P`%
+//!   before writing/checking — the CI self-test that proves the gate trips.
+
+use gspecpal_bench::perf::{
+    ablation_json, extract_total_cycles, fig8_json, inflate_total, motivation_json,
+    regression_check, Json, GATE_TOLERANCE_PERCENT,
+};
+use gspecpal_bench::{run_ablation, run_fig8, run_motivation, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The perf gate's default workload is deliberately small: large enough
+    // that every scheme recovers and stitches (the phases CI watches), small
+    // enough to run in seconds in release mode.
+    let mut cfg = ExperimentConfig { input_len: 32 * 1024, n_chunks: 64, ..Default::default() };
+    let mut out_dir = ".".to_string();
+    let mut write_baseline = false;
+    let mut check_dir: Option<String> = None;
+    let mut inflate_percent = 0u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--input-kb" => {
+                i += 1;
+                cfg.input_len = args[i].parse::<usize>().expect("--input-kb takes a number") * 1024;
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--chunks" => {
+                i += 1;
+                cfg.n_chunks = args[i].parse().expect("--chunks takes a number");
+            }
+            "--device" => {
+                i += 1;
+                cfg.device = match args[i].as_str() {
+                    "rtx3090" => gspecpal_gpu::DeviceSpec::rtx3090(),
+                    "a100" => gspecpal_gpu::DeviceSpec::a100(),
+                    other => {
+                        eprintln!("unknown device {other} (try rtx3090, a100)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args[i].clone();
+            }
+            "--write-baseline" => write_baseline = true,
+            "--check" => {
+                i += 1;
+                check_dir = Some(args[i].clone());
+            }
+            "--inflate-percent" => {
+                i += 1;
+                inflate_percent = args[i].parse().expect("--inflate-percent takes a number");
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if write_baseline {
+        out_dir = "benches/baseline".to_string();
+    }
+
+    eprintln!(
+        "perfdump — device: {}, input: {} KiB, N = {}, seed = {}",
+        cfg.device.name,
+        cfg.input_len / 1024,
+        cfg.n_chunks,
+        cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let mut reports: Vec<(&'static str, Json)> = vec![
+        ("fig8", fig8_json(&cfg, &run_fig8(&cfg))),
+        ("ablation", ablation_json(&cfg, &run_ablation(&cfg))),
+        ("motivation", motivation_json(&cfg, &run_motivation(&cfg))),
+    ];
+    if inflate_percent > 0 {
+        eprintln!("[inflating headline totals by {inflate_percent}% — gate self-test]");
+        for (_, doc) in &mut reports {
+            inflate_total(doc, inflate_percent);
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let mut failed = false;
+    for (name, doc) in &reports {
+        let text = doc.render();
+        let current = extract_total_cycles(&text).expect("report has a headline total");
+        let path = format!("{out_dir}/BENCH_{name}.json");
+        std::fs::write(&path, &text).expect("write report");
+        println!("{name}: total_cycles = {current} [wrote {path}]");
+
+        if let Some(dir) = &check_dir {
+            let baseline_path = format!("{dir}/BENCH_{name}.json");
+            let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+                println!("{name}: FAIL — no baseline at {baseline_path}");
+                failed = true;
+                continue;
+            };
+            let baseline = extract_total_cycles(&baseline_text)
+                .unwrap_or_else(|| panic!("{baseline_path} has no total_cycles"));
+            if regression_check(current, baseline, GATE_TOLERANCE_PERCENT) {
+                println!(
+                    "{name}: OK — {current} vs baseline {baseline} \
+                     (tolerance {GATE_TOLERANCE_PERCENT}%)"
+                );
+            } else {
+                println!(
+                    "{name}: FAIL — {current} regressed more than \
+                     {GATE_TOLERANCE_PERCENT}% over baseline {baseline}"
+                );
+                failed = true;
+            }
+        }
+    }
+    eprintln!("[perfdump finished in {:.1}s]", t0.elapsed().as_secs_f64());
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -142,6 +142,50 @@ impl Fig8Report {
     }
 }
 
+impl Fig8Report {
+    /// Phase-level CSV: one row per (FSM, scheme, phase) with the full
+    /// counter set — the long-format companion of the `BENCH_fig8.json`
+    /// perf report, for plotting phase stacks with external tools.
+    pub fn phases_to_csv(&self) -> String {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for r in &self.rows {
+            for (scheme, total, profile) in r.scheme_profiles() {
+                for (phase, c) in profile.iter() {
+                    rows.push(vec![
+                        r.name.clone(),
+                        scheme.to_string(),
+                        total.to_string(),
+                        phase.name().to_string(),
+                        c.cycles.to_string(),
+                        c.rounds.to_string(),
+                        c.divergent_rounds.to_string(),
+                        c.global_transactions.to_string(),
+                        c.shared_accesses.to_string(),
+                        format!("{:.4}", c.utilization()),
+                        format!("{:.4}", c.coalesced_fraction()),
+                    ]);
+                }
+            }
+        }
+        to_csv(
+            &[
+                "fsm",
+                "scheme",
+                "scheme_cycles",
+                "phase",
+                "cycles",
+                "rounds",
+                "divergent_rounds",
+                "global_transactions",
+                "shared_accesses",
+                "utilization",
+                "coalesced_fraction",
+            ],
+            &rows,
+        )
+    }
+}
+
 impl Table3Report {
     /// CSV rendering.
     pub fn to_csv(&self) -> String {

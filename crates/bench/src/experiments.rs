@@ -5,7 +5,7 @@ use gspecpal::schemes::{exec_phase, Job};
 use gspecpal::table::{DeviceTable, TableLayout};
 use gspecpal::{GSpecPal, SchemeConfig, Selector};
 use gspecpal_fsm::{Dfa, FrequencyProfile, TransformedDfa};
-use gspecpal_gpu::DeviceSpec;
+use gspecpal_gpu::{DeviceSpec, PhaseProfile};
 use gspecpal_workloads::{build_suite, Benchmark, Family, Tier};
 
 use crate::report::{f2, geomean, mean, pct, render_table};
@@ -292,6 +292,10 @@ pub struct Fig8Row {
     pub selected: SchemeKind,
     /// Cycles of the selected scheme.
     pub selected_cycles: u64,
+    /// Per-scheme phase profiles in PM, SRE, RR, NF order. Each profile's
+    /// total cycles equal the scheme's cycle column above, so the perf
+    /// reports can decompose the figure's totals without re-running.
+    pub profiles: [PhaseProfile; 4],
 }
 
 impl Fig8Row {
@@ -324,6 +328,17 @@ impl Fig8Row {
     pub fn selector_optimal(&self) -> bool {
         self.selected_cycles as f64 <= self.best_cycles() as f64 * 1.10
     }
+
+    /// The four compared schemes with their cycle totals and phase profiles,
+    /// in PM, SRE, RR, NF order (the layout of [`Fig8Row::profiles`]).
+    pub fn scheme_profiles(&self) -> [(SchemeKind, u64, &PhaseProfile); 4] {
+        [
+            (SchemeKind::Pm, self.pm, &self.profiles[0]),
+            (SchemeKind::Sre, self.sre, &self.profiles[1]),
+            (SchemeKind::Rr, self.rr, &self.profiles[2]),
+            (SchemeKind::Nf, self.nf, &self.profiles[3]),
+        ]
+    }
 }
 
 /// Figure 8 report.
@@ -341,11 +356,14 @@ pub fn run_fig8(cfg: &ExperimentConfig) -> Fig8Report {
         .iter()
         .map(|b| {
             let input = b.generate_input(cfg.input_len, 0);
-            let get = |s: SchemeKind| fw.run_with(&b.dfa, &input, s).total_cycles();
-            let pm = get(SchemeKind::Pm);
-            let sre = get(SchemeKind::Sre);
-            let rr = get(SchemeKind::Rr);
-            let nf = get(SchemeKind::Nf);
+            let get = |s: SchemeKind| {
+                let o = fw.run_with(&b.dfa, &input, s);
+                (o.total_cycles(), o.phase_profile())
+            };
+            let (pm, pm_profile) = get(SchemeKind::Pm);
+            let (sre, sre_profile) = get(SchemeKind::Sre);
+            let (rr, rr_profile) = get(SchemeKind::Rr);
+            let (nf, nf_profile) = get(SchemeKind::Nf);
             let report = fw.process(&b.dfa, &input);
             let selected = report.selected;
             let selected_cycles = match selected {
@@ -368,6 +386,7 @@ pub fn run_fig8(cfg: &ExperimentConfig) -> Fig8Report {
                 nf,
                 selected,
                 selected_cycles,
+                profiles: [pm_profile, sre_profile, rr_profile, nf_profile],
             }
         })
         .collect();
@@ -885,6 +904,25 @@ mod tests {
 pub struct AblationReport {
     /// Rows of `(benchmark name, hashed/transformed cycle ratio)`.
     pub rows: Vec<(String, f64)>,
+    /// The absolute measurements behind `rows`, in the same order.
+    pub details: Vec<AblationDetail>,
+}
+
+/// One ablation benchmark's absolute measurements: both layouts' cycle
+/// totals and phase profiles (the ratio in [`AblationReport::rows`] is
+/// `hashed_cycles / transformed_cycles`).
+#[derive(Clone, Debug)]
+pub struct AblationDetail {
+    /// Benchmark name.
+    pub name: String,
+    /// RR total cycles under the transformed (frequency-permuted) layout.
+    pub transformed_cycles: u64,
+    /// RR total cycles under the hashed layout.
+    pub hashed_cycles: u64,
+    /// Phase profile of the transformed-layout run.
+    pub transformed_profile: PhaseProfile,
+    /// Phase profile of the hashed-layout run.
+    pub hashed_profile: PhaseProfile,
 }
 
 /// Runs the same scheme under both table layouts on a cross-family subset.
@@ -897,6 +935,7 @@ pub struct AblationReport {
 pub fn run_ablation(cfg: &ExperimentConfig) -> AblationReport {
     let suite = build_suite(cfg.seed);
     let mut rows = Vec::new();
+    let mut details = Vec::new();
     for family in Family::all() {
         for b in suite.iter().filter(|b| b.family == family).take(4) {
             let input = b.generate_input(cfg.input_len, 0);
@@ -912,17 +951,26 @@ pub fn run_ablation(cfg: &ExperimentConfig) -> AblationReport {
                 DeviceTable::hot_rows_for_device(tdfa, TableLayout::Transformed, &cfg.device);
             let table_t = DeviceTable::transformed(tdfa, hot_t);
             let job_t = Job::new(&cfg.device, &table_t, &input, config).expect("valid");
-            let t = gspecpal::run_scheme(SchemeKind::Rr, &job_t).total_cycles();
+            let out_t = gspecpal::run_scheme(SchemeKind::Rr, &job_t);
+            let t = out_t.total_cycles();
 
             let hot_h = DeviceTable::hot_rows_for_device(tdfa, TableLayout::Hashed, &cfg.device);
             let table_h = DeviceTable::hashed(tdfa, &tfreq, hot_h);
             let job_h = Job::new(&cfg.device, &table_h, &input, config).expect("valid");
-            let h = gspecpal::run_scheme(SchemeKind::Rr, &job_h).total_cycles();
+            let out_h = gspecpal::run_scheme(SchemeKind::Rr, &job_h);
+            let h = out_h.total_cycles();
 
             rows.push((b.name(), h as f64 / t as f64));
+            details.push(AblationDetail {
+                name: b.name(),
+                transformed_cycles: t,
+                hashed_cycles: h,
+                transformed_profile: out_t.phase_profile(),
+                hashed_profile: out_h.phase_profile(),
+            });
         }
     }
-    AblationReport { rows }
+    AblationReport { rows, details }
 }
 
 impl AblationReport {

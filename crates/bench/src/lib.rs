@@ -9,6 +9,7 @@
 pub mod csv;
 pub mod experiments;
 pub mod extras;
+pub mod perf;
 pub mod report;
 
 pub use experiments::{

@@ -1,0 +1,364 @@
+//! Machine-readable perf reports (`BENCH_<experiment>.json`) and the CI
+//! regression gate that consumes them.
+//!
+//! # Schema (version 1)
+//!
+//! Every report is one JSON object with, in order:
+//!
+//! - `schema_version` (integer): currently `1`. Consumers must reject
+//!   versions they do not know.
+//! - `experiment` (string): `"fig8"`, `"ablation"`, or `"motivation"`.
+//! - `config` (object): `seed`, `input_bytes`, `n_chunks`, `device` — the
+//!   [`ExperimentConfig`] the numbers were produced with.
+//! - `total_cycles` (integer): the experiment's headline cycle total, the
+//!   single number the CI perf gate compares against the committed baseline.
+//! - experiment-specific payload (see the builder functions below). Wherever
+//!   a scheme run appears it carries a `phases` object keyed by
+//!   [`gspecpal_gpu::Phase::name`] in [`gspecpal_gpu::Phase::ALL`] order; each phase holds the
+//!   [`PhaseCounters`] fields plus the derived `utilization` and
+//!   `coalesced_fraction`, and the per-phase `cycles` sum to the run's
+//!   `total_cycles` exactly.
+//!
+//! Key order is fixed by construction ([`Json::Obj`] preserves insertion
+//! order), so identical measurements render byte-identical reports — which
+//! is what makes the committed baselines diffable and the gate trustworthy.
+
+use std::fmt::Write as _;
+
+use gspecpal::SchemeKind;
+use gspecpal_gpu::{PhaseCounters, PhaseProfile};
+
+use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
+use crate::extras::MotivationReport;
+
+/// Version stamped into every report; bump on any schema change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Cycle-total regressions beyond this percentage fail the CI gate.
+pub const GATE_TOLERANCE_PERCENT: u64 = 5;
+
+/// A JSON value with insertion-ordered object keys, rendered with a stable
+/// pretty-printer. This is all the JSON the perf reports need — the crate
+/// deliberately avoids external serialization dependencies.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float, rendered via Rust's shortest round-trip `Display` (never
+    /// scientific notation, so always valid JSON); non-finite values render
+    /// as `null`.
+    F64(f64),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders the value as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, indent: usize, out: &mut String) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) if !x.is_finite() => out.push_str("null"),
+            Json::F64(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(indent + 1, out);
+                    item.write(indent + 1, out);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(indent + 1, out);
+                    Json::Str(key.clone()).write(indent + 1, out);
+                    out.push_str(": ");
+                    value.write(indent + 1, out);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn counters_json(c: &PhaseCounters) -> Json {
+    obj(vec![
+        ("cycles", Json::U64(c.cycles)),
+        ("rounds", Json::U64(c.rounds)),
+        ("global_transactions", Json::U64(c.global_transactions)),
+        ("global_coalesced_hits", Json::U64(c.global_coalesced_hits)),
+        ("shared_accesses", Json::U64(c.shared_accesses)),
+        ("alu_ops", Json::U64(c.alu_ops)),
+        ("shuffles", Json::U64(c.shuffles)),
+        ("atomics", Json::U64(c.atomics)),
+        ("divergent_rounds", Json::U64(c.divergent_rounds)),
+        ("active_thread_rounds", Json::U64(c.active_thread_rounds)),
+        ("thread_rounds", Json::U64(c.thread_rounds)),
+        ("utilization", Json::F64(c.utilization())),
+        ("coalesced_fraction", Json::F64(c.coalesced_fraction())),
+    ])
+}
+
+/// One scheme run: `total_cycles` plus the per-phase breakdown. The phase
+/// cycles sum to `total_cycles` by the profile invariant.
+fn run_json(total_cycles: u64, profile: &PhaseProfile) -> Json {
+    debug_assert_eq!(profile.total_cycles(), total_cycles);
+    let phases: Vec<(String, Json)> =
+        profile.iter().map(|(p, c)| (p.name().to_string(), counters_json(c))).collect();
+    obj(vec![("total_cycles", Json::U64(total_cycles)), ("phases", Json::Obj(phases))])
+}
+
+fn config_json(cfg: &ExperimentConfig) -> Json {
+    obj(vec![
+        ("seed", Json::U64(cfg.seed)),
+        ("input_bytes", Json::U64(cfg.input_len as u64)),
+        ("n_chunks", Json::U64(cfg.n_chunks as u64)),
+        ("device", Json::Str(cfg.device.name.to_string())),
+    ])
+}
+
+fn header(
+    experiment: &str,
+    cfg: &ExperimentConfig,
+    total_cycles: u64,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("schema_version", Json::U64(SCHEMA_VERSION)),
+        ("experiment", Json::Str(experiment.to_string())),
+        ("config", config_json(cfg)),
+        ("total_cycles", Json::U64(total_cycles)),
+    ]
+}
+
+/// Builds the `fig8` report: one row per benchmark with all four schemes'
+/// totals and phase splits, the selector's pick, and the headline summary.
+/// `total_cycles` is the sum of all four schemes' totals over the suite.
+pub fn fig8_json(cfg: &ExperimentConfig, r: &Fig8Report) -> Json {
+    let total: u64 = r
+        .rows
+        .iter()
+        .map(|row| row.scheme_profiles().iter().map(|(_, c, _)| *c).sum::<u64>())
+        .sum();
+    let rows: Vec<Json> = r
+        .rows
+        .iter()
+        .map(|row| {
+            let schemes: Vec<(String, Json)> = row
+                .scheme_profiles()
+                .iter()
+                .map(|(s, cycles, profile)| (s.name().to_string(), run_json(*cycles, profile)))
+                .collect();
+            obj(vec![
+                ("fsm", Json::Str(row.name.clone())),
+                ("tier", Json::Str(row.tier.name().to_string())),
+                ("selected", Json::Str(row.selected.to_string())),
+                ("selected_cycles", Json::U64(row.selected_cycles)),
+                ("schemes", Json::Obj(schemes)),
+            ])
+        })
+        .collect();
+    let mut fields = header("fig8", cfg, total);
+    fields.push(("rows", Json::Arr(rows)));
+    fields.push((
+        "summary",
+        obj(vec![
+            ("selector_mean_speedup", Json::F64(r.selector_mean_speedup())),
+            ("selector_accuracy", Json::F64(r.selector_accuracy())),
+            ("mean_speedup_nf", Json::F64(r.mean_speedup(SchemeKind::Nf))),
+            ("max_speedup", Json::F64(r.max_speedup())),
+        ]),
+    ));
+    obj(fields)
+}
+
+/// Builds the `ablation` report from the absolute per-layout measurements.
+/// `total_cycles` sums both layouts over all benchmarks.
+pub fn ablation_json(cfg: &ExperimentConfig, r: &AblationReport) -> Json {
+    let total: u64 = r.details.iter().map(|d| d.transformed_cycles + d.hashed_cycles).sum();
+    let rows: Vec<Json> = r
+        .details
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("fsm", Json::Str(d.name.clone())),
+                (
+                    "hashed_over_transformed",
+                    Json::F64(d.hashed_cycles as f64 / d.transformed_cycles as f64),
+                ),
+                ("transformed", run_json(d.transformed_cycles, &d.transformed_profile)),
+                ("hashed", run_json(d.hashed_cycles, &d.hashed_profile)),
+            ])
+        })
+        .collect();
+    let mut fields = header("ablation", cfg, total);
+    fields.push(("rows", Json::Arr(rows)));
+    fields.push(("mean_improvement", Json::F64(r.mean_improvement())));
+    obj(fields)
+}
+
+/// Builds the `motivation` report. `total_cycles` sums the four absolute
+/// cycle measurements of §II-B's two contrasts.
+pub fn motivation_json(cfg: &ExperimentConfig, r: &MotivationReport) -> Json {
+    let total = r.batch_cycles + r.gspecpal_cycles + r.nfa_cycles + r.dfa_seq_cycles;
+    let mut fields = header("motivation", cfg, total);
+    fields.push(("batch_cycles", Json::U64(r.batch_cycles)));
+    fields.push(("gspecpal_cycles", Json::U64(r.gspecpal_cycles)));
+    fields.push(("batch_throughput", Json::F64(r.batch_throughput)));
+    fields.push(("gspecpal_throughput", Json::F64(r.gspecpal_throughput)));
+    fields.push(("nfa_cycles", Json::U64(r.nfa_cycles)));
+    fields.push(("dfa_seq_cycles", Json::U64(r.dfa_seq_cycles)));
+    fields.push(("dfa_gspecpal_cycles", Json::U64(r.dfa_gspecpal_cycles)));
+    fields.push(("nfa_avg_active", Json::F64(r.nfa_avg_active)));
+    fields.push(("dfa_states", Json::U64(u64::from(r.dfa_states))));
+    fields.push(("nfa_states", Json::U64(u64::from(r.nfa_states))));
+    obj(fields)
+}
+
+/// Scales a report's headline `total_cycles` by `(100 + percent) / 100`
+/// (rounding up). This is the self-test hook for the CI gate: inflating a
+/// fresh report by more than [`GATE_TOLERANCE_PERCENT`] must make
+/// [`regression_check`] against the committed baseline fail. Only the
+/// headline total is touched, so an inflated report is detectably
+/// inconsistent with its own phase data — it exists to prove the gate
+/// trips, not to fake measurements.
+pub fn inflate_total(doc: &mut Json, percent: u64) {
+    if let Json::Obj(fields) = doc {
+        for (key, value) in fields {
+            if key == "total_cycles" {
+                if let Json::U64(n) = value {
+                    *n = (*n * (100 + percent)).div_ceil(100);
+                }
+                return;
+            }
+        }
+    }
+    panic!("report has no total_cycles field");
+}
+
+/// Extracts the headline `total_cycles` from a rendered report by scanning
+/// for its first occurrence (the builders emit it in the header, before any
+/// nested run objects).
+pub fn extract_total_cycles(json_text: &str) -> Option<u64> {
+    let key = "\"total_cycles\":";
+    let at = json_text.find(key)?;
+    let rest = json_text[at + key.len()..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The CI perf gate: passes when `current` is within
+/// `tolerance_percent` above `baseline` (faster is always fine).
+pub fn regression_check(current: u64, baseline: u64, tolerance_percent: u64) -> bool {
+    current * 100 <= baseline * (100 + tolerance_percent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gspecpal_gpu::Phase;
+
+    fn profile(cycles: u64) -> PhaseProfile {
+        let mut p = PhaseProfile::default();
+        p.get_mut(Phase::SpecExec).cycles = cycles;
+        p.get_mut(Phase::SpecExec).rounds = 1;
+        p
+    }
+
+    #[test]
+    fn rendering_is_stable_and_escaped() {
+        let doc = obj(vec![
+            ("name", Json::Str("a\"b\nc".into())),
+            ("n", Json::U64(7)),
+            ("x", Json::F64(0.5)),
+            ("bad", Json::F64(f64::NAN)),
+            ("list", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+        ]);
+        let a = doc.render();
+        let b = doc.render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"a\\\"b\\nc\""));
+        assert!(a.contains("\"bad\": null"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn totals_round_trip_through_text() {
+        let doc = obj(vec![
+            ("schema_version", Json::U64(SCHEMA_VERSION)),
+            ("total_cycles", Json::U64(123456)),
+            ("nested", obj(vec![("total_cycles", Json::U64(1))])),
+        ]);
+        assert_eq!(extract_total_cycles(&doc.render()), Some(123456));
+        assert_eq!(extract_total_cycles("no totals here"), None);
+    }
+
+    #[test]
+    fn inflation_trips_the_gate() {
+        let mut doc = obj(vec![("total_cycles", Json::U64(1000))]);
+        inflate_total(&mut doc, 10);
+        let inflated = extract_total_cycles(&doc.render()).unwrap();
+        assert_eq!(inflated, 1100);
+        assert!(regression_check(1000, 1000, GATE_TOLERANCE_PERCENT));
+        assert!(regression_check(1049, 1000, GATE_TOLERANCE_PERCENT));
+        assert!(!regression_check(inflated, 1000, GATE_TOLERANCE_PERCENT));
+        assert!(regression_check(900, 1000, GATE_TOLERANCE_PERCENT), "faster never fails");
+    }
+
+    #[test]
+    fn run_objects_carry_every_phase() {
+        let text = run_json(42, &profile(42)).render();
+        for phase in Phase::ALL {
+            assert!(text.contains(&format!("\"{}\"", phase.name())), "{text}");
+        }
+        assert!(text.contains("\"utilization\""));
+        assert_eq!(extract_total_cycles(&text), Some(42));
+    }
+}

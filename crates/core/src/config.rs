@@ -47,7 +47,7 @@ pub struct SchemeConfig {
     pub count_matches: bool,
     /// How many *speculative* (non-frontier) recoveries each rear thread may
     /// execute from forwarded end states — the order of the "higher-order
-    /// speculation" [21] that SRE generalizes. 1 reproduces the paper's SRE
+    /// speculation" \[21\] that SRE generalizes. 1 reproduces the paper's SRE
     /// behaviour (one immediate speculative recovery per thread); 0 disables
     /// end-state forwarding entirely (recovery degenerates to the naive
     /// sequential walk); larger values re-speculate every time the forwarded

@@ -1,6 +1,6 @@
 //! Multicore speculative FSM parallelization on real threads.
 //!
-//! SRE was originally designed for multicores ([21], §III-A); this module
+//! SRE was originally designed for multicores (\[21\], §III-A); this module
 //! provides that lineage substrate: a host-parallel speculative engine using
 //! crossbeam scoped threads. It runs the same three phases — lookback
 //! prediction, parallel speculative execution, verification & recovery — on
@@ -97,7 +97,7 @@ pub fn run_speculative(dfa: &Dfa, input: &[u8], n_threads: usize) -> CpuRunResul
 }
 
 /// Runs `dfa` over `input` with SRE-style recovery on real threads
-/// (Algorithm 3's multicore origin [21]): after the speculative pass, every
+/// (Algorithm 3's multicore origin \[21\]): after the speculative pass, every
 /// thread whose chunk is still unverified re-executes it from the end state
 /// forwarded by its predecessor, in parallel rounds, until the verified
 /// frontier covers the whole input. On convergent machines one round fixes

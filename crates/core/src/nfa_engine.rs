@@ -1,6 +1,6 @@
 //! Device NFA execution: state-level parallelism (Algorithm 1, lines 9-10).
 //!
-//! NFA engines are the traditional GPU approach (§II-B, [16][17][7]): one
+//! NFA engines are the traditional GPU approach (§II-B, \[16\]\[17\]\[7\]): one
 //! thread block cooperates on one stream, and in each step the *active
 //! state set* is partitioned across threads, every thread advancing its
 //! share of states. Memory-efficient (no subset-construction blowup) but

@@ -18,7 +18,7 @@ use std::ops::Range;
 
 use gspecpal_fsm::{Dfa, StateId};
 use gspecpal_gpu::{
-    launch_grid, BlockDim, DeviceSpec, GridKernel, KernelStats, RoundKernel, RoundOutcome,
+    launch_grid, BlockDim, DeviceSpec, GridKernel, KernelStats, Phase, RoundKernel, RoundOutcome,
     ThreadCtx,
 };
 
@@ -108,6 +108,10 @@ impl RoundKernel for PredictCostBlock<'_> {
 
     fn after_sync(&mut self, _round: u64) -> bool {
         false
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::Predict
     }
 }
 

@@ -1,7 +1,7 @@
 //! Scheme identifiers and run outcomes.
 
 use gspecpal_fsm::StateId;
-use gspecpal_gpu::{DeviceSpec, KernelStats};
+use gspecpal_gpu::{DeviceSpec, KernelStats, PhaseProfile};
 
 /// The parallelization schemes integrated in GSpecPal, plus reference
 /// engines.
@@ -14,10 +14,10 @@ pub enum SchemeKind {
     /// Full enumeration of all states per chunk (Mytkowicz-style
     /// data-parallel FSM), as an upper-bound-redundancy reference.
     Enumerative,
-    /// Parallel Merge [19]: enumerative speculation (spec-k) + tree merge +
+    /// Parallel Merge \[19\]: enumerative speculation (spec-k) + tree merge +
     /// delayed sequential recovery. The paper's baseline (spec-4).
     Pm,
-    /// Algorithm 3: speculative recovery from predecessor end states [21].
+    /// Algorithm 3: speculative recovery from predecessor end states \[21\].
     Sre,
     /// Algorithm 4: round-robin aggressive speculative recovery (this
     /// paper).
@@ -123,6 +123,18 @@ impl RunOutcome {
     /// Total simulated time in microseconds on `spec`.
     pub fn total_us(&self, spec: &DeviceSpec) -> f64 {
         spec.cycles_to_us(self.total_cycles())
+    }
+
+    /// The run's per-[`gspecpal_gpu::Phase`] cost breakdown: the predict,
+    /// execute, and verify stage profiles merged sequentially (stages run
+    /// back-to-back). Its total cycles equal [`RunOutcome::total_cycles`]
+    /// exactly, so the phase split is an exact decomposition of Equation 1's
+    /// `T = C + T_par + T_v&r`.
+    pub fn phase_profile(&self) -> PhaseProfile {
+        let mut profile = self.predict.profile.clone();
+        profile.merge_sequential(&self.execute.profile);
+        profile.merge_sequential(&self.verify.profile);
+        profile
     }
 
     /// Runtime speculation accuracy as defined for Table III: the frequency

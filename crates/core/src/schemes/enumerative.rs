@@ -12,7 +12,7 @@ use std::ops::Range;
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
     block_dims_width, fit_block_width, launch_blocks_auto, launch_grid, BlockDim,
-    BlockRequirements, GridKernel, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    BlockRequirements, GridKernel, KernelStats, Phase, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
 use crate::run::{RunOutcome, SchemeKind};
@@ -208,6 +208,12 @@ impl RoundKernel for ComposeKernel {
     fn after_sync(&mut self, _round: u64) -> bool {
         self.rounds_left -= 1;
         self.rounds_left > 0
+    }
+
+    /// Function composition connects already-executed chunks: verification
+    /// work, never input re-execution.
+    fn phase(&self) -> Phase {
+        Phase::Verify
     }
 }
 

@@ -16,7 +16,7 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, RoundKernel, RoundOutcome,
+    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, Phase, RoundKernel, RoundOutcome,
     ThreadCtx,
 };
 
@@ -66,6 +66,7 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
                         ends: e,
                         counts: c,
                         cursor: usize::from(dim.index == 0),
+                        recovered: false,
                         checks: 0,
                         matches: 0,
                         frontier_trace: Vec::new(),
@@ -120,6 +121,9 @@ struct NaiveBlock<'a, 'j> {
     ends: &'a mut [StateId],
     counts: &'a mut [u64],
     cursor: usize,
+    /// Whether the round in flight re-executed its chunk (the cursor thread
+    /// sets this every round, so it always describes the current round).
+    recovered: bool,
     checks: u64,
     matches: u64,
     frontier_trace: Vec<u32>,
@@ -143,11 +147,13 @@ impl RoundKernel for NaiveBlock<'_, '_> {
         match self.vr.scan(ctx, self.base + rel, end_p) {
             Some(rec) => {
                 self.matches += 1;
+                self.recovered = false;
                 self.ends[rel] = rec.end;
                 self.counts[rel] = rec.matches;
                 RoundOutcome::ACTIVE
             }
             None => {
+                self.recovered = true;
                 // Must-be-done recovery: re-execute from the verified state.
                 let t0 = ctx.cycles();
                 let run = self.job.table.run_chunk_with(
@@ -173,6 +179,16 @@ impl RoundKernel for NaiveBlock<'_, '_> {
         self.cursor += 1;
         self.frontier_trace.push((self.base + self.cursor) as u32);
         self.cursor < self.n_local
+    }
+
+    /// A walk round is verification (record reuse) unless the cursor had to
+    /// re-execute its chunk, which makes the whole round recovery time.
+    fn phase(&self) -> Phase {
+        if self.recovered {
+            Phase::Recovery
+        } else {
+            Phase::Verify
+        }
     }
 }
 

@@ -26,7 +26,7 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, RoundKernel, RoundOutcome,
+    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, Phase, RoundKernel, RoundOutcome,
     ThreadCtx,
 };
 
@@ -174,6 +174,12 @@ impl RoundKernel for MergeKernel {
         self.rounds_left -= 1;
         self.rounds_left > 0
     }
+
+    /// The tree merge is verification: it checks speculated paths, it never
+    /// re-executes input.
+    fn phase(&self) -> Phase {
+        Phase::Verify
+    }
 }
 
 /// One block of the sequential stage: walks the block's speculated ground
@@ -263,6 +269,13 @@ impl RoundKernel for PmBlock<'_, '_> {
         self.skip_matches();
         self.frontier_trace.push((self.base + self.cursor) as u32);
         self.cursor < self.n_local
+    }
+
+    /// Every walker round re-executes a chunk (merge-verified chunks are
+    /// consumed host-side in `skip_matches`), so PM's sequential stage is
+    /// pure recovery time — the Equation 2 bottleneck.
+    fn phase(&self) -> Phase {
+        Phase::Recovery
     }
 }
 

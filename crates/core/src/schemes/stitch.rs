@@ -39,7 +39,7 @@ use std::ops::Range;
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
     launch, launch_blocks_auto, launch_grid, BlockDim, BlockRequirements, GridKernel, GridStats,
-    KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    KernelStats, Phase, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
 use crate::config::StitchPolicy;
@@ -48,15 +48,11 @@ use crate::schemes::Job;
 
 /// Folds a heterogeneous grid launch into one sequential-equivalent stats
 /// record (counters summed, event streams concatenated in block order,
-/// cycles = the grid's wave-scheduled completion time, occupancy shape
-/// attached) and merges it into `verify` as a back-to-back kernel.
+/// cycles = the grid's wave-scheduled completion time, per-phase cycles from
+/// each wave's gating block, occupancy shape attached) and merges it into
+/// `verify` as a back-to-back kernel.
 pub(crate) fn fold_grid(verify: &mut KernelStats, grid: &GridStats) {
-    let mut combined = KernelStats { shape: Some(grid.shape()), ..KernelStats::default() };
-    for block in &grid.blocks {
-        combined.absorb_block(block);
-    }
-    combined.cycles = grid.cycles;
-    verify.merge_sequential(&combined);
+    verify.merge_sequential(&grid.fold());
 }
 
 /// What the boundary stitch did: its simulated cost plus the verification
@@ -246,6 +242,10 @@ impl RoundKernel for SeamBlock {
     fn after_sync(&mut self, _round: u64) -> bool {
         false
     }
+
+    fn phase(&self) -> Phase {
+        Phase::Stitch
+    }
 }
 
 impl GridKernel for SeamGrid {
@@ -328,6 +328,12 @@ impl RoundKernel for TreeFixup<'_, '_> {
         self.cursor += 1;
         !self.done && self.cursor < self.len
     }
+
+    /// All fix-up work — record reuse and re-execution alike — is stitch
+    /// time: it exists only because block seams must be validated.
+    fn phase(&self) -> Phase {
+        Phase::Stitch
+    }
 }
 
 /// One-thread re-resolution of a mispredicted block's chunks from the true
@@ -390,6 +396,12 @@ impl RoundKernel for StitchKernel<'_, '_> {
     fn after_sync(&mut self, _round: u64) -> bool {
         self.cursor += 1;
         self.cursor < self.end
+    }
+
+    /// All seam-walk work — record reuse and re-execution alike — is stitch
+    /// time: it exists only because block seams must be validated.
+    fn phase(&self) -> Phase {
+        Phase::Stitch
     }
 }
 

@@ -31,7 +31,7 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, RoundKernel, RoundOutcome,
+    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, Phase, RoundKernel, RoundOutcome,
     ThreadCtx,
 };
 
@@ -152,7 +152,7 @@ pub(crate) fn run_with_policy(job: &Job<'_>, policy: RecoveryPolicy) -> RunOutco
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Phase {
+enum VrPhase {
     Verify,
     Recover,
 }
@@ -186,7 +186,7 @@ struct VrBlock<'a, 'j> {
     /// The block frontier: local chunks `0..f` are verified (relative to the
     /// block's incoming state).
     f: usize,
-    phase: Phase,
+    phase: VrPhase,
     policy: RecoveryPolicy,
     /// NF_Sched scan hint: queues before this local chunk id are known
     /// drained (they never refill, so the scan is amortized O(1) — on
@@ -228,7 +228,7 @@ impl<'a, 'j> VrBlock<'a, 'j> {
             endp: vec![0; n_local],
             spec_budget: vec![job.config.spec_recovery_budget; n_local],
             f: usize::from(trusted_first),
-            phase: Phase::Verify,
+            phase: VrPhase::Verify,
             policy,
             nf_cursor: 0,
             checks: 0,
@@ -403,14 +403,25 @@ impl RoundKernel for VrBlock<'_, '_> {
         // `launch_blocks` hands each block kernel block-local thread ids.
         let rel = tid;
         match self.phase {
-            Phase::Verify => self.verify_round(rel, ctx),
-            Phase::Recover => self.recover_round(rel, ctx),
+            VrPhase::Verify => self.verify_round(rel, ctx),
+            VrPhase::Recover => self.recover_round(rel, ctx),
+        }
+    }
+
+    /// Verify rounds (record scans, seeding, speculative recoveries that
+    /// overlap verification) vs. must-be-done recovery rounds. Read at the
+    /// barrier before `after_sync` flips the state, so each round reports
+    /// the mode it actually executed in.
+    fn phase(&self) -> Phase {
+        match self.phase {
+            VrPhase::Verify => Phase::Verify,
+            VrPhase::Recover => Phase::Recovery,
         }
     }
 
     fn after_sync(&mut self, _round: u64) -> bool {
         match self.phase {
-            Phase::Verify => {
+            VrPhase::Verify => {
                 // Runtime speculation accuracy (Table III) counts the checks
                 // that decide each chunk's verification: one per chunk, a
                 // match when the chunk was verified from a record, a miss
@@ -433,15 +444,15 @@ impl RoundKernel for VrBlock<'_, '_> {
                         self.f += 1;
                     }
                 } else {
-                    self.phase = Phase::Recover;
+                    self.phase = VrPhase::Recover;
                 }
                 self.ends_prev.copy_from_slice(self.ends_cur);
             }
-            Phase::Recover => {
+            VrPhase::Recover => {
                 // The frontier's must-be-done recovery resolved chunk f.
                 self.ends_prev.copy_from_slice(self.ends_cur);
                 self.f += 1;
-                self.phase = Phase::Verify;
+                self.phase = VrPhase::Verify;
             }
         }
         self.frontier_trace.push((self.base + self.f) as u32);

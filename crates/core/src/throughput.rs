@@ -104,11 +104,7 @@ pub fn run_stream_parallel_grid(
     }
     let accepted = end_states.iter().map(|&s| table.dfa().is_accepting(s)).collect();
     // Fold the grid totals into a single KernelStats for uniform reporting.
-    let mut stats = KernelStats { shape: Some(grid.shape()), ..KernelStats::default() };
-    for b in &grid.blocks {
-        stats.absorb_block(b);
-    }
-    stats.cycles = grid.cycles;
+    let stats = grid.fold();
     BatchOutcome { end_states, accepted, stats, total_bytes: streams.iter().map(|s| s.len()).sum() }
 }
 
@@ -288,6 +284,54 @@ mod tests {
         // 1 block of 4 threads: a single wave.
         let one_wave = run_stream_parallel_grid(&spec, &table, &refs, 4);
         assert!(four_waves.stats.cycles > 3 * one_wave.stats.cycles);
+    }
+
+    #[test]
+    fn zero_cycle_outcomes_report_zero_throughput() {
+        // A fabricated zero-cycle batch must not divide by zero: throughput
+        // degrades to 0.0 and the response time is the (zero) kernel time.
+        let out = BatchOutcome {
+            end_states: vec![0],
+            accepted: vec![false],
+            stats: KernelStats::default(),
+            total_bytes: 1024,
+        };
+        assert_eq!(out.bytes_per_cycle(), 0.0);
+        assert_eq!(out.response_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn empty_batches_are_rejected() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let _ = run_stream_parallel(&DeviceSpec::test_unit(), &table, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn empty_grid_batches_are_rejected() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let _ = run_stream_parallel_grid(&DeviceSpec::test_unit(), &table, &[], 8);
+    }
+
+    #[test]
+    fn zero_length_streams_scan_to_the_start_state() {
+        // Streams may be empty even though the batch may not: a zero-byte
+        // stream ends where it starts, contributes no bytes, and the batch's
+        // cycle count stays positive (the round + barrier still happen), so
+        // bytes_per_cycle stays finite.
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let empty: &[u8] = b"";
+        let some: &[u8] = b"110101";
+        let out = run_stream_parallel(&DeviceSpec::test_unit(), &table, &[empty, some]);
+        assert_eq!(out.end_states[0], d.start());
+        assert_eq!(out.end_states[1], d.run(some));
+        assert_eq!(out.total_bytes, some.len());
+        assert!(out.response_cycles() > 0);
+        assert!(out.bytes_per_cycle().is_finite());
     }
 
     #[test]

@@ -3,10 +3,29 @@
 //! The paper reports "GPU kernel time collected by using CUDA events"
 //! (§V-A). [`EventTimer`] provides the same interface shape over the
 //! simulator: record kernels between `start` and `stop`, read the elapsed
-//! simulated time.
+//! simulated time. [`EventTimer::record_named`] additionally groups kernels
+//! into named spans (one span per logical launch site, like an NVTX range),
+//! each carrying the per-[`Phase`](crate::stats::Phase) breakdown of the
+//! kernels recorded under it.
 
 use crate::spec::DeviceSpec;
-use crate::stats::KernelStats;
+use crate::stats::{KernelStats, PhaseProfile};
+
+/// One named span on the timer's timeline: the aggregate of every kernel
+/// recorded under the same name, with its phase breakdown. The NVTX-range
+/// analogue for the simulator.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelSpan {
+    /// The span's name (the launch site, e.g. `"predict"` or `"vr"`).
+    pub name: String,
+    /// Total simulated cycles of the kernels recorded under this span.
+    pub cycles: u64,
+    /// Number of kernels recorded under this span.
+    pub kernels: u64,
+    /// Per-phase breakdown of the span's kernels; phase cycles sum to
+    /// `cycles` (sequential merge of the recorded kernels' profiles).
+    pub profile: PhaseProfile,
+}
 
 /// Accumulates the simulated time of a sequence of kernel launches, like a
 /// CUDA event pair bracketing them on a stream.
@@ -14,6 +33,8 @@ use crate::stats::KernelStats;
 pub struct EventTimer {
     cycles: u64,
     kernels: u64,
+    profile: PhaseProfile,
+    spans: Vec<KernelSpan>,
 }
 
 impl EventTimer {
@@ -26,6 +47,25 @@ impl EventTimer {
     pub fn record(&mut self, stats: &KernelStats) {
         self.cycles += stats.cycles;
         self.kernels += 1;
+        self.profile.merge_sequential(&stats.profile);
+    }
+
+    /// Records a completed kernel under the named span, creating the span on
+    /// first use. Spans keep first-recorded order; recording the same name
+    /// again extends that span (kernels on a stream serialize, so cycles and
+    /// profiles merge sequentially).
+    pub fn record_named(&mut self, name: &str, stats: &KernelStats) {
+        self.record(stats);
+        let span = match self.spans.iter_mut().find(|s| s.name == name) {
+            Some(span) => span,
+            None => {
+                self.spans.push(KernelSpan { name: name.to_string(), ..KernelSpan::default() });
+                self.spans.last_mut().expect("span just pushed")
+            }
+        };
+        span.cycles += stats.cycles;
+        span.kernels += 1;
+        span.profile.merge_sequential(&stats.profile);
     }
 
     /// Total elapsed simulated cycles.
@@ -42,11 +82,30 @@ impl EventTimer {
     pub fn kernel_count(&self) -> u64 {
         self.kernels
     }
+
+    /// Aggregate per-phase breakdown of every kernel recorded (named or
+    /// not); phase cycles sum to [`EventTimer::elapsed_cycles`] when every
+    /// recorded kernel upheld the profile invariant.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// The named spans, in first-recorded order.
+    pub fn spans(&self) -> &[KernelSpan] {
+        &self.spans
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::Phase;
+
+    fn staged(phase: Phase, cycles: u64) -> KernelStats {
+        let mut s = KernelStats { cycles, ..KernelStats::default() };
+        s.profile.get_mut(phase).cycles = cycles;
+        s
+    }
 
     #[test]
     fn timer_accumulates_kernels() {
@@ -63,5 +122,26 @@ mod tests {
         t.record(&KernelStats { cycles: 1000, ..KernelStats::default() });
         let spec = DeviceSpec::test_unit();
         assert!((t.elapsed_us(&spec) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn named_spans_group_kernels_and_nest_phases() {
+        let mut t = EventTimer::new();
+        t.record_named("exec", &staged(Phase::SpecExec, 100));
+        t.record_named("verify", &staged(Phase::Verify, 30));
+        t.record_named("exec", &staged(Phase::Recovery, 20));
+        assert_eq!(t.elapsed_cycles(), 150);
+        assert_eq!(t.kernel_count(), 3);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2, "same name extends the span");
+        assert_eq!(spans[0].name, "exec");
+        assert_eq!(spans[0].kernels, 2);
+        assert_eq!(spans[0].cycles, 120);
+        assert_eq!(spans[0].profile.get(Phase::SpecExec).cycles, 100);
+        assert_eq!(spans[0].profile.get(Phase::Recovery).cycles, 20);
+        assert_eq!(spans[1].name, "verify");
+        assert_eq!(spans[1].profile.get(Phase::Verify).cycles, 30);
+        // The aggregate profile partitions the timeline.
+        assert_eq!(t.profile().total_cycles(), t.elapsed_cycles());
     }
 }

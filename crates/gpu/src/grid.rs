@@ -10,7 +10,7 @@
 //!
 //! * counters (ALU, memory, atomics, recovery) are summed;
 //! * per-round event streams are concatenated in block order;
-//! * `cycles` follows the SM-occupancy wave model (see [`crate::occupancy`]):
+//! * `cycles` follows the SM-occupancy wave model (see [`mod@crate::occupancy`]):
 //!   blocks are scheduled `resident × n_sms` at a time, each wave lasts as
 //!   long as its slowest block, and waves serialize.
 //!
@@ -175,9 +175,30 @@ pub fn try_launch_grid<G: GridKernel>(
     Ok(merge_grid(spec, resident, &per_block))
 }
 
+/// The block that gates (determines the duration of) a scheduling wave: the
+/// slowest block, first one on a tie so the choice is deterministic and —
+/// for a single-block wave — trivially the block itself.
+fn gating_block(wave: &[KernelStats]) -> Option<&KernelStats> {
+    let mut gate: Option<&KernelStats> = None;
+    for b in wave {
+        match gate {
+            Some(g) if g.cycles >= b.cycles => {}
+            _ => gate = Some(b),
+        }
+    }
+    gate
+}
+
 /// Merges per-block stats into grid stats: counters summed, event streams
 /// concatenated in block order, cycles from the occupancy wave model with
 /// `resident` blocks per SM, and the resulting [`LaunchShape`] recorded.
+///
+/// Per-phase cycles come from each wave's gating block: the wave lasts as
+/// long as its slowest block, and that block's own phase split (which sums
+/// to its cycles exactly) is what the wait decomposes into. This keeps the
+/// profile invariant — per-phase cycles sum to the merged `cycles` — intact
+/// through the wave model, and makes a single-block grid bit-identical to a
+/// direct [`launch`].
 fn merge_grid(spec: &DeviceSpec, resident: u32, per_block: &[KernelStats]) -> KernelStats {
     let mut merged = KernelStats::default();
     for stats in per_block {
@@ -185,13 +206,15 @@ fn merge_grid(spec: &DeviceSpec, resident: u32, per_block: &[KernelStats]) -> Ke
     }
     let per_wave = (resident * spec.n_sms.max(1)) as usize;
     let mut waves = 0u32;
-    merged.cycles = per_block
-        .chunks(per_wave)
-        .map(|wave| {
-            waves += 1;
-            wave.iter().map(|b| b.cycles).max().unwrap_or(0)
-        })
-        .sum();
+    let mut cycles = 0u64;
+    for wave in per_block.chunks(per_wave) {
+        waves += 1;
+        if let Some(gate) = gating_block(wave) {
+            cycles += gate.cycles;
+            merged.profile.absorb_cycles(&gate.profile);
+        }
+    }
+    merged.cycles = cycles;
     merged.shape =
         Some(LaunchShape { resident_per_sm: resident, blocks_per_wave: per_wave as u32, waves });
     merged
@@ -231,6 +254,30 @@ impl GridStats {
             blocks_per_wave: self.blocks_per_wave,
             waves: self.waves,
         }
+    }
+
+    /// Folds the per-block stats into one merged [`KernelStats`] with the
+    /// grid's wave-model `cycles`, this launch's [`LaunchShape`], and
+    /// per-phase cycles attributed from each wave's gating (slowest, first
+    /// on ties) block — the same merge [`launch_grid`] performs internally,
+    /// exposed for callers of the heterogeneous-block launchers.
+    pub fn fold(&self) -> KernelStats {
+        let mut merged = KernelStats::default();
+        for block in &self.blocks {
+            merged.absorb_block(block);
+        }
+        merged.shape = Some(self.shape());
+        let per_wave = self.blocks_per_wave.max(1) as usize;
+        let mut cycles = 0u64;
+        for wave in self.blocks.chunks(per_wave) {
+            if let Some(gate) = gating_block(wave) {
+                cycles += gate.cycles;
+                merged.profile.absorb_cycles(&gate.profile);
+            }
+        }
+        debug_assert_eq!(cycles, self.cycles, "fold must reproduce the wave-model cycles");
+        merged.cycles = self.cycles;
+        merged
     }
 }
 
@@ -575,6 +622,41 @@ mod tests {
         assert_eq!(light.active_per_round.len(), 2);
         assert_eq!(heavy.active_per_round.len(), 4);
         assert_eq!(heavy.shape.unwrap().resident_per_sm, 1);
+    }
+
+    #[test]
+    fn grid_profile_cycles_sum_to_the_wave_model() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        spec.max_blocks_per_sm = 1;
+        spec.max_threads_per_sm = spec.max_threads_per_block;
+        // 5 full blocks on 2 SMs: 3 waves, all work in SpecExec.
+        let n = 5 * spec.max_threads_per_block as usize;
+        let stats = launch_grid(&spec, n, &mut WorkGrid(7));
+        assert_eq!(stats.profile.total_cycles(), stats.cycles);
+        use crate::stats::Phase;
+        assert_eq!(stats.profile.get(Phase::SpecExec).cycles, stats.cycles);
+        // Event counters still sum over every block, not just the gates.
+        assert_eq!(stats.profile.get(Phase::SpecExec).alu_ops, stats.alu_ops);
+        assert_eq!(stats.profile.get(Phase::SpecExec).thread_rounds, n as u64);
+    }
+
+    #[test]
+    fn fold_matches_the_grid_merge() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        let mut blocks: Vec<(usize, Work)> = (1..=5).map(|i| (2usize, Work(i * 3))).collect();
+        let g = launch_blocks(&spec, &mut blocks);
+        let folded = g.fold();
+        assert_eq!(folded.cycles, g.cycles);
+        assert_eq!(folded.shape, Some(g.shape()));
+        assert_eq!(folded.profile.total_cycles(), folded.cycles);
+        assert_eq!(folded.global_transactions, g.total_global_transactions());
+        assert_eq!(
+            folded.alu_ops,
+            g.blocks.iter().map(|b| b.alu_ops).sum::<u64>(),
+            "fold sums every block's events"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 
 use crate::spec::DeviceSpec;
-use crate::stats::KernelStats;
+use crate::stats::{KernelStats, Phase};
 
 /// What a thread reports at the end of its round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -154,6 +154,16 @@ pub trait RoundKernel {
     fn requirements(&self, threads: u32) -> crate::occupancy::BlockRequirements {
         crate::occupancy::BlockRequirements::light(threads)
     }
+
+    /// The [`Phase`] the *current* round belongs to. Queried once per round
+    /// at the barrier, **before** [`RoundKernel::after_sync`] runs — so a
+    /// kernel whose state machine flips phases in `after_sync` (the VR
+    /// verify/recover loop) reports the phase of the round that just
+    /// executed. Defaults to [`Phase::SpecExec`], the right answer for plain
+    /// forward scans.
+    fn phase(&self) -> Phase {
+        Phase::SpecExec
+    }
 }
 
 /// Safety valve: a kernel that runs this many rounds is assumed stuck.
@@ -218,6 +228,11 @@ pub(crate) fn run_block<K: RoundKernel + ?Sized>(
         assert!(round < DEFAULT_MAX_ROUNDS, "kernel exceeded {DEFAULT_MAX_ROUNDS} rounds");
         let round_start = clocks.first().copied().unwrap_or(0);
         let txns_before = stats.global_transactions;
+        let coalesced_before = stats.global_coalesced_hits;
+        let shared_before = stats.shared_accesses;
+        let alu_before = stats.alu_ops;
+        let shuffles_before = stats.shuffles;
+        let atomics_before = stats.atomics;
         let mut active = 0u32;
         let mut recovering = 0u32;
         // Indexing is deliberate: each warp's window is reused across its
@@ -253,6 +268,28 @@ pub(crate) fn run_block<K: RoundKernel + ?Sized>(
         stats.active_per_round.push(active);
         stats.recovering_per_round.push(recovering);
         stats.round_durations.push(max - round_start);
+        // Attribute the whole round — duration, traffic deltas, divergence —
+        // to the kernel's current phase, *before* after_sync can flip it.
+        let d_txn = stats.global_transactions - txns_before;
+        let d_coalesced = stats.global_coalesced_hits - coalesced_before;
+        let d_shared = stats.shared_accesses - shared_before;
+        let d_alu = stats.alu_ops - alu_before;
+        let d_shuffles = stats.shuffles - shuffles_before;
+        let d_atomics = stats.atomics - atomics_before;
+        let pc = stats.profile.get_mut(kernel.phase());
+        pc.cycles += max - round_start;
+        pc.rounds += 1;
+        pc.global_transactions += d_txn;
+        pc.global_coalesced_hits += d_coalesced;
+        pc.shared_accesses += d_shared;
+        pc.alu_ops += d_alu;
+        pc.shuffles += d_shuffles;
+        pc.atomics += d_atomics;
+        pc.active_thread_rounds += u64::from(active);
+        pc.thread_rounds += n_threads as u64;
+        if active > 0 && (active as usize) < n_threads {
+            pc.divergent_rounds += 1;
+        }
         let continue_ = kernel.after_sync(round);
         round += 1;
         if !continue_ {
@@ -452,6 +489,97 @@ mod tests {
         assert_eq!(stats.global_transactions, 40);
         assert_eq!(stats.round_durations, vec![80 + 1]);
         assert_eq!(stats.cycles, 81);
+    }
+
+    #[test]
+    fn rounds_charge_the_kernels_phase() {
+        use crate::stats::Phase;
+
+        /// One verify round, then one recovery round, with divergence in the
+        /// recovery round (only thread 0 works).
+        struct TwoPhase {
+            in_recovery: bool,
+        }
+        impl RoundKernel for TwoPhase {
+            fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                if !self.in_recovery {
+                    ctx.shared(2);
+                    RoundOutcome::ACTIVE
+                } else if tid == 0 {
+                    ctx.alu(5);
+                    RoundOutcome::RECOVERING
+                } else {
+                    RoundOutcome::IDLE
+                }
+            }
+            fn after_sync(&mut self, round: u64) -> bool {
+                self.in_recovery = true;
+                round == 0
+            }
+            fn phase(&self) -> Phase {
+                if self.in_recovery {
+                    Phase::Recovery
+                } else {
+                    Phase::Verify
+                }
+            }
+        }
+
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 4, &mut TwoPhase { in_recovery: false });
+        let verify = stats.profile.get(Phase::Verify);
+        let recovery = stats.profile.get(Phase::Recovery);
+        assert_eq!(verify.rounds, 1);
+        assert_eq!(verify.shared_accesses, 2 * 4);
+        assert_eq!(verify.divergent_rounds, 0);
+        assert_eq!(verify.thread_rounds, 4);
+        assert_eq!(verify.active_thread_rounds, 4);
+        assert_eq!(recovery.rounds, 1);
+        assert_eq!(recovery.alu_ops, 5);
+        assert_eq!(recovery.divergent_rounds, 1);
+        assert_eq!(recovery.active_thread_rounds, 1);
+        assert_eq!(stats.profile.total_cycles(), stats.cycles, "phases partition kernel time");
+        assert_eq!(stats.profile.get(Phase::SpecExec).rounds, 0);
+    }
+
+    #[test]
+    fn default_phase_is_speculative_execution() {
+        use crate::stats::Phase;
+        let spec = DeviceSpec::test_unit();
+        let stats = launch(&spec, 8, &mut AluKernel);
+        let spec_exec = stats.profile.get(Phase::SpecExec);
+        assert_eq!(spec_exec.cycles, stats.cycles);
+        assert_eq!(spec_exec.alu_ops, stats.alu_ops);
+        assert_eq!(stats.profile.total_cycles(), stats.cycles);
+        for (phase, c) in stats.profile.iter() {
+            if phase != Phase::SpecExec {
+                assert_eq!(*c, crate::stats::PhaseCounters::default(), "{phase} must stay empty");
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_roofline_cycles_land_in_the_profile() {
+        use crate::stats::Phase;
+        struct ManyLoads;
+        impl RoundKernel for ManyLoads {
+            fn round(&mut self, tid: usize, ctx: &mut ThreadCtx<'_>) -> RoundOutcome {
+                for i in 0..10u64 {
+                    ctx.global(0, (tid as u64 * 1000 + i) * 64, 1);
+                }
+                RoundOutcome::ACTIVE
+            }
+            fn after_sync(&mut self, _round: u64) -> bool {
+                false
+            }
+        }
+        let mut spec = DeviceSpec::test_unit();
+        spec.bandwidth_millicycles_per_txn = 2000;
+        let stats = launch(&spec, 4, &mut ManyLoads);
+        // The roofline stretch (80 + barrier vs 10 compute cycles) must be
+        // attributed, not just the compute time.
+        assert_eq!(stats.profile.get(Phase::SpecExec).cycles, 81);
+        assert_eq!(stats.profile.get(Phase::SpecExec).global_transactions, 40);
     }
 
     #[test]

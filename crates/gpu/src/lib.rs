@@ -42,7 +42,7 @@ pub mod spec;
 pub mod stats;
 
 pub use error::LaunchError;
-pub use event::EventTimer;
+pub use event::{EventTimer, KernelSpan};
 pub use grid::{
     block_dims, block_dims_width, launch_blocks, launch_blocks_auto, launch_blocks_occupancy,
     launch_grid, try_launch_blocks_auto, try_launch_blocks_occupancy, try_launch_grid, BlockDim,
@@ -51,4 +51,4 @@ pub use grid::{
 pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
 pub use occupancy::{fit_block_width, max_resident_blocks, occupancy, BlockRequirements};
 pub use spec::DeviceSpec;
-pub use stats::{KernelStats, LaunchShape};
+pub use stats::{KernelStats, LaunchShape, Phase, PhaseCounters, PhaseProfile};

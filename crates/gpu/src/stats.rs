@@ -2,6 +2,216 @@
 
 use crate::spec::DeviceSpec;
 
+/// The algorithmic phase a barrier-delimited round belongs to.
+///
+/// This is the paper's cost taxonomy (§III, Equation 1 and the §III-C
+/// redundancy/recovery analysis) lifted into the simulator: every round a
+/// kernel executes is attributed to exactly one phase via
+/// [`crate::kernel::RoundKernel::phase`], so the per-phase cycle split always
+/// sums to the kernel's total cycles. The bench layer reports these splits in
+/// the machine-readable perf dumps CI tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Start-state prediction (the constant `C` of Equation 1: the all-state
+    /// lookback walk and queue ranking).
+    Predict,
+    /// Speculative chunk execution (`T_par`): spec-1/spec-k forward scans,
+    /// including the enumerative all-state scans and plain stream scans.
+    SpecExec,
+    /// Verification: record scans, end-state communication, tree-merge and
+    /// compose rounds — everything that *checks* speculation without
+    /// re-executing input.
+    Verify,
+    /// Recovery: chunk re-execution after a failed speculation check (the
+    /// must-be-done and speculative recoveries of Algorithms 3-5, and PM's
+    /// delayed sequential walk).
+    Recovery,
+    /// Block-seam stitching: the grid-level seam checks and cluster fix-ups
+    /// of the boundary stitch.
+    Stitch,
+    /// Host↔device transfers. Reserved: the simulator does not yet charge
+    /// transfer cycles, so this bucket stays zero — it exists so the report
+    /// schema is stable once transfers are modelled.
+    Transfer,
+}
+
+impl Phase {
+    /// Every phase, in canonical report order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Predict,
+        Phase::SpecExec,
+        Phase::Verify,
+        Phase::Recovery,
+        Phase::Stitch,
+        Phase::Transfer,
+    ];
+
+    /// Position of this phase in [`Phase::ALL`] (and in a
+    /// [`PhaseProfile`]'s counter array).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Predict => 0,
+            Phase::SpecExec => 1,
+            Phase::Verify => 2,
+            Phase::Recovery => 3,
+            Phase::Stitch => 4,
+            Phase::Transfer => 5,
+        }
+    }
+
+    /// Stable snake_case name used as the key in perf-report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Predict => "predict",
+            Phase::SpecExec => "spec_exec",
+            Phase::Verify => "verify",
+            Phase::Recovery => "recovery",
+            Phase::Stitch => "stitch",
+            Phase::Transfer => "transfer",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counters accumulated for one [`Phase`] of a kernel.
+///
+/// `cycles` partitions the kernel's wall time (round durations, barrier and
+/// bandwidth roofline included); the event counters partition the flat
+/// [`KernelStats`] counters; the round counters feed divergence and
+/// utilization metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Wall cycles of rounds attributed to this phase.
+    pub cycles: u64,
+    /// Rounds attributed to this phase.
+    pub rounds: u64,
+    /// Global-memory transactions issued in this phase (after coalescing).
+    pub global_transactions: u64,
+    /// Global accesses absorbed by warp coalescing/broadcast in this phase.
+    pub global_coalesced_hits: u64,
+    /// Shared-memory accesses (including hash probes) in this phase.
+    pub shared_accesses: u64,
+    /// ALU operations in this phase.
+    pub alu_ops: u64,
+    /// Warp shuffles in this phase.
+    pub shuffles: u64,
+    /// Atomic operations in this phase.
+    pub atomics: u64,
+    /// Rounds in which some but not all of the block's threads were active —
+    /// chunk-granularity branch divergence, the round-time killer of §III.
+    pub divergent_rounds: u64,
+    /// Sum over this phase's rounds of the active-thread count.
+    pub active_thread_rounds: u64,
+    /// Sum over this phase's rounds of the launched-thread count (the
+    /// denominator of [`PhaseCounters::utilization`]).
+    pub thread_rounds: u64,
+}
+
+impl PhaseCounters {
+    /// Achieved thread utilization: active thread-rounds over launched
+    /// thread-rounds (0.0 when the phase never ran).
+    pub fn utilization(&self) -> f64 {
+        if self.thread_rounds == 0 {
+            0.0
+        } else {
+            self.active_thread_rounds as f64 / self.thread_rounds as f64
+        }
+    }
+
+    /// Fraction of global accesses served by warp coalescing/broadcast
+    /// rather than a fresh transaction (0.0 when no global access happened).
+    pub fn coalesced_fraction(&self) -> f64 {
+        let total = self.global_transactions + self.global_coalesced_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.global_coalesced_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s event and round counters (everything except `cycles`).
+    fn add_events(&mut self, other: &PhaseCounters) {
+        self.rounds += other.rounds;
+        self.global_transactions += other.global_transactions;
+        self.global_coalesced_hits += other.global_coalesced_hits;
+        self.shared_accesses += other.shared_accesses;
+        self.alu_ops += other.alu_ops;
+        self.shuffles += other.shuffles;
+        self.atomics += other.atomics;
+        self.divergent_rounds += other.divergent_rounds;
+        self.active_thread_rounds += other.active_thread_rounds;
+        self.thread_rounds += other.thread_rounds;
+    }
+}
+
+/// Per-phase breakdown of a kernel's cost, one [`PhaseCounters`] per
+/// [`Phase`].
+///
+/// Invariant maintained by every launcher and merge in this crate: the
+/// per-phase `cycles` sum to the owning [`KernelStats::cycles`] exactly — no
+/// double-charged and no unattributed cycles. Merging follows the same
+/// semantics as the flat stats: [`PhaseProfile::absorb_block`] treats two
+/// profiles as concurrent blocks (event counters sum, cycles are the grid
+/// scheduler's job), [`PhaseProfile::merge_sequential`] as back-to-back
+/// kernels (everything sums).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    counters: [PhaseCounters; 6],
+}
+
+impl PhaseProfile {
+    /// The counters of `phase`.
+    pub fn get(&self, phase: Phase) -> &PhaseCounters {
+        &self.counters[phase.index()]
+    }
+
+    /// Mutable counters of `phase`.
+    pub fn get_mut(&mut self, phase: Phase) -> &mut PhaseCounters {
+        &mut self.counters[phase.index()]
+    }
+
+    /// Iterates phases with their counters, in [`Phase::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, &PhaseCounters)> {
+        Phase::ALL.iter().copied().zip(self.counters.iter())
+    }
+
+    /// Sum of the per-phase cycles — equal to the owning
+    /// [`KernelStats::cycles`] by the profile invariant.
+    pub fn total_cycles(&self) -> u64 {
+        self.counters.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Merges `other` as a concurrent block: event and round counters sum,
+    /// per-phase cycles are left untouched (concurrent blocks do not
+    /// serialize — the grid merge attributes wave time separately, see
+    /// [`PhaseProfile::absorb_cycles`]).
+    pub fn absorb_block(&mut self, other: &PhaseProfile) {
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            mine.add_events(theirs);
+        }
+    }
+
+    /// Adds only `other`'s per-phase cycles. The grid merge calls this with
+    /// the profile of each wave's gating (slowest) block, so the wave-model
+    /// completion time keeps an exact per-phase attribution.
+    pub fn absorb_cycles(&mut self, other: &PhaseProfile) {
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            mine.cycles += theirs.cycles;
+        }
+    }
+
+    /// Merges `other` as a back-to-back kernel: everything sums.
+    pub fn merge_sequential(&mut self, other: &PhaseProfile) {
+        self.absorb_cycles(other);
+        self.absorb_block(other);
+    }
+}
+
 /// How the grid scheduler shaped a launch: what the occupancy calculator
 /// allowed per SM and how many waves the grid took. Attached to the merged
 /// stats of every grid launch so benches (and `RunOutcome`) can see the
@@ -59,6 +269,10 @@ pub struct KernelStats {
     /// single-block launches). Merges keep the first shape seen: a scheme's
     /// phase stats report the shape of that phase's main grid.
     pub shape: Option<LaunchShape>,
+    /// Per-[`Phase`] breakdown of the counters above. The per-phase cycles
+    /// sum exactly to `cycles`; the per-phase event counters partition the
+    /// flat event counters.
+    pub profile: PhaseProfile,
 }
 
 impl KernelStats {
@@ -149,12 +363,14 @@ impl KernelStats {
         if self.shape.is_none() {
             self.shape = other.shape;
         }
+        self.profile.absorb_block(&other.profile);
     }
 
     /// Merges another kernel's counters into this one, treating the two
-    /// kernels as launched back-to-back (cycles add).
+    /// kernels as launched back-to-back (cycles add, per-phase cycles add).
     pub fn merge_sequential(&mut self, other: &KernelStats) {
         self.cycles += other.cycles;
+        self.profile.absorb_cycles(&other.profile);
         self.absorb_block(other);
     }
 }
@@ -197,5 +413,81 @@ mod tests {
         let s = KernelStats { recovery_cycles: 100, recovery_runs: 4, ..KernelStats::default() };
         assert!((s.recovery_cycles_per_run() - 25.0).abs() < 1e-12);
         assert_eq!(KernelStats::default().recovery_cycles_per_run(), 0.0);
+    }
+
+    fn sample_profile(phase: Phase, cycles: u64, alu: u64) -> PhaseProfile {
+        let mut p = PhaseProfile::default();
+        let c = p.get_mut(phase);
+        c.cycles = cycles;
+        c.rounds = 1;
+        c.alu_ops = alu;
+        c.active_thread_rounds = 3;
+        c.thread_rounds = 4;
+        p
+    }
+
+    #[test]
+    fn phase_indices_match_canonical_order() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::Recovery.name(), "recovery");
+        assert_eq!(Phase::SpecExec.to_string(), "spec_exec");
+    }
+
+    #[test]
+    fn profile_block_absorb_sums_events_but_not_cycles() {
+        let mut a = sample_profile(Phase::Verify, 10, 7);
+        let b = sample_profile(Phase::Verify, 25, 5);
+        a.absorb_block(&b);
+        let c = a.get(Phase::Verify);
+        assert_eq!(c.cycles, 10, "concurrent blocks do not serialize");
+        assert_eq!(c.alu_ops, 12);
+        assert_eq!(c.rounds, 2);
+        assert!((c.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_sequential_merge_sums_everything() {
+        let mut a = sample_profile(Phase::SpecExec, 10, 7);
+        let b = sample_profile(Phase::Recovery, 25, 5);
+        a.merge_sequential(&b);
+        assert_eq!(a.get(Phase::SpecExec).cycles, 10);
+        assert_eq!(a.get(Phase::Recovery).cycles, 25);
+        assert_eq!(a.total_cycles(), 35);
+    }
+
+    #[test]
+    fn kernel_stats_merges_propagate_to_the_profile() {
+        let mut a = KernelStats {
+            cycles: 10,
+            profile: sample_profile(Phase::SpecExec, 10, 1),
+            ..KernelStats::default()
+        };
+        let b = KernelStats {
+            cycles: 25,
+            profile: sample_profile(Phase::Verify, 25, 2),
+            ..KernelStats::default()
+        };
+        a.merge_sequential(&b);
+        assert_eq!(a.cycles, 35);
+        assert_eq!(a.profile.total_cycles(), a.cycles, "profile partitions cycles");
+
+        let mut c = KernelStats {
+            cycles: 10,
+            profile: sample_profile(Phase::SpecExec, 10, 1),
+            ..KernelStats::default()
+        };
+        c.absorb_block(&b);
+        assert_eq!(c.cycles, 10);
+        assert_eq!(c.profile.total_cycles(), 10, "block absorb leaves cycles to the grid merge");
+        assert_eq!(c.profile.get(Phase::Verify).alu_ops, 2);
+    }
+
+    #[test]
+    fn empty_phase_reports_zero_ratios() {
+        let c = PhaseCounters::default();
+        assert_eq!(c.utilization(), 0.0);
+        assert_eq!(c.coalesced_fraction(), 0.0);
     }
 }

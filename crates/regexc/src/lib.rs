@@ -4,7 +4,7 @@
 //! regular expressions to DFAs with RE2. This crate provides the same
 //! pipeline from scratch: a regex parser ([`parser`]), Thompson NFA
 //! construction ([`thompson`]), and determinization + minimization into the
-//! dense-table [`gspecpal_fsm::Dfa`] the framework consumes ([`compile`]).
+//! dense-table [`gspecpal_fsm::Dfa`] the framework consumes ([`mod@compile`]).
 //!
 //! Two match semantics are offered:
 //!

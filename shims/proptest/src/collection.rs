@@ -37,7 +37,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`fn@vec`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
