@@ -1,5 +1,5 @@
-//! Perf-report dumper: runs the fig8, ablation, and motivation experiments
-//! on a small deterministic workload and writes one schema-versioned
+//! Perf-report dumper: runs the fig8, ablation, motivation, and serve
+//! experiments on a small deterministic workload and writes one schema-versioned
 //! `BENCH_<experiment>.json` per experiment (see `gspecpal_bench::perf` for
 //! the schema). CI runs this on every push and gates on the headline
 //! `total_cycles` against the committed baselines.
@@ -21,9 +21,9 @@
 
 use gspecpal_bench::perf::{
     ablation_json, extract_total_cycles, fig8_json, inflate_total, motivation_json,
-    regression_check, Json, GATE_TOLERANCE_PERCENT,
+    regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
 };
-use gspecpal_bench::{run_ablation, run_fig8, run_motivation, ExperimentConfig};
+use gspecpal_bench::{run_ablation, run_fig8, run_motivation, run_serve, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,6 +98,7 @@ fn main() {
         ("fig8", fig8_json(&cfg, &run_fig8(&cfg))),
         ("ablation", ablation_json(&cfg, &run_ablation(&cfg))),
         ("motivation", motivation_json(&cfg, &run_motivation(&cfg))),
+        ("serve", serve_json(&cfg, &run_serve(&cfg))),
     ];
     if inflate_percent > 0 {
         eprintln!("[inflating headline totals by {inflate_percent}% — gate self-test]");

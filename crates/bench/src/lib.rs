@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod extras;
 pub mod perf;
 pub mod report;
+pub mod serve_exp;
 
 pub use experiments::{
     run_ablation, run_fig3, run_fig7, run_fig8, run_fig9, run_selector_eval, run_table2,
@@ -20,3 +21,4 @@ pub use extras::{
     run_budget_ablation, run_cpu_scaling, run_device_sensitivity, run_model_validation,
     run_motivation,
 };
+pub use serve_exp::{run_serve, ServeExperimentReport, ServeRunSummary};

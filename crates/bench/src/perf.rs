@@ -7,7 +7,8 @@
 //!
 //! - `schema_version` (integer): currently `1`. Consumers must reject
 //!   versions they do not know.
-//! - `experiment` (string): `"fig8"`, `"ablation"`, or `"motivation"`.
+//! - `experiment` (string): `"fig8"`, `"ablation"`, `"motivation"`, or
+//!   `"serve"`.
 //! - `config` (object): `seed`, `input_bytes`, `n_chunks`, `device` — the
 //!   [`ExperimentConfig`] the numbers were produced with.
 //! - `total_cycles` (integer): the experiment's headline cycle total, the
@@ -30,6 +31,7 @@ use gspecpal_gpu::{PhaseCounters, PhaseProfile};
 
 use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
 use crate::extras::MotivationReport;
+use crate::serve_exp::ServeExperimentReport;
 
 /// Version stamped into every report; bump on any schema change.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -259,6 +261,46 @@ pub fn motivation_json(cfg: &ExperimentConfig, r: &MotivationReport) -> Json {
     fields.push(("nfa_avg_active", Json::F64(r.nfa_avg_active)));
     fields.push(("dfa_states", Json::U64(u64::from(r.dfa_states))));
     fields.push(("nfa_states", Json::U64(u64::from(r.nfa_states))));
+    obj(fields)
+}
+
+/// Builds the `serve` report: one entry per `(policy, overlap)` run with the
+/// timeline headline (makespan), latency percentiles, throughput, overlap
+/// economics, and the engine-busy phase split (`Transfer` carries real copy
+/// cycles). The headline `total_cycles` is the summed makespan of every run,
+/// so the gate trips on regressions in either kernels or the copy/overlap
+/// scheduling.
+pub fn serve_json(cfg: &ExperimentConfig, r: &ServeExperimentReport) -> Json {
+    let runs: Vec<Json> = r
+        .runs
+        .iter()
+        .map(|run| {
+            obj(vec![
+                ("policy", Json::Str(run.policy.to_string())),
+                ("overlap", Json::Str(run.overlap.to_string())),
+                ("makespan_cycles", Json::U64(run.makespan_cycles)),
+                ("batches", Json::U64(run.batches)),
+                (
+                    "delivery_latency",
+                    obj(vec![
+                        ("p50", Json::U64(run.p50)),
+                        ("p95", Json::U64(run.p95)),
+                        ("p99", Json::U64(run.p99)),
+                        ("max", Json::U64(run.max)),
+                    ]),
+                ),
+                ("bytes_per_cycle", Json::F64(run.bytes_per_cycle)),
+                ("overlap_efficiency_permille", Json::U64(run.overlap_efficiency_permille)),
+                ("backpressure_events", Json::U64(run.backpressure_events)),
+                ("peak_queue_depth", Json::U64(run.peak_queue_depth)),
+                ("busy", run_json(run.busy_cycles, &run.profile)),
+            ])
+        })
+        .collect();
+    let mut fields = header("serve", cfg, r.total_makespan());
+    fields.push(("streams", Json::U64(r.streams)));
+    fields.push(("trace_bytes", Json::U64(r.total_bytes)));
+    fields.push(("runs", Json::Arr(runs)));
     obj(fields)
 }
 

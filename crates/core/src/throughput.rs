@@ -11,8 +11,8 @@
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks_auto, launch_grid, BlockDim, BlockRequirements, DeviceSpec, GridKernel,
-    KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
+    launch_blocks_auto, try_launch_grid_detailed, BlockDim, BlockRequirements, DeviceSpec,
+    GridKernel, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
 use crate::table::DeviceTable;
@@ -31,12 +31,18 @@ pub struct BatchOutcome {
     pub end_states: Vec<StateId>,
     /// Accept decision per stream.
     pub accepted: Vec<bool>,
-    /// Kernel statistics. `stats.cycles` is the batch completion time —
-    /// also the response time of *every* stream, since each is scanned
-    /// sequentially by its thread.
+    /// Kernel statistics. `stats.cycles` is the batch completion time: the
+    /// slowest stream of the last scheduling wave gates the kernel.
     pub stats: KernelStats,
     /// Total bytes consumed across all streams.
     pub total_bytes: usize,
+    /// Cycle at which each stream's scan actually finished, on the batch
+    /// timeline: the start of its block's scheduling wave plus its thread's
+    /// own clock. Individual streams complete (and could be delivered)
+    /// before the batch does — this is what honest per-stream latency
+    /// percentiles are computed from. Always `≤ stats.cycles` per entry,
+    /// with at least one stream in the last wave reaching close to the gate.
+    pub stream_cycles: Vec<u64>,
 }
 
 impl BatchOutcome {
@@ -49,11 +55,19 @@ impl BatchOutcome {
         }
     }
 
-    /// Per-stream response time: with one thread per stream, every stream's
-    /// latency is the whole batch duration (the slowest stream gates the
-    /// kernel, and no stream finishes usefully earlier at the API level).
+    /// Batch response time: the cycle the *whole* batch (and therefore its
+    /// synchronous caller) completes. Individual streams finish earlier —
+    /// see [`BatchOutcome::stream_cycles`] for the measured per-stream
+    /// completion times this gate is the maximum of.
     pub fn response_cycles(&self) -> u64 {
         self.stats.cycles
+    }
+
+    /// The measured completion cycle of the slowest stream — equals
+    /// [`BatchOutcome::response_cycles`] up to end-of-kernel bookkeeping
+    /// (the final barrier), never exceeds it.
+    pub fn slowest_stream_cycles(&self) -> u64 {
+        self.stream_cycles.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -67,14 +81,33 @@ pub fn run_stream_parallel(
     streams: &[&[u8]],
 ) -> BatchOutcome {
     assert!(!streams.is_empty(), "need at least one stream");
-    let mut kernel = StreamKernel { table, streams, end_states: vec![0; streams.len()] };
-    let stats = launch_grid(spec, streams.len(), &mut kernel);
+    let mut kernel = StreamKernel {
+        table,
+        streams,
+        end_states: vec![0; streams.len()],
+        scan_cycles: vec![0; streams.len()],
+    };
+    let detail = try_launch_grid_detailed(spec, streams.len(), &mut kernel)
+        .unwrap_or_else(|e| panic!("launch_grid: {e}"));
     let accepted = kernel.end_states.iter().map(|&s| table.dfa().is_accepting(s)).collect();
+    // Place each stream on the batch timeline: its block's wave start plus
+    // its own thread clock at scan completion.
+    let wave_starts = detail.wave_starts();
+    let per_wave =
+        detail.stats.shape.as_ref().map(|s| s.blocks_per_wave.max(1) as usize).unwrap_or(1);
+    let width = detail.width.max(1) as usize;
+    let stream_cycles = kernel
+        .scan_cycles
+        .iter()
+        .enumerate()
+        .map(|(i, &scan)| wave_starts[(i / width) / per_wave] + scan)
+        .collect();
     BatchOutcome {
         end_states: kernel.end_states,
         accepted,
-        stats,
+        stats: detail.stats,
         total_bytes: streams.iter().map(|s| s.len()).sum(),
+        stream_cycles,
     }
 }
 
@@ -93,25 +126,54 @@ pub fn run_stream_parallel_grid(
     let mut blocks: Vec<(usize, StreamKernel<'_, '_>)> = streams
         .chunks(tpb)
         .map(|shard| {
-            (shard.len(), StreamKernel { table, streams: shard, end_states: vec![0; shard.len()] })
+            (
+                shard.len(),
+                StreamKernel {
+                    table,
+                    streams: shard,
+                    end_states: vec![0; shard.len()],
+                    scan_cycles: vec![0; shard.len()],
+                },
+            )
         })
         .collect();
     let grid = launch_blocks_auto(spec, &mut blocks);
 
+    // Wave starts: prefix sums of each wave's gating (max) block cycles.
+    let per_wave = grid.blocks_per_wave.max(1) as usize;
+    let mut wave_starts = Vec::with_capacity(grid.blocks.len().div_ceil(per_wave));
+    let mut t = 0u64;
+    for wave in grid.blocks.chunks(per_wave) {
+        wave_starts.push(t);
+        t += wave.iter().map(|b| b.cycles).max().unwrap_or(0);
+    }
+
     let mut end_states = Vec::with_capacity(streams.len());
-    for (_, k) in &blocks {
+    let mut stream_cycles = Vec::with_capacity(streams.len());
+    for (shard_idx, (_, k)) in blocks.iter().enumerate() {
         end_states.extend_from_slice(&k.end_states);
+        let start = wave_starts[shard_idx / per_wave];
+        stream_cycles.extend(k.scan_cycles.iter().map(|&scan| start + scan));
     }
     let accepted = end_states.iter().map(|&s| table.dfa().is_accepting(s)).collect();
     // Fold the grid totals into a single KernelStats for uniform reporting.
     let stats = grid.fold();
-    BatchOutcome { end_states, accepted, stats, total_bytes: streams.iter().map(|s| s.len()).sum() }
+    BatchOutcome {
+        end_states,
+        accepted,
+        stats,
+        total_bytes: streams.iter().map(|s| s.len()).sum(),
+        stream_cycles,
+    }
 }
 
 struct StreamKernel<'a, 'j> {
     table: &'a DeviceTable<'j>,
     streams: &'a [&'a [u8]],
     end_states: Vec<StateId>,
+    /// Each stream's thread clock when its scan returned — the stream's
+    /// completion time relative to its block's start.
+    scan_cycles: Vec<u64>,
 }
 
 impl RoundKernel for StreamKernel<'_, '_> {
@@ -123,6 +185,7 @@ impl RoundKernel for StreamKernel<'_, '_> {
         let stream = self.streams[tid];
         self.end_states[tid] =
             self.table.run_chunk(ctx, stream, 0..stream.len(), self.table.dfa().start());
+        self.scan_cycles[tid] = ctx.cycles();
         RoundOutcome::ACTIVE
     }
 
@@ -138,6 +201,7 @@ struct StreamBlock<'s> {
     base: usize,
     streams: &'s [&'s [u8]],
     end_states: &'s mut [StateId],
+    scan_cycles: &'s mut [u64],
 }
 
 impl RoundKernel for StreamBlock<'_> {
@@ -149,6 +213,7 @@ impl RoundKernel for StreamBlock<'_> {
         let stream = self.streams[tid - self.base];
         self.end_states[tid - self.base] =
             self.table.run_chunk(ctx, stream, 0..stream.len(), self.table.dfa().start());
+        self.scan_cycles[tid - self.base] = ctx.cycles();
         RoundOutcome::ACTIVE
     }
 
@@ -169,15 +234,19 @@ impl GridKernel for StreamKernel<'_, '_> {
 
     fn split<'s>(&'s mut self, dims: &[BlockDim]) -> Vec<StreamBlock<'s>> {
         let mut ends: &'s mut [StateId] = &mut self.end_states;
+        let mut scans: &'s mut [u64] = &mut self.scan_cycles;
         let mut out = Vec::with_capacity(dims.len());
         for dim in dims {
             let (mine, rest) = ends.split_at_mut(dim.len());
             ends = rest;
+            let (my_scans, rest) = scans.split_at_mut(dim.len());
+            scans = rest;
             out.push(StreamBlock {
                 table: self.table,
                 base: dim.tids.start,
                 streams: &self.streams[dim.tids.start..dim.tids.end],
                 end_states: mine,
+                scan_cycles: my_scans,
             });
         }
         out
@@ -295,9 +364,11 @@ mod tests {
             accepted: vec![false],
             stats: KernelStats::default(),
             total_bytes: 1024,
+            stream_cycles: vec![0],
         };
         assert_eq!(out.bytes_per_cycle(), 0.0);
         assert_eq!(out.response_cycles(), 0);
+        assert_eq!(out.slowest_stream_cycles(), 0);
     }
 
     #[test]
@@ -345,5 +416,48 @@ mod tests {
         let solo = run_stream_parallel(&spec, &table, &[&long]);
         // The short stream cannot make the batch faster than the long one.
         assert!(out.stats.cycles >= solo.stats.cycles);
+    }
+
+    #[test]
+    fn stream_completion_is_measured_not_asserted() {
+        // The slowest-stream-gates-the-batch claim, now checked against
+        // measured per-stream clocks: the short stream's thread finishes
+        // far earlier than the long one's, no stream outlives the batch,
+        // and the slowest stream is what the batch waits for.
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let spec = DeviceSpec::test_unit();
+        let short: Vec<u8> = b"10".repeat(10);
+        let long: Vec<u8> = b"10".repeat(2000);
+        let out = run_stream_parallel(&spec, &table, &[&short, &long]);
+        assert_eq!(out.stream_cycles.len(), 2);
+        assert!(
+            out.stream_cycles[0] * 10 < out.stream_cycles[1],
+            "short {} vs long {}",
+            out.stream_cycles[0],
+            out.stream_cycles[1]
+        );
+        assert!(out.slowest_stream_cycles() <= out.response_cycles());
+        // The gate is the slowest stream up to end-of-kernel bookkeeping
+        // (one final barrier's worth of cycles).
+        assert!(out.response_cycles() - out.slowest_stream_cycles() <= spec.barrier_latency);
+    }
+
+    #[test]
+    fn later_waves_complete_later() {
+        let d = div7();
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 1;
+        spec.max_blocks_per_sm = 1;
+        // 4 equal streams in 1-thread blocks on 1 SM: 4 serialized waves,
+        // so completions must be strictly increasing.
+        let stream: Vec<u8> = b"10".repeat(500);
+        let refs: Vec<&[u8]> = (0..4).map(|_| stream.as_slice()).collect();
+        let out = run_stream_parallel_grid(&spec, &table, &refs, 1);
+        for pair in out.stream_cycles.windows(2) {
+            assert!(pair[0] < pair[1], "wave completions {:?}", out.stream_cycles);
+        }
+        assert!(out.slowest_stream_cycles() <= out.stats.cycles);
     }
 }

@@ -156,6 +156,70 @@ pub fn try_launch_grid<G: GridKernel>(
     n_threads: usize,
     kernel: &mut G,
 ) -> Result<KernelStats, LaunchError> {
+    Ok(try_launch_grid_detailed(spec, n_threads, kernel)?.stats)
+}
+
+/// A grid launch with its per-block timing preserved.
+///
+/// [`try_launch_grid`] merges everything into one [`KernelStats`]; callers
+/// that need to place *individual blocks* on the launch timeline (e.g. a
+/// serving pipeline reporting per-stream completion, where each stream is
+/// one block) also need the per-block cycles and the wave geometry. Block
+/// `i` runs in wave `i / shape.blocks_per_wave`; a wave starts when the
+/// previous one ends and lasts as long as its slowest block — which is what
+/// [`GridLaunch::wave_starts`] computes.
+#[derive(Clone, Debug)]
+pub struct GridLaunch {
+    /// The merged statistics — identical to what [`try_launch_grid`]
+    /// returns.
+    pub stats: KernelStats,
+    /// Each block's own completion cycles, in block (= submission) order.
+    pub block_cycles: Vec<u64>,
+    /// The occupancy-fitted block width threads were partitioned by.
+    pub width: u32,
+}
+
+impl GridLaunch {
+    /// Start cycle of each scheduling wave, relative to kernel launch:
+    /// `wave_starts[w]` = sum of the gate (max) cycles of waves `0..w`.
+    /// Block `i` therefore finishes at
+    /// `wave_starts[i / blocks_per_wave] + block_cycles[i]`.
+    pub fn wave_starts(&self) -> Vec<u64> {
+        let per_wave = self
+            .stats
+            .shape
+            .as_ref()
+            .map(|s| s.blocks_per_wave.max(1) as usize)
+            .unwrap_or(usize::MAX);
+        let mut starts = Vec::with_capacity(self.block_cycles.len().div_ceil(per_wave));
+        let mut t = 0u64;
+        for wave in self.block_cycles.chunks(per_wave) {
+            starts.push(t);
+            t += wave.iter().copied().max().unwrap_or(0);
+        }
+        starts
+    }
+
+    /// Absolute completion cycle of block `i` on the launch timeline.
+    pub fn block_completion(&self, i: usize) -> u64 {
+        let per_wave = self
+            .stats
+            .shape
+            .as_ref()
+            .map(|s| s.blocks_per_wave.max(1) as usize)
+            .unwrap_or(usize::MAX);
+        self.wave_starts()[i / per_wave] + self.block_cycles[i]
+    }
+}
+
+/// [`try_launch_grid`] variant that additionally reports per-block cycles
+/// and the fitted block width (see [`GridLaunch`]). The merged `stats` are
+/// bit-identical to [`try_launch_grid`]'s.
+pub fn try_launch_grid_detailed<G: GridKernel>(
+    spec: &DeviceSpec,
+    n_threads: usize,
+    kernel: &mut G,
+) -> Result<GridLaunch, LaunchError> {
     let width = fit_block_width(spec, |w| kernel.requirements(w))?;
     let dims = block_dims_width(width as usize, n_threads);
     // The tail (or sole) block may be narrower than the fitted width; the
@@ -172,7 +236,8 @@ pub fn try_launch_grid<G: GridKernel>(
         .into_par_iter()
         .map(|(dim, mut block)| run_block(spec, dim.tids.start, dim.len(), &mut block))
         .collect();
-    Ok(merge_grid(spec, resident, &per_block))
+    let block_cycles = per_block.iter().map(|b| b.cycles).collect();
+    Ok(GridLaunch { stats: merge_grid(spec, resident, &per_block), block_cycles, width })
 }
 
 /// The block that gates (determines the duration of) a scheduling wave: the
@@ -657,6 +722,27 @@ mod tests {
             g.blocks.iter().map(|b| b.alu_ops).sum::<u64>(),
             "fold sums every block's events"
         );
+    }
+
+    #[test]
+    fn detailed_launch_matches_the_plain_one_and_places_blocks() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        spec.max_blocks_per_sm = 1;
+        spec.max_threads_per_sm = spec.max_threads_per_block;
+        // 5 full blocks on 2 SMs, one resident each: 3 waves of 2 blocks.
+        let n = 5 * spec.max_threads_per_block as usize;
+        let plain = try_launch_grid(&spec, n, &mut WorkGrid(7)).unwrap();
+        let detail = try_launch_grid_detailed(&spec, n, &mut WorkGrid(7)).unwrap();
+        assert_eq!(detail.stats, plain, "detailed merge is bit-identical");
+        assert_eq!(detail.block_cycles.len(), 5);
+        assert_eq!(detail.width, spec.max_threads_per_block);
+        let per_block = detail.block_cycles[0];
+        assert!(detail.block_cycles.iter().all(|&c| c == per_block), "equal blocks");
+        assert_eq!(detail.wave_starts(), vec![0, per_block, 2 * per_block]);
+        assert_eq!(detail.block_completion(0), per_block);
+        assert_eq!(detail.block_completion(2), 2 * per_block, "wave 1 block");
+        assert_eq!(detail.block_completion(4), plain.cycles, "last block ends the launch");
     }
 
     #[test]

@@ -40,15 +40,17 @@ pub mod kernel;
 pub mod occupancy;
 pub mod spec;
 pub mod stats;
+pub mod transfer;
 
 pub use error::LaunchError;
 pub use event::{EventTimer, KernelSpan};
 pub use grid::{
     block_dims, block_dims_width, launch_blocks, launch_blocks_auto, launch_blocks_occupancy,
-    launch_grid, try_launch_blocks_auto, try_launch_blocks_occupancy, try_launch_grid, BlockDim,
-    GridKernel, GridStats,
+    launch_grid, try_launch_blocks_auto, try_launch_blocks_occupancy, try_launch_grid,
+    try_launch_grid_detailed, BlockDim, GridKernel, GridLaunch, GridStats,
 };
 pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
 pub use occupancy::{fit_block_width, max_resident_blocks, occupancy, BlockRequirements};
 pub use spec::DeviceSpec;
 pub use stats::{KernelStats, LaunchShape, Phase, PhaseCounters, PhaseProfile};
+pub use transfer::{transfer_stats, CopyDirection, DeviceTimeline, Engine, Span};

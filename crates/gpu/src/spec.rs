@@ -54,6 +54,22 @@ pub struct DeviceSpec {
     /// concurrently (Fig 9). The default reflects a single resident block's
     /// share of an SM's load/store throughput.
     pub bandwidth_millicycles_per_txn: u64,
+    /// Fixed cost of one host↔device copy in core cycles: DMA descriptor
+    /// setup, PCIe round trip, and driver launch overhead. Charged once per
+    /// copy regardless of size, which is why serving pipelines batch small
+    /// streams instead of copying them one by one.
+    pub copy_latency_cycles: u64,
+    /// Streaming cost of a host↔device copy in *milli-cycles per byte* at
+    /// the core clock. The RTX 3090 default models PCIe 4.0 ×16 (~25 GB/s
+    /// effective): at 1.695 GHz that is ~14.7 bytes per core cycle, i.e.
+    /// 68 mcyc/B. Copy engines (one per direction) run concurrently with
+    /// compute, so these cycles only bound the copy queues — unless a
+    /// pipeline serializes them (see `gspecpal-serve`).
+    pub copy_millicycles_per_byte: u64,
+    /// Independent DMA engines. Ampere GeForce parts expose two (one per
+    /// direction), which is what makes copy/compute overlap and
+    /// double-buffered serving possible.
+    pub copy_engines: u32,
     /// Core clock in GHz, to convert cycles to wall time for reports.
     pub clock_ghz: f64,
 }
@@ -81,6 +97,9 @@ impl DeviceSpec {
             atomic_latency: 12,
             hash_probe_latency: 1,
             bandwidth_millicycles_per_txn: 600,
+            copy_latency_cycles: 3000,
+            copy_millicycles_per_byte: 68,
+            copy_engines: 2,
             clock_ghz: 1.695,
         }
     }
@@ -109,6 +128,11 @@ impl DeviceSpec {
             atomic_latency: 12,
             hash_probe_latency: 1,
             bandwidth_millicycles_per_txn: 450,
+            // SXM parts ride NVLink/PCIe 4.0; the effective host link is
+            // similar per direction, at a slower core clock.
+            copy_latency_cycles: 2500,
+            copy_millicycles_per_byte: 56,
+            copy_engines: 2,
             clock_ghz: 1.41,
         }
     }
@@ -135,6 +159,11 @@ impl DeviceSpec {
             atomic_latency: 1,
             hash_probe_latency: 1,
             bandwidth_millicycles_per_txn: 0,
+            // 1 cycle of setup + 1 cycle per byte: copy costs are trivial to
+            // compute by hand in tests (`copy_cycles(n) == 1 + n`).
+            copy_latency_cycles: 1,
+            copy_millicycles_per_byte: 1000,
+            copy_engines: 2,
             clock_ghz: 1.0,
         }
     }
@@ -142,6 +171,14 @@ impl DeviceSpec {
     /// Converts cycles to microseconds at this device's clock.
     pub fn cycles_to_us(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.clock_ghz * 1e3)
+    }
+
+    /// Core cycles one host↔device copy of `bytes` bytes occupies its copy
+    /// engine for: the fixed per-copy latency plus the streaming cost
+    /// (`copy_millicycles_per_byte`, rounded up). A zero-byte copy still
+    /// pays the setup latency — exactly the overhead batching amortizes.
+    pub fn copy_cycles(&self, bytes: usize) -> u64 {
+        self.copy_latency_cycles + (bytes as u64 * self.copy_millicycles_per_byte).div_ceil(1000)
     }
 }
 
@@ -176,5 +213,24 @@ mod tests {
     fn cycle_conversion() {
         let d = DeviceSpec::test_unit();
         assert!((d.cycles_to_us(1000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn copy_cycles_are_latency_plus_bandwidth() {
+        let d = DeviceSpec::test_unit();
+        assert_eq!(d.copy_cycles(0), 1, "empty copies still pay the setup latency");
+        assert_eq!(d.copy_cycles(1), 2);
+        assert_eq!(d.copy_cycles(4096), 1 + 4096);
+    }
+
+    #[test]
+    fn rtx3090_copy_bandwidth_matches_pcie4() {
+        // ~68 mcyc/B at 1.695 GHz is ~25 GB/s — PCIe 4.0 ×16 effective.
+        let d = DeviceSpec::rtx3090();
+        let bytes = 1 << 20;
+        let cycles = d.copy_cycles(bytes) - d.copy_latency_cycles;
+        let gb_per_s = bytes as f64 / (cycles as f64 / (d.clock_ghz * 1e9)) / 1e9;
+        assert!((20.0..30.0).contains(&gb_per_s), "{gb_per_s} GB/s");
+        assert_eq!(d.copy_engines, 2);
     }
 }

@@ -29,9 +29,10 @@ pub enum Phase {
     /// Block-seam stitching: the grid-level seam checks and cluster fix-ups
     /// of the boundary stitch.
     Stitch,
-    /// Host↔device transfers. Reserved: the simulator does not yet charge
-    /// transfer cycles, so this bucket stays zero — it exists so the report
-    /// schema is stable once transfers are modelled.
+    /// Host↔device transfers: PCIe copies of batch inputs and results,
+    /// charged by [`crate::transfer::transfer_stats`]. Kernel simulation
+    /// never touches this bucket — it is populated when a serving pipeline
+    /// merges copy costs into a run's stats (see `gspecpal-serve`).
     Transfer,
 }
 

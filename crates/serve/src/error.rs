@@ -1,0 +1,54 @@
+//! Structured rejection reasons for serve traces.
+
+/// Why a trace cannot be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A stream's input is larger than one device staging buffer, so no
+    /// batch could ever hold it. The pipeline double-buffers its input
+    /// staging memory, so one buffer is half the configured device budget.
+    StreamTooLarge {
+        /// Index of the offending arrival in the trace.
+        stream: usize,
+        /// The stream's size in bytes.
+        bytes: usize,
+        /// Bytes one staging buffer holds (`device_mem_bytes / 2`).
+        buffer_bytes: usize,
+    },
+    /// An arrival names a machine index the pipeline was not given.
+    UnknownMachine {
+        /// Index of the offending arrival in the trace.
+        stream: usize,
+        /// The machine id the arrival asked for.
+        machine: usize,
+        /// How many machines the pipeline has.
+        n_machines: usize,
+    },
+    /// The configuration is internally inconsistent (zero-sized queue,
+    /// zero-byte device budget, a policy with a zero batch cap, …).
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        problem: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::StreamTooLarge { stream, bytes, buffer_bytes } => write!(
+                f,
+                "stream {stream} is {bytes} bytes but one staging buffer holds {buffer_bytes}"
+            ),
+            ServeError::UnknownMachine { stream, machine, n_machines } => write!(
+                f,
+                "stream {stream} asks for machine {machine} but the pipeline has {n_machines}"
+            ),
+            ServeError::InvalidConfig { field, problem } => {
+                write!(f, "invalid serve configuration: {field} {problem}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

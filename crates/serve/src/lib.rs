@@ -1,0 +1,242 @@
+//! `gspecpal-serve`: a deterministic multi-stream serving pipeline over the
+//! GSpecPal simulator.
+//!
+//! The rest of the workspace measures *one-shot batches*: build a job, run
+//! a kernel, read the cycle count. Real serving is a different shape — a
+//! trace of streams arriving over time, a bounded admission queue, batches
+//! formed under a policy, inputs DMA-copied over PCIe before any kernel can
+//! start, and results copied back before the host sees them. This crate
+//! models that end to end, on the same deterministic cycle arithmetic as
+//! the simulator itself:
+//!
+//! * [`Trace`] / [`StreamArrival`] — the workload: time-ordered arrivals of
+//!   (cycle, machine, bytes), handwritten or synthesized from a seed;
+//! * [`BatchPolicy`] — when a batch closes: FIFO fixed-size, deadline-capped,
+//!   or adaptive occupancy-aware (work-conserving);
+//! * [`ServeMachine`] — a DFA prepared for serving: selector-chosen scheme
+//!   plus a device-sized hot-row table;
+//! * [`serve`] — the pipeline: admission with backpressure, per-batch
+//!   H2D-copy → kernel → D2H-copy scheduling on a dual copy-engine /
+//!   compute-queue timeline ([`gspecpal_gpu::DeviceTimeline`]), with batch
+//!   *k+1*'s input copy overlapping batch *k*'s kernel under double
+//!   buffering;
+//! * [`ServeReport`] — per-stream latency percentiles, sustained
+//!   bytes/cycle, queue depth over time, backpressure counts, copy/compute
+//!   overlap efficiency, and merged [`gspecpal_gpu::KernelStats`] whose
+//!   `Phase::Transfer` bucket now carries real copy cycles while the
+//!   per-phase partition of total cycles stays exact.
+//!
+//! Everything is integer cycle arithmetic over deterministic simulations:
+//! two runs of the same trace and configuration produce bit-identical
+//! reports at any host thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use gspecpal_fsm::examples::div7;
+//! use gspecpal_gpu::DeviceSpec;
+//! use gspecpal_serve::{serve, BatchPolicy, ServeConfig, ServeMachine, Trace};
+//!
+//! let spec = DeviceSpec::test_unit();
+//! let dfa = div7();
+//! let machine = ServeMachine::prepare(&spec, &dfa, &b"110101".repeat(64));
+//! let trace = Trace::synthetic(7, 24, 1, 50, 16..128, b"01");
+//! let cfg = ServeConfig { policy: BatchPolicy::Fifo { batch: 8 }, ..ServeConfig::default() };
+//! let report = serve(&spec, &[machine], &trace, &cfg).unwrap();
+//! assert_eq!(report.streams, 24);
+//! // Every answer matches a host-side reference scan.
+//! for (i, a) in trace.arrivals().iter().enumerate() {
+//!     assert_eq!(report.end_states[i], dfa.run(&a.bytes));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod pipeline;
+pub mod policy;
+pub mod report;
+pub mod trace;
+
+pub use error::ServeError;
+pub use pipeline::{serve, ServeConfig, ServeMachine};
+pub use policy::BatchPolicy;
+pub use report::{BatchRecord, ExecMode, LatencySummary, ServeReport};
+pub use trace::{StreamArrival, Trace};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gspecpal_fsm::examples::div7;
+    use gspecpal_gpu::{DeviceSpec, Phase};
+
+    fn setup() -> (DeviceSpec, gspecpal_fsm::Dfa) {
+        (DeviceSpec::test_unit(), div7())
+    }
+
+    fn burst_trace(n: usize, len: usize) -> Trace {
+        Trace::from_arrivals(
+            (0..n)
+                .map(|i| StreamArrival {
+                    arrival_cycle: 0,
+                    machine: 0,
+                    bytes: b"10".repeat(len / 2 + i % 3),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn answers_match_reference_scans_under_every_policy() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"110100".repeat(64));
+        let trace = Trace::synthetic(3, 20, 1, 30, 8..96, b"01");
+        for policy in [
+            BatchPolicy::Fifo { batch: 4 },
+            BatchPolicy::Deadline { batch: 4, max_wait: 40 },
+            BatchPolicy::Adaptive { max_batch: 16 },
+        ] {
+            let cfg = ServeConfig { policy, ..ServeConfig::default() };
+            let report = serve(&spec, std::slice::from_ref(&machine), &trace, &cfg).unwrap();
+            assert_eq!(report.streams, 20, "{}", policy.name());
+            for (i, a) in trace.arrivals().iter().enumerate() {
+                assert_eq!(report.end_states[i], dfa.run(&a.bytes), "{} stream {i}", policy.name());
+                assert_eq!(
+                    report.accepted[i],
+                    dfa.accepts(&a.bytes),
+                    "{} stream {i}",
+                    policy.name()
+                );
+            }
+            let served: usize = report.batches.iter().map(|b| b.streams).sum();
+            assert_eq!(served, 20);
+        }
+    }
+
+    #[test]
+    fn transfer_cycles_are_charged_and_partition_exactly() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        let trace = burst_trace(12, 40);
+        let report = serve(&spec, &[machine], &trace, &ServeConfig::default()).unwrap();
+        let transfer = report.stats.profile.get(Phase::Transfer).cycles;
+        assert!(transfer > 0, "serving must charge host<->device copies");
+        assert_eq!(
+            report.stats.profile.total_cycles(),
+            report.stats.cycles,
+            "per-phase cycles still partition the total exactly"
+        );
+        // Each batch pays at least two copies (inputs in, results out).
+        let n_batches = report.batches.len() as u64;
+        assert!(transfer >= n_batches * 2 * spec.copy_latency_cycles);
+    }
+
+    #[test]
+    fn overlap_strictly_beats_serialization_on_multi_batch_traces() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        // A burst: all streams present at cycle 0, so batching decisions are
+        // identical with and without overlap.
+        let trace = burst_trace(16, 60);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 4 },
+            overlap: true,
+            ..ServeConfig::default()
+        };
+        let overlapped = serve(&spec, std::slice::from_ref(&machine), &trace, &cfg).unwrap();
+        let serial =
+            serve(&spec, &[machine], &trace, &ServeConfig { overlap: false, ..cfg }).unwrap();
+        assert_eq!(overlapped.batches.len(), serial.batches.len());
+        assert!(overlapped.batches.len() >= 3, "need a multi-batch trace");
+        // Same batches, same kernels, same answers...
+        assert_eq!(overlapped.end_states, serial.end_states);
+        assert_eq!(overlapped.stats, serial.stats, "engine-busy work is identical");
+        // ...but the overlapped timeline finishes strictly earlier.
+        assert!(
+            overlapped.makespan_cycles < serial.makespan_cycles,
+            "overlap {} vs serial {}",
+            overlapped.makespan_cycles,
+            serial.makespan_cycles
+        );
+        assert!(overlapped.overlap_efficiency_permille > 0);
+        assert_eq!(serial.overlap_efficiency_permille, 0, "no copy ever rides under a kernel");
+    }
+
+    #[test]
+    fn deadline_ships_partial_batches() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        // Two streams far apart: FIFO(2) waits for the second; Deadline ships
+        // the first alone at its deadline.
+        let trace = Trace::from_arrivals(vec![
+            StreamArrival { arrival_cycle: 0, machine: 0, bytes: b"10".repeat(20) },
+            StreamArrival { arrival_cycle: 1_000_000, machine: 0, bytes: b"10".repeat(20) },
+        ]);
+        let deadline_cfg = ServeConfig {
+            policy: BatchPolicy::Deadline { batch: 2, max_wait: 100 },
+            ..ServeConfig::default()
+        };
+        let fifo_cfg =
+            ServeConfig { policy: BatchPolicy::Fifo { batch: 2 }, ..ServeConfig::default() };
+        let d = serve(&spec, std::slice::from_ref(&machine), &trace, &deadline_cfg).unwrap();
+        let f = serve(&spec, &[machine], &trace, &fifo_cfg).unwrap();
+        assert_eq!(d.batches.len(), 2, "deadline shipped the lone stream");
+        assert_eq!(f.batches.len(), 1, "fifo waited the million cycles");
+        assert!(
+            d.latencies[0] < f.latencies[0],
+            "deadline bounds the first stream's latency: {} vs {}",
+            d.latencies[0],
+            f.latencies[0]
+        );
+    }
+
+    #[test]
+    fn adaptive_is_work_conserving() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        // Trickle arrivals, far apart: adaptive must not hold the device
+        // idle waiting to fill its occupancy target.
+        let trace = Trace::from_arrivals(
+            (0..4)
+                .map(|i| StreamArrival {
+                    arrival_cycle: i * 1_000_000,
+                    machine: 0,
+                    bytes: b"10".repeat(30),
+                })
+                .collect(),
+        );
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Adaptive { max_batch: 64 },
+            ..ServeConfig::default()
+        };
+        let report = serve(&spec, &[machine], &trace, &cfg).unwrap();
+        assert_eq!(report.batches.len(), 4, "each trickle arrival ships alone");
+        // Under a burst the same policy batches aggressively.
+        let burst = burst_trace(16, 30);
+        let report = serve(
+            &spec,
+            &[ServeMachine::prepare(&spec, &div7(), &b"10".repeat(128))],
+            &burst,
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.batches.len() < 16, "burst arrivals share batches");
+    }
+
+    #[test]
+    fn machine_changes_close_batches() {
+        let (spec, dfa) = setup();
+        let dfa2 = gspecpal_fsm::examples::mod_counter(5, &[0]);
+        let m0 = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        let m1 = ServeMachine::prepare(&spec, &dfa2, &b"10".repeat(128));
+        let trace = Trace::from_arrivals(vec![
+            StreamArrival { arrival_cycle: 0, machine: 0, bytes: b"10".repeat(10) },
+            StreamArrival { arrival_cycle: 0, machine: 1, bytes: b"10".repeat(10) },
+            StreamArrival { arrival_cycle: 0, machine: 0, bytes: b"10".repeat(10) },
+        ]);
+        let cfg = ServeConfig { policy: BatchPolicy::Fifo { batch: 8 }, ..ServeConfig::default() };
+        let report = serve(&spec, &[m0, m1], &trace, &cfg).unwrap();
+        assert_eq!(report.batches.len(), 3, "a batch runs one machine's table");
+        assert_eq!(report.end_states[1], dfa2.run(&trace.arrivals()[1].bytes));
+    }
+}

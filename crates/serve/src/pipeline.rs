@@ -1,0 +1,480 @@
+//! The serving pipeline: admission, batching, transfer charging, and
+//! copy/compute overlap.
+//!
+//! # Model
+//!
+//! Arrivals are admitted in trace order into a bounded queue
+//! (`max_queue_depth` slots). The dispatcher repeatedly takes a batch from
+//! the queue head — a contiguous same-machine run, closed by the active
+//! [`BatchPolicy`] — and schedules it as three operations on the device
+//! timeline:
+//!
+//! ```text
+//!  H2D engine   ──[copy inputs k]──────[copy inputs k+1]─────────────
+//!  compute      ────────────[kernel k]───────────[kernel k+1]───────
+//!  D2H engine   ──────────────────────[results k]────────[results k+1]
+//! ```
+//!
+//! With overlap enabled the three queues advance independently, so batch
+//! *k+1*'s input copy rides under batch *k*'s kernel (double buffering:
+//! inputs stage into one of two `device_mem_bytes / 2` buffers, so copy
+//! *k+1* must also wait for kernel *k−1* to release its buffer). With
+//! overlap disabled, every operation funnels through one serialized queue.
+//!
+//! # Backpressure
+//!
+//! A stream occupies a queue slot from admission until its batch's input
+//! copy *starts* (the slot is the host-side staging entry; once DMA begins
+//! the stream belongs to the device). When the queue is full, admission of
+//! stream *n* waits for the slot of stream *n − max_queue_depth* — the wait
+//! is counted per stream in
+//! [`ServeReport::backpressure_events`]/[`backpressure_wait_cycles`].
+//! Batches never exceed the queue depth, so slot releases are always known
+//! by the time they are needed and the simulation stays a single forward
+//! pass.
+//!
+//! # Execution modes
+//!
+//! Each batch runs either **stream-parallel** (one device thread per
+//! stream, via [`gspecpal::throughput::run_stream_parallel`]) or
+//! **chunk-parallel** (the machine's selector-chosen speculative scheme per
+//! stream, back to back). The dispatcher estimates both and picks the
+//! cheaper: a batch of many comparable streams saturates the device in
+//! stream mode; a batch dominated by one long stream wants chunked
+//! speculation.
+//!
+//! [`ServeReport::backpressure_events`]: crate::ServeReport::backpressure_events
+//! [`backpressure_wait_cycles`]: crate::ServeReport::backpressure_wait_cycles
+
+use gspecpal::table::{DeviceTable, TableLayout};
+use gspecpal::throughput::run_stream_parallel;
+use gspecpal::{run_scheme, Job, SchemeConfig, SchemeKind, Selector};
+use gspecpal_fsm::Dfa;
+use gspecpal_gpu::{
+    fit_block_width, max_resident_blocks, transfer_stats, BlockRequirements, DeviceSpec,
+    DeviceTimeline, KernelStats, Span,
+};
+
+use crate::error::ServeError;
+use crate::policy::BatchPolicy;
+use crate::report::{BatchRecord, ExecMode, LatencySummary, ServeReport};
+use crate::trace::Trace;
+
+/// One servable machine: its device-resident table and the scheme the
+/// selector picked for it.
+#[derive(Clone, Debug)]
+pub struct ServeMachine<'a> {
+    table: DeviceTable<'a>,
+    scheme: SchemeKind,
+}
+
+impl<'a> ServeMachine<'a> {
+    /// Prepares `dfa` for serving on `spec`: profiles it on `training` with
+    /// the Fig 6 selector to pick the execution scheme, and sizes the
+    /// hot-row table for the device. `dfa` must already be
+    /// frequency-permuted (see `gspecpal_fsm::TransformedDfa`) so hot rows
+    /// are the low state ids.
+    pub fn prepare(spec: &DeviceSpec, dfa: &'a Dfa, training: &[u8]) -> Self {
+        let selector = Selector::default();
+        let profile = selector.profile(dfa, training);
+        let scheme = selector.select(&profile);
+        let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
+        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme }
+    }
+
+    /// Like [`ServeMachine::prepare`] with the scheme pinned — for tests
+    /// and ablations that bypass the selector.
+    pub fn with_scheme(spec: &DeviceSpec, dfa: &'a Dfa, scheme: SchemeKind) -> Self {
+        let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
+        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme }
+    }
+
+    /// The scheme the selector chose.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The machine's device table.
+    pub fn table(&self) -> &DeviceTable<'a> {
+        &self.table
+    }
+}
+
+/// Serving-pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Whether copies and compute may overlap (dual copy engines + double
+    /// buffering). Disabling serializes every operation — the baseline the
+    /// overlap win is measured against.
+    pub overlap: bool,
+    /// Device memory reserved for staging batch inputs; halved into two
+    /// buffers for double buffering. A batch's inputs must fit one buffer.
+    pub device_mem_bytes: usize,
+    /// Host-side admission queue depth; a full queue backpressures
+    /// arrivals. Also the hard cap on streams per batch (a batch is drawn
+    /// from the queue).
+    pub max_queue_depth: usize,
+    /// Result payload copied device→host per stream (end state + accept
+    /// flag + match count).
+    pub d2h_bytes_per_stream: usize,
+    /// Estimated fixed overhead per stream of a chunk-parallel run
+    /// (predict + verify ramp), used only by the execution-mode heuristic.
+    pub chunk_overhead_cycles: u64,
+    /// Base configuration for chunk-parallel runs (`n_chunks` is clamped to
+    /// each stream's length).
+    pub scheme_config: SchemeConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 8 },
+            overlap: true,
+            device_mem_bytes: 1 << 20,
+            max_queue_depth: 64,
+            d2h_bytes_per_stream: 8,
+            chunk_overhead_cycles: 64,
+            scheme_config: SchemeConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Bytes one input staging buffer holds.
+    pub fn buffer_bytes(&self) -> usize {
+        self.device_mem_bytes / 2
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.buffer_bytes() == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "device_mem_bytes",
+                problem: format!(
+                    "must be at least 2 (two staging buffers), got {}",
+                    self.device_mem_bytes
+                ),
+            });
+        }
+        if self.max_queue_depth == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "max_queue_depth",
+                problem: "must be at least 1".into(),
+            });
+        }
+        if self.policy.max_streams() == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "policy",
+                problem: format!("{} batch cap must be at least 1", self.policy.name()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The occupancy-target batch size of [`BatchPolicy::Adaptive`]: how many
+/// one-thread-per-stream scans fill the device (fitted block width ×
+/// resident blocks per SM × SMs).
+fn occupancy_target(spec: &DeviceSpec, table: &DeviceTable<'_>) -> usize {
+    let req = |w: u32| BlockRequirements {
+        threads: w,
+        shared_bytes: table.shared_footprint_bytes(),
+        regs_per_thread: 32,
+    };
+    match fit_block_width(spec, req) {
+        Ok(width) => {
+            let resident = max_resident_blocks(spec, &req(width)).max(1);
+            (width as usize) * (resident as usize) * (spec.n_sms.max(1) as usize)
+        }
+        Err(_) => 1,
+    }
+}
+
+/// Result of executing one batch's kernels (before transfers).
+struct BatchExec {
+    stats: KernelStats,
+    /// Per-stream scan-completion offset from kernel start.
+    completions: Vec<u64>,
+    end_states: Vec<gspecpal_fsm::StateId>,
+    accepted: Vec<bool>,
+    mode: ExecMode,
+}
+
+/// Executes one batch's streams on `machine`, choosing stream- or
+/// chunk-parallel execution by estimated cost.
+fn execute_batch(
+    spec: &DeviceSpec,
+    machine: &ServeMachine<'_>,
+    streams: &[&[u8]],
+    cfg: &ServeConfig,
+) -> BatchExec {
+    let nc = cfg.scheme_config.n_chunks.max(1);
+    let chunk_est: u64 =
+        streams.iter().map(|s| (s.len().div_ceil(nc)) as u64 + cfg.chunk_overhead_cycles).sum();
+    let stream_est = streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+    if chunk_est < stream_est {
+        if let Some(exec) = execute_chunk_parallel(spec, machine, streams, cfg) {
+            return exec;
+        }
+    }
+    execute_stream_parallel(spec, machine, streams)
+}
+
+fn execute_stream_parallel(
+    spec: &DeviceSpec,
+    machine: &ServeMachine<'_>,
+    streams: &[&[u8]],
+) -> BatchExec {
+    let out = run_stream_parallel(spec, &machine.table, streams);
+    BatchExec {
+        stats: out.stats,
+        completions: out.stream_cycles,
+        end_states: out.end_states,
+        accepted: out.accepted,
+        mode: ExecMode::StreamParallel,
+    }
+}
+
+/// Runs each stream chunk-parallel with the machine's scheme, back to back
+/// on the compute queue. Returns `None` if any stream's job cannot be built
+/// (the caller falls back to stream-parallel execution).
+fn execute_chunk_parallel(
+    spec: &DeviceSpec,
+    machine: &ServeMachine<'_>,
+    streams: &[&[u8]],
+    cfg: &ServeConfig,
+) -> Option<BatchExec> {
+    let dfa = machine.table.dfa();
+    let mut stats = KernelStats::default();
+    let mut completions = Vec::with_capacity(streams.len());
+    let mut end_states = Vec::with_capacity(streams.len());
+    let mut accepted = Vec::with_capacity(streams.len());
+    let mut clock = 0u64;
+    for stream in streams {
+        if stream.is_empty() {
+            // An empty stream ends where it starts and costs nothing.
+            end_states.push(dfa.start());
+            accepted.push(dfa.is_accepting(dfa.start()));
+            completions.push(clock);
+            continue;
+        }
+        let mut sc = cfg.scheme_config;
+        sc.n_chunks = sc.n_chunks.min(stream.len()).max(1);
+        let job = Job::new(spec, &machine.table, stream, sc).ok()?;
+        let out = run_scheme(machine.scheme, &job);
+        stats.merge_sequential(&out.predict);
+        stats.merge_sequential(&out.execute);
+        stats.merge_sequential(&out.verify);
+        clock += out.total_cycles();
+        completions.push(clock);
+        end_states.push(out.end_state);
+        accepted.push(out.accepted);
+    }
+    debug_assert_eq!(stats.cycles, clock, "stage merge must reproduce the batch clock");
+    Some(BatchExec { stats, completions, end_states, accepted, mode: ExecMode::ChunkParallel })
+}
+
+/// Serves `trace` on `machines` under `cfg`, returning the full
+/// [`ServeReport`]. Fails up front (before any simulation) when the
+/// configuration is inconsistent, an arrival names an unknown machine, or a
+/// stream cannot fit one staging buffer.
+pub fn serve(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    trace: &Trace,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    cfg.validate()?;
+    let arrivals = trace.arrivals();
+    let buffer_bytes = cfg.buffer_bytes();
+    for (i, a) in arrivals.iter().enumerate() {
+        if a.machine >= machines.len() {
+            return Err(ServeError::UnknownMachine {
+                stream: i,
+                machine: a.machine,
+                n_machines: machines.len(),
+            });
+        }
+        if a.bytes.len() > buffer_bytes {
+            return Err(ServeError::StreamTooLarge {
+                stream: i,
+                bytes: a.bytes.len(),
+                buffer_bytes,
+            });
+        }
+    }
+
+    let n = arrivals.len();
+    let depth = cfg.max_queue_depth;
+    let mut timeline = DeviceTimeline::new(cfg.overlap);
+    let mut report = ServeReport {
+        policy: cfg.policy.name(),
+        overlap: cfg.overlap,
+        streams: n,
+        total_bytes: trace.total_bytes(),
+        latencies: vec![0; n],
+        end_states: vec![0; n],
+        accepted: vec![false; n],
+        ..ServeReport::default()
+    };
+    let mut kernel_latencies = vec![0u64; n];
+    // Queue-slot release cycle per dispatched stream (its batch's H2D
+    // start); admission of stream `k` waits on slot `k - depth`.
+    let mut slot_release = vec![0u64; n];
+    let mut admit_cycle = vec![0u64; n];
+    // When each double buffer becomes free for the next input copy.
+    let mut buffer_free = [0u64; 2];
+    let admit = |k: usize, slot_release: &[u64]| -> u64 {
+        let arrival = arrivals[k].arrival_cycle;
+        if k >= depth {
+            arrival.max(slot_release[k - depth])
+        } else {
+            arrival
+        }
+    };
+
+    let mut next = 0usize;
+    let mut batch_idx = 0usize;
+    while next < n {
+        let machine_id = arrivals[next].machine;
+        let machine = &machines[machine_id];
+        // Candidate cap: the policy's target, never beyond the queue depth
+        // (a batch is drawn from the queue).
+        let cap = match cfg.policy {
+            BatchPolicy::Adaptive { max_batch } => {
+                occupancy_target(spec, &machine.table).clamp(1, max_batch)
+            }
+            ref p => p.max_streams(),
+        }
+        .min(depth);
+
+        // Grow the batch from the queue head.
+        let mut count = 0usize;
+        let mut bytes = 0usize;
+        let mut t_close = 0u64;
+        let first_admit = admit(next, &slot_release);
+        let deadline = match cfg.policy {
+            BatchPolicy::Deadline { max_wait, .. } => Some(first_admit.saturating_add(max_wait)),
+            _ => None,
+        };
+        while next + count < n && count < cap {
+            let k = next + count;
+            if arrivals[k].machine != machine_id {
+                break; // a batch runs one machine's table
+            }
+            if bytes + arrivals[k].bytes.len() > buffer_bytes {
+                break; // staging buffer is full
+            }
+            let t = admit(k, &slot_release);
+            if count > 0 {
+                if let Some(d) = deadline {
+                    if t > d {
+                        // The oldest stream's wait budget is spent: ship the
+                        // partial batch at the deadline instead of waiting.
+                        t_close = t_close.max(d);
+                        break;
+                    }
+                }
+                if let BatchPolicy::Adaptive { .. } = cfg.policy {
+                    // Work-conserving: if waiting for this arrival would
+                    // leave the device idle, ship what we have.
+                    let backlog = timeline.h2d_free_at().max(buffer_free[batch_idx % 2]);
+                    if t > t_close.max(backlog) {
+                        break;
+                    }
+                }
+            }
+            admit_cycle[k] = t;
+            t_close = t_close.max(t);
+            bytes += arrivals[k].bytes.len();
+            count += 1;
+        }
+        debug_assert!(count > 0, "a batch always takes at least the head stream");
+
+        // Schedule the three pipeline operations.
+        let h2d_stats = transfer_stats(spec, bytes);
+        let d2h_stats = transfer_stats(spec, cfg.d2h_bytes_per_stream * count);
+        let h2d_ready = t_close.max(buffer_free[batch_idx % 2]);
+        let h2d = timeline.h2d(h2d_ready, h2d_stats.cycles);
+        let streams: Vec<&[u8]> =
+            arrivals[next..next + count].iter().map(|a| a.bytes.as_slice()).collect();
+        let exec = execute_batch(spec, machine, &streams, cfg);
+        let compute = timeline.compute(h2d.end, exec.stats.cycles);
+        let d2h = timeline.d2h(compute.end, d2h_stats.cycles);
+        // The input buffer frees once the kernel has consumed it; batch
+        // `batch_idx + 2` reuses it.
+        buffer_free[batch_idx % 2] = compute.end;
+
+        // Account the batch.
+        report.stats.merge_sequential(&h2d_stats);
+        report.stats.merge_sequential(&exec.stats);
+        report.stats.merge_sequential(&d2h_stats);
+        for (i, k) in (next..next + count).enumerate() {
+            slot_release[k] = h2d.start;
+            let wait = admit_cycle[k] - arrivals[k].arrival_cycle;
+            if wait > 0 {
+                report.backpressure_events += 1;
+                report.backpressure_wait_cycles += wait;
+            }
+            report.latencies[k] = d2h.end - arrivals[k].arrival_cycle;
+            kernel_latencies[k] = compute.start + exec.completions[i] - arrivals[k].arrival_cycle;
+            report.end_states[k] = exec.end_states[i];
+            report.accepted[k] = exec.accepted[i];
+        }
+        report.batches.push(BatchRecord {
+            first_stream: next,
+            streams: count,
+            machine: machine_id,
+            scheme: machine.scheme,
+            mode: exec.mode,
+            bytes,
+            h2d,
+            compute,
+            d2h,
+        });
+        next += count;
+        batch_idx += 1;
+    }
+
+    report.makespan_cycles = timeline.horizon();
+    report.delivery = LatencySummary::from_latencies(&report.latencies);
+    report.kernel_latency = LatencySummary::from_latencies(&kernel_latencies);
+    report.queue_depth = queue_depth_samples(&admit_cycle, &slot_release);
+    report.overlap_efficiency_permille = overlap_efficiency(&report.batches);
+    Ok(report)
+}
+
+/// Queue depth over time: +1 at each admission, −1 when a stream's batch
+/// starts its input copy; one `(cycle, depth)` sample per distinct event
+/// cycle. Admissions sort before releases at the same cycle (a stream
+/// admitted and instantly dispatched still passes through the queue), so
+/// the running depth never goes negative.
+fn queue_depth_samples(admit: &[u64], release: &[u64]) -> Vec<(u64, usize)> {
+    let mut events: Vec<(u64, i64)> =
+        admit.iter().map(|&t| (t, 1i64)).chain(release.iter().map(|&t| (t, -1i64))).collect();
+    events.sort_unstable_by_key(|&(t, delta)| (t, std::cmp::Reverse(delta)));
+    let mut samples = Vec::new();
+    let mut depth = 0i64;
+    for (i, &(t, delta)) in events.iter().enumerate() {
+        depth += delta;
+        debug_assert!(depth >= 0, "queue depth can never go negative");
+        if i + 1 == events.len() || events[i + 1].0 != t {
+            samples.push((t, depth as usize));
+        }
+    }
+    samples
+}
+
+/// Share of copy-engine busy cycles spent under an active kernel, in
+/// permille.
+fn overlap_efficiency(batches: &[BatchRecord]) -> u64 {
+    let copies: Vec<Span> = batches.iter().flat_map(|b| [b.h2d, b.d2h]).collect();
+    let copy_busy: u64 = copies.iter().map(Span::duration).sum();
+    if copy_busy == 0 {
+        return 0;
+    }
+    let hidden: u64 =
+        copies.iter().map(|c| batches.iter().map(|b| c.overlap(&b.compute)).sum::<u64>()).sum();
+    hidden * 1000 / copy_busy
+}

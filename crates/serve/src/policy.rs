@@ -1,0 +1,82 @@
+//! Batching policies: when does the dispatcher close a batch?
+//!
+//! All three policies draw a batch from the *head* of the admission queue —
+//! a contiguous run of streams for the same machine (a batch runs one
+//! machine's table, so a machine change always closes it), capped by the
+//! staging-buffer byte budget and the queue depth. They differ only in how
+//! long they are willing to wait for more streams:
+//!
+//! * [`BatchPolicy::Fifo`] — close at a fixed stream count (or when the run
+//!   ends). Simple, predictable, indifferent to latency.
+//! * [`BatchPolicy::Deadline`] — like FIFO, but never keeps the oldest
+//!   admitted stream waiting more than `max_wait` cycles: a partial batch
+//!   ships when its deadline expires. Bounds queueing latency under trickle
+//!   arrivals.
+//! * [`BatchPolicy::Adaptive`] — occupancy-aware and work-conserving: the
+//!   target size is however many one-thread-per-stream scans fill the
+//!   device (block width × resident blocks × SMs, capped at `max_batch`),
+//!   but if the device would go idle waiting for the next arrival the batch
+//!   closes early. Chases device utilization without ever trading it for
+//!   dead air.
+
+/// When the dispatcher stops batching and ships what it has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Fixed-size batches of up to `batch` streams.
+    Fifo {
+        /// Streams per batch.
+        batch: usize,
+    },
+    /// Fixed-size batches with a queueing-latency cap: the batch closes at
+    /// `batch` streams or when the oldest admitted stream has waited
+    /// `max_wait` cycles, whichever comes first.
+    Deadline {
+        /// Streams per batch.
+        batch: usize,
+        /// Max cycles the oldest stream may wait for the batch to fill.
+        max_wait: u64,
+    },
+    /// Occupancy-target batches that never let the device idle: aim for
+    /// enough streams to fill every SM, but ship early when the next
+    /// arrival is further out than the device's backlog.
+    Adaptive {
+        /// Hard cap on streams per batch (the occupancy target is clamped
+        /// to this).
+        max_batch: usize,
+    },
+}
+
+impl BatchPolicy {
+    /// Stable snake_case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchPolicy::Fifo { .. } => "fifo",
+            BatchPolicy::Deadline { .. } => "deadline",
+            BatchPolicy::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// The policy's hard cap on streams per batch.
+    pub fn max_streams(&self) -> usize {
+        match *self {
+            BatchPolicy::Fifo { batch } => batch,
+            BatchPolicy::Deadline { batch, .. } => batch,
+            BatchPolicy::Adaptive { max_batch } => max_batch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_caps() {
+        assert_eq!(BatchPolicy::Fifo { batch: 8 }.name(), "fifo");
+        assert_eq!(BatchPolicy::Deadline { batch: 8, max_wait: 100 }.name(), "deadline");
+        assert_eq!(BatchPolicy::Adaptive { max_batch: 64 }.name(), "adaptive");
+        assert_eq!(BatchPolicy::Fifo { batch: 8 }.max_streams(), 8);
+        assert_eq!(BatchPolicy::Deadline { batch: 3, max_wait: 1 }.max_streams(), 3);
+        assert_eq!(BatchPolicy::Adaptive { max_batch: 64 }.max_streams(), 64);
+    }
+}

@@ -1,0 +1,210 @@
+//! What a serve run reports: latency percentiles, throughput, queue
+//! behaviour, and copy/compute overlap efficiency.
+//!
+//! Everything in a [`ServeReport`] is integer-valued and derived from the
+//! deterministic timeline, so reports from the same trace and configuration
+//! are bit-identical regardless of host thread count — `PartialEq` on the
+//! whole report is the determinism test.
+
+use gspecpal::SchemeKind;
+use gspecpal_fsm::StateId;
+use gspecpal_gpu::{KernelStats, Span};
+
+/// How a batch was executed on the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One device thread per stream ([`gspecpal::throughput`]): the
+    /// throughput-oriented layout, best for many comparable streams.
+    StreamParallel,
+    /// Chunk-parallel speculation per stream (the paper's latency-sensitive
+    /// layout), streams back to back: best when a batch is dominated by one
+    /// long stream.
+    ChunkParallel,
+}
+
+impl ExecMode {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::StreamParallel => "stream_parallel",
+            ExecMode::ChunkParallel => "chunk_parallel",
+        }
+    }
+}
+
+/// Nearest-rank latency percentiles over a set of per-stream latencies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst stream.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `latencies` (need not be sorted; empty input gives all
+    /// zeros). Uses the nearest-rank method on integer cycles — no floats,
+    /// no interpolation, bit-stable.
+    pub fn from_latencies(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let rank = |pct: u64| {
+            let n = sorted.len() as u64;
+            let idx = (pct * n).div_ceil(100).max(1) - 1;
+            sorted[idx as usize]
+        };
+        LatencySummary {
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// One dispatched batch on the serve timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRecord {
+    /// Index of the first stream (in admission order) in the batch.
+    pub first_stream: usize,
+    /// Number of streams in the batch.
+    pub streams: usize,
+    /// Machine the batch ran on.
+    pub machine: usize,
+    /// Scheme the machine's selector chose (chunk-parallel batches only run
+    /// this; stream-parallel batches record it for provenance).
+    pub scheme: SchemeKind,
+    /// How the batch was executed.
+    pub mode: ExecMode,
+    /// Input bytes copied host→device.
+    pub bytes: usize,
+    /// Host→device input copy span.
+    pub h2d: Span,
+    /// Kernel span on the compute queue.
+    pub compute: Span,
+    /// Device→host result copy span.
+    pub d2h: Span,
+}
+
+/// The full result of serving a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Policy name (`fifo` / `deadline` / `adaptive`).
+    pub policy: &'static str,
+    /// Whether copy/compute overlap was enabled.
+    pub overlap: bool,
+    /// Streams served (= trace length).
+    pub streams: usize,
+    /// Total input bytes copied to the device.
+    pub total_bytes: usize,
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// Cycle the last result copy finished — the wall-clock of the run.
+    pub makespan_cycles: u64,
+    /// Per-stream delivery latency (arrival → result on host), admission
+    /// order.
+    pub latencies: Vec<u64>,
+    /// Percentiles of `latencies`.
+    pub delivery: LatencySummary,
+    /// Percentiles of arrival → kernel-scan completion (before the result
+    /// copy): what the latency looks like to an on-device consumer, from
+    /// the measured per-stream clocks.
+    pub kernel_latency: LatencySummary,
+    /// Verified end state of every stream, admission order.
+    pub end_states: Vec<StateId>,
+    /// Accept decision per stream, admission order.
+    pub accepted: Vec<bool>,
+    /// Engine-busy statistics: every batch's transfer and kernel stats
+    /// merged sequentially. `stats.cycles` is total busy time across the
+    /// three queues — it *exceeds* `makespan_cycles` exactly when copies
+    /// overlapped compute. Transfer cycles sit in `Phase::Transfer` and
+    /// per-phase cycles still partition `stats.cycles` exactly.
+    pub stats: KernelStats,
+    /// `(cycle, depth)` samples at every queue-depth change event.
+    pub queue_depth: Vec<(u64, usize)>,
+    /// Streams whose admission was delayed because the queue was full.
+    pub backpressure_events: u64,
+    /// Total cycles streams spent waiting for a queue slot.
+    pub backpressure_wait_cycles: u64,
+    /// Share of copy-engine busy cycles that ran under an active kernel, in
+    /// permille (0–1000). 0 when overlap is disabled or there is nothing to
+    /// hide behind; approaches 1000 when every copy is fully hidden.
+    pub overlap_efficiency_permille: u64,
+}
+
+impl ServeReport {
+    /// Sustained throughput in bytes per cycle of makespan.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.makespan_cycles as f64
+        }
+    }
+
+    /// Peak queue depth observed.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} overlap={} streams={} batches={} makespan={}cy p50={} p95={} p99={} max={} \
+             {:.4}B/cy transfer={}cy overlap_eff={}‰ backpressure={}",
+            self.policy,
+            self.overlap,
+            self.streams,
+            self.batches.len(),
+            self.makespan_cycles,
+            self.delivery.p50,
+            self.delivery.p95,
+            self.delivery.p99,
+            self.delivery.max,
+            self.bytes_per_cycle(),
+            self.stats.profile.get(gspecpal_gpu::Phase::Transfer).cycles,
+            self.overlap_efficiency_permille,
+            self.backpressure_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_latencies(&lat);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn percentiles_on_tiny_sets() {
+        let s = LatencySummary::from_latencies(&[7]);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (7, 7, 7, 7));
+        let s = LatencySummary::from_latencies(&[10, 2]);
+        assert_eq!(s.p50, 2, "nearest rank: ceil(0.5·2)=1st of the sorted pair");
+        assert_eq!(s.max, 10);
+        assert_eq!(LatencySummary::from_latencies(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_lines_do_not_panic() {
+        let r = ServeReport { policy: "fifo", ..ServeReport::default() };
+        assert!(r.summary().contains("fifo"));
+        assert_eq!(r.bytes_per_cycle(), 0.0);
+        assert_eq!(r.peak_queue_depth(), 0);
+    }
+}

@@ -10,4 +10,5 @@ pub use gspecpal as framework;
 pub use gspecpal_fsm as fsm;
 pub use gspecpal_gpu as gpu;
 pub use gspecpal_regex as regex;
+pub use gspecpal_serve as serve;
 pub use gspecpal_workloads as workloads;

@@ -106,7 +106,11 @@ fn paper_cost_centers_are_separately_visible() {
     assert!(profile.get(Phase::Verify).cycles > 0, "NF verification must be visible");
     assert!(profile.get(Phase::Recovery).cycles > 0, "div7 must force recoveries");
     assert!(profile.get(Phase::Stitch).cycles > 0, "block seams must cost stitch time");
-    assert_eq!(profile.get(Phase::Transfer).cycles, 0, "transfers are not modelled yet");
+    assert_eq!(
+        profile.get(Phase::Transfer).cycles,
+        0,
+        "kernel simulation never charges transfers; only the serving pipeline does"
+    );
 
     // PM: tree merge is verification, its sequential walk is pure recovery.
     let pm = grid_scale_outcome(SchemeKind::Pm, StitchPolicy::Tree);
@@ -134,6 +138,42 @@ fn paper_cost_centers_are_separately_visible() {
     let p = out.phase_profile();
     assert!(p.get(Phase::Verify).cycles > 0);
     assert_eq!(out.recovery_runs(), 0, "convergent machine: speculation never misses");
+}
+
+/// `Phase::Transfer` is live end to end: a serve run charges real PCIe copy
+/// cycles into it, and the merged per-phase cycles still partition the
+/// run's total exactly — the same invariant every kernel stage satisfies.
+#[test]
+fn serve_runs_charge_transfer_cycles_that_still_partition_exactly() {
+    use gspecpal_serve::{serve, BatchPolicy, ServeConfig, ServeMachine, StreamArrival, Trace};
+
+    let spec = DeviceSpec::test_unit();
+    let d = div7();
+    let machine = ServeMachine::prepare(&spec, &d, &b"110100".repeat(128));
+    let trace = Trace::from_arrivals(
+        (0..10)
+            .map(|i| StreamArrival {
+                arrival_cycle: i * 7,
+                machine: 0,
+                bytes: b"10".repeat(30 + i as usize),
+            })
+            .collect(),
+    );
+    let cfg = ServeConfig { policy: BatchPolicy::Fifo { batch: 4 }, ..ServeConfig::default() };
+    let report = serve(&spec, &[machine], &trace, &cfg).unwrap();
+    let transfer = report.stats.profile.get(Phase::Transfer).cycles;
+    assert!(transfer > 0, "serving must put real copy cycles under Phase::Transfer");
+    assert_eq!(
+        report.stats.profile.total_cycles(),
+        report.stats.cycles,
+        "serve: phase cycles must partition the merged total exactly"
+    );
+    let round_sum: u64 = Phase::ALL.iter().map(|&p| report.stats.profile.get(p).rounds).sum();
+    assert_eq!(round_sum, report.stats.rounds, "serve: phase rounds must partition the rounds");
+    // The transfer bucket holds exactly the H2D + D2H spans of every batch.
+    let span_sum: u64 =
+        report.batches.iter().map(|b| (b.h2d.end - b.h2d.start) + (b.d2h.end - b.d2h.start)).sum();
+    assert_eq!(transfer, span_sum);
 }
 
 /// Divergence and utilization metrics behave as the paper describes: the
