@@ -1,4 +1,4 @@
-//! Perf-report dumper: runs the fig8, ablation, motivation, and serve
+//! Perf-report dumper: runs the fig8, ablation, motivation, serve, and chaos
 //! experiments on a small deterministic workload and writes one schema-versioned
 //! `BENCH_<experiment>.json` per experiment (see `gspecpal_bench::perf` for
 //! the schema). CI runs this on every push and gates on the headline
@@ -20,10 +20,12 @@
 //!   before writing/checking — the CI self-test that proves the gate trips.
 
 use gspecpal_bench::perf::{
-    ablation_json, extract_total_cycles, fig8_json, inflate_total, motivation_json,
+    ablation_json, chaos_json, extract_total_cycles, fig8_json, inflate_total, motivation_json,
     regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
 };
-use gspecpal_bench::{run_ablation, run_fig8, run_motivation, run_serve, ExperimentConfig};
+use gspecpal_bench::{
+    run_ablation, run_chaos, run_fig8, run_motivation, run_serve, ExperimentConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +101,7 @@ fn main() {
         ("ablation", ablation_json(&cfg, &run_ablation(&cfg))),
         ("motivation", motivation_json(&cfg, &run_motivation(&cfg))),
         ("serve", serve_json(&cfg, &run_serve(&cfg))),
+        ("chaos", chaos_json(&cfg, &run_chaos(&cfg))),
     ];
     if inflate_percent > 0 {
         eprintln!("[inflating headline totals by {inflate_percent}% — gate self-test]");

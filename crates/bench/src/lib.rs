@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos_exp;
 pub mod csv;
 pub mod experiments;
 pub mod extras;
@@ -13,6 +14,7 @@ pub mod perf;
 pub mod report;
 pub mod serve_exp;
 
+pub use chaos_exp::{run_chaos, ChaosExperimentReport, ChaosRunSummary};
 pub use experiments::{
     run_ablation, run_fig3, run_fig7, run_fig8, run_fig9, run_selector_eval, run_table2,
     run_table3, ExperimentConfig,

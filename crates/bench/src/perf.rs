@@ -7,8 +7,8 @@
 //!
 //! - `schema_version` (integer): currently `1`. Consumers must reject
 //!   versions they do not know.
-//! - `experiment` (string): `"fig8"`, `"ablation"`, `"motivation"`, or
-//!   `"serve"`.
+//! - `experiment` (string): `"fig8"`, `"ablation"`, `"motivation"`,
+//!   `"serve"`, or `"chaos"`.
 //! - `config` (object): `seed`, `input_bytes`, `n_chunks`, `device` — the
 //!   [`ExperimentConfig`] the numbers were produced with.
 //! - `total_cycles` (integer): the experiment's headline cycle total, the
@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 use gspecpal::SchemeKind;
 use gspecpal_gpu::{PhaseCounters, PhaseProfile};
 
+use crate::chaos_exp::ChaosExperimentReport;
 use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
 use crate::extras::MotivationReport;
 use crate::serve_exp::ServeExperimentReport;
@@ -300,6 +301,36 @@ pub fn serve_json(cfg: &ExperimentConfig, r: &ServeExperimentReport) -> Json {
     let mut fields = header("serve", cfg, r.total_makespan());
     fields.push(("streams", Json::U64(r.streams)));
     fields.push(("trace_bytes", Json::U64(r.total_bytes)));
+    fields.push(("runs", Json::Arr(runs)));
+    obj(fields)
+}
+
+/// Builds the `chaos` report: one entry per scheme with the fault-free and
+/// faulted cycle totals, the recovery counters, and the faulted run's phase
+/// split. The headline `total_cycles` is the summed *faulted* total, so the
+/// gate trips when recovery itself gets more expensive even if the
+/// fault-free path is untouched.
+pub fn chaos_json(cfg: &ExperimentConfig, r: &ChaosExperimentReport) -> Json {
+    let runs: Vec<Json> = r
+        .runs
+        .iter()
+        .map(|run| {
+            obj(vec![
+                ("scheme", Json::Str(run.scheme.name().to_string())),
+                ("clean_cycles", Json::U64(run.clean_cycles)),
+                ("overhead_permille", Json::U64(run.overhead_permille)),
+                ("block_retries", Json::U64(run.block_retries)),
+                ("watchdog_kills", Json::U64(run.watchdog_kills)),
+                ("degraded_blocks", Json::U64(run.degraded_blocks)),
+                ("fault_cycles", Json::U64(run.fault_cycles)),
+                ("faulted", run_json(run.faulted_cycles, &run.faulted_profile)),
+            ])
+        })
+        .collect();
+    let mut fields = header("chaos", cfg, r.total_faulted_cycles());
+    fields.push(("fault_permille", Json::U64(u64::from(r.fault_permille))));
+    fields.push(("input_bytes", Json::U64(r.input_bytes)));
+    fields.push(("clean_total_cycles", Json::U64(r.total_clean_cycles())));
     fields.push(("runs", Json::Arr(runs)));
     obj(fields)
 }

@@ -1,5 +1,9 @@
 //! Scheme and framework configuration.
 
+use gspecpal_gpu::FaultPlan;
+
+use crate::recovery::RecoveryConfig;
+
 /// How cross-block seams are resolved after the per-block phases finish.
 ///
 /// Blocks speculate their incoming state from the predictor; when a block's
@@ -58,6 +62,14 @@ pub struct SchemeConfig {
     /// reproduces the original left-to-right walk (and is what the
     /// differential harness cross-checks the tree against).
     pub stitch: StitchPolicy,
+    /// Deterministic fault plan injected into this job's kernel launches and
+    /// record stores (`None` runs fault-free — the default). Faults never
+    /// change results, only cost: see [`crate::recovery`].
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff/degradation policy applied when injected faults strike
+    /// or the misspeculation ladder trips. Inert at its defaults without a
+    /// fault plan.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for SchemeConfig {
@@ -71,6 +83,8 @@ impl Default for SchemeConfig {
             count_matches: false,
             spec_recovery_budget: 1,
             stitch: StitchPolicy::Tree,
+            faults: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 }

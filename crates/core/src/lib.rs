@@ -36,6 +36,7 @@ pub mod nfa_engine;
 pub mod partition;
 pub mod predict;
 pub mod records;
+pub mod recovery;
 pub mod run;
 pub mod schemes;
 pub mod selector;
@@ -46,6 +47,8 @@ pub mod throughput;
 pub use config::SchemeConfig;
 pub use error::CoreError;
 pub use framework::{FrameworkReport, GSpecPal};
+pub use gspecpal_gpu::{FaultDomain, FaultPlan};
+pub use recovery::RecoveryConfig;
 pub use run::{RunOutcome, SchemeKind};
 pub use schemes::{run_scheme, Job};
 pub use selector::{Selector, SelectorProfile};

@@ -173,6 +173,19 @@ impl VrStore {
     pub fn dropped(&self) -> u64 {
         self.chunks.iter().map(|c| c.dropped).sum()
     }
+
+    /// Fault injection: overwrites the `start` of every record chunk `cid`
+    /// currently holds with `sentinel` (a value no real state uses, e.g.
+    /// `StateId::MAX`). Poisoned records can never match a verification scan
+    /// — scan targets are always valid states — so verification treats the
+    /// chunk as unspeculated and re-executes it: corrupted speculative state
+    /// is *caught*, never silently trusted.
+    pub fn poison_chunk(&mut self, cid: usize, sentinel: StateId) {
+        let c = &mut self.chunks[cid];
+        for rec in c.own.iter_mut().chain(c.others.iter_mut()) {
+            rec.start = sentinel;
+        }
+    }
 }
 
 /// A disjoint view over a contiguous chunk range of a [`VrStore`], produced
@@ -310,6 +323,21 @@ mod tests {
             assert_eq!(vr.scan(ctx, 3, 7).map(|r| r.end), Some(9));
             assert!(vr.scan(ctx, 3, 8).is_none());
         });
+    }
+
+    #[test]
+    fn poisoned_chunks_never_match_a_scan() {
+        let mut vr = VrStore::new(2, 16, 16);
+        vr.push_own(0, VrRecord::new(1, 5));
+        vr.push_own(1, VrRecord::new(1, 6));
+        on_device(|ctx| {
+            vr.push_other(ctx, 0, VrRecord::new(2, 7));
+        });
+        vr.poison_chunk(0, StateId::MAX);
+        assert!(vr.find(0, 1).is_none(), "own record unmatchable");
+        assert!(vr.find(0, 2).is_none(), "cross-thread record unmatchable");
+        assert_eq!(vr.len(0), 2, "records still occupy their registers");
+        assert_eq!(vr.find(1, 1).map(|r| r.end), Some(6), "other chunks untouched");
     }
 
     #[test]

@@ -162,6 +162,34 @@ impl RunOutcome {
     pub fn recovery_cycles_per_chunk(&self) -> f64 {
         self.verify.recovery_cycles_per_run()
     }
+
+    /// Total retried launches caused by injected faults, summed across the
+    /// run's three stages. Zero without a fault plan.
+    pub fn fault_retries(&self) -> u64 {
+        self.predict.fault_retries + self.execute.fault_retries + self.verify.fault_retries
+    }
+
+    /// Total watchdog kills across the run's stages.
+    pub fn fault_watchdog_kills(&self) -> u64 {
+        self.predict.fault_watchdog_kills
+            + self.execute.fault_watchdog_kills
+            + self.verify.fault_watchdog_kills
+    }
+
+    /// Blocks that exhausted their retry budget (or tripped the
+    /// misspeculation ladder) and fell back to a sequential re-exec.
+    pub fn fault_degraded_blocks(&self) -> u64 {
+        self.predict.fault_degraded_blocks
+            + self.execute.fault_degraded_blocks
+            + self.verify.fault_degraded_blocks
+    }
+
+    /// Cycles lost to fault handling: wasted attempts, backoff waits,
+    /// watchdog-killed work and degraded re-execs. Always a subset of the
+    /// run's `Phase::Recovery` cycles.
+    pub fn fault_cycles(&self) -> u64 {
+        self.predict.fault_cycles + self.execute.fault_cycles + self.verify.fault_cycles
+    }
 }
 
 #[cfg(test)]

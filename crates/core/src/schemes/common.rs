@@ -5,12 +5,13 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_grid, BlockDim, BlockRequirements, GridKernel, KernelStats, RoundKernel, RoundOutcome,
-    ThreadCtx,
+    block_dims_width, try_launch_grid_unfolded, BlockDim, BlockRequirements, FaultDomain,
+    GridKernel, KernelStats, RoundKernel, RoundOutcome, ThreadCtx,
 };
 
 use crate::predict::{predict, Prediction};
 use crate::records::{VrRecord, VrSlice, VrStore};
+use crate::recovery::{apply_grid_recovery, BlockRecoveryCtx};
 use crate::schemes::Job;
 use crate::specq::SpecQueue;
 use crate::table::DeviceTable;
@@ -61,10 +62,45 @@ pub fn exec_phase(job: &Job<'_>, k: usize) -> ExecPhase {
         spec_starts: vec![0; chunks.len()],
         counts: vec![0; chunks.len()],
     };
-    let exec_stats = launch_grid(job.spec, chunks.len(), &mut kernel);
-    let ends = kernel.ends;
+    let (mut grid, width) = try_launch_grid_unfolded(job.spec, chunks.len(), &mut kernel)
+        .unwrap_or_else(|e| panic!("launch_grid: {e}"));
+    // Fault overlay: charge retries/backoff/degradation onto struck blocks
+    // (a no-op without a fault plan — `fold` then reproduces `launch_grid`
+    // bit-for-bit). A degraded block's sequential re-exec walks the block's
+    // chunk window from the first chunk's speculated start.
+    let dims = block_dims_width(width as usize, chunks.len());
+    let ctxs: Vec<BlockRecoveryCtx> = dims
+        .iter()
+        .map(|d| BlockRecoveryCtx {
+            window: chunks[d.tids.start].start..chunks[d.tids.end - 1].end,
+            start: kernel.spec_starts[d.tids.start],
+            checks: 0,
+            matches: 0,
+        })
+        .collect();
+    apply_grid_recovery(job, FaultDomain::Exec, &mut grid, &ctxs);
+    let exec_stats = grid.fold();
+    let mut ends = kernel.ends;
     let spec_starts = kernel.spec_starts;
     let counts = kernel.counts;
+    // Speculative-state corruption: poison the struck chunk's records (their
+    // starts become unmatchable, so every verification scan misses) and skew
+    // its speculated end (so any consumer trusting it — block incomings —
+    // mispredicts). Verification and the boundary stitch must catch both;
+    // chunk 0 is never corrupted because its start is ground truth.
+    if let Some(plan) = job.config.faults {
+        if plan.corrupt_permille > 0 {
+            let n_states = job.table.dfa().n_states();
+            for (cid, end) in ends.iter_mut().enumerate().take(chunks.len()).skip(1) {
+                if plan.corrupts(cid) {
+                    vr.poison_chunk(cid, StateId::MAX);
+                    if n_states > 1 {
+                        *end = (*end + 1) % n_states;
+                    }
+                }
+            }
+        }
+    }
     ExecPhase { chunks, queues, vr, ends, spec_starts, counts, predict_stats, exec_stats }
 }
 

@@ -16,11 +16,12 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, Phase, RoundKernel, RoundOutcome,
-    ThreadCtx,
+    launch_blocks_auto, BlockDim, BlockRequirements, FaultDomain, KernelStats, Phase, RoundKernel,
+    RoundOutcome, ThreadCtx,
 };
 
 use crate::records::{VrRecord, VrSlice};
+use crate::recovery::{apply_grid_recovery, BlockRecoveryCtx};
 use crate::run::{RunOutcome, SchemeKind};
 use crate::schemes::common::exec_phase;
 use crate::schemes::stitch::{fold_grid, stitch_blocks};
@@ -73,7 +74,21 @@ pub(crate) fn run(job: &Job<'_>) -> RunOutcome {
                     },
                 ));
             }
-            let grid = launch_blocks_auto(job.spec, &mut blocks);
+            let mut grid = launch_blocks_auto(job.spec, &mut blocks);
+            // Fault overlay on the walk: a struck block retries with backoff
+            // and, on exhaustion (or a tripped misspeculation ladder),
+            // degrades to a sequential re-walk of its chunk window from its
+            // speculated incoming state.
+            let ctxs: Vec<BlockRecoveryCtx> = dims
+                .iter()
+                .map(|d| BlockRecoveryCtx {
+                    window: chunks[d.tids.start].start..chunks[d.tids.end - 1].end,
+                    start: incomings[d.index],
+                    checks: blocks[d.index].1.checks,
+                    matches: blocks[d.index].1.matches,
+                })
+                .collect();
+            apply_grid_recovery(job, FaultDomain::Verify, &mut grid, &ctxs);
             fold_grid(&mut verify, &grid);
             for (_, block) in blocks {
                 checks += block.checks;

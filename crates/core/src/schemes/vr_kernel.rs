@@ -31,11 +31,12 @@ use std::ops::Range;
 
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{
-    launch_blocks_auto, BlockDim, BlockRequirements, KernelStats, Phase, RoundKernel, RoundOutcome,
-    ThreadCtx,
+    launch_blocks_auto, BlockDim, BlockRequirements, FaultDomain, KernelStats, Phase, RoundKernel,
+    RoundOutcome, ThreadCtx,
 };
 
 use crate::records::{VrRecord, VrSlice};
+use crate::recovery::{apply_grid_recovery, BlockRecoveryCtx};
 use crate::run::{RunOutcome, SchemeKind};
 use crate::schemes::common::{exec_phase, ExecPhase};
 use crate::schemes::stitch::{fold_grid, stitch_blocks};
@@ -120,7 +121,20 @@ pub(crate) fn run_with_policy(job: &Job<'_>, policy: RecoveryPolicy) -> RunOutco
                     ),
                 ));
             }
-            let grid = launch_blocks_auto(job.spec, &mut blocks);
+            let mut grid = launch_blocks_auto(job.spec, &mut blocks);
+            // Fault overlay on verification: struck blocks retry with
+            // backoff; exhaustion or a tripped misspeculation ladder
+            // degrades the block to a sequential re-walk of its window.
+            let ctxs: Vec<BlockRecoveryCtx> = dims
+                .iter()
+                .map(|d| BlockRecoveryCtx {
+                    window: chunks[d.tids.start].start..chunks[d.tids.end - 1].end,
+                    start: incomings[d.index],
+                    checks: blocks[d.index].1.checks,
+                    matches: blocks[d.index].1.matches,
+                })
+                .collect();
+            apply_grid_recovery(job, FaultDomain::Verify, &mut grid, &ctxs);
             fold_grid(&mut verify, &grid);
             for (_, block) in blocks {
                 checks += block.checks;

@@ -8,7 +8,8 @@
 
 use crate::occupancy::BlockRequirements;
 
-/// Why a grid launch was rejected before any block ran.
+/// Why a grid launch was rejected before any block ran, or why a block was
+/// killed after it did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LaunchError {
     /// No block of the kernel fits on one SM: even the reported shape's
@@ -17,6 +18,22 @@ pub enum LaunchError {
     UnlaunchableShape {
         /// The offending per-block requirements.
         req: BlockRequirements,
+    },
+    /// The launch contained no blocks (or no threads). On hardware a
+    /// zero-dimension grid is `cudaErrorInvalidConfiguration`; surfacing it
+    /// structurally lets serving callers reject an empty batch instead of
+    /// panicking deep inside the launcher.
+    EmptyGrid,
+    /// A block ran past the fault plan's per-kernel watchdog budget and was
+    /// killed — the simulated analogue of a driver watchdog timeout. The
+    /// recovery layer decides whether to retry or degrade the block.
+    WatchdogExpired {
+        /// Index of the killed block within its grid.
+        block: usize,
+        /// Cycles the attempt had consumed when it was killed.
+        cycles: u64,
+        /// The watchdog budget the attempt exceeded.
+        budget: u64,
     },
 }
 
@@ -28,6 +45,11 @@ impl std::fmt::Display for LaunchError {
                 "a single block exceeds the SM's resources: {} threads, {} shared bytes, \
                  {} regs/thread",
                 req.threads, req.shared_bytes, req.regs_per_thread
+            ),
+            LaunchError::EmptyGrid => write!(f, "grid launch has no blocks"),
+            LaunchError::WatchdogExpired { block, cycles, budget } => write!(
+                f,
+                "watchdog killed block {block}: ran {cycles} cycles against a budget of {budget}"
             ),
         }
     }
@@ -48,5 +70,16 @@ mod tests {
         assert!(s.contains("exceeds the SM's resources"));
         assert!(s.contains("123456"));
         assert!(s.contains("99"));
+    }
+
+    #[test]
+    fn watchdog_display_names_block_and_budget() {
+        let e = LaunchError::WatchdogExpired { block: 3, cycles: 512, budget: 256 };
+        let s = e.to_string();
+        assert!(s.contains("watchdog"));
+        assert!(s.contains("block 3"));
+        assert!(s.contains("512"));
+        assert!(s.contains("256"));
+        assert!(LaunchError::EmptyGrid.to_string().contains("no blocks"));
     }
 }

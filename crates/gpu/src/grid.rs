@@ -220,6 +220,26 @@ pub fn try_launch_grid_detailed<G: GridKernel>(
     n_threads: usize,
     kernel: &mut G,
 ) -> Result<GridLaunch, LaunchError> {
+    let (grid, width) = try_launch_grid_unfolded(spec, n_threads, kernel)?;
+    let block_cycles = grid.blocks.iter().map(|b| b.cycles).collect();
+    Ok(GridLaunch { stats: grid.fold(), block_cycles, width })
+}
+
+/// The deepest grid-launch entry point: runs the blocks and returns the
+/// *unfolded* per-block [`GridStats`] plus the fitted block width, without
+/// merging. [`try_launch_grid`] is `unfolded → fold()`. Callers that need to
+/// overlay per-block costs before the merge — the fault-recovery layer
+/// charges retries, backoff, and degraded re-execution onto individual
+/// blocks, then calls [`GridStats::reschedule`] and [`GridStats::fold`] —
+/// use this directly.
+pub fn try_launch_grid_unfolded<G: GridKernel>(
+    spec: &DeviceSpec,
+    n_threads: usize,
+    kernel: &mut G,
+) -> Result<(GridStats, u32), LaunchError> {
+    if n_threads == 0 {
+        return Err(LaunchError::EmptyGrid);
+    }
     let width = fit_block_width(spec, |w| kernel.requirements(w))?;
     let dims = block_dims_width(width as usize, n_threads);
     // The tail (or sole) block may be narrower than the fitted width; the
@@ -236,8 +256,16 @@ pub fn try_launch_grid_detailed<G: GridKernel>(
         .into_par_iter()
         .map(|(dim, mut block)| run_block(spec, dim.tids.start, dim.len(), &mut block))
         .collect();
-    let block_cycles = per_block.iter().map(|b| b.cycles).collect();
-    Ok(GridLaunch { stats: merge_grid(spec, resident, &per_block), block_cycles, width })
+    let per_wave = (resident * spec.n_sms.max(1)) as usize;
+    let mut grid = GridStats {
+        blocks: per_block,
+        waves: 0,
+        cycles: 0,
+        resident_per_sm: resident,
+        blocks_per_wave: per_wave as u32,
+    };
+    grid.reschedule();
+    Ok((grid, width))
 }
 
 /// The block that gates (determines the duration of) a scheduling wave: the
@@ -252,37 +280,6 @@ fn gating_block(wave: &[KernelStats]) -> Option<&KernelStats> {
         }
     }
     gate
-}
-
-/// Merges per-block stats into grid stats: counters summed, event streams
-/// concatenated in block order, cycles from the occupancy wave model with
-/// `resident` blocks per SM, and the resulting [`LaunchShape`] recorded.
-///
-/// Per-phase cycles come from each wave's gating block: the wave lasts as
-/// long as its slowest block, and that block's own phase split (which sums
-/// to its cycles exactly) is what the wait decomposes into. This keeps the
-/// profile invariant — per-phase cycles sum to the merged `cycles` — intact
-/// through the wave model, and makes a single-block grid bit-identical to a
-/// direct [`launch`].
-fn merge_grid(spec: &DeviceSpec, resident: u32, per_block: &[KernelStats]) -> KernelStats {
-    let mut merged = KernelStats::default();
-    for stats in per_block {
-        merged.absorb_block(stats);
-    }
-    let per_wave = (resident * spec.n_sms.max(1)) as usize;
-    let mut waves = 0u32;
-    let mut cycles = 0u64;
-    for wave in per_block.chunks(per_wave) {
-        waves += 1;
-        if let Some(gate) = gating_block(wave) {
-            cycles += gate.cycles;
-            merged.profile.absorb_cycles(&gate.profile);
-        }
-    }
-    merged.cycles = cycles;
-    merged.shape =
-        Some(LaunchShape { resident_per_sm: resident, blocks_per_wave: per_wave as u32, waves });
-    merged
 }
 
 /// Statistics of a whole heterogeneous grid launch ([`launch_blocks`]).
@@ -319,6 +316,24 @@ impl GridStats {
             blocks_per_wave: self.blocks_per_wave,
             waves: self.waves,
         }
+    }
+
+    /// Recomputes `waves` and `cycles` from the current per-block stats and
+    /// `blocks_per_wave` — the wave model re-applied after block mutation.
+    /// The fault-recovery layer charges retry, backoff, and degradation
+    /// cycles onto individual blocks and then calls this so the grid's
+    /// completion time (and [`GridStats::fold`]'s internal consistency
+    /// check) reflect the mutated blocks.
+    pub fn reschedule(&mut self) {
+        let per_wave = self.blocks_per_wave.max(1) as usize;
+        let mut waves = 0u32;
+        let mut cycles = 0u64;
+        for wave in self.blocks.chunks(per_wave) {
+            waves += 1;
+            cycles += wave.iter().map(|b| b.cycles).max().unwrap_or(0);
+        }
+        self.waves = waves;
+        self.cycles = cycles;
     }
 
     /// Folds the per-block stats into one merged [`KernelStats`] with the
@@ -371,12 +386,15 @@ pub fn launch_blocks_occupancy<K: RoundKernel + Send>(
 }
 
 /// Fallible [`launch_blocks_occupancy`]: a shape with zero resident blocks
-/// becomes a [`LaunchError`] instead of a panic.
+/// (or an empty grid) becomes a [`LaunchError`] instead of a panic.
 pub fn try_launch_blocks_occupancy<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
     req: &BlockRequirements,
 ) -> Result<GridStats, LaunchError> {
+    if blocks.is_empty() {
+        return Err(LaunchError::EmptyGrid);
+    }
     let resident = max_resident_blocks(spec, req);
     if resident == 0 {
         return Err(LaunchError::UnlaunchableShape { req: *req });
@@ -396,12 +414,15 @@ pub fn launch_blocks_auto<K: RoundKernel + Send>(
     try_launch_blocks_auto(spec, blocks).unwrap_or_else(|e| panic!("launch_blocks_auto: {e}"))
 }
 
-/// Fallible [`launch_blocks_auto`].
+/// Fallible [`launch_blocks_auto`]: an empty grid or an unlaunchable block
+/// shape becomes a [`LaunchError`] instead of a panic.
 pub fn try_launch_blocks_auto<K: RoundKernel + Send>(
     spec: &DeviceSpec,
     blocks: &mut [(usize, K)],
 ) -> Result<GridStats, LaunchError> {
-    assert!(!blocks.is_empty(), "a grid needs at least one block");
+    if blocks.is_empty() {
+        return Err(LaunchError::EmptyGrid);
+    }
     let mut resident = u32::MAX;
     for (n_threads, kernel) in blocks.iter() {
         let req = kernel.requirements(*n_threads as u32);
@@ -637,7 +658,9 @@ mod tests {
     fn impossible_shapes_error_instead_of_one_block_fallback() {
         let spec = DeviceSpec::test_unit();
         let err = try_launch_grid(&spec, 128, &mut HogGrid).unwrap_err();
-        let LaunchError::UnlaunchableShape { req } = err;
+        let LaunchError::UnlaunchableShape { req } = err else {
+            panic!("expected UnlaunchableShape, got {err:?}");
+        };
         assert_eq!(req.shared_bytes, usize::MAX / 2);
         // Auto block launches reject the same shape the same way.
         struct HogBlock;
@@ -743,6 +766,56 @@ mod tests {
         assert_eq!(detail.block_completion(0), per_block);
         assert_eq!(detail.block_completion(2), 2 * per_block, "wave 1 block");
         assert_eq!(detail.block_completion(4), plain.cycles, "last block ends the launch");
+    }
+
+    #[test]
+    fn empty_grids_error_structurally() {
+        let spec = DeviceSpec::test_unit();
+        let mut blocks: Vec<(usize, Work)> = vec![];
+        assert_eq!(try_launch_blocks_auto(&spec, &mut blocks).unwrap_err(), LaunchError::EmptyGrid);
+        let req = BlockRequirements::light(2);
+        assert_eq!(
+            try_launch_blocks_occupancy(&spec, &mut blocks, &req).unwrap_err(),
+            LaunchError::EmptyGrid
+        );
+        assert_eq!(
+            try_launch_grid(&spec, 0, &mut WorkGrid(1)).unwrap_err(),
+            LaunchError::EmptyGrid
+        );
+    }
+
+    #[test]
+    fn reschedule_recomputes_the_wave_model_after_mutation() {
+        use crate::stats::Phase;
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        // 4 equal blocks on 2 SMs: 2 waves.
+        let mut blocks: Vec<(usize, Work)> = (0..4).map(|_| (2usize, Work(7))).collect();
+        let mut g = launch_blocks(&spec, &mut blocks);
+        let before = g.cycles;
+        assert_eq!(g.waves, 2);
+        // Charge recovery overhead onto the last block (keeping its own
+        // cycles-partition invariant) and re-apply the wave model.
+        g.blocks[3].cycles += 1000;
+        g.blocks[3].profile.get_mut(Phase::Recovery).cycles += 1000;
+        g.reschedule();
+        assert_eq!(g.cycles, before + 1000, "wave 1's gate slowed by the overlay");
+        let folded = g.fold();
+        assert_eq!(folded.cycles, g.cycles);
+        assert_eq!(folded.profile.total_cycles(), folded.cycles, "partition survives the fold");
+        assert_eq!(folded.profile.get(Phase::Recovery).cycles, 1000);
+    }
+
+    #[test]
+    fn unfolded_launch_folds_to_the_plain_stats() {
+        let mut spec = DeviceSpec::test_unit();
+        spec.n_sms = 2;
+        let n = 5 * spec.max_threads_per_block as usize;
+        let plain = try_launch_grid(&spec, n, &mut WorkGrid(7)).unwrap();
+        let (grid, width) = try_launch_grid_unfolded(&spec, n, &mut WorkGrid(7)).unwrap();
+        assert_eq!(grid.fold(), plain, "unfolded → fold reproduces the merged launch");
+        assert_eq!(width, spec.max_threads_per_block);
+        assert_eq!(grid.blocks.len(), 5);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod grid;
 pub mod kernel;
 pub mod occupancy;
@@ -44,10 +45,12 @@ pub mod transfer;
 
 pub use error::LaunchError;
 pub use event::{EventTimer, KernelSpan};
+pub use fault::{backoff_cycles, FaultDomain, FaultPlan};
 pub use grid::{
     block_dims, block_dims_width, launch_blocks, launch_blocks_auto, launch_blocks_occupancy,
     launch_grid, try_launch_blocks_auto, try_launch_blocks_occupancy, try_launch_grid,
-    try_launch_grid_detailed, BlockDim, GridKernel, GridLaunch, GridStats,
+    try_launch_grid_detailed, try_launch_grid_unfolded, BlockDim, GridKernel, GridLaunch,
+    GridStats,
 };
 pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
 pub use occupancy::{fit_block_width, max_resident_blocks, occupancy, BlockRequirements};

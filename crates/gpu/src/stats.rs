@@ -266,6 +266,18 @@ pub struct KernelStats {
     pub recovery_cycles: u64,
     /// Number of chunk re-executions performed during verification/recovery.
     pub recovery_runs: u64,
+    /// Injected-fault retries: block attempts that were re-run after a
+    /// transient abort or watchdog kill (zero without a fault plan).
+    pub fault_retries: u64,
+    /// Block attempts killed by the fault plan's watchdog budget.
+    pub fault_watchdog_kills: u64,
+    /// Blocks that exhausted their retry budget (or crossed the
+    /// misspeculation threshold) and were degraded to a sequential re-exec.
+    pub fault_degraded_blocks: u64,
+    /// Total cycles lost to injected faults: wasted aborted/killed attempts,
+    /// retry backoff, and degraded sequential re-execution. A subset of the
+    /// `Phase::Recovery` cycles.
+    pub fault_cycles: u64,
     /// Occupancy shape of the grid launch these stats came from (`None` for
     /// single-block launches). Merges keep the first shape seen: a scheme's
     /// phase stats report the shape of that phase's main grid.
@@ -361,6 +373,10 @@ impl KernelStats {
         self.round_durations.extend_from_slice(&other.round_durations);
         self.recovery_cycles += other.recovery_cycles;
         self.recovery_runs += other.recovery_runs;
+        self.fault_retries += other.fault_retries;
+        self.fault_watchdog_kills += other.fault_watchdog_kills;
+        self.fault_degraded_blocks += other.fault_degraded_blocks;
+        self.fault_cycles += other.fault_cycles;
         if self.shape.is_none() {
             self.shape = other.shape;
         }
@@ -407,6 +423,26 @@ mod tests {
         a.merge_sequential(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.rounds, 3);
+    }
+
+    #[test]
+    fn fault_counters_survive_both_merges() {
+        let mut a = KernelStats { fault_retries: 2, fault_cycles: 100, ..KernelStats::default() };
+        let b = KernelStats {
+            fault_retries: 1,
+            fault_watchdog_kills: 3,
+            fault_degraded_blocks: 1,
+            fault_cycles: 50,
+            ..KernelStats::default()
+        };
+        a.absorb_block(&b);
+        assert_eq!(a.fault_retries, 3);
+        assert_eq!(a.fault_watchdog_kills, 3);
+        assert_eq!(a.fault_degraded_blocks, 1);
+        assert_eq!(a.fault_cycles, 150);
+        a.merge_sequential(&b);
+        assert_eq!(a.fault_retries, 4);
+        assert_eq!(a.fault_cycles, 200);
     }
 
     #[test]

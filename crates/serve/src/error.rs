@@ -31,6 +31,32 @@ pub enum ServeError {
         /// What was wrong with it.
         problem: String,
     },
+    /// An arrival is timestamped earlier than its predecessor, so the trace
+    /// is not a valid time-ordered history (see
+    /// [`crate::Trace::try_from_arrivals`]).
+    NonMonotonicTrace {
+        /// Index of the offending arrival.
+        stream: usize,
+        /// Its arrival cycle.
+        cycle: u64,
+        /// The predecessor's (later) arrival cycle.
+        prev: u64,
+    },
+    /// An arrival cycle is so large that downstream cycle arithmetic
+    /// (deadlines, latencies, backoff) could overflow the 64-bit clock.
+    ArrivalOverflow {
+        /// Index of the offending arrival.
+        stream: usize,
+        /// Its arrival cycle.
+        cycle: u64,
+        /// The largest admissible arrival cycle.
+        max: u64,
+    },
+    /// An arrival carries a zero-length stream, which no kernel can scan.
+    EmptyStream {
+        /// Index of the offending arrival.
+        stream: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -46,6 +72,16 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::InvalidConfig { field, problem } => {
                 write!(f, "invalid serve configuration: {field} {problem}")
+            }
+            ServeError::NonMonotonicTrace { stream, cycle, prev } => write!(
+                f,
+                "arrival {stream} at cycle {cycle} precedes its predecessor at cycle {prev}"
+            ),
+            ServeError::ArrivalOverflow { stream, cycle, max } => {
+                write!(f, "arrival {stream} at cycle {cycle} exceeds the clock bound {max}")
+            }
+            ServeError::EmptyStream { stream } => {
+                write!(f, "arrival {stream} carries an empty stream")
             }
         }
     }

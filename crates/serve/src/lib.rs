@@ -59,10 +59,12 @@ pub mod report;
 pub mod trace;
 
 pub use error::ServeError;
-pub use pipeline::{serve, ServeConfig, ServeMachine};
+pub use pipeline::{serve, ServeConfig, ServeMachine, ServeRecoveryConfig};
 pub use policy::BatchPolicy;
-pub use report::{BatchRecord, ExecMode, LatencySummary, ServeReport};
-pub use trace::{StreamArrival, Trace};
+pub use report::{
+    BatchRecord, ExecMode, LatencySummary, RecoveryReport, ServeReport, StreamOutcome,
+};
+pub use trace::{StreamArrival, Trace, MAX_ARRIVAL_CYCLE};
 
 #[cfg(test)]
 mod tests {

@@ -51,13 +51,13 @@ use gspecpal::throughput::run_stream_parallel;
 use gspecpal::{run_scheme, Job, SchemeConfig, SchemeKind, Selector};
 use gspecpal_fsm::Dfa;
 use gspecpal_gpu::{
-    fit_block_width, max_resident_blocks, transfer_stats, BlockRequirements, DeviceSpec,
-    DeviceTimeline, KernelStats, Span,
+    backoff_cycles, fit_block_width, max_resident_blocks, transfer_stats, BlockRequirements,
+    DeviceSpec, DeviceTimeline, FaultDomain, FaultPlan, KernelStats, Span,
 };
 
 use crate::error::ServeError;
 use crate::policy::BatchPolicy;
-use crate::report::{BatchRecord, ExecMode, LatencySummary, ServeReport};
+use crate::report::{BatchRecord, ExecMode, LatencySummary, ServeReport, StreamOutcome};
 use crate::trace::Trace;
 
 /// One servable machine: its device-resident table and the scheme the
@@ -100,6 +100,46 @@ impl<'a> ServeMachine<'a> {
     }
 }
 
+/// Retry, load-shedding and circuit-breaker policy for the serving
+/// pipeline.
+///
+/// Copy retries only ever fire under a fault plan
+/// ([`gspecpal::SchemeConfig::faults`] — the same plan drives kernel-side
+/// and copy-engine injection, on independently salted domains); shedding
+/// and the breaker are off by default, so the default config is
+/// behaviourally identical to a pipeline without any recovery machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeRecoveryConfig {
+    /// Retries per host↔device copy after its first failed attempt. A batch
+    /// whose copy budget runs out is abandoned and its streams shed.
+    pub copy_max_retries: u32,
+    /// Backoff before copy retry `a` (0-based) is `min(base << a, cap)`
+    /// cycles on the engine clock.
+    pub copy_backoff_base_cycles: u64,
+    /// Cap on the copy retry backoff.
+    pub copy_backoff_cap_cycles: u64,
+    /// Shed a head-of-queue stream whose admission wait exceeded this many
+    /// cycles instead of dispatching it (deadline-based load shedding).
+    /// 0 disables shedding.
+    pub shed_wait_cycles: u64,
+    /// Consecutive failed batches that trip the circuit breaker. Once open
+    /// it stays open: every remaining stream is shed as
+    /// [`StreamOutcome::ShedBreakerOpen`]. 0 disables the breaker.
+    pub breaker_failure_threshold: u32,
+}
+
+impl Default for ServeRecoveryConfig {
+    fn default() -> Self {
+        ServeRecoveryConfig {
+            copy_max_retries: 2,
+            copy_backoff_base_cycles: 32,
+            copy_backoff_cap_cycles: 1024,
+            shed_wait_cycles: 0,
+            breaker_failure_threshold: 0,
+        }
+    }
+}
+
 /// Serving-pipeline configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -125,6 +165,8 @@ pub struct ServeConfig {
     /// Base configuration for chunk-parallel runs (`n_chunks` is clamped to
     /// each stream's length).
     pub scheme_config: SchemeConfig,
+    /// Retry / shedding / breaker policy (inert at its defaults).
+    pub recovery: ServeRecoveryConfig,
 }
 
 impl Default for ServeConfig {
@@ -137,6 +179,7 @@ impl Default for ServeConfig {
             d2h_bytes_per_stream: 8,
             chunk_overhead_cycles: 64,
             scheme_config: SchemeConfig::default(),
+            recovery: ServeRecoveryConfig::default(),
         }
     }
 }
@@ -275,6 +318,64 @@ fn execute_chunk_parallel(
     Some(BatchExec { stats, completions, end_states, accepted, mode: ExecMode::ChunkParallel })
 }
 
+/// Which copy engine a transfer runs on.
+#[derive(Clone, Copy)]
+enum CopyDir {
+    H2d,
+    D2h,
+}
+
+/// The copy-channel fault context: the run's plan plus its retry/backoff
+/// budget, bundled so the retry scheduler takes one handle.
+struct CopyFaults<'a> {
+    plan: &'a FaultPlan,
+    rcfg: &'a ServeRecoveryConfig,
+}
+
+/// Schedules one logical copy, retrying failed attempts (per the fault
+/// plan, keyed on the batch index) with capped exponential backoff. Every
+/// attempt — failed or not — occupies its engine for the full transfer and
+/// is charged into `report.stats`, so the phase partition of engine-busy
+/// cycles stays exact. Returns the successful attempt's span, or `None`
+/// when the retry budget is exhausted.
+fn copy_with_retries(
+    timeline: &mut DeviceTimeline,
+    dir: CopyDir,
+    batch_idx: usize,
+    mut ready: u64,
+    stats: &KernelStats,
+    faults: &CopyFaults<'_>,
+    report: &mut ServeReport,
+) -> Option<Span> {
+    let domain = match dir {
+        CopyDir::H2d => FaultDomain::H2d,
+        CopyDir::D2h => FaultDomain::D2h,
+    };
+    let rcfg = faults.rcfg;
+    for attempt in 0..=rcfg.copy_max_retries {
+        let span = match dir {
+            CopyDir::H2d => timeline.h2d(ready, stats.cycles),
+            CopyDir::D2h => timeline.d2h(ready, stats.cycles),
+        };
+        report.stats.merge_sequential(stats);
+        if !faults.plan.copy_fails(domain, batch_idx as u64, attempt) {
+            return Some(span);
+        }
+        report.recovery.fault_cycles += span.duration();
+        if attempt < rcfg.copy_max_retries {
+            report.recovery.copy_retries += 1;
+            let wait = backoff_cycles(
+                rcfg.copy_backoff_base_cycles,
+                rcfg.copy_backoff_cap_cycles,
+                attempt,
+            );
+            report.recovery.fault_cycles += wait;
+            ready = span.end.saturating_add(wait);
+        }
+    }
+    None
+}
+
 /// Serves `trace` on `machines` under `cfg`, returning the full
 /// [`ServeReport`]. Fails up front (before any simulation) when the
 /// configuration is inconsistent, an arrival names an unknown machine, or a
@@ -307,6 +408,13 @@ pub fn serve(
 
     let n = arrivals.len();
     let depth = cfg.max_queue_depth;
+    // One fault plan drives both kernel-side and copy-engine injection; the
+    // zero plan never fails a copy, so the retry loops are exact no-ops
+    // without one.
+    let plan = cfg.scheme_config.faults.unwrap_or_default();
+    let rcfg = &cfg.recovery;
+    let copy_faults = CopyFaults { plan: &plan, rcfg };
+    let mut breaker_consecutive = 0u32;
     let mut timeline = DeviceTimeline::new(cfg.overlap);
     let mut report = ServeReport {
         policy: cfg.policy.name(),
@@ -316,6 +424,7 @@ pub fn serve(
         latencies: vec![0; n],
         end_states: vec![0; n],
         accepted: vec![false; n],
+        outcomes: vec![StreamOutcome::Served; n],
         ..ServeReport::default()
     };
     let mut kernel_latencies = vec![0u64; n];
@@ -337,6 +446,23 @@ pub fn serve(
     let mut next = 0usize;
     let mut batch_idx = 0usize;
     while next < n {
+        // Load shedding: a head-of-queue stream that already waited past
+        // the shedding deadline is dropped instead of dispatched — a
+        // structured outcome, not an error.
+        if rcfg.shed_wait_cycles > 0 {
+            let t = admit(next, &slot_release);
+            let wait = t - arrivals[next].arrival_cycle;
+            if wait > rcfg.shed_wait_cycles {
+                admit_cycle[next] = t;
+                slot_release[next] = t;
+                report.backpressure_events += 1;
+                report.backpressure_wait_cycles += wait;
+                report.outcomes[next] = StreamOutcome::ShedDeadline;
+                report.recovery.shed_streams += 1;
+                next += 1;
+                continue;
+            }
+        }
         let machine_id = arrivals[next].machine;
         let machine = &machines[machine_id];
         // Candidate cap: the policy's target, never beyond the queue depth
@@ -392,56 +518,140 @@ pub fn serve(
         }
         debug_assert!(count > 0, "a batch always takes at least the head stream");
 
-        // Schedule the three pipeline operations.
+        // Schedule the three pipeline operations. Copies retry under the
+        // fault plan; a batch whose retry budget runs out is abandoned and
+        // its streams shed (no result, no `BatchRecord`).
         let h2d_stats = transfer_stats(spec, bytes);
         let d2h_stats = transfer_stats(spec, cfg.d2h_bytes_per_stream * count);
         let h2d_ready = t_close.max(buffer_free[batch_idx % 2]);
-        let h2d = timeline.h2d(h2d_ready, h2d_stats.cycles);
-        let streams: Vec<&[u8]> =
-            arrivals[next..next + count].iter().map(|a| a.bytes.as_slice()).collect();
-        let exec = execute_batch(spec, machine, &streams, cfg);
-        let compute = timeline.compute(h2d.end, exec.stats.cycles);
-        let d2h = timeline.d2h(compute.end, d2h_stats.cycles);
-        // The input buffer frees once the kernel has consumed it; batch
-        // `batch_idx + 2` reuses it.
-        buffer_free[batch_idx % 2] = compute.end;
-
-        // Account the batch.
-        report.stats.merge_sequential(&h2d_stats);
-        report.stats.merge_sequential(&exec.stats);
-        report.stats.merge_sequential(&d2h_stats);
-        for (i, k) in (next..next + count).enumerate() {
-            slot_release[k] = h2d.start;
-            let wait = admit_cycle[k] - arrivals[k].arrival_cycle;
-            if wait > 0 {
-                report.backpressure_events += 1;
-                report.backpressure_wait_cycles += wait;
+        let mut batch_failed = true;
+        match copy_with_retries(
+            &mut timeline,
+            CopyDir::H2d,
+            batch_idx,
+            h2d_ready,
+            &h2d_stats,
+            &copy_faults,
+            &mut report,
+        ) {
+            None => {
+                // Inputs never reached the device: the queue slot still
+                // frees when the first DMA attempt began, but the streams
+                // are shed and the staging buffer holds nothing.
+                for k in next..next + count {
+                    slot_release[k] = h2d_ready;
+                    let wait = admit_cycle[k] - arrivals[k].arrival_cycle;
+                    if wait > 0 {
+                        report.backpressure_events += 1;
+                        report.backpressure_wait_cycles += wait;
+                    }
+                    report.outcomes[k] = StreamOutcome::ShedCopyFailure;
+                    report.recovery.shed_streams += 1;
+                }
             }
-            report.latencies[k] = d2h.end - arrivals[k].arrival_cycle;
-            kernel_latencies[k] = compute.start + exec.completions[i] - arrivals[k].arrival_cycle;
-            report.end_states[k] = exec.end_states[i];
-            report.accepted[k] = exec.accepted[i];
+            Some(h2d) => {
+                let streams: Vec<&[u8]> =
+                    arrivals[next..next + count].iter().map(|a| a.bytes.as_slice()).collect();
+                let exec = execute_batch(spec, machine, &streams, cfg);
+                let compute = timeline.compute(h2d.end, exec.stats.cycles);
+                report.stats.merge_sequential(&exec.stats);
+                // The input buffer frees once the kernel has consumed it;
+                // batch `batch_idx + 2` reuses it.
+                buffer_free[batch_idx % 2] = compute.end;
+                for k in next..next + count {
+                    slot_release[k] = h2d.start;
+                    let wait = admit_cycle[k] - arrivals[k].arrival_cycle;
+                    if wait > 0 {
+                        report.backpressure_events += 1;
+                        report.backpressure_wait_cycles += wait;
+                    }
+                }
+                match copy_with_retries(
+                    &mut timeline,
+                    CopyDir::D2h,
+                    batch_idx,
+                    compute.end,
+                    &d2h_stats,
+                    &copy_faults,
+                    &mut report,
+                ) {
+                    None => {
+                        // The kernel ran but its results never reached the
+                        // host: the streams are shed with default entries.
+                        for k in next..next + count {
+                            report.outcomes[k] = StreamOutcome::ShedCopyFailure;
+                            report.recovery.shed_streams += 1;
+                        }
+                    }
+                    Some(d2h) => {
+                        batch_failed = false;
+                        for (i, k) in (next..next + count).enumerate() {
+                            report.latencies[k] = d2h.end - arrivals[k].arrival_cycle;
+                            kernel_latencies[k] =
+                                compute.start + exec.completions[i] - arrivals[k].arrival_cycle;
+                            report.end_states[k] = exec.end_states[i];
+                            report.accepted[k] = exec.accepted[i];
+                        }
+                        report.batches.push(BatchRecord {
+                            first_stream: next,
+                            streams: count,
+                            machine: machine_id,
+                            scheme: machine.scheme,
+                            mode: exec.mode,
+                            bytes,
+                            h2d,
+                            compute,
+                            d2h,
+                        });
+                    }
+                }
+            }
         }
-        report.batches.push(BatchRecord {
-            first_stream: next,
-            streams: count,
-            machine: machine_id,
-            scheme: machine.scheme,
-            mode: exec.mode,
-            bytes,
-            h2d,
-            compute,
-            d2h,
-        });
         next += count;
         batch_idx += 1;
+        if batch_failed {
+            report.recovery.failed_batches += 1;
+            breaker_consecutive += 1;
+            if rcfg.breaker_failure_threshold > 0
+                && breaker_consecutive >= rcfg.breaker_failure_threshold
+            {
+                // The breaker stays open for the rest of the trace: every
+                // not-yet-dispatched stream is shed without touching the
+                // device.
+                report.recovery.breaker_trips += 1;
+                for k in next..n {
+                    report.outcomes[k] = StreamOutcome::ShedBreakerOpen;
+                    report.recovery.shed_streams += 1;
+                }
+                break;
+            }
+        } else {
+            breaker_consecutive = 0;
+        }
     }
 
     report.makespan_cycles = timeline.horizon();
-    report.delivery = LatencySummary::from_latencies(&report.latencies);
-    report.kernel_latency = LatencySummary::from_latencies(&kernel_latencies);
+    // Latency summaries describe delivered results only; shed streams keep
+    // zeroed per-stream entries and are excluded here.
+    let served = |lat: &[u64], outcomes: &[StreamOutcome]| -> Vec<u64> {
+        lat.iter()
+            .zip(outcomes)
+            .filter(|(_, o)| **o == StreamOutcome::Served)
+            .map(|(l, _)| *l)
+            .collect()
+    };
+    report.delivery = LatencySummary::from_latencies(&served(&report.latencies, &report.outcomes));
+    report.kernel_latency =
+        LatencySummary::from_latencies(&served(&kernel_latencies, &report.outcomes));
     report.queue_depth = queue_depth_samples(&admit_cycle, &slot_release);
     report.overlap_efficiency_permille = overlap_efficiency(&report.batches);
+    // Fold the kernel-side fault counters (accumulated through the stats
+    // merges) into the recovery report; copy-side counters are already
+    // there.
+    report.recovery.block_retries = report.stats.fault_retries;
+    report.recovery.watchdog_kills = report.stats.fault_watchdog_kills;
+    report.recovery.degraded_blocks = report.stats.fault_degraded_blocks;
+    report.recovery.fault_cycles += report.stats.fault_cycles;
     Ok(report)
 }
 

@@ -69,6 +69,68 @@ impl LatencySummary {
     }
 }
 
+/// What ultimately happened to one admitted stream. Shedding is a
+/// *structured outcome*, not an error: the pipeline keeps serving the rest
+/// of the trace and the report says exactly which streams were dropped and
+/// why.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StreamOutcome {
+    /// The stream's result reached the host.
+    #[default]
+    Served,
+    /// Shed at dispatch: the stream waited in the admission queue longer
+    /// than the configured shedding deadline.
+    ShedDeadline,
+    /// Shed because the stream's batch exhausted its copy retry budget (on
+    /// either the input or the result transfer).
+    ShedCopyFailure,
+    /// Shed because the circuit breaker was open when the stream would have
+    /// dispatched (too many consecutive batch failures).
+    ShedBreakerOpen,
+}
+
+impl StreamOutcome {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamOutcome::Served => "served",
+            StreamOutcome::ShedDeadline => "shed_deadline",
+            StreamOutcome::ShedCopyFailure => "shed_copy_failure",
+            StreamOutcome::ShedBreakerOpen => "shed_breaker_open",
+        }
+    }
+}
+
+/// Everything the run's fault handling did, in one machine-readable block.
+///
+/// Kernel-side counters (`block_retries`, `watchdog_kills`,
+/// `degraded_blocks`) are folded out of the merged [`KernelStats`]; the
+/// copy / shedding / breaker counters come from the pipeline itself. Like
+/// the rest of the report it is integer-valued and bit-identical across
+/// host thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Kernel block launches retried after an injected abort or watchdog
+    /// kill.
+    pub block_retries: u64,
+    /// Kernel blocks killed by the watchdog budget.
+    pub watchdog_kills: u64,
+    /// Kernel blocks that exhausted their retry budget (or tripped the
+    /// misspeculation ladder) and degraded to a sequential re-exec.
+    pub degraded_blocks: u64,
+    /// Host↔device copy attempts retried after an injected failure.
+    pub copy_retries: u64,
+    /// Batches abandoned after the copy retry budget ran out.
+    pub failed_batches: u64,
+    /// Streams shed for any reason (deadline, copy failure, open breaker).
+    pub shed_streams: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Cycles lost to fault handling: kernel-side recovery overhead plus
+    /// failed copy attempts and their backoff waits.
+    pub fault_cycles: u64,
+}
+
 /// One dispatched batch on the serve timeline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchRecord {
@@ -137,6 +199,12 @@ pub struct ServeReport {
     /// permille (0–1000). 0 when overlap is disabled or there is nothing to
     /// hide behind; approaches 1000 when every copy is fully hidden.
     pub overlap_efficiency_permille: u64,
+    /// Per-stream fate, admission order. Shed streams keep default entries
+    /// in `latencies` / `end_states` / `accepted` and are excluded from the
+    /// latency summaries.
+    pub outcomes: Vec<StreamOutcome>,
+    /// Aggregate fault-handling activity (all zeros on a fault-free run).
+    pub recovery: RecoveryReport,
 }
 
 impl ServeReport {
@@ -154,11 +222,16 @@ impl ServeReport {
         self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
     }
 
+    /// Streams whose results reached the host.
+    pub fn served_streams(&self) -> usize {
+        self.outcomes.iter().filter(|o| **o == StreamOutcome::Served).count()
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
             "{} overlap={} streams={} batches={} makespan={}cy p50={} p95={} p99={} max={} \
-             {:.4}B/cy transfer={}cy overlap_eff={}‰ backpressure={}",
+             {:.4}B/cy transfer={}cy overlap_eff={}‰ backpressure={} shed={}",
             self.policy,
             self.overlap,
             self.streams,
@@ -172,6 +245,7 @@ impl ServeReport {
             self.stats.profile.get(gspecpal_gpu::Phase::Transfer).cycles,
             self.overlap_efficiency_permille,
             self.backpressure_events,
+            self.recovery.shed_streams,
         )
     }
 }

@@ -18,6 +18,11 @@ pub struct StreamArrival {
     pub bytes: Vec<u8>,
 }
 
+/// The largest admissible arrival cycle for [`Trace::try_from_arrivals`]:
+/// a quarter of the clock space, leaving ample headroom for deadline,
+/// latency and backoff arithmetic on top of any admissible arrival.
+pub const MAX_ARRIVAL_CYCLE: u64 = u64::MAX / 4;
+
 /// A time-ordered arrival trace.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
@@ -31,6 +36,40 @@ impl Trace {
     pub fn from_arrivals(mut arrivals: Vec<StreamArrival>) -> Self {
         arrivals.sort_by_key(|a| a.arrival_cycle);
         Trace { arrivals }
+    }
+
+    /// Builds a trace from arrivals that must already be a valid history:
+    /// arrival cycles non-decreasing, every cycle at most
+    /// [`MAX_ARRIVAL_CYCLE`], and no zero-length stream. Unlike
+    /// [`Trace::from_arrivals`] this never reorders — an out-of-order
+    /// timestamp in a captured log is evidence of a broken capture, not
+    /// something to silently repair.
+    pub fn try_from_arrivals(
+        arrivals: Vec<StreamArrival>,
+    ) -> Result<Self, crate::error::ServeError> {
+        use crate::error::ServeError;
+        let mut prev = 0u64;
+        for (i, a) in arrivals.iter().enumerate() {
+            if a.arrival_cycle > MAX_ARRIVAL_CYCLE {
+                return Err(ServeError::ArrivalOverflow {
+                    stream: i,
+                    cycle: a.arrival_cycle,
+                    max: MAX_ARRIVAL_CYCLE,
+                });
+            }
+            if a.arrival_cycle < prev {
+                return Err(ServeError::NonMonotonicTrace {
+                    stream: i,
+                    cycle: a.arrival_cycle,
+                    prev,
+                });
+            }
+            if a.bytes.is_empty() {
+                return Err(ServeError::EmptyStream { stream: i });
+            }
+            prev = a.arrival_cycle;
+        }
+        Ok(Trace { arrivals })
     }
 
     /// The arrivals, in admission order.
@@ -60,6 +99,13 @@ impl Trace {
     ///
     /// The generator is a bare 64-bit LCG keyed only by `seed` — same seed,
     /// same trace, on every platform and every run.
+    ///
+    /// # Panics
+    ///
+    /// On degenerate generator parameters (`n_machines == 0`, an empty
+    /// `alphabet`, or an empty `len_range`) — these are programming errors
+    /// in test/bench setup, not runtime inputs, so they stay asserts rather
+    /// than [`crate::ServeError`]s.
     pub fn synthetic(
         seed: u64,
         n_streams: usize,
@@ -147,6 +193,58 @@ mod tests {
         assert!(a.arrivals().iter().all(|s| (8..64).contains(&s.bytes.len())));
         assert!(a.arrivals().iter().all(|s| s.machine < 3));
         assert!(a.arrivals().iter().all(|s| s.bytes.iter().all(|b| b"01".contains(b))));
+    }
+
+    #[test]
+    fn try_from_arrivals_rejects_non_monotonic_traces() {
+        use crate::error::ServeError;
+        let err = Trace::try_from_arrivals(vec![
+            StreamArrival { arrival_cycle: 5, machine: 0, bytes: vec![1] },
+            StreamArrival { arrival_cycle: 3, machine: 0, bytes: vec![2] },
+        ])
+        .unwrap_err();
+        assert_eq!(err, ServeError::NonMonotonicTrace { stream: 1, cycle: 3, prev: 5 });
+    }
+
+    #[test]
+    fn try_from_arrivals_rejects_overflowing_cycles() {
+        use crate::error::ServeError;
+        let err = Trace::try_from_arrivals(vec![StreamArrival {
+            arrival_cycle: u64::MAX,
+            machine: 0,
+            bytes: vec![1],
+        }])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ArrivalOverflow {
+                stream: 0,
+                cycle: u64::MAX,
+                max: super::MAX_ARRIVAL_CYCLE
+            }
+        );
+    }
+
+    #[test]
+    fn try_from_arrivals_rejects_empty_streams() {
+        use crate::error::ServeError;
+        let err = Trace::try_from_arrivals(vec![
+            StreamArrival { arrival_cycle: 0, machine: 0, bytes: vec![1] },
+            StreamArrival { arrival_cycle: 1, machine: 0, bytes: vec![] },
+        ])
+        .unwrap_err();
+        assert_eq!(err, ServeError::EmptyStream { stream: 1 });
+    }
+
+    #[test]
+    fn try_from_arrivals_accepts_valid_histories() {
+        let t = Trace::try_from_arrivals(vec![
+            StreamArrival { arrival_cycle: 0, machine: 0, bytes: vec![1] },
+            StreamArrival { arrival_cycle: 0, machine: 1, bytes: vec![2] },
+            StreamArrival { arrival_cycle: 9, machine: 0, bytes: vec![3] },
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 3, "equal-cycle bursts are valid and keep their order");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use gspecpal::config::{SchemeConfig, StitchPolicy};
 use gspecpal::run::SchemeKind;
 use gspecpal::schemes::{run_scheme, Job};
 use gspecpal::table::DeviceTable;
+use gspecpal::{FaultPlan, RecoveryConfig};
 use gspecpal_fsm::random::{random_dfa, random_input};
 use gspecpal_fsm::{Dfa, FrequencyProfile};
 use gspecpal_gpu::DeviceSpec;
@@ -71,6 +72,130 @@ proptest! {
         // ~24 verification chunks per block).
         for n_chunks in [1usize, 2, 7, 31, 64, 150] {
             check_all(&d, &table, &input, n_chunks.min(input.len()), &spec);
+        }
+    }
+}
+
+/// Chaos leg: every scheme under both stitch policies with a seeded fault
+/// plan must still agree bit-for-bit with the sequential reference — faults
+/// only ever add cycles (charged to `Phase::Recovery`), never change
+/// answers — and the per-phase cycle split must stay an exact partition of
+/// the total.
+fn check_all_chaos(
+    d: &Dfa,
+    table: &DeviceTable<'_>,
+    input: &[u8],
+    n_chunks: usize,
+    spec: &DeviceSpec,
+    plan: FaultPlan,
+    recovery: RecoveryConfig,
+) {
+    let truth_end = d.run(input);
+    for policy in [StitchPolicy::Sequential, StitchPolicy::Tree] {
+        let clean_config = SchemeConfig {
+            n_chunks,
+            count_matches: true,
+            stitch: policy,
+            ..SchemeConfig::default()
+        };
+        let chaos_config = SchemeConfig { faults: Some(plan), recovery, ..clean_config };
+        let clean_job = Job::new(spec, table, input, clean_config).unwrap();
+        let chaos_job = Job::new(spec, table, input, chaos_config).unwrap();
+        let reference = run_scheme(SchemeKind::Sequential, &clean_job);
+        assert_eq!(reference.end_state, truth_end);
+        for kind in SchemeKind::all() {
+            let clean = run_scheme(kind, &clean_job);
+            let out = run_scheme(kind, &chaos_job);
+            let ctx = format!("{kind:?} / {policy:?} / n_chunks={n_chunks} / {plan:?}");
+            assert_eq!(out.end_state, reference.end_state, "end state: {ctx}");
+            assert_eq!(out.accepted, reference.accepted, "accept bit: {ctx}");
+            assert_eq!(out.chunk_ends, reference.chunk_ends, "chunk ends: {ctx}");
+            assert_eq!(out.match_count, reference.match_count, "match count: {ctx}");
+            // Aborts/watchdogs only ever add cycles. Corruption can shift
+            // the verification path itself (a skewed block incoming may by
+            // luck match where the clean one missed), so the monotonicity
+            // claim only holds for non-corrupting plans.
+            if plan.corrupt_permille == 0 {
+                assert!(
+                    out.total_cycles() >= clean.total_cycles(),
+                    "faults only add cycles: {ctx} ({} < {})",
+                    out.total_cycles(),
+                    clean.total_cycles(),
+                );
+            }
+            let profile = out.phase_profile();
+            assert_eq!(
+                profile.total_cycles(),
+                out.total_cycles(),
+                "phase cycles must partition the total exactly: {ctx}"
+            );
+            assert!(
+                profile.get(gspecpal_gpu::Phase::Recovery).cycles >= out.fault_cycles(),
+                "fault overhead is charged inside Phase::Recovery: {ctx}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn schemes_survive_random_fault_plans(
+        seed in 0u64..1_000_000,
+        fault_seed in 0u64..1_000_000,
+        n_states in 2u32..16,
+        n_classes in 1u16..6,
+        len in 64usize..384,
+        rate in prop_oneof![Just(10u32), Just(100u32), Just(500u32)],
+        watchdog in prop_oneof![Just(0u64), Just(1u64), Just(50_000u64)],
+        max_retries in 0u32..4,
+    ) {
+        let d = random_dfa(seed, n_states, n_classes);
+        let input = random_input(seed, len);
+        let table = DeviceTable::transformed(&d, d.n_states());
+        let spec = DeviceSpec::test_unit();
+        let plan = FaultPlan { watchdog_cycles: watchdog, ..FaultPlan::chaos(fault_seed, rate) };
+        let recovery = RecoveryConfig { max_retries, ..RecoveryConfig::default() };
+        for n_chunks in [1usize, 7, 64, 150] {
+            check_all_chaos(&d, &table, &input, n_chunks.min(input.len()), &spec, plan, recovery);
+        }
+    }
+}
+
+/// Chaos runs are bit-identical at every rayon pool size: the fault overlay
+/// is a pure function of the plan and launch coordinates, never of thread
+/// scheduling.
+#[test]
+fn chaos_outcomes_are_pool_size_invariant() {
+    let spec = DeviceSpec::test_unit();
+    let d = random_dfa(13, 10, 4);
+    let input = random_input(13, 4096);
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let config = SchemeConfig {
+        n_chunks: 1024,
+        count_matches: true,
+        faults: Some(FaultPlan { watchdog_cycles: 20_000, ..FaultPlan::chaos(99, 200) }),
+        ..SchemeConfig::default()
+    };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    for kind in SchemeKind::all() {
+        let reference = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| run_scheme(kind, &job));
+        for threads in [2usize, 4, 8] {
+            let out = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| run_scheme(kind, &job));
+            let ctx = format!("{kind:?} / {threads} threads");
+            assert_eq!(out.end_state, reference.end_state, "{ctx}");
+            assert_eq!(out.chunk_ends, reference.chunk_ends, "{ctx}");
+            assert_eq!(out.predict, reference.predict, "predict stats: {ctx}");
+            assert_eq!(out.execute, reference.execute, "execute stats: {ctx}");
+            assert_eq!(out.verify, reference.verify, "verify stats: {ctx}");
         }
     }
 }

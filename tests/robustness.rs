@@ -127,3 +127,68 @@ proptest! {
         }
     }
 }
+
+/// A zero retry budget means a struck block degrades to its sequential
+/// re-exec immediately — no retries, answers still exact.
+#[test]
+fn zero_retry_budget_degrades_immediately_and_stays_exact() {
+    use gspecpal::{FaultPlan, RecoveryConfig};
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let input = random_input(3, 2048);
+    let config = SchemeConfig {
+        n_chunks: 256,
+        faults: Some(FaultPlan { abort_permille: 1000, ..FaultPlan::default() }),
+        recovery: RecoveryConfig { max_retries: 0, ..RecoveryConfig::default() },
+        ..SchemeConfig::default()
+    };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    let truth = d.run(&input);
+    for kind in [SchemeKind::Naive, SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf]
+    {
+        let out = run_scheme(kind, &job);
+        assert_eq!(out.end_state, truth, "{kind:?}");
+        assert_eq!(out.fault_retries(), 0, "{kind:?}: no budget, no retries");
+        assert!(out.fault_degraded_blocks() > 0, "{kind:?}: every struck block degrades");
+        let profile = out.phase_profile();
+        assert_eq!(profile.total_cycles(), out.total_cycles(), "{kind:?}: exact partition");
+    }
+}
+
+/// A watchdog budget smaller than a single block round kills every attempt;
+/// after the retry budget the block degrades — and stays exact.
+#[test]
+fn watchdog_below_one_round_degrades_every_block_and_stays_exact() {
+    use gspecpal::{FaultPlan, RecoveryConfig};
+    let d = div7();
+    let spec = DeviceSpec::test_unit();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let input = random_input(4, 2048);
+    let config = SchemeConfig {
+        n_chunks: 256,
+        faults: Some(FaultPlan { watchdog_cycles: 1, ..FaultPlan::default() }),
+        recovery: RecoveryConfig { max_retries: 2, ..RecoveryConfig::default() },
+        ..SchemeConfig::default()
+    };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    let truth = d.run(&input);
+    for kind in [SchemeKind::Naive, SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf]
+    {
+        let out = run_scheme(kind, &job);
+        assert_eq!(out.end_state, truth, "{kind:?}");
+        assert!(out.fault_watchdog_kills() > 0, "{kind:?}: every attempt dies");
+        assert!(out.fault_degraded_blocks() > 0, "{kind:?}: budgets exhaust");
+        assert_eq!(
+            out.fault_watchdog_kills(),
+            3 * out.fault_degraded_blocks(),
+            "{kind:?}: each degraded block burned initial + 2 retry attempts"
+        );
+        let profile = out.phase_profile();
+        assert_eq!(profile.total_cycles(), out.total_cycles(), "{kind:?}: exact partition");
+        assert!(
+            profile.get(gspecpal_gpu::Phase::Recovery).cycles >= out.fault_cycles(),
+            "{kind:?}: fault overhead lives in Phase::Recovery"
+        );
+    }
+}

@@ -207,3 +207,171 @@ fn long_streams_pick_chunk_parallel_execution() {
     assert_eq!(report.batches[0].mode, ExecMode::ChunkParallel);
     assert_eq!(report.end_states[0], dfa.run(&long));
 }
+
+#[test]
+fn chaos_serving_stays_exact_for_served_streams_and_reports_recovery() {
+    use gspecpal::FaultPlan;
+    use gspecpal::SchemeConfig;
+    use gspecpal_serve::StreamOutcome;
+
+    let spec = DeviceSpec::test_unit();
+    let dfa = div7();
+    let m = machine(&spec, &dfa);
+    // Mix short streams (stream-parallel batches) with long ones
+    // (chunk-parallel batches, which exercise the kernel-side fault
+    // overlay) so both injection surfaces are hit.
+    let mut arrivals: Vec<StreamArrival> = (0..12)
+        .map(|i| StreamArrival {
+            arrival_cycle: i * 20,
+            machine: 0,
+            bytes: b"10".repeat(25 + i as usize),
+        })
+        .collect();
+    arrivals.push(StreamArrival { arrival_cycle: 300, machine: 0, bytes: b"110101".repeat(400) });
+    let trace = Trace::from_arrivals(arrivals);
+    let chaos_cfg = ServeConfig {
+        policy: BatchPolicy::Fifo { batch: 3 },
+        scheme_config: SchemeConfig {
+            faults: Some(FaultPlan { copy_fail_permille: 400, ..FaultPlan::chaos(5, 150) }),
+            ..SchemeConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let report = serve(&spec, std::slice::from_ref(&m), &trace, &chaos_cfg).unwrap();
+    // Shedding is a structured outcome: whatever was served is exact.
+    let mut served = 0;
+    for (i, a) in trace.arrivals().iter().enumerate() {
+        if report.outcomes[i] == StreamOutcome::Served {
+            served += 1;
+            assert_eq!(report.end_states[i], dfa.run(&a.bytes), "served stream {i}");
+        }
+    }
+    assert!(served > 0, "a 15% fault rate with retries must serve most streams");
+    assert_eq!(report.served_streams(), served);
+    assert_eq!(
+        report.recovery.shed_streams as usize + served,
+        trace.len(),
+        "every stream is either served or accounted shed"
+    );
+    // A 40% copy-fault rate over ~10 copies must retry at least once, and
+    // the kernel-side overlay must have charged something on the long
+    // chunk-parallel stream.
+    assert!(report.recovery.copy_retries > 0, "{:?}", report.recovery);
+    assert!(report.recovery.fault_cycles > 0, "{:?}", report.recovery);
+    // The engine-busy phase partition survives retries and recovery.
+    assert_eq!(report.stats.profile.total_cycles(), report.stats.cycles);
+}
+
+#[test]
+fn chaos_reports_are_bit_identical_across_rayon_pools() {
+    use gspecpal::FaultPlan;
+    use gspecpal::SchemeConfig;
+
+    let spec = DeviceSpec::test_unit();
+    let dfa = div7();
+    let dfa2 = mod_counter(5, &[0, 2]);
+    let mut trace_arrivals: Vec<StreamArrival> =
+        Trace::synthetic(17, 20, 2, 40, 8..120, b"01").arrivals().to_vec();
+    trace_arrivals.push(StreamArrival {
+        arrival_cycle: 2_000,
+        machine: 0,
+        bytes: b"110101".repeat(400),
+    });
+    let trace = Trace::from_arrivals(trace_arrivals);
+    let cfg = ServeConfig {
+        policy: BatchPolicy::Fifo { batch: 4 },
+        scheme_config: SchemeConfig {
+            faults: Some(FaultPlan { watchdog_cycles: 50_000, ..FaultPlan::chaos(23, 120) }),
+            ..SchemeConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let run = |workers: usize| {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+        pool.install(|| {
+            let machines = [machine(&spec, &dfa), machine(&spec, &dfa2)];
+            serve(&spec, &machines, &trace, &cfg).unwrap()
+        })
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one, four, "chaos reports must not depend on the host pool");
+    assert_eq!(one.recovery, four.recovery);
+}
+
+#[test]
+fn full_copy_failure_trips_the_breaker_and_the_report_says_so() {
+    use gspecpal::FaultPlan;
+    use gspecpal::SchemeConfig;
+    use gspecpal_serve::{ServeRecoveryConfig, StreamOutcome};
+
+    let spec = DeviceSpec::test_unit();
+    let dfa = div7();
+    let m = machine(&spec, &dfa);
+    // 8 streams in batches of 2 = a multi-batch trace; every copy attempt
+    // fails, so every batch exhausts its retries.
+    let trace = Trace::from_arrivals(
+        (0..8)
+            .map(|i| StreamArrival { arrival_cycle: i * 10, machine: 0, bytes: b"10".repeat(20) })
+            .collect(),
+    );
+    let plan = FaultPlan { copy_fail_permille: 1000, ..FaultPlan::default() };
+    let cfg = ServeConfig {
+        policy: BatchPolicy::Fifo { batch: 2 },
+        scheme_config: SchemeConfig { faults: Some(plan), ..SchemeConfig::default() },
+        recovery: ServeRecoveryConfig {
+            breaker_failure_threshold: 2,
+            ..ServeRecoveryConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let report = serve(&spec, &[m], &trace, &cfg).unwrap();
+    assert_eq!(report.recovery.breaker_trips, 1, "{:?}", report.recovery);
+    assert_eq!(report.recovery.failed_batches, 2, "two strikes open the breaker");
+    // 2 failed batches × (2 retries of the H2D copy) each.
+    assert_eq!(report.recovery.copy_retries, 4);
+    assert!(report.batches.is_empty(), "no batch ever completed");
+    assert_eq!(report.served_streams(), 0);
+    assert_eq!(report.recovery.shed_streams, 8, "every stream is shed, none lost");
+    assert_eq!(&report.outcomes[..4], &[StreamOutcome::ShedCopyFailure; 4]);
+    assert_eq!(&report.outcomes[4..], &[StreamOutcome::ShedBreakerOpen; 4]);
+    // No delivered results: the summaries describe the empty served set.
+    assert_eq!(report.delivery, gspecpal_serve::LatencySummary::default());
+}
+
+#[test]
+fn deadline_shedding_drops_overdue_streams_as_structured_outcomes() {
+    use gspecpal_serve::{ServeRecoveryConfig, StreamOutcome};
+
+    let spec = DeviceSpec::test_unit();
+    let dfa = div7();
+    let m = machine(&spec, &dfa);
+    // A burst into a 1-deep queue: every later stream waits on its
+    // predecessor's dispatch, blowing through a tight shedding deadline.
+    let trace = Trace::from_arrivals(
+        (0..6)
+            .map(|_| StreamArrival { arrival_cycle: 0, machine: 0, bytes: b"10".repeat(30) })
+            .collect(),
+    );
+    let cfg = ServeConfig {
+        policy: BatchPolicy::Fifo { batch: 1 },
+        max_queue_depth: 1,
+        recovery: ServeRecoveryConfig { shed_wait_cycles: 1, ..ServeRecoveryConfig::default() },
+        ..ServeConfig::default()
+    };
+    let report = serve(&spec, std::slice::from_ref(&m), &trace, &cfg).unwrap();
+    let shed = report.outcomes.iter().filter(|o| **o == StreamOutcome::ShedDeadline).count();
+    assert!(shed > 0, "the tight deadline must shed overdue streams: {:?}", report.outcomes);
+    assert!(report.served_streams() > 0, "the head of the burst is always served");
+    assert_eq!(report.recovery.shed_streams as usize, shed);
+    for (i, a) in trace.arrivals().iter().enumerate() {
+        if report.outcomes[i] == StreamOutcome::Served {
+            assert_eq!(report.end_states[i], dfa.run(&a.bytes), "served stream {i}");
+        }
+    }
+    // Without shedding the same squeeze serves everything.
+    let patient = ServeConfig { recovery: ServeRecoveryConfig::default(), ..cfg };
+    let report = serve(&spec, &[m], &trace, &patient).unwrap();
+    assert_eq!(report.served_streams(), 6);
+    assert_eq!(report.recovery.shed_streams, 0);
+}
