@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run --release -p gspecpal-bench --bin perfdump -- \
 //!     [--input-kb N] [--seed S] [--chunks N] [--device rtx3090|a100] \
-//!     [--out DIR] [--write-baseline] [--check DIR] [--inflate-percent P]
+//!     [--out DIR] [--write-baseline] [--check DIR] [--inflate-percent P] \
+//!     [--hostperf [STREAMS]]
 //! ```
 //!
 //! - `--out DIR` (default `.`): where the reports are written.
@@ -18,13 +19,19 @@
 //!   regressed by more than the gate tolerance or a baseline is missing.
 //! - `--inflate-percent P`: inflate each report's headline total by `P`%
 //!   before writing/checking — the CI self-test that proves the gate trips.
+//! - `--hostperf [STREAMS]`: additionally run the host-throughput
+//!   experiment (default one million streams through the streaming serve
+//!   engine in bounded-memory mode) and write `BENCH_hostperf.json`. The
+//!   report carries wall-clock numbers, so it is never part of `--check` —
+//!   CI keeps it as a warn-only artifact.
 
 use gspecpal_bench::perf::{
-    ablation_json, chaos_json, extract_total_cycles, fig8_json, inflate_total, motivation_json,
-    regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
+    ablation_json, chaos_json, extract_total_cycles, fig8_json, hostperf_json, inflate_total,
+    motivation_json, regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
 };
 use gspecpal_bench::{
-    run_ablation, run_chaos, run_fig8, run_motivation, run_serve, ExperimentConfig,
+    run_ablation, run_chaos, run_fig8, run_motivation, run_serve, throughput_exp, ExperimentConfig,
+    HostPerfConfig,
 };
 
 fn main() {
@@ -37,6 +44,7 @@ fn main() {
     let mut write_baseline = false;
     let mut check_dir: Option<String> = None;
     let mut inflate_percent = 0u64;
+    let mut hostperf_streams: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -76,6 +84,16 @@ fn main() {
             "--inflate-percent" => {
                 i += 1;
                 inflate_percent = args[i].parse().expect("--inflate-percent takes a number");
+            }
+            "--hostperf" => {
+                // Optional stream-count operand; defaults to a million.
+                hostperf_streams = match args.get(i + 1).and_then(|a| a.parse().ok()) {
+                    Some(n) => {
+                        i += 1;
+                        Some(n)
+                    }
+                    None => Some(1_000_000),
+                };
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -141,6 +159,24 @@ fn main() {
                 failed = true;
             }
         }
+    }
+    // The host-throughput experiment runs after the gated reports: it is
+    // wall-clock (machine-dependent), so its report is written but never
+    // checked against a baseline.
+    if let Some(streams) = hostperf_streams {
+        let hcfg = HostPerfConfig { streams, device: cfg.device.clone(), ..Default::default() };
+        eprintln!("[hostperf: {streams} streams through the streaming serve engine]");
+        let hreport = throughput_exp(&hcfg);
+        let path = format!("{out_dir}/BENCH_hostperf.json");
+        std::fs::write(&path, hostperf_json(&hcfg, &hreport).render()).expect("write report");
+        println!(
+            "hostperf: {:.0} streams/s, {:.1} MiB/s, peak RSS {} KiB, \
+             makespan {} cycles [wrote {path}]",
+            hreport.streams_per_sec,
+            hreport.mbytes_per_sec,
+            hreport.peak_rss_kb.unwrap_or(0),
+            hreport.makespan_cycles,
+        );
     }
     eprintln!("[perfdump finished in {:.1}s]", t0.elapsed().as_secs_f64());
     if failed {

@@ -10,6 +10,7 @@ pub mod chaos_exp;
 pub mod csv;
 pub mod experiments;
 pub mod extras;
+pub mod hostperf;
 pub mod perf;
 pub mod report;
 pub mod serve_exp;
@@ -23,4 +24,5 @@ pub use extras::{
     run_budget_ablation, run_cpu_scaling, run_device_sensitivity, run_model_validation,
     run_motivation,
 };
+pub use hostperf::{peak_rss_kb, throughput_exp, HostPerfConfig, HostPerfReport};
 pub use serve_exp::{run_serve, ServeExperimentReport, ServeRunSummary};

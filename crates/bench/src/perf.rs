@@ -32,6 +32,7 @@ use gspecpal_gpu::{PhaseCounters, PhaseProfile};
 use crate::chaos_exp::ChaosExperimentReport;
 use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
 use crate::extras::MotivationReport;
+use crate::hostperf::{HostPerfConfig, HostPerfReport};
 use crate::serve_exp::ServeExperimentReport;
 
 /// Version stamped into every report; bump on any schema change.
@@ -333,6 +334,50 @@ pub fn chaos_json(cfg: &ExperimentConfig, r: &ChaosExperimentReport) -> Json {
     fields.push(("clean_total_cycles", Json::U64(r.total_clean_cycles())));
     fields.push(("runs", Json::Arr(runs)));
     obj(fields)
+}
+
+/// Builds the `hostperf` report: host wall-clock throughput of the
+/// streaming serve engine over a million-stream synthetic workload, plus
+/// the deterministic simulation outputs and the peak-RSS bounded-memory
+/// evidence. Unlike every other report this one carries wall-clock fields,
+/// so it is a warn-only CI artifact, never a gated baseline — which is
+/// also why it has no headline `total_cycles`.
+pub fn hostperf_json(cfg: &HostPerfConfig, r: &HostPerfReport) -> Json {
+    obj(vec![
+        ("schema_version", Json::U64(SCHEMA_VERSION)),
+        ("experiment", Json::Str("hostperf".to_string())),
+        (
+            "config",
+            obj(vec![
+                ("streams", Json::U64(cfg.streams as u64)),
+                ("seed", Json::U64(cfg.seed)),
+                ("mean_gap", Json::U64(cfg.mean_gap)),
+                ("len_min", Json::U64(cfg.len_range.start as u64)),
+                ("len_max", Json::U64(cfg.len_range.end as u64)),
+                ("device", Json::Str(cfg.device.name.to_string())),
+            ]),
+        ),
+        ("streams", Json::U64(r.streams)),
+        ("total_bytes", Json::U64(r.total_bytes)),
+        ("makespan_cycles", Json::U64(r.makespan_cycles)),
+        ("busy_cycles", Json::U64(r.busy_cycles)),
+        ("batches", Json::U64(r.batches)),
+        (
+            "delivery_latency",
+            obj(vec![
+                ("p50", Json::U64(r.delivery.p50)),
+                ("p95", Json::U64(r.delivery.p95)),
+                ("p99", Json::U64(r.delivery.p99)),
+                ("max", Json::U64(r.delivery.max)),
+                ("error_permille", Json::U64(r.latency_error_permille)),
+            ]),
+        ),
+        ("peak_queue_depth", Json::U64(r.peak_queue)),
+        ("wall_ms", Json::U64(r.wall_ms)),
+        ("streams_per_sec", Json::F64(r.streams_per_sec)),
+        ("mbytes_per_sec", Json::F64(r.mbytes_per_sec)),
+        ("peak_rss_kb", Json::U64(r.peak_rss_kb.unwrap_or(0))),
+    ])
 }
 
 /// Scales a report's headline `total_cycles` by `(100 + percent) / 100`

@@ -107,13 +107,13 @@ impl FaultPlan {
 
     /// Whether attempt `attempt` of block `block` in `domain` aborts.
     pub fn aborts(&self, domain: FaultDomain, block: usize, attempt: u32) -> bool {
-        self.hits(self.abort_permille, domain, block as u64, attempt)
+        self.hits(self.abort_permille, domain, fault_coord(block), attempt)
     }
 
     /// How far through the block (permille of its cycles, 0–999) an abort at
     /// these coordinates strikes — the wasted fraction of the attempt.
     pub fn abort_point_permille(&self, domain: FaultDomain, block: usize, attempt: u32) -> u64 {
-        self.roll(domain, (block as u64).rotate_left(23), attempt ^ 0x5A5A) % 1000
+        self.roll(domain, fault_coord(block).rotate_left(23), attempt ^ 0x5A5A) % 1000
     }
 
     /// Whether attempt `attempt` of copy `copy_id` in `domain` fails
@@ -124,7 +124,7 @@ impl FaultPlan {
 
     /// Whether chunk `chunk`'s verification records are corrupted.
     pub fn corrupts(&self, chunk: usize) -> bool {
-        self.hits(self.corrupt_permille, FaultDomain::Corrupt, chunk as u64, 0)
+        self.hits(self.corrupt_permille, FaultDomain::Corrupt, fault_coord(chunk), 0)
     }
 
     /// Checks a block attempt against the watchdog budget: a block that ran
@@ -137,6 +137,18 @@ impl FaultPlan {
             None
         }
     }
+}
+
+/// Widens a host-side index (block, batch, chunk) into a fault-plan
+/// coordinate. Every fault decision must key on the *exact* index: a lossy
+/// narrowing cast here would alias distant coordinates (e.g. batch
+/// `2^32 + 5` rolling the same fault as batch `5`) and silently correlate
+/// injected faults on huge runs. `usize` is at most 64 bits on every
+/// platform Rust supports, so the conversion is infallible today; the
+/// `try_from` documents the invariant and turns any future violation into a
+/// loud panic instead of silent aliasing.
+pub fn fault_coord(index: usize) -> u64 {
+    u64::try_from(index).expect("usize fault coordinates must fit in u64")
 }
 
 /// Capped exponential backoff before retry `attempt` (0-based):
@@ -226,6 +238,31 @@ mod tests {
         assert_eq!(err, LaunchError::WatchdogExpired { block: 4, cycles: 101, budget: 100 });
         let off = FaultPlan::default();
         assert_eq!(off.watchdog_violation(0, u64::MAX), None, "0 disables the watchdog");
+    }
+
+    #[test]
+    fn wide_coordinates_do_not_alias_small_ones() {
+        // A >32-bit coordinate must not roll like its low 32 bits: if any
+        // conversion on the fault path truncated, batch 2^32 + 5 would fault
+        // exactly like batch 5 and chaos runs on huge traces would inject
+        // correlated faults.
+        let plan = FaultPlan::chaos(42, 500);
+        let small = 5usize;
+        let wide = (1usize << 32) + 5;
+        assert_eq!(fault_coord(wide), (1u64 << 32) + 5);
+        for domain in [FaultDomain::Exec, FaultDomain::Verify, FaultDomain::H2d] {
+            for attempt in 0..4 {
+                assert_ne!(
+                    plan.roll(domain, fault_coord(small), attempt),
+                    plan.roll(domain, fault_coord(wide), attempt),
+                    "{domain:?} attempt {attempt}: wide coordinate aliased a small one",
+                );
+            }
+        }
+        assert_ne!(
+            plan.abort_point_permille(FaultDomain::Exec, small, 1),
+            plan.abort_point_permille(FaultDomain::Exec, wide, 1),
+        );
     }
 
     #[test]

@@ -13,10 +13,124 @@
 //! them (e.g. by double-buffering values that are "communicated" across the
 //! barrier), just as it would be on real hardware.
 
-use std::collections::HashSet;
+use std::cell::RefCell;
 
 use crate::spec::DeviceSpec;
 use crate::stats::{KernelStats, Phase};
+
+/// A warp's coalescing window: the set of `(region, segment)` pairs touched
+/// since the last barrier.
+///
+/// Semantically this is exactly `HashSet<(u32, u64)>::insert`, but shaped
+/// for the simulator's hottest loop (every global access of every thread of
+/// every round goes through it): open addressing with linear probing in a
+/// power-of-two table, a multiply-shift hash instead of SipHash, and
+/// generation-stamped slots so `clear` is a counter bump rather than a
+/// table walk. Only membership is ever queried — the set is never iterated
+/// — so the table layout cannot influence any simulated count.
+pub(crate) struct SegmentWindow {
+    /// `(segment, region)` per slot; live iff the slot's stamp matches.
+    keys: Vec<(u64, u32)>,
+    /// Slot generation stamps: `stamps[i] == gen` marks a live entry.
+    stamps: Vec<u64>,
+    gen: u64,
+    len: usize,
+}
+
+impl SegmentWindow {
+    /// Starting capacity; a power of two, sized for a warp's typical
+    /// footprint (table rows + input segments) without growth.
+    const MIN_CAPACITY: usize = 64;
+
+    pub(crate) fn new() -> Self {
+        SegmentWindow {
+            keys: vec![(0, 0); Self::MIN_CAPACITY],
+            stamps: vec![0; Self::MIN_CAPACITY],
+            // Stamps start at 0, so the live generation starts at 1.
+            gen: 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn hash(region: u32, seg: u64) -> u64 {
+        let mut h = seg.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= u64::from(region).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^ (h >> 32)
+    }
+
+    /// Inserts `(region, seg)`; returns `true` iff it was not yet present —
+    /// the same contract as `HashSet::insert`.
+    #[inline]
+    pub(crate) fn insert(&mut self, region: u32, seg: u64) -> bool {
+        // Keep load below 7/8 so linear probes stay short.
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (Self::hash(region, seg) as usize) & mask;
+        loop {
+            if self.stamps[i] != self.gen {
+                self.stamps[i] = self.gen;
+                self.keys[i] = (seg, region);
+                self.len += 1;
+                return true;
+            }
+            if self.keys[i] == (seg, region) {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let live: Vec<(u64, u32)> = self
+            .keys
+            .iter()
+            .zip(&self.stamps)
+            .filter(|&(_, &s)| s == self.gen)
+            .map(|(&k, _)| k)
+            .collect();
+        let cap = self.keys.len() * 2;
+        self.keys = vec![(0, 0); cap];
+        self.stamps = vec![0; cap];
+        self.gen = 1;
+        self.len = 0;
+        for (seg, region) in live {
+            self.insert(region, seg);
+        }
+    }
+
+    /// Empties the window. O(1): live entries are whatever matches the new
+    /// generation, i.e. nothing.
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.gen += 1;
+        self.len = 0;
+    }
+}
+
+/// Per-block simulation scratch, reused across blocks and waves on each
+/// host worker thread: a grid launch runs thousands of blocks, and
+/// reallocating clocks and warp windows per block dominated the host-side
+/// cost of small kernels.
+#[derive(Default)]
+struct BlockScratch {
+    clocks: Vec<u64>,
+    windows: Vec<SegmentWindow>,
+}
+
+impl Default for SegmentWindow {
+    fn default() -> Self {
+        SegmentWindow::new()
+    }
+}
+
+thread_local! {
+    static BLOCK_SCRATCH: RefCell<BlockScratch> = RefCell::new(BlockScratch::default());
+}
 
 /// What a thread reports at the end of its round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,7 +163,7 @@ pub struct ThreadCtx<'a> {
     spec: &'a DeviceSpec,
     clock: u64,
     stats: &'a mut KernelStats,
-    window: &'a mut HashSet<(u32, u64)>,
+    window: &'a mut SegmentWindow,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -94,7 +208,7 @@ impl<'a> ThreadCtx<'a> {
         let first = offset / seg_size;
         let last = (offset + bytes.max(1) - 1) / seg_size;
         for seg in first..=last {
-            if self.window.insert((region, seg)) {
+            if self.window.insert(region, seg) {
                 self.clock += self.spec.global_latency;
                 self.stats.global_transactions += 1;
             } else {
@@ -216,12 +330,32 @@ pub(crate) fn run_block<K: RoundKernel + ?Sized>(
     n_threads: usize,
     kernel: &mut K,
 ) -> KernelStats {
+    BLOCK_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => run_block_in(spec, tid_base, n_threads, kernel, &mut scratch),
+        // A kernel that launches nested blocks from inside `round` re-enters
+        // this worker's scratch; give the inner launch its own rather than
+        // aliasing the outer block's state.
+        Err(_) => run_block_in(spec, tid_base, n_threads, kernel, &mut BlockScratch::default()),
+    })
+}
+
+fn run_block_in<K: RoundKernel + ?Sized>(
+    spec: &DeviceSpec,
+    tid_base: usize,
+    n_threads: usize,
+    kernel: &mut K,
+    scratch: &mut BlockScratch,
+) -> KernelStats {
     assert!(n_threads > 0, "kernel needs at least one thread");
     let warp = spec.warp_size as usize;
     let n_warps = n_threads.div_ceil(warp);
-    let mut clocks = vec![0u64; n_threads];
+    let BlockScratch { clocks, windows } = scratch;
+    clocks.clear();
+    clocks.resize(n_threads, 0);
+    while windows.len() < n_warps {
+        windows.push(SegmentWindow::new());
+    }
     let mut stats = KernelStats::default();
-    let mut windows: Vec<HashSet<(u32, u64)>> = vec![HashSet::new(); n_warps];
 
     let mut round = 0u64;
     loop {
@@ -296,7 +430,7 @@ pub(crate) fn run_block<K: RoundKernel + ?Sized>(
             break;
         }
     }
-    stats.cycles = clocks.into_iter().max().unwrap_or(0);
+    stats.cycles = clocks.iter().copied().max().unwrap_or(0);
     stats
 }
 
@@ -580,6 +714,33 @@ mod tests {
         // attributed, not just the compute time.
         assert_eq!(stats.profile.get(Phase::SpecExec).cycles, 81);
         assert_eq!(stats.profile.get(Phase::SpecExec).global_transactions, 40);
+    }
+
+    #[test]
+    fn segment_window_matches_hashset_semantics() {
+        use std::collections::HashSet;
+        // Differential check against the reference container the window
+        // replaced, across clears and a forced growth: `insert` must return
+        // exactly what `HashSet::insert` returns for every access pattern.
+        let mut window = SegmentWindow::new();
+        let mut reference: HashSet<(u32, u64)> = HashSet::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for round in 0..8 {
+            window.clear();
+            reference.clear();
+            for _ in 0..500 {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let region = ((state >> 33) % 3) as u32;
+                // Small segment space forces duplicates; +round varies the
+                // key set across generations.
+                let seg = (state >> 11) % 200 + round;
+                assert_eq!(
+                    window.insert(region, seg),
+                    reference.insert((region, seg)),
+                    "window diverged from HashSet on ({region}, {seg})",
+                );
+            }
+        }
     }
 
     #[test]

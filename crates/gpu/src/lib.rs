@@ -45,7 +45,7 @@ pub mod transfer;
 
 pub use error::LaunchError;
 pub use event::{EventTimer, KernelSpan};
-pub use fault::{backoff_cycles, FaultDomain, FaultPlan};
+pub use fault::{backoff_cycles, fault_coord, FaultDomain, FaultPlan};
 pub use grid::{
     block_dims, block_dims_width, launch_blocks, launch_blocks_auto, launch_blocks_occupancy,
     launch_grid, try_launch_blocks_auto, try_launch_blocks_occupancy, try_launch_grid,

@@ -24,7 +24,13 @@
 //!   bytes/cycle, queue depth over time, backpressure counts, copy/compute
 //!   overlap efficiency, and merged [`gspecpal_gpu::KernelStats`] whose
 //!   `Phase::Transfer` bucket now carries real copy cycles while the
-//!   per-phase partition of total cycles stays exact.
+//!   per-phase partition of total cycles stays exact;
+//! * [`serve_source`] / [`TraceSource`] — the streaming entry point: the
+//!   same engine pulling arrivals one at a time from a generator, log
+//!   parser, or [`SyntheticSource`], with resident memory bounded by the
+//!   queue depth (pair with [`ReportDetail::Bounded`] and the
+//!   constant-memory [`LatencySketch`] summaries to serve millions of
+//!   streams without O(streams) state).
 //!
 //! Everything is integer cycle arithmetic over deterministic simulations:
 //! two runs of the same trace and configuration produce bit-identical
@@ -56,14 +62,21 @@ pub mod error;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
+pub mod sketch;
+pub mod source;
 pub mod trace;
 
 pub use error::ServeError;
-pub use pipeline::{serve, ServeConfig, ServeMachine, ServeRecoveryConfig};
+pub use pipeline::{
+    serve, serve_source, ReportDetail, ServeConfig, ServeMachine, ServeRecoveryConfig,
+};
 pub use policy::BatchPolicy;
 pub use report::{
     BatchRecord, ExecMode, LatencySummary, RecoveryReport, ServeReport, StreamOutcome,
+    EXACT_SUMMARY_MAX,
 };
+pub use sketch::LatencySketch;
+pub use source::{IterSource, SyntheticSource, TraceCursor, TraceSource};
 pub use trace::{StreamArrival, Trace, MAX_ARRIVAL_CYCLE};
 
 #[cfg(test)]

@@ -43,22 +43,57 @@
 //! stream mode; a batch dominated by one long stream wants chunked
 //! speculation.
 //!
+//! # Scale
+//!
+//! The engine behind [`serve`] is [`serve_source`]: it *pulls* arrivals
+//! from a [`TraceSource`] in admission order and never materializes the
+//! trace. Every piece of engine state is bounded by the queue depth and
+//! the pipeline depth, not the stream count:
+//!
+//! * the admission window holds at most one batch plus one look-ahead
+//!   arrival; a stream's bytes are dropped as soon as its batch is charged;
+//! * slot releases live in a ring of the last `max_queue_depth` entries
+//!   (admission of stream `k` only ever consults stream
+//!   `k − max_queue_depth`);
+//! * queue-depth samples fold through a small pending-event heap
+//!   (`DepthTracker`) instead of a sort over every admission;
+//! * overlap efficiency is computed incrementally over the retained
+//!   pipeline window (`OverlapMeter`) instead of a quadratic sweep over
+//!   all batch records.
+//!
+//! Under [`ReportDetail::Full`] (the default, and what [`serve`] uses) the
+//! per-stream and per-batch vectors are still collected, and the report is
+//! byte-identical to the historical one. Under [`ReportDetail::Bounded`]
+//! those vectors stay empty and the report's memory is O(1) in the stream
+//! count: summaries come from [`LatencySketch`]es past
+//! [`crate::report::EXACT_SUMMARY_MAX`] served streams, merged kernel
+//! stats drop their per-round event streams
+//! ([`KernelStats::merge_sequential_compact`]), and the queue-depth peak is
+//! tracked without the samples.
+//!
 //! [`ServeReport::backpressure_events`]: crate::ServeReport::backpressure_events
 //! [`backpressure_wait_cycles`]: crate::ServeReport::backpressure_wait_cycles
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use gspecpal::table::{DeviceTable, TableLayout};
 use gspecpal::throughput::run_stream_parallel;
 use gspecpal::{run_scheme, Job, SchemeConfig, SchemeKind, Selector};
 use gspecpal_fsm::Dfa;
 use gspecpal_gpu::{
-    backoff_cycles, fit_block_width, max_resident_blocks, transfer_stats, BlockRequirements,
-    DeviceSpec, DeviceTimeline, FaultDomain, FaultPlan, KernelStats, Span,
+    backoff_cycles, fault_coord, fit_block_width, max_resident_blocks, transfer_stats,
+    BlockRequirements, DeviceSpec, DeviceTimeline, FaultDomain, FaultPlan, KernelStats, Span,
 };
 
 use crate::error::ServeError;
 use crate::policy::BatchPolicy;
-use crate::report::{BatchRecord, ExecMode, LatencySummary, ServeReport, StreamOutcome};
-use crate::trace::Trace;
+use crate::report::{
+    BatchRecord, ExecMode, LatencySummary, ServeReport, StreamOutcome, EXACT_SUMMARY_MAX,
+};
+use crate::sketch::LatencySketch;
+use crate::source::TraceSource;
+use crate::trace::{StreamArrival, Trace};
 
 /// One servable machine: its device-resident table and the scheme the
 /// selector picked for it.
@@ -140,6 +175,22 @@ impl Default for ServeRecoveryConfig {
     }
 }
 
+/// How much per-stream and per-batch detail a serve run retains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReportDetail {
+    /// Keep every per-stream and per-batch vector. This is the historical
+    /// behaviour and the default; memory grows with the trace.
+    #[default]
+    Full,
+    /// Bounded memory, independent of the stream count: per-stream vectors
+    /// (`latencies`, `end_states`, `accepted`, `outcomes`), batch records,
+    /// queue-depth samples, and the merged stats' per-round event streams
+    /// are all dropped. Summaries, sketches, the queue-depth peak
+    /// ([`ServeReport::peak_queue`]) and every scalar counter are kept, and
+    /// remain bit-identical to what the `Full` report would aggregate to.
+    Bounded,
+}
+
 /// Serving-pipeline configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -167,6 +218,9 @@ pub struct ServeConfig {
     pub scheme_config: SchemeConfig,
     /// Retry / shedding / breaker policy (inert at its defaults).
     pub recovery: ServeRecoveryConfig,
+    /// How much detail the report retains (full vectors vs bounded
+    /// memory).
+    pub detail: ReportDetail,
 }
 
 impl Default for ServeConfig {
@@ -180,6 +234,7 @@ impl Default for ServeConfig {
             chunk_overhead_cycles: 64,
             scheme_config: SchemeConfig::default(),
             recovery: ServeRecoveryConfig::default(),
+            detail: ReportDetail::Full,
         }
     }
 }
@@ -228,7 +283,13 @@ fn occupancy_target(spec: &DeviceSpec, table: &DeviceTable<'_>) -> usize {
     match fit_block_width(spec, req) {
         Ok(width) => {
             let resident = max_resident_blocks(spec, &req(width)).max(1);
-            (width as usize) * (resident as usize) * (spec.n_sms.max(1) as usize)
+            // Each factor fits in u32, so the product always fits in u128 —
+            // but on a 32-bit host it can exceed usize, so widen first and
+            // saturate instead of wrapping (the target is a batch-size cap;
+            // saturating just means "as large a batch as the policy
+            // allows").
+            let target = u128::from(width) * u128::from(resident) * u128::from(spec.n_sms.max(1));
+            usize::try_from(target).unwrap_or(usize::MAX)
         }
         Err(_) => 1,
     }
@@ -335,9 +396,9 @@ struct CopyFaults<'a> {
 /// Schedules one logical copy, retrying failed attempts (per the fault
 /// plan, keyed on the batch index) with capped exponential backoff. Every
 /// attempt — failed or not — occupies its engine for the full transfer and
-/// is charged into `report.stats`, so the phase partition of engine-busy
-/// cycles stays exact. Returns the successful attempt's span, or `None`
-/// when the retry budget is exhausted.
+/// is charged into the collected stats, so the phase partition of
+/// engine-busy cycles stays exact. Returns the successful attempt's span,
+/// or `None` when the retry budget is exhausted.
 fn copy_with_retries(
     timeline: &mut DeviceTimeline,
     dir: CopyDir,
@@ -345,7 +406,7 @@ fn copy_with_retries(
     mut ready: u64,
     stats: &KernelStats,
     faults: &CopyFaults<'_>,
-    report: &mut ServeReport,
+    col: &mut Collector,
 ) -> Option<Span> {
     let domain = match dir {
         CopyDir::H2d => FaultDomain::H2d,
@@ -357,29 +418,428 @@ fn copy_with_retries(
             CopyDir::H2d => timeline.h2d(ready, stats.cycles),
             CopyDir::D2h => timeline.d2h(ready, stats.cycles),
         };
-        report.stats.merge_sequential(stats);
-        if !faults.plan.copy_fails(domain, batch_idx as u64, attempt) {
+        col.merge_stats(stats);
+        if !faults.plan.copy_fails(domain, fault_coord(batch_idx), attempt) {
             return Some(span);
         }
-        report.recovery.fault_cycles += span.duration();
+        col.report.recovery.fault_cycles += span.duration();
         if attempt < rcfg.copy_max_retries {
-            report.recovery.copy_retries += 1;
+            col.report.recovery.copy_retries += 1;
             let wait = backoff_cycles(
                 rcfg.copy_backoff_base_cycles,
                 rcfg.copy_backoff_cap_cycles,
                 attempt,
             );
-            report.recovery.fault_cycles += wait;
+            col.report.recovery.fault_cycles += wait;
             ready = span.end.saturating_add(wait);
         }
     }
     None
 }
 
+/// Pulls and validates arrivals from a [`TraceSource`]: machine bounds,
+/// staging-buffer fit, and arrival-cycle monotonicity — the same checks
+/// [`serve`] applies up front, enforced lazily as the stream is consumed.
+struct Puller<S> {
+    source: S,
+    n_machines: usize,
+    buffer_bytes: usize,
+    /// Streams pulled so far — the admission index of the *next* pull.
+    pulled: usize,
+    last_cycle: u64,
+}
+
+impl<S: TraceSource> Puller<S> {
+    fn pull(&mut self, col: &mut Collector) -> Result<Option<StreamArrival>, ServeError> {
+        let Some(a) = self.source.next_arrival() else { return Ok(None) };
+        if a.machine >= self.n_machines {
+            return Err(ServeError::UnknownMachine {
+                stream: self.pulled,
+                machine: a.machine,
+                n_machines: self.n_machines,
+            });
+        }
+        if a.bytes.len() > self.buffer_bytes {
+            return Err(ServeError::StreamTooLarge {
+                stream: self.pulled,
+                bytes: a.bytes.len(),
+                buffer_bytes: self.buffer_bytes,
+            });
+        }
+        if a.arrival_cycle < self.last_cycle {
+            return Err(ServeError::NonMonotonicTrace {
+                stream: self.pulled,
+                cycle: a.arrival_cycle,
+                prev: self.last_cycle,
+            });
+        }
+        self.last_cycle = a.arrival_cycle;
+        self.pulled += 1;
+        col.on_pull(&a);
+        Ok(Some(a))
+    }
+
+    /// Tops the admission window up to `n` arrivals; `false` when the
+    /// source ran dry first.
+    fn fill(
+        &mut self,
+        window: &mut VecDeque<StreamArrival>,
+        col: &mut Collector,
+        n: usize,
+    ) -> Result<bool, ServeError> {
+        while window.len() < n {
+            match self.pull(col)? {
+                Some(a) => window.push_back(a),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// The last `max_queue_depth` slot-release cycles, by admission index.
+/// Admission of stream `k` waits on the release of stream `k − depth`, and
+/// batches never exceed the queue depth, so this window always covers every
+/// release the forward pass can still ask for.
+struct ReleaseRing {
+    depth: usize,
+    /// Total releases pushed (one per stream whose fate is sealed).
+    released: usize,
+    recent: VecDeque<u64>,
+}
+
+impl ReleaseRing {
+    fn new(depth: usize) -> Self {
+        ReleaseRing { depth, released: 0, recent: VecDeque::new() }
+    }
+
+    fn push(&mut self, t: u64) {
+        self.recent.push_back(t);
+        self.released += 1;
+        if self.recent.len() > self.depth {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Release cycle of stream `k` (admission index); `k` must be within
+    /// the last `depth` released streams.
+    fn get(&self, k: usize) -> u64 {
+        let first_retained = self.released - self.recent.len();
+        self.recent[k - first_retained]
+    }
+
+    /// The floor of the current release window: every future admission is
+    /// `max(arrival, release(k − depth))`, and that release is either still
+    /// in this window or newer (hence ≥ its own admission, ≥ this floor by
+    /// induction) — so the window minimum lower-bounds every future
+    /// admission once the window is full. `None` while fewer than `depth`
+    /// streams have released (earlier admissions are unfloored, so only
+    /// arrival monotonicity bounds the future).
+    fn floor(&self) -> Option<u64> {
+        if self.released >= self.depth {
+            self.recent.iter().copied().min()
+        } else {
+            None
+        }
+    }
+}
+
+/// Incremental queue-depth sampling: +1 at each admission, −1 when the
+/// stream's slot releases, one `(cycle, depth)` sample per distinct event
+/// cycle — the streaming replacement for sorting every event at the end of
+/// the run.
+///
+/// # Tie-break
+///
+/// At equal cycles, releases apply *before* admissions: a slot freed at
+/// cycle `t` is available to the stream admitted at `t` (that admission
+/// was, after all, computed as `max(arrival, release)`). This order makes
+/// the sampled depth provably ≤ `max_queue_depth`: after all events at any
+/// cycle `t`, every stream admitted at or before `t` beyond the first
+/// `depth` has seen its predecessor's slot release (`release(k − depth) ≤
+/// admit(k) ≤ t`), so at most `depth` streams are ever in flight. Within a
+/// cycle the running count may transiently dip negative (a release whose
+/// admission is later in the same group), which is why the invariants are
+/// asserted at group boundaries, not per event. Samples are unchanged by
+/// the intra-cycle order — only the boundary values are emitted.
+///
+/// # Memory
+///
+/// Events are folded out of the pending heap as soon as they are final.
+/// Finality is subtle because admissions are *not* monotone: a batch
+/// abandoned on a failed input copy releases its slots at the requested
+/// copy cycle, which can precede an earlier batch's post-queueing release
+/// and drag later admissions backwards. Each `record` therefore carries an
+/// explicit `bound` the caller proves no future event can undercut —
+/// `arrival.max(release-window floor)` (see [`ReleaseRing::floor`]):
+/// arrivals are monotone, and every future admission is floored by a
+/// release still in (or newer than) the current window. Everything
+/// strictly below the bound is sampled immediately, so the heap only holds
+/// events near the admission frontier — O(queue depth + batch size), not
+/// O(streams).
+struct DepthTracker {
+    /// Min-heap of `(cycle, kind)` with kind −1 = release, +1 = admission,
+    /// so releases pop first at equal cycles.
+    pending: BinaryHeap<Reverse<(u64, i8)>>,
+    depth: i64,
+    /// Cycle of the currently open (not yet sampled) event group.
+    group: Option<u64>,
+    samples: Vec<(u64, usize)>,
+    keep_samples: bool,
+    peak: usize,
+    cap: usize,
+    /// Whether any breaker-shed stream contributed an `(admit, release)` =
+    /// `(0, 0)` pair. Net-zero, so it is tracked as a flag and folded in at
+    /// the end instead of being enqueued (by then the cycle-0 group may
+    /// already be closed).
+    zero_pairs: bool,
+}
+
+impl DepthTracker {
+    fn new(keep_samples: bool, cap: usize) -> Self {
+        DepthTracker {
+            pending: BinaryHeap::new(),
+            depth: 0,
+            group: None,
+            samples: Vec::new(),
+            keep_samples,
+            peak: 0,
+            cap,
+            zero_pairs: false,
+        }
+    }
+
+    /// Records one stream's admission and slot-release cycles, then folds
+    /// out everything pending at or below `bound`. Must be called in
+    /// admission order; `release ≥ admit ≥ bound`, and the caller
+    /// guarantees every future event is ≥ `bound` (see the type docs).
+    fn record(&mut self, admit: u64, release: u64, bound: u64) {
+        debug_assert!(release >= admit, "a slot cannot release before its stream admits");
+        debug_assert!(admit >= bound, "recording an event below the finality bound");
+        self.pending.push(Reverse((admit, 1)));
+        self.pending.push(Reverse((release, -1)));
+        self.drain(bound);
+    }
+
+    /// A breaker-shed stream: admit = release = 0, net-zero depth.
+    fn zero_pair(&mut self) {
+        self.zero_pairs = true;
+    }
+
+    /// Applies every pending event at or below `bound` (all such events are
+    /// final — see the type docs). Events *at* the bound leave their group
+    /// open, since future events may still share the cycle.
+    fn drain(&mut self, bound: u64) {
+        while let Some(&Reverse((t, kind))) = self.pending.peek() {
+            if t > bound {
+                break;
+            }
+            self.pending.pop();
+            if self.group != Some(t) {
+                self.close_group();
+                self.group = Some(t);
+            }
+            self.depth += i64::from(kind);
+        }
+    }
+
+    fn close_group(&mut self) {
+        let Some(t) = self.group.take() else { return };
+        debug_assert!(self.depth >= 0, "net queue depth at a cycle boundary is never negative");
+        let d = self.depth.max(0) as usize;
+        debug_assert!(
+            d <= self.cap,
+            "sampled queue depth {d} exceeds max_queue_depth {}",
+            self.cap
+        );
+        self.peak = self.peak.max(d);
+        if self.keep_samples {
+            self.samples.push((t, d));
+        }
+    }
+
+    /// Flushes everything and returns `(samples, peak)`.
+    fn finish(mut self) -> (Vec<(u64, usize)>, usize) {
+        self.drain(u64::MAX);
+        self.close_group();
+        if self.zero_pairs && self.keep_samples && self.samples.first().is_none_or(|&(t, _)| t != 0)
+        {
+            // The breaker pairs all sit at cycle 0; if no real event shares
+            // that cycle they form their own net-zero sample at the front.
+            self.samples.insert(0, (0, 0));
+        }
+        (self.samples, self.peak)
+    }
+}
+
+/// Incremental copy/compute overlap accounting — the streaming replacement
+/// for the quadratic every-copy × every-compute sweep, exact because the
+/// three device queues are each serial:
+///
+/// * a compute can be retired once `min(h2d.end, d2h.end)` of the newest
+///   batch has passed its end — no future copy starts earlier than either
+///   engine's last end, so the overlap it could add is zero;
+/// * a copy that ends by its batch's compute end can never reach a future
+///   compute (computes are serial, so the next one starts later still);
+///   copies that outlive their compute stay pending and collect overlap
+///   against each new compute as it registers.
+///
+/// Only successful batches register, matching the historical metric. The
+/// retained windows are O(pipeline depth), not O(batches).
+#[derive(Default)]
+struct OverlapMeter {
+    computes: VecDeque<Span>,
+    pending_copies: VecDeque<Span>,
+    copy_busy: u64,
+    hidden: u64,
+}
+
+impl OverlapMeter {
+    fn record(&mut self, h2d: Span, compute: Span, d2h: Span) {
+        // Credit copies from earlier batches that ride under this kernel,
+        // then retire the ones that can no longer reach a future kernel.
+        self.hidden += self.pending_copies.iter().map(|c| c.overlap(&compute)).sum::<u64>();
+        while self.pending_copies.front().is_some_and(|c| c.end <= compute.end) {
+            self.pending_copies.pop_front();
+        }
+        self.computes.push_back(compute);
+        for copy in [h2d, d2h] {
+            self.copy_busy += copy.duration();
+            self.hidden += self.computes.iter().map(|k| copy.overlap(k)).sum::<u64>();
+            if copy.end > compute.end {
+                self.pending_copies.push_back(copy);
+            }
+        }
+        let copy_low = h2d.end.min(d2h.end);
+        while self.computes.front().is_some_and(|k| k.end <= copy_low) {
+            self.computes.pop_front();
+        }
+    }
+
+    /// Share of copy-engine busy cycles spent under an active kernel, in
+    /// permille.
+    fn efficiency_permille(&self) -> u64 {
+        (self.hidden * 1000).checked_div(self.copy_busy).unwrap_or(0)
+    }
+}
+
+/// Streams served latencies into either an exact vector or, past
+/// [`EXACT_SUMMARY_MAX`] under bounded detail, a [`LatencySketch`]. The
+/// spill is invisible in the result: [`LatencySummary::from_latencies`]
+/// routes large exact sets through the identical sketch, and sketch
+/// contents are insertion-order independent.
+struct LatencyAcc {
+    exact: Vec<u64>,
+    sketch: Option<LatencySketch>,
+    spill: bool,
+}
+
+impl LatencyAcc {
+    fn new(spill: bool) -> Self {
+        LatencyAcc { exact: Vec::new(), sketch: None, spill }
+    }
+
+    fn push(&mut self, v: u64) {
+        if let Some(s) = &mut self.sketch {
+            s.record(v);
+            return;
+        }
+        self.exact.push(v);
+        if self.spill && self.exact.len() > EXACT_SUMMARY_MAX {
+            let mut s = LatencySketch::new();
+            for &x in &self.exact {
+                s.record(x);
+            }
+            self.exact = Vec::new();
+            self.sketch = Some(s);
+        }
+    }
+
+    /// The summary plus whether a sketch (and thus its error bound) was
+    /// involved.
+    fn summarize(&self) -> (LatencySummary, bool) {
+        match &self.sketch {
+            Some(s) => (LatencySummary::from_sketch(s), true),
+            None => {
+                (LatencySummary::from_latencies(&self.exact), self.exact.len() > EXACT_SUMMARY_MAX)
+            }
+        }
+    }
+}
+
+/// Accumulates the report as stream fates are decided, in admission order.
+/// Under [`ReportDetail::Full`] the per-stream vectors fill exactly as the
+/// historical batch-indexed writes did; under [`ReportDetail::Bounded`]
+/// they stay empty and only counters, summaries and sketches grow.
+struct Collector {
+    full: bool,
+    report: ServeReport,
+    delivery: LatencyAcc,
+    kernel: LatencyAcc,
+}
+
+impl Collector {
+    fn new(cfg: &ServeConfig) -> Self {
+        let full = cfg.detail == ReportDetail::Full;
+        Collector {
+            full,
+            report: ServeReport {
+                policy: cfg.policy.name(),
+                overlap: cfg.overlap,
+                ..ServeReport::default()
+            },
+            delivery: LatencyAcc::new(!full),
+            kernel: LatencyAcc::new(!full),
+        }
+    }
+
+    fn on_pull(&mut self, a: &StreamArrival) {
+        self.report.streams += 1;
+        self.report.total_bytes += a.bytes.len();
+    }
+
+    fn served(
+        &mut self,
+        latency: u64,
+        kernel_latency: u64,
+        end_state: gspecpal_fsm::StateId,
+        accepted: bool,
+    ) {
+        if self.full {
+            self.report.latencies.push(latency);
+            self.report.end_states.push(end_state);
+            self.report.accepted.push(accepted);
+            self.report.outcomes.push(StreamOutcome::Served);
+        }
+        self.delivery.push(latency);
+        self.kernel.push(kernel_latency);
+    }
+
+    fn shed(&mut self, outcome: StreamOutcome) {
+        if self.full {
+            self.report.latencies.push(0);
+            self.report.end_states.push(0);
+            self.report.accepted.push(false);
+            self.report.outcomes.push(outcome);
+        }
+        self.report.recovery.shed_streams += 1;
+    }
+
+    fn merge_stats(&mut self, stats: &KernelStats) {
+        if self.full {
+            self.report.stats.merge_sequential(stats);
+        } else {
+            self.report.stats.merge_sequential_compact(stats);
+        }
+    }
+}
+
 /// Serves `trace` on `machines` under `cfg`, returning the full
 /// [`ServeReport`]. Fails up front (before any simulation) when the
 /// configuration is inconsistent, an arrival names an unknown machine, or a
-/// stream cannot fit one staging buffer.
+/// stream cannot fit one staging buffer. Delegates to the streaming engine
+/// behind [`serve_source`], replaying the trace in admission order — the
+/// two produce byte-identical reports.
 pub fn serve(
     spec: &DeviceSpec,
     machines: &[ServeMachine<'_>],
@@ -387,9 +847,8 @@ pub fn serve(
     cfg: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
     cfg.validate()?;
-    let arrivals = trace.arrivals();
     let buffer_bytes = cfg.buffer_bytes();
-    for (i, a) in arrivals.iter().enumerate() {
+    for (i, a) in trace.arrivals().iter().enumerate() {
         if a.machine >= machines.len() {
             return Err(ServeError::UnknownMachine {
                 stream: i,
@@ -405,9 +864,36 @@ pub fn serve(
             });
         }
     }
+    run_engine(spec, machines, trace.source(), cfg)
+}
 
-    let n = arrivals.len();
+/// Serves arrivals pulled from `source` — the streaming entry point.
+///
+/// Unlike [`serve`], the trace is never materialized: resident memory is
+/// bounded by the admission queue and pipeline depth (plus, under
+/// [`ReportDetail::Full`], the report's own per-stream vectors — pass
+/// [`ReportDetail::Bounded`] to bound those too). Validation (machine
+/// bounds, staging-buffer fit, arrival monotonicity) happens lazily as
+/// arrivals are pulled, so an invalid arrival deep in a stream fails the
+/// run only when reached.
+pub fn serve_source<S: TraceSource>(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    source: S,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    cfg.validate()?;
+    run_engine(spec, machines, source, cfg)
+}
+
+fn run_engine<S: TraceSource>(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    source: S,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
     let depth = cfg.max_queue_depth;
+    let buffer_bytes = cfg.buffer_bytes();
     // One fault plan drives both kernel-side and copy-engine injection; the
     // zero plan never fails a copy, so the retry loops are exact no-ops
     // without one.
@@ -416,54 +902,51 @@ pub fn serve(
     let copy_faults = CopyFaults { plan: &plan, rcfg };
     let mut breaker_consecutive = 0u32;
     let mut timeline = DeviceTimeline::new(cfg.overlap);
-    let mut report = ServeReport {
-        policy: cfg.policy.name(),
-        overlap: cfg.overlap,
-        streams: n,
-        total_bytes: trace.total_bytes(),
-        latencies: vec![0; n],
-        end_states: vec![0; n],
-        accepted: vec![false; n],
-        outcomes: vec![StreamOutcome::Served; n],
-        ..ServeReport::default()
-    };
-    let mut kernel_latencies = vec![0u64; n];
-    // Queue-slot release cycle per dispatched stream (its batch's H2D
-    // start); admission of stream `k` waits on slot `k - depth`.
-    let mut slot_release = vec![0u64; n];
-    let mut admit_cycle = vec![0u64; n];
+    let mut col = Collector::new(cfg);
+    let mut depths = DepthTracker::new(col.full, depth);
+    let mut meter = OverlapMeter::default();
+    let mut puller =
+        Puller { source, n_machines: machines.len(), buffer_bytes, pulled: 0, last_cycle: 0 };
+    // Pulled-but-undispatched arrivals: at most one batch plus one
+    // look-ahead stream.
+    let mut window: VecDeque<StreamArrival> = VecDeque::new();
+    let mut ring = ReleaseRing::new(depth);
+    // Reused per batch: the drained arrivals and their admission cycles.
+    let mut batch_arrivals: Vec<StreamArrival> = Vec::new();
+    let mut batch_admits: Vec<u64> = Vec::new();
     // When each double buffer becomes free for the next input copy.
     let mut buffer_free = [0u64; 2];
-    let admit = |k: usize, slot_release: &[u64]| -> u64 {
-        let arrival = arrivals[k].arrival_cycle;
+    let mut next = 0usize; // admission index of the window head
+    let mut batch_idx = 0usize;
+    let admit_at = |arrival: u64, k: usize, ring: &ReleaseRing| -> u64 {
         if k >= depth {
-            arrival.max(slot_release[k - depth])
+            arrival.max(ring.get(k - depth))
         } else {
             arrival
         }
     };
 
-    let mut next = 0usize;
-    let mut batch_idx = 0usize;
-    while next < n {
+    while puller.fill(&mut window, &mut col, 1)? {
+        let head_arrival = window[0].arrival_cycle;
+        let first_admit = admit_at(head_arrival, next, &ring);
         // Load shedding: a head-of-queue stream that already waited past
         // the shedding deadline is dropped instead of dispatched — a
         // structured outcome, not an error.
         if rcfg.shed_wait_cycles > 0 {
-            let t = admit(next, &slot_release);
-            let wait = t - arrivals[next].arrival_cycle;
+            let wait = first_admit - head_arrival;
             if wait > rcfg.shed_wait_cycles {
-                admit_cycle[next] = t;
-                slot_release[next] = t;
-                report.backpressure_events += 1;
-                report.backpressure_wait_cycles += wait;
-                report.outcomes[next] = StreamOutcome::ShedDeadline;
-                report.recovery.shed_streams += 1;
+                let bound = head_arrival.max(ring.floor().unwrap_or(0));
+                ring.push(first_admit);
+                depths.record(first_admit, first_admit, bound);
+                col.report.backpressure_events += 1;
+                col.report.backpressure_wait_cycles += wait;
+                col.shed(StreamOutcome::ShedDeadline);
+                window.pop_front();
                 next += 1;
                 continue;
             }
         }
-        let machine_id = arrivals[next].machine;
+        let machine_id = window[0].machine;
         let machine = &machines[machine_id];
         // Candidate cap: the policy's target, never beyond the queue depth
         // (a batch is drawn from the queue).
@@ -475,24 +958,28 @@ pub fn serve(
         }
         .min(depth);
 
-        // Grow the batch from the queue head.
-        let mut count = 0usize;
+        // Grow the batch from the queue head, pulling one look-ahead
+        // arrival at a time.
+        batch_admits.clear();
         let mut bytes = 0usize;
         let mut t_close = 0u64;
-        let first_admit = admit(next, &slot_release);
         let deadline = match cfg.policy {
             BatchPolicy::Deadline { max_wait, .. } => Some(first_admit.saturating_add(max_wait)),
             _ => None,
         };
-        while next + count < n && count < cap {
-            let k = next + count;
-            if arrivals[k].machine != machine_id {
+        loop {
+            let count = batch_admits.len();
+            if count >= cap || !puller.fill(&mut window, &mut col, count + 1)? {
+                break;
+            }
+            let a = &window[count];
+            if a.machine != machine_id {
                 break; // a batch runs one machine's table
             }
-            if bytes + arrivals[k].bytes.len() > buffer_bytes {
+            if bytes + a.bytes.len() > buffer_bytes {
                 break; // staging buffer is full
             }
-            let t = admit(k, &slot_release);
+            let t = admit_at(a.arrival_cycle, next + count, &ring);
             if count > 0 {
                 if let Some(d) = deadline {
                     if t > d {
@@ -511,12 +998,14 @@ pub fn serve(
                     }
                 }
             }
-            admit_cycle[k] = t;
+            bytes += a.bytes.len();
             t_close = t_close.max(t);
-            bytes += arrivals[k].bytes.len();
-            count += 1;
+            batch_admits.push(t);
         }
+        let count = batch_admits.len();
         debug_assert!(count > 0, "a batch always takes at least the head stream");
+        batch_arrivals.clear();
+        batch_arrivals.extend(window.drain(..count));
 
         // Schedule the three pipeline operations. Copies retry under the
         // fault plan; a batch whose retry budget runs out is abandoned and
@@ -532,38 +1021,49 @@ pub fn serve(
             h2d_ready,
             &h2d_stats,
             &copy_faults,
-            &mut report,
+            &mut col,
         ) {
             None => {
                 // Inputs never reached the device: the queue slot still
                 // frees when the first DMA attempt began, but the streams
                 // are shed and the staging buffer holds nothing.
-                for k in next..next + count {
-                    slot_release[k] = h2d_ready;
-                    let wait = admit_cycle[k] - arrivals[k].arrival_cycle;
+                let floor = ring.floor().unwrap_or(0);
+                for i in 0..count {
+                    ring.push(h2d_ready);
+                    depths.record(
+                        batch_admits[i],
+                        h2d_ready,
+                        batch_arrivals[i].arrival_cycle.max(floor),
+                    );
+                    let wait = batch_admits[i] - batch_arrivals[i].arrival_cycle;
                     if wait > 0 {
-                        report.backpressure_events += 1;
-                        report.backpressure_wait_cycles += wait;
+                        col.report.backpressure_events += 1;
+                        col.report.backpressure_wait_cycles += wait;
                     }
-                    report.outcomes[k] = StreamOutcome::ShedCopyFailure;
-                    report.recovery.shed_streams += 1;
+                    col.shed(StreamOutcome::ShedCopyFailure);
                 }
             }
             Some(h2d) => {
                 let streams: Vec<&[u8]> =
-                    arrivals[next..next + count].iter().map(|a| a.bytes.as_slice()).collect();
+                    batch_arrivals.iter().map(|a| a.bytes.as_slice()).collect();
                 let exec = execute_batch(spec, machine, &streams, cfg);
                 let compute = timeline.compute(h2d.end, exec.stats.cycles);
-                report.stats.merge_sequential(&exec.stats);
+                col.merge_stats(&exec.stats);
                 // The input buffer frees once the kernel has consumed it;
                 // batch `batch_idx + 2` reuses it.
                 buffer_free[batch_idx % 2] = compute.end;
-                for k in next..next + count {
-                    slot_release[k] = h2d.start;
-                    let wait = admit_cycle[k] - arrivals[k].arrival_cycle;
+                let floor = ring.floor().unwrap_or(0);
+                for i in 0..count {
+                    ring.push(h2d.start);
+                    depths.record(
+                        batch_admits[i],
+                        h2d.start,
+                        batch_arrivals[i].arrival_cycle.max(floor),
+                    );
+                    let wait = batch_admits[i] - batch_arrivals[i].arrival_cycle;
                     if wait > 0 {
-                        report.backpressure_events += 1;
-                        report.backpressure_wait_cycles += wait;
+                        col.report.backpressure_events += 1;
+                        col.report.backpressure_wait_cycles += wait;
                     }
                 }
                 match copy_with_retries(
@@ -573,36 +1073,43 @@ pub fn serve(
                     compute.end,
                     &d2h_stats,
                     &copy_faults,
-                    &mut report,
+                    &mut col,
                 ) {
                     None => {
                         // The kernel ran but its results never reached the
                         // host: the streams are shed with default entries.
-                        for k in next..next + count {
-                            report.outcomes[k] = StreamOutcome::ShedCopyFailure;
-                            report.recovery.shed_streams += 1;
+                        for _ in 0..count {
+                            col.shed(StreamOutcome::ShedCopyFailure);
                         }
                     }
                     Some(d2h) => {
                         batch_failed = false;
-                        for (i, k) in (next..next + count).enumerate() {
-                            report.latencies[k] = d2h.end - arrivals[k].arrival_cycle;
-                            kernel_latencies[k] =
-                                compute.start + exec.completions[i] - arrivals[k].arrival_cycle;
-                            report.end_states[k] = exec.end_states[i];
-                            report.accepted[k] = exec.accepted[i];
+                        for (i, arrival) in batch_arrivals.iter().take(count).enumerate() {
+                            let latency = d2h.end - arrival.arrival_cycle;
+                            let kernel_latency =
+                                compute.start + exec.completions[i] - arrival.arrival_cycle;
+                            col.served(
+                                latency,
+                                kernel_latency,
+                                exec.end_states[i],
+                                exec.accepted[i],
+                            );
                         }
-                        report.batches.push(BatchRecord {
-                            first_stream: next,
-                            streams: count,
-                            machine: machine_id,
-                            scheme: machine.scheme,
-                            mode: exec.mode,
-                            bytes,
-                            h2d,
-                            compute,
-                            d2h,
-                        });
+                        col.report.batches_dispatched += 1;
+                        meter.record(h2d, compute, d2h);
+                        if col.full {
+                            col.report.batches.push(BatchRecord {
+                                first_stream: next,
+                                streams: count,
+                                machine: machine_id,
+                                scheme: machine.scheme,
+                                mode: exec.mode,
+                                bytes,
+                                h2d,
+                                compute,
+                                d2h,
+                            });
+                        }
                     }
                 }
             }
@@ -610,18 +1117,27 @@ pub fn serve(
         next += count;
         batch_idx += 1;
         if batch_failed {
-            report.recovery.failed_batches += 1;
+            col.report.recovery.failed_batches += 1;
             breaker_consecutive += 1;
             if rcfg.breaker_failure_threshold > 0
                 && breaker_consecutive >= rcfg.breaker_failure_threshold
             {
                 // The breaker stays open for the rest of the trace: every
                 // not-yet-dispatched stream is shed without touching the
-                // device.
-                report.recovery.breaker_trips += 1;
-                for k in next..n {
-                    report.outcomes[k] = StreamOutcome::ShedBreakerOpen;
-                    report.recovery.shed_streams += 1;
+                // device — first the look-ahead already pulled, then the
+                // rest of the source, still pulled (and validated, and
+                // counted) one arrival at a time.
+                col.report.recovery.breaker_trips += 1;
+                loop {
+                    let more = match window.pop_front() {
+                        Some(_) => true,
+                        None => puller.pull(&mut col)?.is_some(),
+                    };
+                    if !more {
+                        break;
+                    }
+                    depths.zero_pair();
+                    col.shed(StreamOutcome::ShedBreakerOpen);
                 }
                 break;
             }
@@ -630,21 +1146,20 @@ pub fn serve(
         }
     }
 
+    let Collector { mut report, delivery, kernel, .. } = col;
     report.makespan_cycles = timeline.horizon();
     // Latency summaries describe delivered results only; shed streams keep
-    // zeroed per-stream entries and are excluded here.
-    let served = |lat: &[u64], outcomes: &[StreamOutcome]| -> Vec<u64> {
-        lat.iter()
-            .zip(outcomes)
-            .filter(|(_, o)| **o == StreamOutcome::Served)
-            .map(|(l, _)| *l)
-            .collect()
-    };
-    report.delivery = LatencySummary::from_latencies(&served(&report.latencies, &report.outcomes));
-    report.kernel_latency =
-        LatencySummary::from_latencies(&served(&kernel_latencies, &report.outcomes));
-    report.queue_depth = queue_depth_samples(&admit_cycle, &slot_release);
-    report.overlap_efficiency_permille = overlap_efficiency(&report.batches);
+    // zeroed per-stream entries and are excluded.
+    let (delivery_summary, delivery_sketched) = delivery.summarize();
+    let (kernel_summary, kernel_sketched) = kernel.summarize();
+    report.delivery = delivery_summary;
+    report.kernel_latency = kernel_summary;
+    report.latency_error_permille =
+        if delivery_sketched || kernel_sketched { LatencySketch::ERROR_PERMILLE } else { 0 };
+    let (samples, peak) = depths.finish();
+    report.queue_depth = samples;
+    report.peak_queue = peak;
+    report.overlap_efficiency_permille = meter.efficiency_permille();
     // Fold the kernel-side fault counters (accumulated through the stats
     // merges) into the recovery report; copy-side counters are already
     // there.
@@ -655,36 +1170,358 @@ pub fn serve(
     Ok(report)
 }
 
-/// Queue depth over time: +1 at each admission, −1 when a stream's batch
-/// starts its input copy; one `(cycle, depth)` sample per distinct event
-/// cycle. Admissions sort before releases at the same cycle (a stream
-/// admitted and instantly dispatched still passes through the queue), so
-/// the running depth never goes negative.
-fn queue_depth_samples(admit: &[u64], release: &[u64]) -> Vec<(u64, usize)> {
-    let mut events: Vec<(u64, i64)> =
-        admit.iter().map(|&t| (t, 1i64)).chain(release.iter().map(|&t| (t, -1i64))).collect();
-    events.sort_unstable_by_key(|&(t, delta)| (t, std::cmp::Reverse(delta)));
-    let mut samples = Vec::new();
-    let mut depth = 0i64;
-    for (i, &(t, delta)) in events.iter().enumerate() {
-        depth += delta;
-        debug_assert!(depth >= 0, "queue depth can never go negative");
-        if i + 1 == events.len() || events[i + 1].0 != t {
-            samples.push((t, depth as usize));
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{IterSource, SyntheticSource};
+    use gspecpal_fsm::examples::div7;
+
+    /// The historical sort-everything queue-depth sampler, kept as the
+    /// reference the incremental [`DepthTracker`] is checked against.
+    /// `release_first` selects the equal-cycle tie-break; samples are
+    /// per-cycle-group boundaries, so both orders yield identical samples —
+    /// which is exactly why the tie-break fix preserves committed
+    /// baselines.
+    fn reference_depth_samples(pairs: &[(u64, u64)], release_first: bool) -> Vec<(u64, usize)> {
+        let mut events: Vec<(u64, i8)> =
+            pairs.iter().flat_map(|&(a, r)| [(a, 1i8), (r, -1i8)]).collect();
+        if release_first {
+            events.sort_by_key(|&(t, kind)| (t, kind));
+        } else {
+            events.sort_by_key(|&(t, kind)| (t, Reverse(kind)));
+        }
+        let mut samples = Vec::new();
+        let mut depth = 0i64;
+        for (i, &(t, kind)) in events.iter().enumerate() {
+            depth += i64::from(kind);
+            if i + 1 == events.len() || events[i + 1].0 != t {
+                samples.push((t, depth as usize));
+            }
+        }
+        samples
+    }
+
+    /// The historical quadratic overlap metric, kept as the reference for
+    /// [`OverlapMeter`].
+    fn reference_overlap_efficiency(batches: &[BatchRecord]) -> u64 {
+        let copies: Vec<Span> = batches.iter().flat_map(|b| [b.h2d, b.d2h]).collect();
+        let copy_busy: u64 = copies.iter().map(Span::duration).sum();
+        if copy_busy == 0 {
+            return 0;
+        }
+        let hidden: u64 =
+            copies.iter().map(|c| batches.iter().map(|b| c.overlap(&b.compute)).sum::<u64>()).sum();
+        hidden * 1000 / copy_busy
+    }
+
+    fn machine(spec: &DeviceSpec, dfa: &'static Dfa) -> ServeMachine<'static> {
+        ServeMachine::prepare(spec, dfa, &b"110100".repeat(64))
+    }
+
+    fn leaked_div7() -> &'static Dfa {
+        Box::leak(Box::new(div7()))
+    }
+
+    #[test]
+    fn occupancy_target_saturates_instead_of_wrapping() {
+        // Adversarial spec: every occupancy factor near its u32 ceiling, so
+        // width × resident × n_sms vastly exceeds u32 (and a 32-bit usize).
+        // The old `usize` product silently wrapped on 32-bit hosts; the
+        // widened computation must agree with the exact u128 product
+        // (clamped to usize) instead.
+        let mut spec = DeviceSpec::test_unit();
+        spec.warp_size = 1 << 8;
+        spec.max_threads_per_block = 1 << 16;
+        spec.max_threads_per_sm = u32::MAX;
+        spec.registers_per_sm = u32::MAX;
+        spec.shared_mem_bytes = usize::MAX / 2;
+        spec.max_blocks_per_sm = u32::MAX;
+        spec.n_sms = u32::MAX;
+        let dfa = div7();
+        let m = ServeMachine::with_scheme(&spec, &dfa, SchemeKind::Naive);
+        let req = |w: u32| BlockRequirements {
+            threads: w,
+            shared_bytes: m.table().shared_footprint_bytes(),
+            regs_per_thread: 32,
+        };
+        let width = fit_block_width(&spec, req).unwrap();
+        let resident = max_resident_blocks(&spec, &req(width)).max(1);
+        let exact = u128::from(width) * u128::from(resident) * u128::from(spec.n_sms);
+        assert!(exact > u128::from(u32::MAX), "the test must actually exceed 32 bits");
+        let expected = usize::try_from(exact).unwrap_or(usize::MAX);
+        assert_eq!(occupancy_target(&spec, m.table()), expected);
+    }
+
+    #[test]
+    fn depth_tracker_matches_the_sorted_reference() {
+        // Generate a valid admission history exactly the way the pipeline
+        // does: monotone arrivals, admit(k) = max(arrival, release(k−d)),
+        // release ≥ admit — with plenty of equal-cycle collisions.
+        let depth = 4usize;
+        let mut state = 7u64;
+        let mut rng = move |n: u64| {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            (state >> 33) % n
+        };
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut arrivals: Vec<u64> = Vec::new();
+        let mut arrival = 0u64;
+        for k in 0..500usize {
+            arrival += rng(3); // mostly-bursty: forces release/admit ties
+            let floor = if k >= depth { pairs[k - depth].1 } else { 0 };
+            let admit = arrival.max(floor);
+            // Jittered releases make both releases and admissions
+            // non-monotone — the failed-copy shape that rules out a
+            // watermark bound.
+            let release = admit + rng(5);
+            pairs.push((admit, release));
+            arrivals.push(arrival);
+        }
+        let mut tracker = DepthTracker::new(true, depth);
+        for (k, &(a, r)) in pairs.iter().enumerate() {
+            // The engine's finality bound: arrival (monotone) maxed with
+            // the release-window floor.
+            let floor = if k >= depth {
+                pairs[k - depth..k].iter().map(|&(_, rel)| rel).min().unwrap()
+            } else {
+                0
+            };
+            tracker.record(a, r, arrivals[k].max(floor));
+        }
+        let (samples, peak) = tracker.finish();
+        let reference = reference_depth_samples(&pairs, true);
+        assert_eq!(samples, reference);
+        assert_eq!(peak, reference.iter().map(|&(_, d)| d).max().unwrap());
+        // The tie-break is invisible at cycle-group boundaries: the old
+        // admissions-first order produced the very same samples.
+        assert_eq!(reference, reference_depth_samples(&pairs, false));
+        // And with releases applied first, the peak respects the queue cap.
+        assert!(peak <= depth, "peak {peak} exceeds queue depth {depth}");
+    }
+
+    #[test]
+    fn equal_cycle_ties_keep_the_sampled_peak_within_the_queue_depth() {
+        // A burst: every arrival at cycle 0, queue depth 4. Admission of
+        // stream k (k ≥ 4) lands exactly on the release cycle of stream
+        // k − 4, so every sample after the first batch is an equal-cycle
+        // release/admission tie — the case the tie-break pins down.
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        let trace = Trace::from_arrivals(
+            (0..24)
+                .map(|_| StreamArrival { arrival_cycle: 0, machine: 0, bytes: b"10".repeat(12) })
+                .collect(),
+        );
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 2 },
+            max_queue_depth: 4,
+            ..ServeConfig::default()
+        };
+        let report = serve(&spec, std::slice::from_ref(&m), &trace, &cfg).unwrap();
+        assert!(report.backpressure_events > 0, "a burst this deep must backpressure");
+        assert!(
+            report.queue_depth.iter().all(|&(_, d)| d <= 4),
+            "sampled depth exceeds max_queue_depth: {:?}",
+            report.queue_depth
+        );
+        assert!(report.peak_queue_depth() <= 4);
+        assert_eq!(report.peak_queue, report.queue_depth.iter().map(|&(_, d)| d).max().unwrap());
+    }
+
+    #[test]
+    fn overlap_meter_matches_the_quadratic_reference() {
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        for (overlap, seed) in [(true, 3u64), (false, 3), (true, 11), (false, 11)] {
+            let trace = Trace::synthetic(seed, 40, 1, 25, 8..96, b"01");
+            let cfg = ServeConfig {
+                policy: BatchPolicy::Fifo { batch: 4 },
+                overlap,
+                ..ServeConfig::default()
+            };
+            let report = serve(&spec, std::slice::from_ref(&m), &trace, &cfg).unwrap();
+            assert_eq!(
+                report.overlap_efficiency_permille,
+                reference_overlap_efficiency(&report.batches),
+                "overlap={overlap} seed={seed}"
+            );
         }
     }
-    samples
-}
 
-/// Share of copy-engine busy cycles spent under an active kernel, in
-/// permille.
-fn overlap_efficiency(batches: &[BatchRecord]) -> u64 {
-    let copies: Vec<Span> = batches.iter().flat_map(|b| [b.h2d, b.d2h]).collect();
-    let copy_busy: u64 = copies.iter().map(Span::duration).sum();
-    if copy_busy == 0 {
-        return 0;
+    #[test]
+    fn overlap_meter_matches_the_reference_under_copy_faults() {
+        // Failed batches leave gaps in the successful-batch sequence; the
+        // incremental meter must still agree with the quadratic sweep over
+        // the surviving records.
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        let trace = Trace::synthetic(5, 60, 1, 10, 8..64, b"01");
+        let scheme_config =
+            SchemeConfig { faults: Some(FaultPlan::chaos(42, 400)), ..SchemeConfig::default() };
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 4 },
+            scheme_config,
+            recovery: ServeRecoveryConfig { copy_max_retries: 0, ..ServeRecoveryConfig::default() },
+            ..ServeConfig::default()
+        };
+        let report = serve(&spec, std::slice::from_ref(&m), &trace, &cfg).unwrap();
+        assert!(report.recovery.failed_batches > 0, "the chaos plan must fail some batches");
+        assert_eq!(
+            report.overlap_efficiency_permille,
+            reference_overlap_efficiency(&report.batches)
+        );
     }
-    let hidden: u64 =
-        copies.iter().map(|c| batches.iter().map(|b| c.overlap(&b.compute)).sum::<u64>()).sum();
-    hidden * 1000 / copy_busy
+
+    #[test]
+    fn serve_source_matches_serve_byte_for_byte() {
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        let machines = std::slice::from_ref(&m);
+        let scheme_config =
+            SchemeConfig { faults: Some(FaultPlan::chaos(9, 300)), ..SchemeConfig::default() };
+        let configs = [
+            ServeConfig { policy: BatchPolicy::Fifo { batch: 4 }, ..ServeConfig::default() },
+            ServeConfig {
+                policy: BatchPolicy::Deadline { batch: 8, max_wait: 40 },
+                overlap: false,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                policy: BatchPolicy::Adaptive { max_batch: 16 },
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                policy: BatchPolicy::Fifo { batch: 4 },
+                scheme_config,
+                recovery: ServeRecoveryConfig {
+                    copy_max_retries: 1,
+                    shed_wait_cycles: 200,
+                    breaker_failure_threshold: 2,
+                    ..ServeRecoveryConfig::default()
+                },
+                max_queue_depth: 8,
+                ..ServeConfig::default()
+            },
+        ];
+        for (i, cfg) in configs.iter().enumerate() {
+            let trace = Trace::synthetic(100 + i as u64, 60, 1, 20, 8..80, b"01");
+            let from_trace = serve(&spec, machines, &trace, cfg).unwrap();
+            let from_source =
+                serve_source(&spec, machines, IterSource(trace.arrivals().iter().cloned()), cfg)
+                    .unwrap();
+            assert_eq!(from_trace, from_source, "config {i}: streaming engine must not drift");
+        }
+    }
+
+    #[test]
+    fn bounded_detail_drops_vectors_but_keeps_aggregates() {
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        let trace = Trace::synthetic(21, 50, 1, 15, 8..64, b"01");
+        let full_cfg =
+            ServeConfig { policy: BatchPolicy::Fifo { batch: 4 }, ..ServeConfig::default() };
+        let bounded_cfg = ServeConfig { detail: ReportDetail::Bounded, ..full_cfg.clone() };
+        let full = serve(&spec, std::slice::from_ref(&m), &trace, &full_cfg).unwrap();
+        let bounded = serve(&spec, std::slice::from_ref(&m), &trace, &bounded_cfg).unwrap();
+        // The unbounded vectors are gone...
+        assert!(bounded.latencies.is_empty());
+        assert!(bounded.end_states.is_empty());
+        assert!(bounded.accepted.is_empty());
+        assert!(bounded.outcomes.is_empty());
+        assert!(bounded.batches.is_empty());
+        assert!(bounded.queue_depth.is_empty());
+        assert!(bounded.stats.active_per_round.is_empty());
+        assert!(bounded.stats.round_durations.is_empty());
+        // ...and every aggregate matches the full run exactly.
+        assert_eq!(bounded.streams, full.streams);
+        assert_eq!(bounded.total_bytes, full.total_bytes);
+        assert_eq!(bounded.makespan_cycles, full.makespan_cycles);
+        assert_eq!(bounded.delivery, full.delivery);
+        assert_eq!(bounded.kernel_latency, full.kernel_latency);
+        assert_eq!(bounded.latency_error_permille, full.latency_error_permille);
+        assert_eq!(bounded.stats.cycles, full.stats.cycles);
+        assert_eq!(bounded.stats.rounds, full.stats.rounds);
+        assert_eq!(bounded.stats.profile, full.stats.profile);
+        assert_eq!(bounded.overlap_efficiency_permille, full.overlap_efficiency_permille);
+        assert_eq!(bounded.backpressure_events, full.backpressure_events);
+        assert_eq!(bounded.backpressure_wait_cycles, full.backpressure_wait_cycles);
+        assert_eq!(bounded.recovery, full.recovery);
+        assert_eq!(bounded.batches_dispatched, full.batches.len() as u64);
+        assert_eq!(bounded.peak_queue, full.peak_queue_depth());
+        assert_eq!(bounded.served_streams(), full.served_streams());
+    }
+
+    #[test]
+    fn bounded_streaming_run_summarizes_past_the_exact_threshold() {
+        // Enough served streams to cross EXACT_SUMMARY_MAX, fed from a
+        // generator — the million-stream shape in miniature. Short streams
+        // keep the simulated work tiny.
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        let n = EXACT_SUMMARY_MAX + 500;
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 32 },
+            detail: ReportDetail::Bounded,
+            ..ServeConfig::default()
+        };
+        let source = SyntheticSource::new(77, n, 1, 3, 4..10, b"01");
+        let report = serve_source(&spec, std::slice::from_ref(&m), source, &cfg).unwrap();
+        assert_eq!(report.streams, n);
+        assert_eq!(report.served_streams(), n);
+        assert_eq!(
+            report.latency_error_permille,
+            LatencySketch::ERROR_PERMILLE,
+            "past the exact threshold the summary must carry the sketch bound"
+        );
+        assert!(report.delivery.p50 > 0);
+        assert!(report.delivery.max >= report.delivery.p99);
+        // And the streaming run agrees with the materialized one.
+        let trace = Trace::synthetic(77, n, 1, 3, 4..10, b"01");
+        let materialized = serve(
+            &spec,
+            std::slice::from_ref(&m),
+            &trace,
+            &ServeConfig { detail: ReportDetail::Bounded, ..cfg },
+        )
+        .unwrap();
+        assert_eq!(report, materialized);
+    }
+
+    #[test]
+    fn invalid_arrivals_fail_the_streaming_run_when_reached() {
+        let spec = DeviceSpec::test_unit();
+        let dfa = leaked_div7();
+        let m = machine(&spec, dfa);
+        let cfg = ServeConfig::default();
+        let bad_machine = vec![
+            StreamArrival { arrival_cycle: 0, machine: 0, bytes: vec![b'1'; 4] },
+            StreamArrival { arrival_cycle: 5, machine: 9, bytes: vec![b'1'; 4] },
+        ];
+        let err = serve_source(
+            &spec,
+            std::slice::from_ref(&m),
+            IterSource(bad_machine.into_iter()),
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, ServeError::UnknownMachine { stream: 1, machine: 9, n_machines: 1 });
+        let non_monotone = vec![
+            StreamArrival { arrival_cycle: 10, machine: 0, bytes: vec![b'1'; 4] },
+            StreamArrival { arrival_cycle: 3, machine: 0, bytes: vec![b'1'; 4] },
+        ];
+        let err = serve_source(
+            &spec,
+            std::slice::from_ref(&m),
+            IterSource(non_monotone.into_iter()),
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, ServeError::NonMonotonicTrace { stream: 1, cycle: 3, prev: 10 });
+    }
 }

@@ -10,6 +10,16 @@ use gspecpal::SchemeKind;
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{KernelStats, Span};
 
+use crate::sketch::LatencySketch;
+
+/// Largest latency set summarized by an exact sort. Above this,
+/// [`LatencySummary::from_latencies`] routes through a [`LatencySketch`]
+/// (error bound [`LatencySketch::ERROR_PERMILLE`]) so summary cost and
+/// memory stay bounded at million-stream scale. The threshold comfortably
+/// exceeds every committed benchmark's stream count, which is what keeps
+/// the committed `BENCH_serve.json` baselines byte-identical.
+pub const EXACT_SUMMARY_MAX: usize = 4096;
+
 /// How a batch was executed on the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
@@ -49,9 +59,21 @@ impl LatencySummary {
     /// Summarizes `latencies` (need not be sorted; empty input gives all
     /// zeros). Uses the nearest-rank method on integer cycles — no floats,
     /// no interpolation, bit-stable.
+    ///
+    /// Sets of at most [`EXACT_SUMMARY_MAX`] values are sorted and
+    /// summarized exactly; larger sets go through a [`LatencySketch`], whose
+    /// percentiles follow the same nearest-rank rule within the sketch's
+    /// documented error bound (`max` stays exact either way).
     pub fn from_latencies(latencies: &[u64]) -> Self {
         if latencies.is_empty() {
             return LatencySummary::default();
+        }
+        if latencies.len() > EXACT_SUMMARY_MAX {
+            let mut sketch = LatencySketch::new();
+            for &v in latencies {
+                sketch.record(v);
+            }
+            return LatencySummary::from_sketch(&sketch);
         }
         let mut sorted = latencies.to_vec();
         sorted.sort_unstable();
@@ -65,6 +87,17 @@ impl LatencySummary {
             p95: rank(95),
             p99: rank(99),
             max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Summarizes a [`LatencySketch`]: nearest-rank percentiles within the
+    /// sketch's error bound, exact maximum.
+    pub fn from_sketch(sketch: &LatencySketch) -> Self {
+        LatencySummary {
+            p50: sketch.percentile(50),
+            p95: sketch.percentile(95),
+            p99: sketch.percentile(99),
+            max: sketch.max(),
         }
     }
 }
@@ -205,6 +238,21 @@ pub struct ServeReport {
     pub outcomes: Vec<StreamOutcome>,
     /// Aggregate fault-handling activity (all zeros on a fault-free run).
     pub recovery: RecoveryReport,
+    /// Batches that completed end to end (equals `batches.len()` under
+    /// [`crate::ReportDetail::Full`]; under `Bounded` the per-batch records
+    /// themselves are not retained and this counter is the evidence).
+    pub batches_dispatched: u64,
+    /// Peak admission-queue depth, tracked incrementally. Under
+    /// [`crate::ReportDetail::Full`] it equals the maximum over
+    /// `queue_depth`; under `Bounded` the samples are not retained and this
+    /// field carries the peak alone.
+    pub peak_queue: usize,
+    /// Upper bound, in permille, on the relative error of the `delivery` /
+    /// `kernel_latency` percentiles: 0 when both summaries were computed
+    /// exactly, [`LatencySketch::ERROR_PERMILLE`] when the served-stream
+    /// count exceeded [`EXACT_SUMMARY_MAX`] and a sketch was used (`max` is
+    /// exact in every case).
+    pub latency_error_permille: u64,
 }
 
 impl ServeReport {
@@ -219,12 +267,18 @@ impl ServeReport {
 
     /// Peak queue depth observed.
     pub fn peak_queue_depth(&self) -> usize {
-        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0).max(self.peak_queue)
     }
 
-    /// Streams whose results reached the host.
+    /// Streams whose results reached the host. Falls back to
+    /// `streams - shed` when per-stream outcomes were not retained
+    /// ([`crate::ReportDetail::Bounded`]).
     pub fn served_streams(&self) -> usize {
-        self.outcomes.iter().filter(|o| **o == StreamOutcome::Served).count()
+        if self.outcomes.is_empty() {
+            self.streams - self.recovery.shed_streams as usize
+        } else {
+            self.outcomes.iter().filter(|o| **o == StreamOutcome::Served).count()
+        }
     }
 
     /// One-line human summary.

@@ -114,32 +114,37 @@ impl Trace {
         len_range: std::ops::Range<usize>,
         alphabet: &[u8],
     ) -> Self {
-        assert!(n_machines > 0, "need at least one machine");
-        assert!(!alphabet.is_empty(), "need a nonempty alphabet");
-        assert!(!len_range.is_empty(), "need a nonempty length range");
-        let mut rng = Lcg::new(seed);
-        let mut clock = 0u64;
-        let arrivals = (0..n_streams)
-            .map(|_| {
-                clock += rng.below(2 * mean_gap + 1);
-                let machine = rng.below(n_machines as u64) as usize;
-                let len =
-                    len_range.start + rng.below((len_range.end - len_range.start) as u64) as usize;
-                let bytes =
-                    (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect();
-                StreamArrival { arrival_cycle: clock, machine, bytes }
-            })
-            .collect();
-        Trace { arrivals }
+        // Materialize the streaming generator, so the two can never drift:
+        // `SyntheticSource` *is* the definition of the synthetic workload.
+        let source = crate::source::SyntheticSource::new(
+            seed, n_streams, n_machines, mean_gap, len_range, alphabet,
+        );
+        Trace { arrivals: source.collect() }
+    }
+
+    /// A [`crate::TraceSource`] replaying this trace in admission order —
+    /// what lets `serve` and [`crate::serve_source`] share one engine.
+    pub fn source(&self) -> crate::source::TraceCursor<'_> {
+        crate::source::TraceCursor::new(self)
+    }
+}
+
+/// Collects arrivals into a trace, stably sorting by arrival cycle —
+/// identical semantics to [`Trace::from_arrivals`].
+impl FromIterator<StreamArrival> for Trace {
+    fn from_iter<I: IntoIterator<Item = StreamArrival>>(iter: I) -> Self {
+        Trace::from_arrivals(iter.into_iter().collect())
     }
 }
 
 /// Minimal 64-bit LCG (Knuth's MMIX constants) — enough entropy for trace
-/// shaping, zero dependencies, bit-stable everywhere.
-struct Lcg(u64);
+/// shaping, zero dependencies, bit-stable everywhere. Shared with the
+/// streaming [`crate::source::SyntheticSource`], which must replay the
+/// exact sequence of [`Trace::synthetic`].
+pub(crate) struct Lcg(u64);
 
 impl Lcg {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         // Scramble the seed so small seeds don't start in a low-entropy
         // regime.
         Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
@@ -152,7 +157,7 @@ impl Lcg {
     }
 
     /// Uniform-ish sample in `[0, n)` (top bits; fine for workload shaping).
-    fn below(&mut self, n: u64) -> u64 {
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
         if n == 0 {
             0
         } else {
