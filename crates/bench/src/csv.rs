@@ -115,9 +115,11 @@ impl Fig8Report {
                     r.sre.to_string(),
                     r.rr.to_string(),
                     r.nf.to_string(),
+                    r.sfa.to_string(),
                     format!("{:.4}", r.speedup(SchemeKind::Sre)),
                     format!("{:.4}", r.speedup(SchemeKind::Rr)),
                     format!("{:.4}", r.speedup(SchemeKind::Nf)),
+                    format!("{:.4}", r.speedup(SchemeKind::Sfa)),
                     r.selected.to_string(),
                     format!("{:.4}", r.selected_speedup()),
                 ]
@@ -131,9 +133,11 @@ impl Fig8Report {
                 "sre_cycles",
                 "rr_cycles",
                 "nf_cycles",
+                "sfa_cycles",
                 "sre_speedup",
                 "rr_speedup",
                 "nf_speedup",
+                "sfa_speedup",
                 "selected",
                 "selected_speedup",
             ],
@@ -236,9 +240,12 @@ impl Fig9Report {
 impl AblationReport {
     /// CSV rendering.
     pub fn to_csv(&self) -> String {
-        let rows: Vec<Vec<String>> =
-            self.rows.iter().map(|(n, r)| vec![n.clone(), format!("{r:.4}")]).collect();
-        to_csv(&["fsm", "hashed_over_transformed"], &rows)
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(n, s, r)| vec![n.clone(), s.to_string(), format!("{r:.4}")])
+            .collect();
+        to_csv(&["fsm", "scheme", "hashed_over_transformed"], &rows)
     }
 }
 

@@ -288,14 +288,17 @@ pub struct Fig8Row {
     pub rr: u64,
     /// Total simulated cycles for NF.
     pub nf: u64,
+    /// Total simulated cycles for SFA (the mapping-composition rival the
+    /// selector weighs against the four speculative schemes).
+    pub sfa: u64,
     /// What the decision tree picked.
     pub selected: SchemeKind,
     /// Cycles of the selected scheme.
     pub selected_cycles: u64,
-    /// Per-scheme phase profiles in PM, SRE, RR, NF order. Each profile's
-    /// total cycles equal the scheme's cycle column above, so the perf
-    /// reports can decompose the figure's totals without re-running.
-    pub profiles: [PhaseProfile; 4],
+    /// Per-scheme phase profiles in PM, SRE, RR, NF, SFA order. Each
+    /// profile's total cycles equal the scheme's cycle column above, so the
+    /// perf reports can decompose the figure's totals without re-running.
+    pub profiles: [PhaseProfile; 5],
 }
 
 impl Fig8Row {
@@ -306,7 +309,8 @@ impl Fig8Row {
             SchemeKind::Sre => self.sre,
             SchemeKind::Rr => self.rr,
             SchemeKind::Nf => self.nf,
-            _ => unreachable!("fig8 compares the four GSpecPal schemes"),
+            SchemeKind::Sfa => self.sfa,
+            _ => unreachable!("fig8 compares the GSpecPal schemes plus SFA"),
         };
         self.pm as f64 / c as f64
     }
@@ -318,7 +322,7 @@ impl Fig8Row {
 
     /// Cycles of the fastest scheme (the oracle).
     pub fn best_cycles(&self) -> u64 {
-        self.pm.min(self.sre).min(self.rr).min(self.nf)
+        self.pm.min(self.sre).min(self.rr).min(self.nf).min(self.sfa)
     }
 
     /// Whether the selector's pick is (near-)optimal: within 10% of the
@@ -329,14 +333,15 @@ impl Fig8Row {
         self.selected_cycles as f64 <= self.best_cycles() as f64 * 1.10
     }
 
-    /// The four compared schemes with their cycle totals and phase profiles,
-    /// in PM, SRE, RR, NF order (the layout of [`Fig8Row::profiles`]).
-    pub fn scheme_profiles(&self) -> [(SchemeKind, u64, &PhaseProfile); 4] {
+    /// The compared schemes with their cycle totals and phase profiles, in
+    /// PM, SRE, RR, NF, SFA order (the layout of [`Fig8Row::profiles`]).
+    pub fn scheme_profiles(&self) -> [(SchemeKind, u64, &PhaseProfile); 5] {
         [
             (SchemeKind::Pm, self.pm, &self.profiles[0]),
             (SchemeKind::Sre, self.sre, &self.profiles[1]),
             (SchemeKind::Rr, self.rr, &self.profiles[2]),
             (SchemeKind::Nf, self.nf, &self.profiles[3]),
+            (SchemeKind::Sfa, self.sfa, &self.profiles[4]),
         ]
     }
 }
@@ -364,6 +369,7 @@ pub fn run_fig8(cfg: &ExperimentConfig) -> Fig8Report {
             let (sre, sre_profile) = get(SchemeKind::Sre);
             let (rr, rr_profile) = get(SchemeKind::Rr);
             let (nf, nf_profile) = get(SchemeKind::Nf);
+            let (sfa, sfa_profile) = get(SchemeKind::Sfa);
             let report = fw.process(&b.dfa, &input);
             let selected = report.selected;
             let selected_cycles = match selected {
@@ -371,8 +377,9 @@ pub fn run_fig8(cfg: &ExperimentConfig) -> Fig8Report {
                 SchemeKind::Sre => sre,
                 SchemeKind::Rr => rr,
                 SchemeKind::Nf => nf,
+                SchemeKind::Sfa => sfa,
                 other => {
-                    // The selector only emits the four GSpecPal schemes.
+                    // The selector only emits the GSpecPal schemes plus SFA.
                     unreachable!("selector picked {other}")
                 }
             };
@@ -384,9 +391,10 @@ pub fn run_fig8(cfg: &ExperimentConfig) -> Fig8Report {
                 sre,
                 rr,
                 nf,
+                sfa,
                 selected,
                 selected_cycles,
-                profiles: [pm_profile, sre_profile, rr_profile, nf_profile],
+                profiles: [pm_profile, sre_profile, rr_profile, nf_profile, sfa_profile],
             }
         })
         .collect();
@@ -416,7 +424,7 @@ impl Fig8Report {
         self.rows
             .iter()
             .flat_map(|r| {
-                [SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf]
+                [SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf, SchemeKind::Sfa]
                     .into_iter()
                     .map(move |s| r.speedup(s))
             })
@@ -443,10 +451,11 @@ impl Fig8Report {
 
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
-        let header: Vec<String> = ["FSM", "tier", "SRE", "RR", "NF", "Selected", "Sel.speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let header: Vec<String> =
+            ["FSM", "tier", "SRE", "RR", "NF", "SFA", "Selected", "Sel.speedup"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -457,6 +466,7 @@ impl Fig8Report {
                     f2(r.speedup(SchemeKind::Sre)),
                     f2(r.speedup(SchemeKind::Rr)),
                     f2(r.speedup(SchemeKind::Nf)),
+                    f2(r.speedup(SchemeKind::Sfa)),
                     r.selected.to_string(),
                     f2(r.selected_speedup()),
                 ]
@@ -464,13 +474,14 @@ impl Fig8Report {
             .collect();
         format!(
             "Figure 8: speedups over PM(spec-4)\n{}\n\
-             mean speedup: SRE {} / RR {} / NF {} / Selector {}\n\
+             mean speedup: SRE {} / RR {} / NF {} / SFA {} / Selector {}\n\
              max speedup over PM: {}\n\
              selector accuracy: {} ({}/{}), mean loss vs oracle: {}%\n",
             render_table(&header, &rows),
             f2(self.mean_speedup(SchemeKind::Sre)),
             f2(self.mean_speedup(SchemeKind::Rr)),
             f2(self.mean_speedup(SchemeKind::Nf)),
+            f2(self.mean_speedup(SchemeKind::Sfa)),
             f2(self.selector_mean_speedup()),
             f2(self.max_speedup()),
             pct(self.selector_accuracy()),
@@ -741,7 +752,7 @@ pub fn debug_benchmark(cfg: &ExperimentConfig, name: &str) -> String {
         profile.accuracy_spread,
         profile.convergence.mean_unique_states
     );
-    for s in [SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf] {
+    for s in [SchemeKind::Pm, SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf, SchemeKind::Sfa] {
         let o = fw.run_with(&b.dfa, &input, s);
         out += &format!(
             "{:4}: total={:>12} predict={:>8} exec={:>10} verify={:>12} rounds={:>5} \
@@ -889,35 +900,50 @@ mod tests {
     #[test]
     fn ablation_transformation_wins() {
         let r = run_ablation(&tiny());
-        assert_eq!(r.rows.len(), 12);
+        // 4 benchmarks per family × 3 families × {RR, SFA}.
+        assert_eq!(r.rows.len(), 24);
+        assert!(r.rows.iter().any(|(_, s, _)| *s == SchemeKind::Sfa));
         assert!(
             r.mean_improvement() > 0.0,
             "the transformation must help: {:.3}",
             r.mean_improvement()
         );
+        // SFA multiplies every residency miss by its live-path width, so the
+        // transformation must help it too, on average.
+        let sfa: Vec<f64> = r
+            .rows
+            .iter()
+            .filter(|(_, s, _)| *s == SchemeKind::Sfa)
+            .map(|(_, _, ratio)| ratio - 1.0)
+            .collect();
+        assert!(mean(&sfa) > 0.0, "transformation must help SFA: {:.3}", mean(&sfa));
     }
 }
 
-/// Ablation report: per benchmark, hashed-layout time over transformed-layout
-/// time (>1 means the transformation wins).
+/// Ablation report: per benchmark and scheme, hashed-layout time over
+/// transformed-layout time (>1 means the transformation wins).
 #[derive(Clone, Debug)]
 pub struct AblationReport {
-    /// Rows of `(benchmark name, hashed/transformed cycle ratio)`.
-    pub rows: Vec<(String, f64)>,
+    /// Rows of `(benchmark name, scheme, hashed/transformed cycle ratio)`.
+    pub rows: Vec<(String, SchemeKind, f64)>,
     /// The absolute measurements behind `rows`, in the same order.
     pub details: Vec<AblationDetail>,
 }
 
-/// One ablation benchmark's absolute measurements: both layouts' cycle
-/// totals and phase profiles (the ratio in [`AblationReport::rows`] is
-/// `hashed_cycles / transformed_cycles`).
+/// One ablation measurement's absolutes: both layouts' cycle totals and
+/// phase profiles for one (benchmark, scheme) pair (the ratio in
+/// [`AblationReport::rows`] is `hashed_cycles / transformed_cycles`).
 #[derive(Clone, Debug)]
 pub struct AblationDetail {
     /// Benchmark name.
     pub name: String,
-    /// RR total cycles under the transformed (frequency-permuted) layout.
+    /// Scheme measured under both layouts. RR stresses the recovery path;
+    /// SFA stresses the transform hardest — its width-many simultaneous
+    /// paths multiply every per-transition residency miss.
+    pub scheme: SchemeKind,
+    /// Total cycles under the transformed (frequency-permuted) layout.
     pub transformed_cycles: u64,
-    /// RR total cycles under the hashed layout.
+    /// Total cycles under the hashed layout.
     pub hashed_cycles: u64,
     /// Phase profile of the transformed-layout run.
     pub transformed_profile: PhaseProfile,
@@ -951,23 +977,27 @@ pub fn run_ablation(cfg: &ExperimentConfig) -> AblationReport {
                 DeviceTable::hot_rows_for_device(tdfa, TableLayout::Transformed, &cfg.device);
             let table_t = DeviceTable::transformed(tdfa, hot_t);
             let job_t = Job::new(&cfg.device, &table_t, &input, config).expect("valid");
-            let out_t = gspecpal::run_scheme(SchemeKind::Rr, &job_t);
-            let t = out_t.total_cycles();
 
             let hot_h = DeviceTable::hot_rows_for_device(tdfa, TableLayout::Hashed, &cfg.device);
             let table_h = DeviceTable::hashed(tdfa, &tfreq, hot_h);
             let job_h = Job::new(&cfg.device, &table_h, &input, config).expect("valid");
-            let out_h = gspecpal::run_scheme(SchemeKind::Rr, &job_h);
-            let h = out_h.total_cycles();
 
-            rows.push((b.name(), h as f64 / t as f64));
-            details.push(AblationDetail {
-                name: b.name(),
-                transformed_cycles: t,
-                hashed_cycles: h,
-                transformed_profile: out_t.phase_profile(),
-                hashed_profile: out_h.phase_profile(),
-            });
+            for scheme in [SchemeKind::Rr, SchemeKind::Sfa] {
+                let out_t = gspecpal::run_scheme(scheme, &job_t);
+                let t = out_t.total_cycles();
+                let out_h = gspecpal::run_scheme(scheme, &job_h);
+                let h = out_h.total_cycles();
+
+                rows.push((b.name(), scheme, h as f64 / t as f64));
+                details.push(AblationDetail {
+                    name: b.name(),
+                    scheme,
+                    transformed_cycles: t,
+                    hashed_cycles: h,
+                    transformed_profile: out_t.phase_profile(),
+                    hashed_profile: out_h.phase_profile(),
+                });
+            }
         }
     }
     AblationReport { rows, details }
@@ -976,15 +1006,15 @@ pub fn run_ablation(cfg: &ExperimentConfig) -> AblationReport {
 impl AblationReport {
     /// Mean improvement of the transformation (paper: ~15%).
     pub fn mean_improvement(&self) -> f64 {
-        mean(&self.rows.iter().map(|r| r.1 - 1.0).collect::<Vec<_>>())
+        mean(&self.rows.iter().map(|r| r.2 - 1.0).collect::<Vec<_>>())
     }
 
     /// Paper-style text rendering.
     pub fn render(&self) -> String {
         let header: Vec<String> =
-            ["FSM", "hashed / transformed"].iter().map(|s| s.to_string()).collect();
+            ["FSM", "scheme", "hashed / transformed"].iter().map(|s| s.to_string()).collect();
         let rows: Vec<Vec<String>> =
-            self.rows.iter().map(|(n, r)| vec![n.clone(), f2(*r)]).collect();
+            self.rows.iter().map(|(n, s, r)| vec![n.clone(), s.to_string(), f2(*r)]).collect();
         format!(
             "DFA-transformation ablation (§V-C): hashed-layout time over \
              transformed-layout time\n{}\

@@ -217,6 +217,7 @@ pub fn fig8_json(cfg: &ExperimentConfig, r: &Fig8Report) -> Json {
             ("selector_mean_speedup", Json::F64(r.selector_mean_speedup())),
             ("selector_accuracy", Json::F64(r.selector_accuracy())),
             ("mean_speedup_nf", Json::F64(r.mean_speedup(SchemeKind::Nf))),
+            ("mean_speedup_sfa", Json::F64(r.mean_speedup(SchemeKind::Sfa))),
             ("max_speedup", Json::F64(r.max_speedup())),
         ]),
     ));
@@ -233,6 +234,7 @@ pub fn ablation_json(cfg: &ExperimentConfig, r: &AblationReport) -> Json {
         .map(|d| {
             obj(vec![
                 ("fsm", Json::Str(d.name.clone())),
+                ("scheme", Json::Str(d.scheme.to_string())),
                 (
                     "hashed_over_transformed",
                     Json::F64(d.hashed_cycles as f64 / d.transformed_cycles as f64),

@@ -117,18 +117,33 @@ pub(crate) fn apply_grid_recovery(
     }
 }
 
-/// Charges one block's fault-recovery cost onto its stats. Returns whether
-/// anything was charged.
-fn overlay_block(
-    job: &Job<'_>,
+/// What the retry/backoff ladder decided for one struck block.
+pub(crate) struct FaultCharges {
+    /// Cycles wasted on killed/aborted attempts and backoff waits.
+    pub lost: u64,
+    /// Retried launches.
+    pub retries: u64,
+    /// Watchdog kills.
+    pub kills: u64,
+    /// The block exhausted its retry budget and must fall back to its
+    /// scheme's bottom rung.
+    pub degraded: bool,
+}
+
+/// Prices the retry/backoff ladder for one `base_cycles`-long block against
+/// `plan`: watchdog kills (a deterministic block refails every retry),
+/// transient aborts, exponential backoff between attempts, and whether the
+/// retry budget ran out. Returns `None` for an unstruck block. This is the
+/// scheme-independent half of the overlay; what degradation *costs* is the
+/// scheme's business (a sequential re-walk for the speculative schemes, a
+/// mapping re-derivation for SFA).
+pub(crate) fn fault_charges(
     plan: &FaultPlan,
     rc: &RecoveryConfig,
     domain: FaultDomain,
     block: usize,
-    stats: &mut KernelStats,
-    cx: &BlockRecoveryCtx,
-) -> bool {
-    let base_cycles = stats.cycles;
+    base_cycles: u64,
+) -> Option<FaultCharges> {
     let mut lost = 0u64;
     let mut retries = 0u64;
     let mut kills = 0u64;
@@ -167,6 +182,29 @@ fn overlay_block(
             attempt += 1;
         }
     }
+
+    if lost == 0 && !degraded {
+        return None;
+    }
+    Some(FaultCharges { lost, retries, kills, degraded })
+}
+
+/// Charges one block's fault-recovery cost onto its stats. Returns whether
+/// anything was charged.
+fn overlay_block(
+    job: &Job<'_>,
+    plan: &FaultPlan,
+    rc: &RecoveryConfig,
+    domain: FaultDomain,
+    block: usize,
+    stats: &mut KernelStats,
+    cx: &BlockRecoveryCtx,
+) -> bool {
+    let charges = fault_charges(plan, rc, domain, block, stats.cycles);
+    let (lost, retries, kills, mut degraded) = match charges {
+        Some(c) => (c.lost, c.retries, c.kills, c.degraded),
+        None => (0, 0, 0, false),
+    };
 
     if !degraded && rc.misspec_ladder_enabled() && cx.checks > 0 {
         let misses = cx.checks - cx.matches;

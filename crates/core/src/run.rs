@@ -25,6 +25,11 @@ pub enum SchemeKind {
     /// Algorithm 5: nearest-first aggressive speculative recovery (this
     /// paper).
     Nf,
+    /// Simultaneous Finite Automata \[24\] (Sin'ya & Matsuzaki): every chunk
+    /// computes its full state→state mapping with converged-path
+    /// deduplication, and seams compose mappings instead of states — no
+    /// misprediction, no recovery, at up-to-|Q|-fold execution cost.
+    Sfa,
 }
 
 impl SchemeKind {
@@ -38,6 +43,7 @@ impl SchemeKind {
             SchemeKind::Sre => "SRE",
             SchemeKind::Rr => "RR",
             SchemeKind::Nf => "NF",
+            SchemeKind::Sfa => "SFA",
         }
     }
 
@@ -47,7 +53,7 @@ impl SchemeKind {
     }
 
     /// Every implemented engine.
-    pub fn all() -> [SchemeKind; 7] {
+    pub fn all() -> [SchemeKind; 8] {
         [
             SchemeKind::Sequential,
             SchemeKind::Naive,
@@ -56,6 +62,7 @@ impl SchemeKind {
             SchemeKind::Sre,
             SchemeKind::Rr,
             SchemeKind::Nf,
+            SchemeKind::Sfa,
         ]
     }
 }

@@ -16,11 +16,13 @@ mod nf;
 mod pm;
 mod rr;
 mod sequential;
+mod sfa;
 mod sre;
 mod stitch;
 mod vr_kernel;
 
 pub use common::{exec_phase, ExecPhase};
+pub use sfa::compose_mappings;
 
 use std::ops::Range;
 
@@ -61,7 +63,7 @@ impl<'a> Job<'a> {
         // Launchability gate: if even a one-thread block of the execution or
         // verification kernels exceeds the SM (a hot table bigger than shared
         // memory), reject the job here instead of panicking mid-scheme.
-        for req in [job.exec_requirements(1), job.vr_requirements(1)] {
+        for req in [job.exec_requirements(1), job.vr_requirements(1), job.sfa_requirements(1)] {
             if max_resident_blocks(spec, &req) == 0 {
                 return Err(crate::error::CoreError::Unlaunchable {
                     shared_bytes: req.shared_bytes,
@@ -138,6 +140,20 @@ impl<'a> Job<'a> {
         }
     }
 
+    /// Per-block resources of the SFA mapping kernels: the hot table in
+    /// shared memory plus one live-path slot set per thread — 4 bytes per
+    /// distinct live state (clamped at 64; wider mappings spill to local
+    /// memory) and a 16-byte epoch/indirection header. Registers hold the
+    /// dedup cursor set, clamped like the enumerative map.
+    pub fn sfa_requirements(&self, threads: u32) -> BlockRequirements {
+        let width = (self.table.dfa().n_states() as usize).min(64);
+        BlockRequirements {
+            threads,
+            shared_bytes: self.table.shared_footprint_bytes() + threads as usize * (4 * width + 16),
+            regs_per_thread: (16 + 2 * width.min(120)).min(255) as u32,
+        }
+    }
+
     /// The block partition the VR-based schemes launch for `n_threads`
     /// chunk-owning threads: blocks as wide as the occupancy calculator lets
     /// the verification kernel be on this device.
@@ -158,5 +174,6 @@ pub fn run_scheme(kind: SchemeKind, job: &Job<'_>) -> RunOutcome {
         SchemeKind::Sre => sre::run(job),
         SchemeKind::Rr => rr::run(job),
         SchemeKind::Nf => nf::run(job),
+        SchemeKind::Sfa => sfa::run(job),
     }
 }

@@ -59,6 +59,21 @@ pub struct Selector {
     pub lookback: usize,
     /// Transition steps for convergence profiling (the paper uses 10).
     pub convergence_steps: usize,
+    /// Live-path width (10-step unique-state count) below which SFA's
+    /// |Q|-fold execution has collapsed enough to out-run speculative
+    /// recovery on non-convergent machines: SFA's per-byte cost is the
+    /// *effective* mapping width, and beyond a couple dozen simultaneous
+    /// paths the redundancy eats the speedup budget.
+    pub sfa_max_width: f64,
+    /// State count above which the width-many simultaneous table rows no
+    /// longer fit the shared-memory hot set — every SFA path then pays
+    /// global-memory transitions and the mapping walk loses to aggressive
+    /// speculative recovery even at moderate width.
+    pub sfa_max_states: u32,
+    /// State count below which SFA is pointless: a tiny machine bounds the
+    /// truth rank by |Q|, so speculative recovery is shallow and cheap while
+    /// the mapping walk still pays the full width factor.
+    pub sfa_min_states: u32,
 }
 
 impl Default for Selector {
@@ -71,6 +86,9 @@ impl Default for Selector {
             portions: 16,
             lookback: 2,
             convergence_steps: 10,
+            sfa_max_width: 24.0,
+            sfa_max_states: 1024,
+            sfa_min_states: 16,
         }
     }
 }
@@ -163,7 +181,10 @@ impl Selector {
     ///   must-be-done rounds: PM.
     /// * everything poor → aggressive recovery is mandatory; input-sensitive
     ///   speculation favours NF's frontier-flooding, otherwise RR's even
-    ///   spread.
+    ///   spread — unless the machine sits in SFA's window (moderate
+    ///   effective width, table small enough to stay shared-memory
+    ///   resident), where computing the full mapping beats speculating
+    ///   wrongly and recovering forever.
     pub fn select(&self, p: &SelectorProfile) -> SchemeKind {
         self.select_explained(p).0
     }
@@ -221,6 +242,23 @@ impl Selector {
                     "speculation is input-sensitive (accuracy spread {:.0}%): \
                      flood the chunks right after the frontier",
                     p.accuracy_spread * 100.0
+                ),
+            )
+        } else if p.n_states >= self.sfa_min_states
+            && p.n_states <= self.sfa_max_states
+            && p.convergence.mean_unique_states <= self.sfa_max_width
+        {
+            (
+                SchemeKind::Sfa,
+                format!(
+                    "speculation uniformly poor (spec-4 {:.0}%) but the live \
+                     path set stays narrow ({:.1} unique states after {} \
+                     steps) and the {}-state table stays resident: compute \
+                     the full mapping instead of speculating",
+                    p.spec4_accuracy * 100.0,
+                    p.convergence.mean_unique_states,
+                    p.convergence.steps,
+                    p.n_states
                 ),
             )
         } else {
@@ -375,11 +413,13 @@ mod tests {
     #[test]
     fn sensitivity_branch_prefers_nf() {
         let sel = Selector::default();
+        // Wide live set (40 paths), so the SFA leaf stays out of the way and
+        // the flat-spread variant falls through to RR.
         let nonconv = gspecpal_fsm::profile::ConvergenceProfile {
             steps: 10,
-            mean_unique_states: 12.0,
-            min_unique_states: 12,
-            max_unique_states: 12,
+            mean_unique_states: 40.0,
+            min_unique_states: 40,
+            max_unique_states: 40,
         };
         let p = SelectorProfile {
             spec1_accuracy: 0.1,
@@ -393,6 +433,41 @@ mod tests {
         assert_eq!(sel.select(&p), SchemeKind::Nf);
         let flat = SelectorProfile { accuracy_spread: 0.05, ..p };
         assert_eq!(sel.select(&flat), SchemeKind::Rr);
+    }
+
+    #[test]
+    fn sfa_leaf_fires_on_narrow_resident_machines_only() {
+        let sel = Selector::default();
+        let narrow = gspecpal_fsm::profile::ConvergenceProfile {
+            steps: 10,
+            mean_unique_states: 17.0,
+            min_unique_states: 16,
+            max_unique_states: 18,
+        };
+        let p = SelectorProfile {
+            spec1_accuracy: 0.05,
+            spec4_accuracy: 0.23,
+            worst_truth_rank: 33,
+            accuracy_spread: 0.15,
+            convergence: narrow,
+            n_states: 450,
+            profiling_seconds: 0.0,
+        };
+        assert_eq!(sel.select(&p), SchemeKind::Sfa);
+        let (_, why) = sel.select_explained(&p);
+        assert!(why.contains("full mapping"), "{why}");
+        // Table spills the shared-memory hot set: recovery wins back.
+        assert_eq!(sel.select(&SelectorProfile { n_states: 5000, ..p.clone() }), SchemeKind::Rr);
+        // Tiny machine: truth rank is bounded by |Q|, recovery is shallow.
+        assert_eq!(sel.select(&SelectorProfile { n_states: 7, ..p.clone() }), SchemeKind::Rr);
+        // Wide live set: the |Q|-fold work stands and SFA loses.
+        let wide = gspecpal_fsm::profile::ConvergenceProfile {
+            steps: 10,
+            mean_unique_states: 60.0,
+            min_unique_states: 60,
+            max_unique_states: 60,
+        };
+        assert_eq!(sel.select(&SelectorProfile { convergence: wide, ..p }), SchemeKind::Rr);
     }
 
     #[test]

@@ -101,6 +101,7 @@ use crate::trace::{StreamArrival, Trace};
 pub struct ServeMachine<'a> {
     table: DeviceTable<'a>,
     scheme: SchemeKind,
+    chunk_work: u64,
 }
 
 impl<'a> ServeMachine<'a> {
@@ -113,20 +114,41 @@ impl<'a> ServeMachine<'a> {
         let selector = Selector::default();
         let profile = selector.profile(dfa, training);
         let scheme = selector.select(&profile);
+        let chunk_work = match scheme {
+            // SFA's per-byte work is its effective mapping width, measured
+            // during profiling as the surviving unique-state count.
+            SchemeKind::Sfa => (profile.convergence.mean_unique_states.ceil() as u64).max(1),
+            _ => 1,
+        };
         let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
-        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme }
+        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, chunk_work }
     }
 
     /// Like [`ServeMachine::prepare`] with the scheme pinned — for tests
-    /// and ablations that bypass the selector.
+    /// and ablations that bypass the selector. Without a profile, SFA's
+    /// chunk work is estimated at the machine's full (clamped) width.
     pub fn with_scheme(spec: &DeviceSpec, dfa: &'a Dfa, scheme: SchemeKind) -> Self {
+        let chunk_work = match scheme {
+            SchemeKind::Sfa => u64::from(dfa.n_states()).clamp(1, 64),
+            _ => 1,
+        };
         let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
-        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme }
+        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, chunk_work }
     }
 
     /// The scheme the selector chose.
     pub fn scheme(&self) -> SchemeKind {
         self.scheme
+    }
+
+    /// Estimated per-byte work multiplier of a chunk-parallel scan with the
+    /// chosen scheme, relative to a one-state sequential walk. 1 for the
+    /// speculative schemes; SFA pays its effective mapping width. The batch
+    /// estimator scales the chunk-parallel cost estimate by this factor so
+    /// a wide-mapping machine is not mis-routed away from stream-parallel
+    /// execution.
+    pub fn chunk_work_factor(&self) -> u64 {
+        self.chunk_work
     }
 
     /// The machine's device table.
@@ -314,8 +336,12 @@ fn execute_batch(
     cfg: &ServeConfig,
 ) -> BatchExec {
     let nc = cfg.scheme_config.n_chunks.max(1);
-    let chunk_est: u64 =
-        streams.iter().map(|s| (s.len().div_ceil(nc)) as u64 + cfg.chunk_overhead_cycles).sum();
+    let chunk_est: u64 = streams
+        .iter()
+        .map(|s| {
+            (s.len().div_ceil(nc)) as u64 * machine.chunk_work_factor() + cfg.chunk_overhead_cycles
+        })
+        .sum();
     let stream_est = streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
     if chunk_est < stream_est {
         if let Some(exec) = execute_chunk_parallel(spec, machine, streams, cfg) {

@@ -12,7 +12,7 @@
 
 use gspecpal::config::{SchemeConfig, StitchPolicy};
 use gspecpal::run::SchemeKind;
-use gspecpal::schemes::{run_scheme, Job};
+use gspecpal::schemes::{compose_mappings, run_scheme, Job};
 use gspecpal::table::DeviceTable;
 use gspecpal::{FaultPlan, RecoveryConfig};
 use gspecpal_fsm::random::{random_dfa, random_input};
@@ -159,6 +159,41 @@ proptest! {
         for n_chunks in [1usize, 7, 64, 150] {
             check_all_chaos(&d, &table, &input, n_chunks.min(input.len()), &spec, plan, recovery);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// SFA's tree stitch composes chunk mappings in log2(B) order instead of
+    /// left-to-right, which is only legal because mapping composition is
+    /// function composition and therefore associative. Pin that down on
+    /// random mappings directly, independent of any engine run.
+    #[test]
+    fn mapping_composition_is_associative(
+        n_states in 1usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        // Three random (not necessarily injective) mappings over the same
+        // state space, derived from a splitmix-style scramble of the seed.
+        let mapping = |salt: u64| -> Vec<u32> {
+            (0..n_states)
+                .map(|q| {
+                    let mut x = seed ^ salt ^ (q as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    x ^= x >> 30;
+                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x ^= x >> 27;
+                    (x % n_states as u64) as u32
+                })
+                .collect()
+        };
+        let (a, b, c) = (mapping(1), mapping(2), mapping(3));
+        let left = compose_mappings(&compose_mappings(&a, &b), &c);
+        let right = compose_mappings(&a, &compose_mappings(&b, &c));
+        prop_assert_eq!(left, right);
+        // Identity is a unit on both sides.
+        let id: Vec<u32> = (0..n_states as u32).collect();
+        prop_assert_eq!(compose_mappings(&id, &a), a.clone());
+        prop_assert_eq!(compose_mappings(&a, &id), a);
     }
 }
 

@@ -10,16 +10,6 @@ use gspecpal_fsm::combinators::keyword_dfa;
 use gspecpal_fsm::examples::div7;
 use gspecpal_gpu::DeviceSpec;
 
-const ALL_SCHEMES: [SchemeKind; 7] = [
-    SchemeKind::Sequential,
-    SchemeKind::Naive,
-    SchemeKind::Enumerative,
-    SchemeKind::Pm,
-    SchemeKind::Sre,
-    SchemeKind::Rr,
-    SchemeKind::Nf,
-];
-
 /// Simulated kernel statistics must be bit-identical regardless of how many
 /// host workers simulate the blocks.
 #[test]
@@ -94,6 +84,47 @@ fn stitch_policies_deterministic_across_pool_sizes() {
                 );
                 assert_eq!(out.frontier_trace, reference.frontier_trace, "{ctx} trace");
             }
+        }
+    }
+}
+
+/// Fault-free runs at a 1024-chunk grid (dozens of blocks on the test
+/// device) are bit-identical across rayon pool sizes for *every* registered
+/// scheme — results and full kernel statistics. This is the fault-free
+/// companion of `chaos_outcomes_are_pool_size_invariant` in
+/// `differential.rs`, and in particular locks down SFA's per-block mapping
+/// derivation and tree composition, whose seam order must be block-indexed
+/// rather than completion-ordered.
+#[test]
+fn fault_free_1024_chunk_grid_is_pool_size_invariant() {
+    let spec = DeviceSpec::test_unit();
+    let d = div7();
+    let table = DeviceTable::transformed(&d, d.n_states());
+    let input: Vec<u8> = b"1101010110010111".repeat(256); // 4096 bytes
+    let config = SchemeConfig { n_chunks: 1024, count_matches: true, ..SchemeConfig::default() };
+    let job = Job::new(&spec, &table, &input, config).unwrap();
+    let truth = d.run(&input);
+    for kind in SchemeKind::all() {
+        let reference = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| run_scheme(kind, &job));
+        assert_eq!(reference.end_state, truth, "{kind:?} must stay exact at 1024 chunks");
+        for workers in [2usize, 4, 8] {
+            let out = rayon::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .unwrap()
+                .install(|| run_scheme(kind, &job));
+            let ctx = format!("{kind:?} @ {workers} workers");
+            assert_eq!(out.end_state, reference.end_state, "{ctx}");
+            assert_eq!(out.chunk_ends, reference.chunk_ends, "{ctx}");
+            assert_eq!(out.match_count, reference.match_count, "{ctx} matches");
+            assert_eq!(out.predict, reference.predict, "{ctx} predict stats");
+            assert_eq!(out.execute, reference.execute, "{ctx} exec stats");
+            assert_eq!(out.verify, reference.verify, "{ctx} verify stats");
+            assert_eq!(out.frontier_trace, reference.frontier_trace, "{ctx} trace");
         }
     }
 }
@@ -177,7 +208,10 @@ fn all_schemes_exact_beyond_one_block() {
         for n_chunks in [100, 130] {
             let config = SchemeConfig { n_chunks, ..SchemeConfig::default() };
             let job = Job::new(&spec, &table, input, config).unwrap();
-            for kind in ALL_SCHEMES {
+            // The scheme list comes from the registry, not a hand-copied
+            // array: a scheme added to `SchemeKind::all()` is covered here
+            // automatically.
+            for kind in SchemeKind::all() {
                 let out = run_scheme(kind, &job);
                 assert_eq!(out.end_state, truth, "{kind:?} n_chunks={n_chunks}");
                 let mut s = d.start();

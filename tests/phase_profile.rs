@@ -69,7 +69,10 @@ fn phase_cycles_partition_totals_for_every_scheme() {
 #[test]
 fn phase_profiles_bit_identical_across_pool_sizes_and_policies() {
     for policy in [StitchPolicy::Tree, StitchPolicy::Sequential] {
-        for kind in [SchemeKind::Naive, SchemeKind::Pm, SchemeKind::Nf, SchemeKind::Rr] {
+        // Every registered scheme, from the registry: a scheme added to
+        // `SchemeKind::all()` is pinned by the CI pool-size matrix with no
+        // edit here.
+        for kind in SchemeKind::all() {
             let reference = rayon::ThreadPoolBuilder::new()
                 .num_threads(1)
                 .build()

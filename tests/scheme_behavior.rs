@@ -162,3 +162,114 @@ fn all_schemes_verify_identical_chunk_ends() {
         assert_eq!(out.chunk_ends, reference.chunk_ends, "{scheme}");
     }
 }
+
+/// §V-A with the SFA leaf: on the suite's family-C (PowerEN) non-convergent
+/// tiers — hundreds of states, uniformly poor speculation, but a live path
+/// set narrow enough to keep the full-mapping kernel resident — the
+/// selector must pick SFA. That is exactly where mapping composition beats
+/// every speculative scheme in the fig. 8 matrix.
+#[test]
+fn selector_picks_sfa_on_poweren_nonconvergent_tiers() {
+    use gspecpal::Selector;
+    use gspecpal_workloads::{build_suite, Family, Tier};
+
+    let selector = Selector::default();
+    let suite = build_suite(1);
+    let targets: Vec<_> = suite
+        .iter()
+        .filter(|b| b.family == Family::PowerEn && b.tier == Tier::NonConvergent)
+        .collect();
+    assert_eq!(targets.len(), 3, "PowerEN tier layout places three non-convergent machines");
+    for b in targets {
+        let input = b.generate_input(32 * 1024, 0);
+        let profile = selector.profile(&b.dfa, &input);
+        let (choice, why) = selector.select_explained(&profile);
+        assert_eq!(
+            choice,
+            SchemeKind::Sfa,
+            "{}: |Q|={} uniq10={:.1} spread={:.2} — expected the SFA leaf ({why})",
+            b.name(),
+            b.dfa.n_states(),
+            profile.convergence.mean_unique_states,
+            profile.accuracy_spread,
+        );
+        assert!(why.contains("full mapping"), "{}: explanation names the mapping kernel", b.name());
+    }
+}
+
+/// The SFA leaf must stay a *leaf*, not a default: small convergent machines
+/// keep their speculative picks (SFA's |Q|-fold execute work would be pure
+/// waste when spec-1 already lands), and the giant Snort non-convergent
+/// machines fall through to RR because their tables blow the shared-memory
+/// residency the SFA cost model assumes.
+#[test]
+fn selector_rejects_sfa_outside_its_window() {
+    use gspecpal::Selector;
+    use gspecpal_workloads::{build_suite, Family, Tier};
+
+    let selector = Selector::default();
+
+    // Small convergent machine: div7 has 7 states, below the SFA floor.
+    let d = div7();
+    let input: Vec<u8> = b"1101010110010111".repeat(2048);
+    let profile = selector.profile(&d, &input);
+    assert_ne!(selector.select(&profile), SchemeKind::Sfa, "7-state machine must not pick SFA");
+
+    // Suite-wide: convergent/spec-k tiers never pick SFA, and neither do the
+    // non-convergent Snort giants (thousands of states).
+    for b in build_suite(1) {
+        let input = b.generate_input(32 * 1024, 0);
+        let profile = selector.profile(&b.dfa, &input);
+        let choice = selector.select(&profile);
+        match b.tier {
+            Tier::SpecKFriendly | Tier::SlowConvergence => {
+                assert_ne!(
+                    choice,
+                    SchemeKind::Sfa,
+                    "{}: speculation-friendly tiers keep their speculative scheme",
+                    b.name()
+                );
+            }
+            Tier::NonConvergent if b.family == Family::Snort => {
+                assert_ne!(
+                    choice,
+                    SchemeKind::Sfa,
+                    "{}: {}-state table spills shared memory, SFA must not fire",
+                    b.name(),
+                    b.dfa.n_states()
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The selector is a pure function of the training stream: profiling the
+/// same benchmark twice yields bit-identical profiles, decisions, and
+/// explanations. Deployment relies on this — the scheme choice is made once
+/// offline and must reproduce.
+#[test]
+fn selector_decision_is_deterministic() {
+    use gspecpal::Selector;
+    use gspecpal_workloads::{build_suite, Family, Tier};
+
+    let selector = Selector::default();
+    let suite = build_suite(1);
+    let b = suite
+        .iter()
+        .find(|b| b.family == Family::PowerEn && b.tier == Tier::NonConvergent)
+        .expect("suite has a PowerEN non-convergent machine");
+    let input = b.generate_input(32 * 1024, 0);
+    let first = selector.profile(&b.dfa, &input);
+    let (first_choice, first_why) = selector.select_explained(&first);
+    for _ in 0..3 {
+        let again = selector.profile(&b.dfa, &input);
+        let (choice, why) = selector.select_explained(&again);
+        assert_eq!(choice, first_choice, "decision must reproduce");
+        assert_eq!(why, first_why, "explanation must reproduce");
+        assert_eq!(again.spec1_accuracy, first.spec1_accuracy);
+        assert_eq!(again.spec4_accuracy, first.spec4_accuracy);
+        assert_eq!(again.accuracy_spread, first.accuracy_spread);
+        assert_eq!(again.convergence.mean_unique_states, first.convergence.mean_unique_states);
+    }
+}

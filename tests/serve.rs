@@ -209,6 +209,40 @@ fn long_streams_pick_chunk_parallel_execution() {
 }
 
 #[test]
+fn sfa_chunk_work_factor_routes_wide_machines_to_stream_parallel() {
+    use gspecpal::run::SchemeKind;
+    use gspecpal::SchemeConfig;
+    use gspecpal_serve::ExecMode;
+
+    let spec = DeviceSpec::test_unit();
+    let dfa = mod_counter(97, &[0]);
+    let bytes = b"110101".repeat(400);
+    let trace = || {
+        Trace::from_arrivals(vec![StreamArrival {
+            arrival_cycle: 0,
+            machine: 0,
+            bytes: bytes.clone(),
+        }])
+    };
+    // At 32 chunks a per-byte multiplier of 1 makes chunking a clear win…
+    let cfg = ServeConfig {
+        scheme_config: SchemeConfig { n_chunks: 32, ..SchemeConfig::default() },
+        ..ServeConfig::default()
+    };
+    let naive = ServeMachine::with_scheme(&spec, &dfa, SchemeKind::Naive);
+    let report = serve(&spec, &[naive], &trace(), &cfg).unwrap();
+    assert_eq!(report.batches[0].mode, ExecMode::ChunkParallel);
+    // …but SFA's width-clamped factor (64 for a 97-state machine without a
+    // profile) prices the mapping walk at 2× the stream length, so the
+    // estimator keeps the batch stream-parallel. Results stay exact.
+    let sfa = ServeMachine::with_scheme(&spec, &dfa, SchemeKind::Sfa);
+    assert_eq!(sfa.chunk_work_factor(), 64);
+    let report = serve(&spec, &[sfa], &trace(), &cfg).unwrap();
+    assert_eq!(report.batches[0].mode, ExecMode::StreamParallel);
+    assert_eq!(report.end_states[0], dfa.run(&bytes));
+}
+
+#[test]
 fn chaos_serving_stays_exact_for_served_streams_and_reports_recovery() {
     use gspecpal::FaultPlan;
     use gspecpal::SchemeConfig;
