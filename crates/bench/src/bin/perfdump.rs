@@ -1,5 +1,5 @@
-//! Perf-report dumper: runs the fig8, ablation, motivation, serve, and chaos
-//! experiments on a small deterministic workload and writes one schema-versioned
+//! Perf-report dumper: runs the fig8, ablation, motivation, serve, chaos, and
+//! adaptive experiments on a small deterministic workload and writes one schema-versioned
 //! `BENCH_<experiment>.json` per experiment (see `gspecpal_bench::perf` for
 //! the schema). CI runs this on every push and gates on the headline
 //! `total_cycles` against the committed baselines.
@@ -26,12 +26,12 @@
 //!   CI keeps it as a warn-only artifact.
 
 use gspecpal_bench::perf::{
-    ablation_json, chaos_json, extract_total_cycles, fig8_json, hostperf_json, inflate_total,
-    motivation_json, regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
+    ablation_json, adaptive_json, chaos_json, extract_total_cycles, fig8_json, hostperf_json,
+    inflate_total, motivation_json, regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
 };
 use gspecpal_bench::{
-    run_ablation, run_chaos, run_fig8, run_motivation, run_serve, throughput_exp, ExperimentConfig,
-    HostPerfConfig,
+    run_ablation, run_adaptive, run_chaos, run_fig8, run_motivation, run_serve, throughput_exp,
+    ExperimentConfig, HostPerfConfig,
 };
 
 fn main() {
@@ -120,6 +120,7 @@ fn main() {
         ("motivation", motivation_json(&cfg, &run_motivation(&cfg))),
         ("serve", serve_json(&cfg, &run_serve(&cfg))),
         ("chaos", chaos_json(&cfg, &run_chaos(&cfg))),
+        ("adaptive", adaptive_json(&cfg, &run_adaptive(&cfg))),
     ];
     if inflate_percent > 0 {
         eprintln!("[inflating headline totals by {inflate_percent}% — gate self-test]");

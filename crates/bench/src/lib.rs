@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive_exp;
 pub mod chaos_exp;
 pub mod csv;
 pub mod experiments;
@@ -15,6 +16,9 @@ pub mod perf;
 pub mod report;
 pub mod serve_exp;
 
+pub use adaptive_exp::{
+    run_adaptive, AdaptiveExperimentReport, AdaptiveRunSummary, SegmentSummary,
+};
 pub use chaos_exp::{run_chaos, ChaosExperimentReport, ChaosRunSummary};
 pub use experiments::{
     run_ablation, run_fig3, run_fig7, run_fig8, run_fig9, run_selector_eval, run_table2,

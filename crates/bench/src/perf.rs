@@ -8,7 +8,7 @@
 //! - `schema_version` (integer): currently `1`. Consumers must reject
 //!   versions they do not know.
 //! - `experiment` (string): `"fig8"`, `"ablation"`, `"motivation"`,
-//!   `"serve"`, or `"chaos"`.
+//!   `"serve"`, `"chaos"`, or `"adaptive"`.
 //! - `config` (object): `seed`, `input_bytes`, `n_chunks`, `device` — the
 //!   [`ExperimentConfig`] the numbers were produced with.
 //! - `total_cycles` (integer): the experiment's headline cycle total, the
@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 use gspecpal::SchemeKind;
 use gspecpal_gpu::{PhaseCounters, PhaseProfile};
 
+use crate::adaptive_exp::{AdaptiveExperimentReport, AdaptiveRunSummary};
 use crate::chaos_exp::ChaosExperimentReport;
 use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
 use crate::extras::MotivationReport;
@@ -335,6 +336,80 @@ pub fn chaos_json(cfg: &ExperimentConfig, r: &ChaosExperimentReport) -> Json {
     fields.push(("input_bytes", Json::U64(r.input_bytes)));
     fields.push(("clean_total_cycles", Json::U64(r.total_clean_cycles())));
     fields.push(("runs", Json::Arr(runs)));
+    obj(fields)
+}
+
+fn adaptive_run_json(run: &AdaptiveRunSummary) -> Json {
+    obj(vec![
+        ("label", Json::Str(run.label.clone())),
+        ("makespan_cycles", Json::U64(run.makespan_cycles)),
+        ("batches", Json::U64(run.batches)),
+        ("decisions_made", Json::U64(run.decisions_made)),
+        ("explore_decisions", Json::U64(run.explore_decisions)),
+        ("segment_cycles", Json::Arr(run.segment_cycles.iter().map(|&c| Json::U64(c)).collect())),
+        ("busy", run_json(run.busy_cycles, &run.profile)),
+    ])
+}
+
+/// Builds the `adaptive` report: the online-autotuning A/B — every static
+/// scheme vs the feedback controller on the same tier-mixed trace, the
+/// per-segment decision log, and the headline
+/// `mean_speedup_adaptive_vs_best_static`. The gated `total_cycles` is the
+/// adaptive makespan plus every static leg's, so the 5% gate trips on a
+/// regression in either side of the comparison.
+pub fn adaptive_json(cfg: &ExperimentConfig, r: &AdaptiveExperimentReport) -> Json {
+    let segments: Vec<Json> = r
+        .segments
+        .iter()
+        .map(|s| {
+            let decisions: Vec<Json> = s
+                .decisions
+                .iter()
+                .map(|d| {
+                    obj(vec![
+                        ("batch", Json::U64(d.batch as u64)),
+                        ("arm", Json::U64(d.arm as u64)),
+                        ("scheme", Json::Str(d.choice.scheme.name().to_string())),
+                        ("spec_k", Json::U64(d.choice.spec_k as u64)),
+                        ("stitch", Json::Str(format!("{:?}", d.choice.stitch))),
+                        ("explore", Json::Str(d.explore.to_string())),
+                        ("predicted_millicost", Json::U64(d.choice.predicted_millicost)),
+                        ("observed_millicost", Json::U64(d.observation.millicost())),
+                        ("bytes", Json::U64(d.observation.bytes)),
+                        ("compute_cycles", Json::U64(d.observation.compute_cycles)),
+                        ("verify_cycles", Json::U64(d.observation.verify_cycles)),
+                        ("recovery_cycles", Json::U64(d.observation.recovery_cycles)),
+                        ("stitch_cycles", Json::U64(d.observation.stitch_cycles)),
+                        ("verification_checks", Json::U64(d.observation.verification_checks)),
+                        ("verification_matches", Json::U64(d.observation.verification_matches)),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("machine", Json::U64(s.machine as u64)),
+                ("fsm", Json::Str(s.fsm.clone())),
+                ("tier", Json::Str(s.tier.to_string())),
+                ("adaptive_cycles", Json::U64(s.adaptive_cycles)),
+                ("best_static_cycles", Json::U64(s.best_static_cycles)),
+                ("decisions", Json::Arr(decisions)),
+            ])
+        })
+        .collect();
+    let mut fields = header("adaptive", cfg, r.total_cycles());
+    fields.push(("streams", Json::U64(r.streams)));
+    fields.push(("trace_bytes", Json::U64(r.total_bytes)));
+    fields.push((
+        "mean_speedup_adaptive_vs_best_static",
+        Json::F64(r.mean_speedup_adaptive_vs_best_static()),
+    ));
+    fields.push((
+        "adaptive_beats_every_static",
+        Json::Str(r.adaptive_beats_every_static().to_string()),
+    ));
+    fields.push(("best_static", Json::Str(r.best_static().label.clone())));
+    fields.push(("static_runs", Json::Arr(r.static_runs.iter().map(adaptive_run_json).collect())));
+    fields.push(("adaptive", adaptive_run_json(&r.adaptive)));
+    fields.push(("segments", Json::Arr(segments)));
     obj(fields)
 }
 

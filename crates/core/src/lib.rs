@@ -44,11 +44,11 @@ pub mod specq;
 pub mod table;
 pub mod throughput;
 
-pub use config::SchemeConfig;
+pub use config::{SchemeConfig, StitchPolicy};
 pub use error::CoreError;
 pub use framework::{FrameworkReport, GSpecPal};
 pub use gspecpal_gpu::{FaultDomain, FaultPlan};
 pub use recovery::RecoveryConfig;
 pub use run::{RunOutcome, SchemeKind};
 pub use schemes::{run_scheme, Job};
-pub use selector::{Selector, SelectorProfile};
+pub use selector::{ScoredChoice, Selector, SelectorProfile, SPEC_K_GRID};

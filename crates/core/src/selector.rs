@@ -279,6 +279,147 @@ impl Selector {
     pub fn is_input_sensitive(&self, p: &SelectorProfile) -> bool {
         p.accuracy_spread >= self.report_spread
     }
+
+    /// Predicted speculation accuracy at depth `k` — the spec-k cost
+    /// surface's accuracy leg. Interpolates between the two measured points
+    /// (spec-1, spec-4) and extrapolates towards certainty at
+    /// `worst_truth_rank`, where the containment property guarantees a hit.
+    /// Monotone in `k` by construction.
+    pub fn speck_accuracy(&self, p: &SelectorProfile, spec_k: usize) -> f64 {
+        let k = spec_k.max(1) as f64;
+        let acc = if k <= 1.0 {
+            p.spec1_accuracy
+        } else if k <= 4.0 {
+            p.spec1_accuracy + (p.spec4_accuracy - p.spec1_accuracy).max(0.0) * (k - 1.0) / 3.0
+        } else {
+            let worst = (p.worst_truth_rank.max(5)) as f64;
+            p.spec4_accuracy
+                + (1.0 - p.spec4_accuracy).max(0.0) * ((k - 4.0) / (worst - 4.0)).min(1.0)
+        };
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// The spec-k cost surface: predicted execution + verification/recovery
+    /// work of running `scheme` at speculation depth `spec_k`, in
+    /// milli-transitions per input byte (1000 = one sequential transition
+    /// per byte, the floor every chunked scheme pays).
+    ///
+    /// This is a coarse integer surface, not a simulation: redundant
+    /// execution is charged linearly (spec-k paths for PM, the live mapping
+    /// width for SFA, |Q| for the enumerative reference) and expected
+    /// recovery is the miss probability at depth `spec_k` times a
+    /// per-scheme re-execution factor (sequential recovery is the most
+    /// expensive, aggressive round-robin/nearest-first spread the cheapest,
+    /// convergent end-state forwarding nearly free). Deterministic: pure
+    /// integer rounding of the profile's measured ratios.
+    pub fn speck_cost_surface(
+        &self,
+        p: &SelectorProfile,
+        scheme: SchemeKind,
+        spec_k: usize,
+    ) -> u64 {
+        const BASE: f64 = 1000.0;
+        let miss1 = 1.0 - self.speck_accuracy(p, 1);
+        let miss_k = 1.0 - self.speck_accuracy(p, spec_k);
+        let converges = p.convergence.converges_strongly(p.n_states);
+        let cost = match scheme {
+            SchemeKind::Sequential => BASE,
+            // Sequential recovery re-walks every missed chunk, one at a time.
+            SchemeKind::Naive => BASE + miss1 * 4.0 * BASE,
+            SchemeKind::Enumerative => BASE * f64::from(p.n_states.min(120)),
+            // spec-k redundant paths: each extra lane adds a small linear
+            // verification cost, while recovery is only paid for the
+            // residual misses the enumeration did not cover — so deeper
+            // speculation pays exactly until the accuracy curve flattens.
+            SchemeKind::Pm => {
+                BASE * (1.0 + 0.08 * (spec_k.max(1) - 1) as f64) + miss_k * 2.0 * BASE
+            }
+            // End-state forwarding: when chunks converge the rear threads
+            // skip almost their whole range, so even the base scan shrinks;
+            // when they do not, recovery crawls (repeated speculation).
+            SchemeKind::Sre => {
+                if converges {
+                    0.3 * BASE + miss1 * 0.1 * BASE
+                } else {
+                    BASE + miss1 * 3.0 * BASE
+                }
+            }
+            // Aggressive recovery amortizes the re-execution over all rear
+            // threads; NF's frontier flooding pulls slightly ahead exactly
+            // when speculation quality is input-sensitive.
+            SchemeKind::Rr => BASE + miss1 * 0.9 * BASE,
+            SchemeKind::Nf => {
+                let factor = if p.accuracy_spread >= self.sensitivity_spread { 0.75 } else { 1.0 };
+                BASE + miss1 * factor * BASE
+            }
+            // The mapping walk pays the live width every byte, a per-chunk
+            // burn-in while the walk narrows from the full state set down
+            // to that width, plus a steep residency penalty outside the
+            // shared-memory window.
+            SchemeKind::Sfa => {
+                let width = p.convergence.mean_unique_states.max(1.0);
+                let burn_in = 0.1 * p.convergence.steps.min(32) as f64;
+                let resident =
+                    p.n_states >= self.sfa_min_states && p.n_states <= self.sfa_max_states;
+                BASE * (width + burn_in) + if resident { 0.0 } else { 64.0 * BASE }
+            }
+        };
+        cost.round() as u64
+    }
+
+    /// Scores every candidate `(scheme, spec-k)` launch configuration over
+    /// the cost surface and returns them cheapest-first — except that the
+    /// Figure 6 decision tree's pick (at its best spec-k) is always ranked
+    /// first, so consumers that trust the ranking start exactly where §IV
+    /// would have started and the surface only *extends* the offline
+    /// selector. Ties and order are deterministic: candidates are generated
+    /// in a fixed order and sorted by a stable key.
+    pub fn score_choices(&self, p: &SelectorProfile) -> Vec<ScoredChoice> {
+        let (tree_pick, _) = self.select_explained(p);
+        let mut choices: Vec<ScoredChoice> = Vec::new();
+        for spec_k in SPEC_K_GRID {
+            choices.push(ScoredChoice {
+                scheme: SchemeKind::Pm,
+                spec_k,
+                predicted_millicost: self.speck_cost_surface(p, SchemeKind::Pm, spec_k),
+            });
+        }
+        for scheme in [SchemeKind::Sre, SchemeKind::Rr, SchemeKind::Nf, SchemeKind::Sfa] {
+            choices.push(ScoredChoice {
+                scheme,
+                spec_k: 4,
+                predicted_millicost: self.speck_cost_surface(p, scheme, 4),
+            });
+        }
+        choices.sort_by_key(|c| (c.predicted_millicost, c.spec_k));
+        // Hoist the decision tree's scheme (its cheapest spec-k variant) to
+        // the front: rank 0 is §IV's answer by construction.
+        let lead = choices
+            .iter()
+            .position(|c| c.scheme == tree_pick)
+            .expect("every selectable scheme is a candidate");
+        let lead = choices.remove(lead);
+        choices.insert(0, lead);
+        choices
+    }
+}
+
+/// Speculation depths the spec-k cost surface sweeps for PM (the paper's
+/// Fig 3 grid, minus the redundant k = 6 point).
+pub const SPEC_K_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// One candidate launch configuration with its predicted cost on the
+/// [`Selector::speck_cost_surface`] — the reusable scored-decision API the
+/// online controller (and any other consumer) ranks and explores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoredChoice {
+    /// The execution scheme.
+    pub scheme: SchemeKind,
+    /// Speculation depth (meaningful for PM; the paper's default elsewhere).
+    pub spec_k: usize,
+    /// Predicted cost in milli-transitions per input byte (1000 = the
+    /// sequential floor).
+    pub predicted_millicost: u64,
 }
 
 #[cfg(test)]
@@ -468,6 +609,62 @@ mod tests {
             max_unique_states: 60,
         };
         assert_eq!(sel.select(&SelectorProfile { convergence: wide, ..p }), SchemeKind::Rr);
+    }
+
+    #[test]
+    fn score_choices_leads_with_tree_pick() {
+        let sel = Selector::default();
+        let d = keyword_dfa(&[b"attack", b"overflow"]).unwrap();
+        let training = b"mostly benign traffic with an attack or overflow rarely ".repeat(40);
+        let p = sel.profile(&d, &training);
+        let choices = sel.score_choices(&p);
+        assert_eq!(choices[0].scheme, sel.select(&p));
+        // The tail is sorted cheapest-first and covers PM's whole spec-k grid.
+        for w in choices[1..].windows(2) {
+            assert!(w[0].predicted_millicost <= w[1].predicted_millicost);
+        }
+        for k in SPEC_K_GRID {
+            assert!(choices.iter().any(|c| c.scheme == SchemeKind::Pm && c.spec_k == k));
+        }
+        // Pure function of the profile: identical on re-evaluation.
+        assert_eq!(choices, sel.score_choices(&p));
+    }
+
+    #[test]
+    fn speck_surface_tracks_accuracy() {
+        let sel = Selector::default();
+        let conv = gspecpal_fsm::profile::ConvergenceProfile {
+            steps: 10,
+            mean_unique_states: 9.0,
+            min_unique_states: 9,
+            max_unique_states: 9,
+        };
+        let p = SelectorProfile {
+            spec1_accuracy: 0.2,
+            spec4_accuracy: 0.95,
+            worst_truth_rank: 8,
+            accuracy_spread: 0.1,
+            convergence: conv,
+            n_states: 100,
+            profiling_seconds: 0.0,
+        };
+        // Accuracy is monotone in k and reaches certainty at the worst rank.
+        assert!(sel.speck_accuracy(&p, 1) <= sel.speck_accuracy(&p, 2));
+        assert!(sel.speck_accuracy(&p, 2) <= sel.speck_accuracy(&p, 4));
+        assert!(sel.speck_accuracy(&p, 4) <= sel.speck_accuracy(&p, 8));
+        assert!((sel.speck_accuracy(&p, 8) - 1.0).abs() < 1e-9);
+        // PM's verification leg grows linearly with k, so past the coverage
+        // knee deeper speculation only adds redundancy; before the knee it
+        // pays, because avoided recovery dwarfs the extra lane.
+        let c1 = sel.speck_cost_surface(&p, SchemeKind::Pm, 1);
+        let c4 = sel.speck_cost_surface(&p, SchemeKind::Pm, 4);
+        let c8 = sel.speck_cost_surface(&p, SchemeKind::Pm, 8);
+        assert!(c4 < c1, "{c4} vs {c1}");
+        assert!(c8 > c4, "{c8} vs {c4}");
+        // Non-convergent SRE pays crawling recovery; RR amortizes it.
+        let sre = sel.speck_cost_surface(&p, SchemeKind::Sre, 4);
+        let rr = sel.speck_cost_surface(&p, SchemeKind::Rr, 4);
+        assert!(sre > rr, "{sre} vs {rr}");
     }
 
     #[test]

@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod error;
 pub mod pipeline;
 pub mod policy;
@@ -66,6 +67,9 @@ pub mod sketch;
 pub mod source;
 pub mod trace;
 
+pub use controller::{
+    AdaptiveController, BatchObservation, ControllerConfig, Decision, DecisionRecord, LaunchChoice,
+};
 pub use error::ServeError;
 pub use pipeline::{
     serve, serve_source, ReportDetail, ServeConfig, ServeMachine, ServeRecoveryConfig,

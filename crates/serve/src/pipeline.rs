@@ -86,6 +86,9 @@ use gspecpal_gpu::{
     BlockRequirements, DeviceSpec, DeviceTimeline, FaultDomain, FaultPlan, KernelStats, Span,
 };
 
+use crate::controller::{
+    AdaptiveController, BatchObservation, ControllerConfig, DecisionRecord, LaunchChoice,
+};
 use crate::error::ServeError;
 use crate::policy::BatchPolicy;
 use crate::report::{
@@ -95,13 +98,17 @@ use crate::sketch::LatencySketch;
 use crate::source::TraceSource;
 use crate::trace::{StreamArrival, Trace};
 
-/// One servable machine: its device-resident table and the scheme the
-/// selector picked for it.
+/// One servable machine: its device-resident table, the scheme the
+/// selector picked for it, and the scored candidate arms the adaptive
+/// controller may re-select among.
 #[derive(Clone, Debug)]
 pub struct ServeMachine<'a> {
     table: DeviceTable<'a>,
     scheme: SchemeKind,
-    chunk_work: u64,
+    /// SFA's effective mapping width on this machine (1 for everything
+    /// else's purposes; see [`ServeMachine::chunk_work_factor_for`]).
+    sfa_width: u64,
+    arms: Vec<LaunchChoice>,
 }
 
 impl<'a> ServeMachine<'a> {
@@ -109,36 +116,66 @@ impl<'a> ServeMachine<'a> {
     /// the Fig 6 selector to pick the execution scheme, and sizes the
     /// hot-row table for the device. `dfa` must already be
     /// frequency-permuted (see `gspecpal_fsm::TransformedDfa`) so hot rows
-    /// are the low state ids.
+    /// are the low state ids. The same profile also scores the candidate
+    /// launch arms the adaptive controller explores (arm 0 = the Fig 6
+    /// pick, then the spec-k surface cheapest-first, then the offline
+    /// pick's sequential-stitch variant).
     pub fn prepare(spec: &DeviceSpec, dfa: &'a Dfa, training: &[u8]) -> Self {
         let selector = Selector::default();
         let profile = selector.profile(dfa, training);
         let scheme = selector.select(&profile);
-        let chunk_work = match scheme {
-            // SFA's per-byte work is its effective mapping width, measured
-            // during profiling as the surviving unique-state count.
-            SchemeKind::Sfa => (profile.convergence.mean_unique_states.ceil() as u64).max(1),
-            _ => 1,
-        };
+        // SFA's per-byte work is its effective mapping width, measured
+        // during profiling as the surviving unique-state count.
+        let sfa_width = (profile.convergence.mean_unique_states.ceil() as u64).max(1);
+        let mut arms: Vec<LaunchChoice> = selector
+            .score_choices(&profile)
+            .into_iter()
+            .map(|c| LaunchChoice {
+                scheme: c.scheme,
+                spec_k: c.spec_k,
+                stitch: gspecpal::StitchPolicy::Tree,
+                predicted_millicost: c.predicted_millicost,
+            })
+            .collect();
+        // The stitch axis: the offline pick with the left-to-right seam
+        // walk, predicted marginally worse than its tree-stitch twin.
+        arms.push(LaunchChoice {
+            stitch: gspecpal::StitchPolicy::Sequential,
+            predicted_millicost: arms[0].predicted_millicost + 1,
+            ..arms[0]
+        });
         let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
-        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, chunk_work }
+        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, sfa_width, arms }
     }
 
     /// Like [`ServeMachine::prepare`] with the scheme pinned — for tests
     /// and ablations that bypass the selector. Without a profile, SFA's
-    /// chunk work is estimated at the machine's full (clamped) width.
+    /// chunk work is estimated at the machine's full (clamped) width, and
+    /// the controller sees a single arm (spec-k 0 = inherit the run's
+    /// config), so adaptive runs degenerate to the pinned scheme.
     pub fn with_scheme(spec: &DeviceSpec, dfa: &'a Dfa, scheme: SchemeKind) -> Self {
-        let chunk_work = match scheme {
-            SchemeKind::Sfa => u64::from(dfa.n_states()).clamp(1, 64),
-            _ => 1,
-        };
+        let sfa_width = u64::from(dfa.n_states()).clamp(1, 64);
+        let arms = vec![LaunchChoice {
+            scheme,
+            spec_k: 0,
+            stitch: gspecpal::StitchPolicy::Tree,
+            predicted_millicost: match scheme {
+                SchemeKind::Sfa => 1000 * sfa_width,
+                _ => 1000,
+            },
+        }];
         let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
-        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, chunk_work }
+        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, sfa_width, arms }
     }
 
     /// The scheme the selector chose.
     pub fn scheme(&self) -> SchemeKind {
         self.scheme
+    }
+
+    /// The machine's candidate launch arms (arm 0 = the offline pick).
+    pub fn arms(&self) -> &[LaunchChoice] {
+        &self.arms
     }
 
     /// Estimated per-byte work multiplier of a chunk-parallel scan with the
@@ -148,7 +185,17 @@ impl<'a> ServeMachine<'a> {
     /// a wide-mapping machine is not mis-routed away from stream-parallel
     /// execution.
     pub fn chunk_work_factor(&self) -> u64 {
-        self.chunk_work
+        self.chunk_work_factor_for(self.scheme)
+    }
+
+    /// [`ServeMachine::chunk_work_factor`] for an arbitrary scheme — what
+    /// the estimator charges when the adaptive controller overrides the
+    /// static pick.
+    pub fn chunk_work_factor_for(&self, scheme: SchemeKind) -> u64 {
+        match scheme {
+            SchemeKind::Sfa => self.sfa_width,
+            _ => 1,
+        }
     }
 
     /// The machine's device table.
@@ -243,6 +290,12 @@ pub struct ServeConfig {
     /// How much detail the report retains (full vectors vs bounded
     /// memory).
     pub detail: ReportDetail,
+    /// Online autotuning: when set, an [`AdaptiveController`] re-selects
+    /// scheme, spec-k, and stitch policy per (machine, batch) from observed
+    /// batch costs, starting from each machine's offline pick. `None` (the
+    /// default) serves every batch with the static selector choice — the
+    /// historical behaviour, byte for byte.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -257,6 +310,7 @@ impl Default for ServeConfig {
             scheme_config: SchemeConfig::default(),
             recovery: ServeRecoveryConfig::default(),
             detail: ReportDetail::Full,
+            controller: None,
         }
     }
 }
@@ -325,26 +379,36 @@ struct BatchExec {
     end_states: Vec<gspecpal_fsm::StateId>,
     accepted: Vec<bool>,
     mode: ExecMode,
+    /// Speculation checks performed across the batch's verifications.
+    checks: u64,
+    /// Checks that found a matching record (predictor hits).
+    matches: u64,
 }
 
 /// Executes one batch's streams on `machine`, choosing stream- or
-/// chunk-parallel execution by estimated cost.
+/// chunk-parallel execution by estimated cost. When the adaptive
+/// controller hands down a `choice`, its scheme/spec-k/stitch override the
+/// machine's static pick on the chunk-parallel path (stream-parallel scans
+/// have no speculation to steer).
 fn execute_batch(
     spec: &DeviceSpec,
     machine: &ServeMachine<'_>,
     streams: &[&[u8]],
     cfg: &ServeConfig,
+    choice: Option<&LaunchChoice>,
 ) -> BatchExec {
+    let scheme = choice.map_or(machine.scheme, |c| c.scheme);
     let nc = cfg.scheme_config.n_chunks.max(1);
     let chunk_est: u64 = streams
         .iter()
         .map(|s| {
-            (s.len().div_ceil(nc)) as u64 * machine.chunk_work_factor() + cfg.chunk_overhead_cycles
+            (s.len().div_ceil(nc)) as u64 * machine.chunk_work_factor_for(scheme)
+                + cfg.chunk_overhead_cycles
         })
         .sum();
     let stream_est = streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
     if chunk_est < stream_est {
-        if let Some(exec) = execute_chunk_parallel(spec, machine, streams, cfg) {
+        if let Some(exec) = execute_chunk_parallel(spec, machine, streams, cfg, choice) {
             return exec;
         }
     }
@@ -363,23 +427,30 @@ fn execute_stream_parallel(
         end_states: out.end_states,
         accepted: out.accepted,
         mode: ExecMode::StreamParallel,
+        checks: 0,
+        matches: 0,
     }
 }
 
-/// Runs each stream chunk-parallel with the machine's scheme, back to back
-/// on the compute queue. Returns `None` if any stream's job cannot be built
-/// (the caller falls back to stream-parallel execution).
+/// Runs each stream chunk-parallel with the machine's scheme (or the
+/// controller's override), back to back on the compute queue. Returns
+/// `None` if any stream's job cannot be built (the caller falls back to
+/// stream-parallel execution).
 fn execute_chunk_parallel(
     spec: &DeviceSpec,
     machine: &ServeMachine<'_>,
     streams: &[&[u8]],
     cfg: &ServeConfig,
+    choice: Option<&LaunchChoice>,
 ) -> Option<BatchExec> {
     let dfa = machine.table.dfa();
+    let scheme = choice.map_or(machine.scheme, |c| c.scheme);
     let mut stats = KernelStats::default();
     let mut completions = Vec::with_capacity(streams.len());
     let mut end_states = Vec::with_capacity(streams.len());
     let mut accepted = Vec::with_capacity(streams.len());
+    let mut checks = 0u64;
+    let mut matches = 0u64;
     let mut clock = 0u64;
     for stream in streams {
         if stream.is_empty() {
@@ -391,18 +462,34 @@ fn execute_chunk_parallel(
         }
         let mut sc = cfg.scheme_config;
         sc.n_chunks = sc.n_chunks.min(stream.len()).max(1);
+        if let Some(c) = choice {
+            if c.spec_k > 0 {
+                sc.spec_k = c.spec_k;
+            }
+            sc.stitch = c.stitch;
+        }
         let job = Job::new(spec, &machine.table, stream, sc).ok()?;
-        let out = run_scheme(machine.scheme, &job);
+        let out = run_scheme(scheme, &job);
         stats.merge_sequential(&out.predict);
         stats.merge_sequential(&out.execute);
         stats.merge_sequential(&out.verify);
+        checks += out.verification_checks;
+        matches += out.verification_matches;
         clock += out.total_cycles();
         completions.push(clock);
         end_states.push(out.end_state);
         accepted.push(out.accepted);
     }
     debug_assert_eq!(stats.cycles, clock, "stage merge must reproduce the batch clock");
-    Some(BatchExec { stats, completions, end_states, accepted, mode: ExecMode::ChunkParallel })
+    Some(BatchExec {
+        stats,
+        completions,
+        end_states,
+        accepted,
+        mode: ExecMode::ChunkParallel,
+        checks,
+        matches,
+    })
 }
 
 /// Which copy engine a transfer runs on.
@@ -928,6 +1015,12 @@ fn run_engine<S: TraceSource>(
     let copy_faults = CopyFaults { plan: &plan, rcfg };
     let mut breaker_consecutive = 0u32;
     let mut timeline = DeviceTimeline::new(cfg.overlap);
+    // The adaptive controller is fed from this single sequential forward
+    // pass over bit-deterministic batch stats, so its decisions inherit the
+    // engine's thread-count independence for free.
+    let mut controller = cfg.controller.as_ref().map(|cc| {
+        AdaptiveController::new(cc.clone(), machines.iter().map(|m| m.arms.clone()).collect())
+    });
     let mut col = Collector::new(cfg);
     let mut depths = DepthTracker::new(col.full, depth);
     let mut meter = OverlapMeter::default();
@@ -1072,9 +1165,39 @@ fn run_engine<S: TraceSource>(
             Some(h2d) => {
                 let streams: Vec<&[u8]> =
                     batch_arrivals.iter().map(|a| a.bytes.as_slice()).collect();
-                let exec = execute_batch(spec, machine, &streams, cfg);
+                // Decide once the batch is committed to the device (the
+                // inputs are on board), observe as soon as its kernels are
+                // charged — even if the result copy later fails, the cost
+                // was real and the controller must learn from it.
+                let decision = controller.as_mut().map(|c| c.decide(machine_id));
+                let choice = decision.map(|d| d.choice);
+                let exec = execute_batch(spec, machine, &streams, cfg, choice.as_ref());
                 let compute = timeline.compute(h2d.end, exec.stats.cycles);
                 col.merge_stats(&exec.stats);
+                if let (Some(c), Some(d)) = (controller.as_mut(), decision) {
+                    let obs = BatchObservation::from_stats(
+                        &exec.stats,
+                        exec.checks,
+                        exec.matches,
+                        bytes as u64,
+                        exec.mode == ExecMode::ChunkParallel,
+                    );
+                    c.observe(machine_id, d.arm, &obs);
+                    col.report.decisions_made += 1;
+                    if d.explore {
+                        col.report.explore_decisions += 1;
+                    }
+                    if col.report.decisions.len() < c.max_decisions() {
+                        col.report.decisions.push(DecisionRecord {
+                            batch: batch_idx,
+                            machine: machine_id,
+                            arm: d.arm,
+                            choice: d.choice,
+                            explore: d.explore,
+                            observation: obs,
+                        });
+                    }
+                }
                 // The input buffer frees once the kernel has consumed it;
                 // batch `batch_idx + 2` reuses it.
                 buffer_free[batch_idx % 2] = compute.end;
@@ -1128,7 +1251,7 @@ fn run_engine<S: TraceSource>(
                                 first_stream: next,
                                 streams: count,
                                 machine: machine_id,
-                                scheme: machine.scheme,
+                                scheme: choice.map_or(machine.scheme, |c| c.scheme),
                                 mode: exec.mode,
                                 bytes,
                                 h2d,

@@ -10,6 +10,7 @@ use gspecpal::SchemeKind;
 use gspecpal_fsm::StateId;
 use gspecpal_gpu::{KernelStats, Span};
 
+use crate::controller::DecisionRecord;
 use crate::sketch::LatencySketch;
 
 /// Largest latency set summarized by an exact sort. Above this,
@@ -253,6 +254,16 @@ pub struct ServeReport {
     /// count exceeded [`EXACT_SUMMARY_MAX`] and a sketch was used (`max` is
     /// exact in every case).
     pub latency_error_permille: u64,
+    /// The adaptive controller's auditable decision log, in dispatch order
+    /// (capped at [`crate::ControllerConfig::max_decisions`]; the counters
+    /// below keep counting past the cap). Empty when
+    /// [`crate::ServeConfig::controller`] is `None`.
+    pub decisions: Vec<DecisionRecord>,
+    /// Controller decisions made (= batches whose kernels ran under the
+    /// controller).
+    pub decisions_made: u64,
+    /// How many of those were explore turns.
+    pub explore_decisions: u64,
 }
 
 impl ServeReport {
