@@ -26,12 +26,14 @@
 //!   CI keeps it as a warn-only artifact.
 
 use gspecpal_bench::perf::{
-    ablation_json, adaptive_json, chaos_json, extract_total_cycles, fig8_json, hostperf_json,
-    inflate_total, motivation_json, regression_check, serve_json, Json, GATE_TOLERANCE_PERCENT,
+    ablation_json, adaptive_json, chaos_json, cluster_json, extract_total_cycles, fig8_json,
+    hostperf_json, inflate_total, motivation_json, regression_check, serve_json, Json,
+    GATE_TOLERANCE_PERCENT,
 };
 use gspecpal_bench::{
-    run_ablation, run_adaptive, run_chaos, run_fig8, run_motivation, run_serve, throughput_exp,
-    ExperimentConfig, HostPerfConfig,
+    fleet_throughput_exp, run_ablation, run_adaptive, run_chaos, run_cluster_exp, run_fig8,
+    run_motivation, run_serve, throughput_exp, ClusterExperimentConfig, ExperimentConfig,
+    HostPerfConfig,
 };
 
 fn main() {
@@ -121,6 +123,13 @@ fn main() {
         ("serve", serve_json(&cfg, &run_serve(&cfg))),
         ("chaos", chaos_json(&cfg, &run_chaos(&cfg))),
         ("adaptive", adaptive_json(&cfg, &run_adaptive(&cfg))),
+        {
+            // The cluster experiment shapes its own fleet workload (skew and
+            // priority traces engineered against the router's placement), so
+            // it does not take the single-device ExperimentConfig.
+            let ccfg = ClusterExperimentConfig::default();
+            ("cluster", cluster_json(&ccfg, &run_cluster_exp(&ccfg)))
+        },
     ];
     if inflate_percent > 0 {
         eprintln!("[inflating headline totals by {inflate_percent}% — gate self-test]");
@@ -168,8 +177,11 @@ fn main() {
         let hcfg = HostPerfConfig { streams, device: cfg.device.clone(), ..Default::default() };
         eprintln!("[hostperf: {streams} streams through the streaming serve engine]");
         let hreport = throughput_exp(&hcfg);
+        eprintln!("[hostperf fleet row: {streams} streams across the heterogeneous cluster]");
+        let freport = fleet_throughput_exp(&hcfg);
         let path = format!("{out_dir}/BENCH_hostperf.json");
-        std::fs::write(&path, hostperf_json(&hcfg, &hreport).render()).expect("write report");
+        std::fs::write(&path, hostperf_json(&hcfg, &hreport, &freport).render())
+            .expect("write report");
         println!(
             "hostperf: {:.0} streams/s, {:.1} MiB/s, peak RSS {} KiB, \
              makespan {} cycles [wrote {path}]",
@@ -177,6 +189,15 @@ fn main() {
             hreport.mbytes_per_sec,
             hreport.peak_rss_kb.unwrap_or(0),
             hreport.makespan_cycles,
+        );
+        println!(
+            "hostperf fleet: {:.0} streams/s across {} devices, residency hits {}‰, \
+             imbalance {}‰, makespan {} cycles",
+            freport.streams_per_sec,
+            freport.device_streams.len(),
+            freport.residency_hit_permille,
+            freport.imbalance_permille,
+            freport.makespan_cycles,
         );
     }
     eprintln!("[perfdump finished in {:.1}s]", t0.elapsed().as_secs_f64());

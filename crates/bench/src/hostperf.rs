@@ -17,10 +17,11 @@
 
 use std::time::Instant;
 
+use gspecpal_cluster::{run_cluster_source, ClusterConfig, ClusterDevice, FleetMachine};
 use gspecpal_gpu::DeviceSpec;
 use gspecpal_serve::{
-    serve_source, BatchPolicy, LatencySummary, ReportDetail, ServeConfig, ServeMachine,
-    SyntheticSource,
+    serve_source, BatchPolicy, LatencySummary, PriorityClass, ReportDetail, ResidencyConfig,
+    ServeConfig, ServeMachine, SyntheticSource,
 };
 
 /// Workload shape for [`throughput_exp`].
@@ -127,6 +128,92 @@ pub fn throughput_exp(cfg: &HostPerfConfig) -> HostPerfReport {
     }
 }
 
+/// Result of one [`fleet_throughput_exp`] run: the cluster row of the
+/// host-throughput harness.
+#[derive(Clone, Debug)]
+pub struct FleetPerfReport {
+    /// Streams routed fleet-wide.
+    pub streams: u64,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Fleet makespan — deterministic.
+    pub makespan_cycles: u64,
+    /// `(device name, streams)` per device, in device order.
+    pub device_streams: Vec<(String, u64)>,
+    /// Fleet residency hit rate in permille.
+    pub residency_hit_permille: u64,
+    /// Peak-to-mean device load in permille.
+    pub imbalance_permille: u64,
+    /// Delivery-latency upper bound over the fleet (per-device summaries
+    /// are sketched in bounded mode).
+    pub delivery: LatencySummary,
+    /// Host wall-clock of the cluster run, in milliseconds.
+    pub wall_ms: u64,
+    /// Streams per host second through router + device engines.
+    pub streams_per_sec: f64,
+    /// Peak resident set size in KiB, where procfs exposes it.
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// How many machines (FSMs) the fleet row spreads the synthetic workload
+/// over.
+const FLEET_MACHINES: usize = 8;
+
+/// Runs the cluster row of the host-throughput harness: the same
+/// million-stream synthetic source routed across a heterogeneous
+/// A100/RTX 3090/T4 fleet via [`run_cluster_source`], every device in
+/// bounded-memory mode with residency modeling on. Wall-clock fields are
+/// machine-dependent (warn-only); the simulated fields are deterministic.
+pub fn fleet_throughput_exp(cfg: &HostPerfConfig) -> FleetPerfReport {
+    let dfas: Vec<gspecpal_fsm::Dfa> = (0..FLEET_MACHINES)
+        .map(|m| gspecpal_fsm::examples::mod_counter(5 + (m as u32 % 8), &[0]))
+        .collect();
+    let fleet: Vec<FleetMachine<'_>> = dfas
+        .iter()
+        .map(|dfa| FleetMachine { dfa, training: b"0110", class: PriorityClass::Bulk })
+        .collect();
+    let devices =
+        vec![ClusterDevice::a100_nvlink(), ClusterDevice::rtx3090_pcie(), ClusterDevice::t4_pcie()];
+    let cluster_cfg = ClusterConfig {
+        serve: ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 32 },
+            detail: ReportDetail::Bounded,
+            residency: Some(ResidencyConfig { capacity_bytes: 24 * 1024 }),
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let source = SyntheticSource::new(
+        cfg.seed,
+        cfg.streams,
+        FLEET_MACHINES,
+        cfg.mean_gap,
+        cfg.len_range.clone(),
+        b"01",
+    );
+    let t0 = Instant::now();
+    let report = run_cluster_source(&devices, &fleet, source, &cluster_cfg)
+        .expect("synthetic fleet workload is always servable");
+    let wall = t0.elapsed();
+    let secs = wall.as_secs_f64().max(1e-6);
+    FleetPerfReport {
+        streams: report.streams as u64,
+        total_bytes: report.devices.iter().map(|d| d.report.total_bytes as u64).sum(),
+        makespan_cycles: report.makespan_cycles,
+        device_streams: report
+            .devices
+            .iter()
+            .map(|d| (d.device.clone(), d.report.streams as u64))
+            .collect(),
+        residency_hit_permille: report.residency.hit_permille(),
+        imbalance_permille: report.imbalance_permille,
+        delivery: report.delivery,
+        wall_ms: wall.as_millis() as u64,
+        streams_per_sec: report.streams as f64 / secs,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +238,24 @@ mod tests {
         assert_eq!(a.latency_error_permille, gspecpal_serve::LatencySketch::ERROR_PERMILLE);
         assert!(a.delivery.max >= a.delivery.p99);
         assert!(a.streams_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fleet_row_is_deterministic_in_its_simulated_fields() {
+        let cfg = HostPerfConfig { streams: 4_000, ..HostPerfConfig::default() };
+        let a = fleet_throughput_exp(&cfg);
+        let b = fleet_throughput_exp(&cfg);
+        assert_eq!(a.streams, 4_000);
+        assert_eq!(a.streams, b.streams);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.device_streams, b.device_streams);
+        assert_eq!(a.residency_hit_permille, b.residency_hit_permille);
+        assert_eq!(a.imbalance_permille, b.imbalance_permille);
+        assert_eq!(a.delivery, b.delivery);
+        assert_eq!(a.device_streams.len(), 3);
+        assert!(a.device_streams.iter().all(|(_, n)| *n > 0), "{:?}", a.device_streams);
+        assert!(a.residency_hit_permille > 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 pub mod adaptive_exp;
 pub mod chaos_exp;
+pub mod cluster_exp;
 pub mod csv;
 pub mod experiments;
 pub mod extras;
@@ -20,6 +21,9 @@ pub use adaptive_exp::{
     run_adaptive, AdaptiveExperimentReport, AdaptiveRunSummary, SegmentSummary,
 };
 pub use chaos_exp::{run_chaos, ChaosExperimentReport, ChaosRunSummary};
+pub use cluster_exp::{
+    run_cluster_exp, ClusterExperimentConfig, ClusterExperimentReport, ClusterScenario,
+};
 pub use experiments::{
     run_ablation, run_fig3, run_fig7, run_fig8, run_fig9, run_selector_eval, run_table2,
     run_table3, ExperimentConfig,
@@ -28,5 +32,8 @@ pub use extras::{
     run_budget_ablation, run_cpu_scaling, run_device_sensitivity, run_model_validation,
     run_motivation,
 };
-pub use hostperf::{peak_rss_kb, throughput_exp, HostPerfConfig, HostPerfReport};
+pub use hostperf::{
+    fleet_throughput_exp, peak_rss_kb, throughput_exp, FleetPerfReport, HostPerfConfig,
+    HostPerfReport,
+};
 pub use serve_exp::{run_serve, ServeExperimentReport, ServeRunSummary};

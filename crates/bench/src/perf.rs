@@ -8,7 +8,7 @@
 //! - `schema_version` (integer): currently `1`. Consumers must reject
 //!   versions they do not know.
 //! - `experiment` (string): `"fig8"`, `"ablation"`, `"motivation"`,
-//!   `"serve"`, `"chaos"`, or `"adaptive"`.
+//!   `"serve"`, `"chaos"`, `"adaptive"`, or `"cluster"`.
 //! - `config` (object): `seed`, `input_bytes`, `n_chunks`, `device` — the
 //!   [`ExperimentConfig`] the numbers were produced with.
 //! - `total_cycles` (integer): the experiment's headline cycle total, the
@@ -31,9 +31,10 @@ use gspecpal_gpu::{PhaseCounters, PhaseProfile};
 
 use crate::adaptive_exp::{AdaptiveExperimentReport, AdaptiveRunSummary};
 use crate::chaos_exp::ChaosExperimentReport;
+use crate::cluster_exp::{ClusterExperimentConfig, ClusterExperimentReport};
 use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
 use crate::extras::MotivationReport;
-use crate::hostperf::{HostPerfConfig, HostPerfReport};
+use crate::hostperf::{FleetPerfReport, HostPerfConfig, HostPerfReport};
 use crate::serve_exp::ServeExperimentReport;
 
 /// Version stamped into every report; bump on any schema change.
@@ -413,13 +414,145 @@ pub fn adaptive_json(cfg: &ExperimentConfig, r: &AdaptiveExperimentReport) -> Js
     obj(fields)
 }
 
+fn latency_summary_json(s: &gspecpal_serve::LatencySummary) -> Json {
+    obj(vec![
+        ("p50", Json::U64(s.p50)),
+        ("p95", Json::U64(s.p95)),
+        ("p99", Json::U64(s.p99)),
+        ("max", Json::U64(s.max)),
+    ])
+}
+
+/// Builds the `cluster` report: every fleet scenario with its makespan,
+/// fleet and per-class latency percentiles, merged residency counters,
+/// migration traffic, and per-device slices. The headline `total_cycles`
+/// is the summed makespan of all scenarios, so the 5% gate trips on a
+/// regression in routing, residency charging, migration pricing, or
+/// preemption scheduling.
+pub fn cluster_json(cfg: &ClusterExperimentConfig, r: &ClusterExperimentReport) -> Json {
+    let scenarios: Vec<Json> = r
+        .scenarios
+        .iter()
+        .map(|s| {
+            let rep = &s.report;
+            let devices: Vec<Json> = rep
+                .devices
+                .iter()
+                .map(|d| {
+                    obj(vec![
+                        ("device", Json::Str(d.device.clone())),
+                        ("streams", Json::U64(d.report.streams as u64)),
+                        ("makespan_cycles", Json::U64(d.report.makespan_cycles)),
+                        ("busy_cycles", Json::U64(d.report.stats.cycles)),
+                        ("batches", Json::U64(d.report.batches_dispatched)),
+                        ("shed_streams", Json::U64(d.report.recovery.shed_streams)),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("name", Json::Str(s.name.to_string())),
+                ("streams", Json::U64(rep.streams as u64)),
+                ("makespan_cycles", Json::U64(rep.makespan_cycles)),
+                ("delivery_latency", latency_summary_json(&rep.delivery)),
+                ("bulk_latency", latency_summary_json(&rep.bulk_delivery)),
+                ("deadline_latency", latency_summary_json(&rep.deadline_delivery)),
+                (
+                    "residency",
+                    obj(vec![
+                        ("hits", Json::U64(rep.residency.hits)),
+                        ("misses", Json::U64(rep.residency.misses)),
+                        ("evictions", Json::U64(rep.residency.evictions)),
+                        ("copied_bytes", Json::U64(rep.residency.copied_bytes)),
+                        ("hit_permille", Json::U64(rep.residency.hit_permille())),
+                    ]),
+                ),
+                ("preemptions", Json::U64(rep.preemptions)),
+                ("preempted_cycles", Json::U64(rep.preempted_cycles)),
+                ("shed_streams", Json::U64(rep.shed_streams)),
+                ("imbalance_permille", Json::U64(rep.imbalance_permille)),
+                (
+                    "router",
+                    obj(vec![
+                        ("migrations", Json::U64(rep.router.migrations)),
+                        ("migration_bytes", Json::U64(rep.router.migration_bytes)),
+                        ("migration_cycles", Json::U64(rep.router.migration_cycles)),
+                        ("rerouted_streams", Json::U64(rep.router.rerouted_streams)),
+                    ]),
+                ),
+                ("devices", Json::Arr(devices)),
+            ])
+        })
+        .collect();
+    let skew_static = r.scenario("skew_static").makespan_cycles;
+    let skew_rebalanced = r.scenario("skew_rebalanced").makespan_cycles;
+    obj(vec![
+        ("schema_version", Json::U64(SCHEMA_VERSION)),
+        ("experiment", Json::Str("cluster".to_string())),
+        (
+            "config",
+            obj(vec![
+                ("vnodes", Json::U64(cfg.vnodes as u64)),
+                ("n_machines", Json::U64(cfg.n_machines as u64)),
+                ("residency_bytes", Json::U64(cfg.residency_bytes as u64)),
+            ]),
+        ),
+        ("total_cycles", Json::U64(r.total_makespan())),
+        (
+            "summary",
+            obj(vec![
+                (
+                    "rebalance_makespan_saved_permille",
+                    Json::U64(
+                        (skew_static.saturating_sub(skew_rebalanced) * 1000)
+                            .checked_div(skew_static)
+                            .unwrap_or(0),
+                    ),
+                ),
+                ("deadline_p99_fifo", Json::U64(r.scenario("priority_fifo").deadline_delivery.p99)),
+                (
+                    "deadline_p99_preempt",
+                    Json::U64(r.scenario("priority_preempt").deadline_delivery.p99),
+                ),
+                (
+                    "residency_hit_permille",
+                    Json::U64(r.scenario("skew_static").residency.hit_permille()),
+                ),
+            ]),
+        ),
+        ("scenarios", Json::Arr(scenarios)),
+    ])
+}
+
 /// Builds the `hostperf` report: host wall-clock throughput of the
 /// streaming serve engine over a million-stream synthetic workload, plus
 /// the deterministic simulation outputs and the peak-RSS bounded-memory
-/// evidence. Unlike every other report this one carries wall-clock fields,
-/// so it is a warn-only CI artifact, never a gated baseline — which is
-/// also why it has no headline `total_cycles`.
-pub fn hostperf_json(cfg: &HostPerfConfig, r: &HostPerfReport) -> Json {
+/// evidence, and the fleet row — the same source routed across the
+/// heterogeneous cluster ([`crate::fleet_throughput_exp`]). Unlike every
+/// other report this one carries wall-clock fields, so it is a warn-only
+/// CI artifact, never a gated baseline — which is also why it has no
+/// headline `total_cycles`.
+pub fn hostperf_json(cfg: &HostPerfConfig, r: &HostPerfReport, fleet: &FleetPerfReport) -> Json {
+    let fleet_json = obj(vec![
+        ("streams", Json::U64(fleet.streams)),
+        ("total_bytes", Json::U64(fleet.total_bytes)),
+        ("makespan_cycles", Json::U64(fleet.makespan_cycles)),
+        (
+            "device_streams",
+            Json::Obj(
+                fleet
+                    .device_streams
+                    .iter()
+                    .map(|(name, n)| (name.clone(), Json::U64(*n)))
+                    .collect(),
+            ),
+        ),
+        ("residency_hit_permille", Json::U64(fleet.residency_hit_permille)),
+        ("imbalance_permille", Json::U64(fleet.imbalance_permille)),
+        ("delivery_latency", latency_summary_json(&fleet.delivery)),
+        ("wall_ms", Json::U64(fleet.wall_ms)),
+        ("streams_per_sec", Json::F64(fleet.streams_per_sec)),
+        ("peak_rss_kb", Json::U64(fleet.peak_rss_kb.unwrap_or(0))),
+    ]);
     obj(vec![
         ("schema_version", Json::U64(SCHEMA_VERSION)),
         ("experiment", Json::Str("hostperf".to_string())),
@@ -454,6 +587,7 @@ pub fn hostperf_json(cfg: &HostPerfConfig, r: &HostPerfReport) -> Json {
         ("streams_per_sec", Json::F64(r.streams_per_sec)),
         ("mbytes_per_sec", Json::F64(r.mbytes_per_sec)),
         ("peak_rss_kb", Json::U64(r.peak_rss_kb.unwrap_or(0))),
+        ("fleet", fleet_json),
     ])
 }
 

@@ -1,0 +1,411 @@
+//! The fleet runner: N heterogeneous devices behind a consistent-hash
+//! router, each running the single-device serve engine on its own
+//! timeline.
+//!
+//! A cluster run is a *demultiplex*: the router assigns every arrival to
+//! one device (a pure function of its machine id and the fleet state at
+//! its arrival cycle), and each device serves its share with the ordinary
+//! [`gspecpal_serve`] engine — same batching, same residency LRU, same
+//! preemption, same fault plan, same bit-determinism. Nothing about a
+//! device's simulation depends on any other device, which is the
+//! composability law the tests pin: a device's slice of the cluster report
+//! is byte-identical to serving its sub-trace standalone.
+//!
+//! On top of the demux the router models two fleet events:
+//!
+//! * **Rebalancing** ([`RebalanceConfig`]) — at the epoch boundary the
+//!   router looks at the bytes each device received so far and greedily
+//!   migrates the hottest machines off the most loaded device until the
+//!   load spread stops improving. Each migration ships the machine's
+//!   transition table across the interconnect, priced by the *slower* of
+//!   the two devices' links ([`LinkSpec::slower_of`]); the total migration
+//!   time floors the fleet makespan.
+//! * **Whole-device outage** ([`DeviceOutage`]) — from the outage cycle
+//!   on, arrivals routed at the dead device re-shard over the surviving
+//!   ring ([`HashRing::without`]), touching nobody else's placement.
+
+use std::sync::mpsc;
+
+use gspecpal_fsm::Dfa;
+use gspecpal_gpu::{DeviceSpec, LinkSpec};
+use gspecpal_serve::{
+    serve, serve_source, PriorityClass, ServeConfig, ServeError, ServeMachine, ServeReport,
+    StreamArrival, Trace, TraceSource,
+};
+
+use crate::report::{assemble, ClusterReport, RouterStats};
+use crate::ring::HashRing;
+
+/// One device in the fleet: its compute model and how it attaches to the
+/// interconnect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterDevice {
+    /// The device's cost model (occupancy, latencies, copy engines).
+    pub spec: DeviceSpec,
+    /// The device's attach link, governing migration transfers to and from
+    /// it.
+    pub link: LinkSpec,
+}
+
+impl ClusterDevice {
+    /// An RTX 3090 on PCIe 4.0 — the workstation-class shard.
+    pub fn rtx3090_pcie() -> Self {
+        ClusterDevice { spec: DeviceSpec::rtx3090(), link: LinkSpec::pcie4() }
+    }
+
+    /// An A100 on NVLink 3 — the datacenter-class shard.
+    pub fn a100_nvlink() -> Self {
+        ClusterDevice { spec: DeviceSpec::a100(), link: LinkSpec::nvlink3() }
+    }
+
+    /// A T4 on PCIe 3.0 — the small inference-class shard.
+    pub fn t4_pcie() -> Self {
+        ClusterDevice { spec: DeviceSpec::t4(), link: LinkSpec::pcie3() }
+    }
+
+    /// The unit-test device on the unit-test link.
+    pub fn test_unit() -> Self {
+        ClusterDevice { spec: DeviceSpec::test_unit(), link: LinkSpec::test_unit() }
+    }
+}
+
+/// One machine (FSM) the fleet serves, device-agnostic: each device
+/// prepares its own [`ServeMachine`] from this (table sized for *its*
+/// shared memory), so heterogeneous devices coexist naturally.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetMachine<'a> {
+    /// The machine's automaton (already frequency-permuted; see
+    /// [`ServeMachine::prepare`]).
+    pub dfa: &'a Dfa,
+    /// Training bytes the per-device selector profiles on.
+    pub training: &'a [u8],
+    /// Scheduling class of the machine's batches (see
+    /// [`gspecpal_serve::ServeConfig::preempt`]).
+    pub class: PriorityClass,
+}
+
+/// When and how the router rebalances placement under skew.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// The epoch boundary: the first arrival at or after this cycle
+    /// triggers one rebalancing pass over the loads observed so far.
+    pub epoch_cycles: u64,
+}
+
+/// A whole-device failure: from `at_cycle` on, the device receives no new
+/// arrivals (work already routed to it still completes — the simulator
+/// models losing *capacity*, not losing in-flight results).
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceOutage {
+    /// The failed device's index.
+    pub device: usize,
+    /// First cycle at which arrivals re-shard around it.
+    pub at_cycle: u64,
+}
+
+/// Fleet-level configuration around the per-device [`ServeConfig`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Ring points per device. More vnodes spread machines more evenly;
+    /// fewer make placement coarser (and collisions — two hot machines on
+    /// one device — more likely, which is what rebalancing is for).
+    pub vnodes: usize,
+    /// The configuration every device serves under (policy, residency,
+    /// preemption, fault plan, detail).
+    pub serve: ServeConfig,
+    /// Rebalancing under skew; `None` pins the initial placement for the
+    /// whole run (static sharding).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Whole-device failure injection; `None` keeps every device up.
+    pub outage: Option<DeviceOutage>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { vnodes: 32, serve: ServeConfig::default(), rebalance: None, outage: None }
+    }
+}
+
+/// The deterministic stream router: consistent hashing by machine id, plus
+/// the rebalance override map and the outage re-shard. Public so tests can
+/// reproduce the demux and verify per-device composability.
+#[derive(Clone, Debug)]
+pub struct Router {
+    ring: HashRing,
+    survivors: Option<HashRing>,
+    outage: Option<DeviceOutage>,
+    rebalance: Option<RebalanceConfig>,
+    links: Vec<LinkSpec>,
+    /// Device-global table bytes per machine — what a migration ships.
+    footprints: Vec<u64>,
+    /// Bytes each machine has contributed so far (pre-epoch: the evidence
+    /// the rebalance decision is made from).
+    machine_bytes: Vec<u64>,
+    overrides: Vec<Option<usize>>,
+    rebalanced: bool,
+    /// What the router did, for the cluster report.
+    pub stats: RouterStats,
+}
+
+impl Router {
+    /// Builds the router for `devices`, machines with the given table
+    /// `footprints` (bytes; see [`ServeMachine::table_footprint_bytes`]),
+    /// under `cfg`.
+    pub fn new(devices: &[ClusterDevice], footprints: Vec<u64>, cfg: &ClusterConfig) -> Router {
+        let ring = HashRing::new(devices.len(), cfg.vnodes);
+        let survivors = cfg.outage.map(|o| ring.without(o.device));
+        Router {
+            ring,
+            survivors,
+            outage: cfg.outage,
+            rebalance: cfg.rebalance,
+            links: devices.iter().map(|d| d.link.clone()).collect(),
+            machine_bytes: vec![0; footprints.len()],
+            overrides: vec![None; footprints.len()],
+            footprints,
+            rebalanced: false,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Routes one arrival: the device that serves `bytes` bytes for
+    /// `machine` arriving at `cycle`. Mutates the router's load accounting
+    /// and, at the epoch boundary, performs the rebalancing pass.
+    pub fn route(&mut self, machine: usize, cycle: u64, bytes: usize) -> usize {
+        if let Some(rb) = self.rebalance {
+            if !self.rebalanced && cycle >= rb.epoch_cycles {
+                self.rebalance_now(rb.epoch_cycles);
+            }
+            if !self.rebalanced {
+                self.machine_bytes[machine] += bytes as u64;
+            }
+        }
+        let mut device = match self.overrides[machine] {
+            Some(d) => d,
+            None => self.ring.route(machine),
+        };
+        if let (Some(outage), Some(survivors)) = (self.outage, &self.survivors) {
+            if cycle >= outage.at_cycle && device == outage.device {
+                device = survivors.route(machine);
+                self.stats.rerouted_streams += 1;
+            }
+        }
+        device
+    }
+
+    /// The greedy epoch rebalance: repeatedly move the heaviest machine
+    /// that fits from the most loaded device to the least loaded one,
+    /// while doing so strictly shrinks the spread. Each move is charged a
+    /// table transfer over the slower of the two attach links.
+    fn rebalance_now(&mut self, epoch: u64) {
+        self.rebalanced = true;
+        let n = self.links.len();
+        let mut device_load = vec![0u64; n];
+        let mut placed: Vec<usize> =
+            (0..self.machine_bytes.len()).map(|m| self.ring.route(m)).collect();
+        for (m, &b) in self.machine_bytes.iter().enumerate() {
+            device_load[placed[m]] += b;
+        }
+        loop {
+            let hi = (0..n).max_by_key(|&d| (device_load[d], d)).expect("nonempty fleet");
+            let lo = (0..n).min_by_key(|&d| (device_load[d], d)).expect("nonempty fleet");
+            // The heaviest machine on `hi` whose move strictly lowers the
+            // peak: after the move `lo` must still sit below `hi`'s old
+            // load, else we only traded one hotspot for another.
+            let candidate = (0..placed.len())
+                .filter(|&m| placed[m] == hi && self.machine_bytes[m] > 0)
+                .filter(|&m| device_load[lo] + self.machine_bytes[m] < device_load[hi])
+                .max_by_key(|&m| (self.machine_bytes[m], m));
+            let Some(m) = candidate else { break };
+            device_load[hi] -= self.machine_bytes[m];
+            device_load[lo] += self.machine_bytes[m];
+            placed[m] = lo;
+            self.overrides[m] = Some(lo);
+            let table = self.footprints[m];
+            let link = self.links[hi].slower_of(&self.links[lo], table as usize);
+            self.stats.migrations += 1;
+            self.stats.migration_bytes += table;
+            self.stats.migration_cycles += link.copy_cycles(table as usize);
+        }
+        self.stats.rebalance_epoch = if self.stats.migrations > 0 { epoch } else { 0 };
+    }
+}
+
+fn validate(
+    devices: &[ClusterDevice],
+    fleet: &[FleetMachine<'_>],
+    cfg: &ClusterConfig,
+) -> Result<(), ServeError> {
+    if devices.is_empty() {
+        return Err(ServeError::InvalidConfig {
+            field: "devices",
+            problem: "a cluster needs at least one device".into(),
+        });
+    }
+    if fleet.is_empty() {
+        return Err(ServeError::InvalidConfig {
+            field: "machines",
+            problem: "a cluster needs at least one machine".into(),
+        });
+    }
+    if cfg.vnodes == 0 {
+        return Err(ServeError::InvalidConfig {
+            field: "vnodes",
+            problem: "needs at least one ring point per device".into(),
+        });
+    }
+    if let Some(o) = cfg.outage {
+        if o.device >= devices.len() {
+            return Err(ServeError::InvalidConfig {
+                field: "outage",
+                problem: format!("device {} out of range ({})", o.device, devices.len()),
+            });
+        }
+        if devices.len() == 1 {
+            return Err(ServeError::InvalidConfig {
+                field: "outage",
+                problem: "cannot fail the only device".into(),
+            });
+        }
+    }
+    // The per-device engine re-validates `cfg.serve` itself on every
+    // `serve` / `serve_source` call, so fleet validation stops here.
+    Ok(())
+}
+
+/// Prepares every fleet machine for every device: entry `[d][m]` is
+/// machine `m`'s table and selector pick sized for device `d`. Arrivals
+/// keep their global machine ids on every device, so the demux never
+/// renumbers anything.
+fn prepare_all<'a>(
+    devices: &[ClusterDevice],
+    fleet: &[FleetMachine<'a>],
+) -> Vec<Vec<ServeMachine<'a>>> {
+    devices
+        .iter()
+        .map(|d| {
+            fleet
+                .iter()
+                .map(|m| ServeMachine::prepare(&d.spec, m.dfa, m.training).with_class(m.class))
+                .collect()
+        })
+        .collect()
+}
+
+/// Serves `trace` on the fleet: routes every arrival, runs each device's
+/// sub-trace through the single-device engine, and assembles the
+/// [`ClusterReport`]. Deterministic and bit-identical across host thread
+/// counts and reruns — the router is a pure function and the per-device
+/// engines already guarantee it for their shares.
+pub fn run_cluster(
+    devices: &[ClusterDevice],
+    fleet: &[FleetMachine<'_>],
+    trace: &Trace,
+    cfg: &ClusterConfig,
+) -> Result<ClusterReport, ServeError> {
+    validate(devices, fleet, cfg)?;
+    let machines = prepare_all(devices, fleet);
+    let footprints: Vec<u64> =
+        machines[0].iter().map(|m| m.table_footprint_bytes() as u64).collect();
+    let mut router = Router::new(devices, footprints, cfg);
+    let mut shares: Vec<Vec<StreamArrival>> = vec![Vec::new(); devices.len()];
+    for a in trace.arrivals() {
+        if a.machine >= fleet.len() {
+            return Err(ServeError::UnknownMachine {
+                stream: shares.iter().map(Vec::len).sum(),
+                machine: a.machine,
+                n_machines: fleet.len(),
+            });
+        }
+        let d = router.route(a.machine, a.arrival_cycle, a.bytes.len());
+        shares[d].push(a.clone());
+    }
+    let mut reports = Vec::with_capacity(devices.len());
+    let mut classes: Vec<Vec<PriorityClass>> = Vec::with_capacity(devices.len());
+    for (d, share) in shares.into_iter().enumerate() {
+        classes.push(share.iter().map(|a| fleet[a.machine].class).collect());
+        let sub = Trace::from_arrivals(share);
+        reports.push(serve(&devices[d].spec, &machines[d], &sub, &cfg.serve)?);
+    }
+    Ok(assemble(devices, reports, Some(&classes), router.stats))
+}
+
+/// A [`TraceSource`] fed by a bounded channel — each device thread's view
+/// of its share of the stream.
+struct ChannelSource(mpsc::Receiver<StreamArrival>);
+
+impl TraceSource for ChannelSource {
+    fn next_arrival(&mut self) -> Option<StreamArrival> {
+        self.0.recv().ok()
+    }
+}
+
+/// Streams per-device channel depth: deep enough to keep device threads
+/// busy, shallow enough that resident memory stays bounded by
+/// `devices × depth` arrivals, not the trace length.
+const CHANNEL_DEPTH: usize = 1024;
+
+/// The streaming twin of [`run_cluster`]: pulls arrivals from `source` one
+/// at a time, routes each, and hands it to the owning device's engine
+/// thread over a bounded channel. Memory is bounded by the channel depths
+/// and each engine's admission queue — pair with
+/// [`gspecpal_serve::ReportDetail::Bounded`] to serve millions of streams.
+/// Produces bit-identical reports to [`run_cluster`] on the same arrivals:
+/// each device consumes exactly the same sub-sequence either way.
+pub fn run_cluster_source<S: TraceSource>(
+    devices: &[ClusterDevice],
+    fleet: &[FleetMachine<'_>],
+    mut source: S,
+    cfg: &ClusterConfig,
+) -> Result<ClusterReport, ServeError> {
+    validate(devices, fleet, cfg)?;
+    let machines = prepare_all(devices, fleet);
+    let footprints: Vec<u64> =
+        machines[0].iter().map(|m| m.table_footprint_bytes() as u64).collect();
+    let mut router = Router::new(devices, footprints, cfg);
+    let mut classes: Vec<Vec<PriorityClass>> = vec![Vec::new(); devices.len()];
+    let (results, router) =
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(devices.len());
+            let mut handles = Vec::with_capacity(devices.len());
+            for (d, dev) in devices.iter().enumerate() {
+                let (tx, rx) = mpsc::sync_channel::<StreamArrival>(CHANNEL_DEPTH);
+                senders.push(tx);
+                let machines_d = &machines[d];
+                let serve_cfg = &cfg.serve;
+                handles.push(scope.spawn(move || {
+                    serve_source(&dev.spec, machines_d, ChannelSource(rx), serve_cfg)
+                }));
+            }
+            let mut stream = 0usize;
+            let mut feed_error = None;
+            while let Some(a) = source.next_arrival() {
+                if a.machine >= fleet.len() {
+                    feed_error = Some(ServeError::UnknownMachine {
+                        stream,
+                        machine: a.machine,
+                        n_machines: fleet.len(),
+                    });
+                    break;
+                }
+                let d = router.route(a.machine, a.arrival_cycle, a.bytes.len());
+                let class = fleet[a.machine].class;
+                if senders[d].send(a).is_err() {
+                    // The device engine bailed (its error surfaces below);
+                    // stop feeding so the rest of the fleet can drain.
+                    break;
+                }
+                classes[d].push(class);
+                stream += 1;
+            }
+            drop(senders);
+            let results: Vec<Result<ServeReport, ServeError>> =
+                handles.into_iter().map(|h| h.join().expect("device engine panicked")).collect();
+            (feed_error.map_or(results, |e| vec![Err(e)]), router)
+        });
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        reports.push(r?);
+    }
+    Ok(assemble(devices, reports, Some(&classes), router.stats))
+}

@@ -1,0 +1,186 @@
+//! Fleet-level reporting: per-device [`ServeReport`]s plus the aggregates
+//! a fleet operator reads first — fleet latency percentiles, residency hit
+//! rate, migration traffic, and load imbalance.
+//!
+//! Everything is integer-valued and assembled by deterministic folds over
+//! the (already bit-identical) per-device reports, so a [`ClusterReport`]
+//! is bit-identical across host thread counts and reruns — `PartialEq` on
+//! the whole struct is the test.
+
+use gspecpal_serve::{LatencySummary, PriorityClass, ResidencyReport, ServeReport, StreamOutcome};
+
+use crate::fleet::ClusterDevice;
+
+/// What the router did during the run: rebalancing migrations and outage
+/// rerouting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Machines migrated at the rebalance epoch.
+    pub migrations: u64,
+    /// Transition-table bytes those migrations shipped across the fabric.
+    pub migration_bytes: u64,
+    /// Cycles the migrations took, priced on the slower attach link of each
+    /// source/destination pair. Floors the fleet makespan when nonzero.
+    pub migration_cycles: u64,
+    /// The epoch cycle at which migrations ran (0 when none did).
+    pub rebalance_epoch: u64,
+    /// Arrivals re-sharded off a failed device.
+    pub rerouted_streams: u64,
+}
+
+/// One device's slice of the cluster run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceReport {
+    /// `"<device>/<link>"`, e.g. `"a100/nvlink3"`.
+    pub device: String,
+    /// The device's ordinary single-device report over its sub-trace —
+    /// byte-identical to serving that sub-trace standalone.
+    pub report: ServeReport,
+}
+
+/// The full result of serving a trace on the fleet.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterReport {
+    /// Every device's slice, in device-index order.
+    pub devices: Vec<DeviceReport>,
+    /// Streams routed fleet-wide (= trace length).
+    pub streams: usize,
+    /// Fleet wall-clock: the slowest device's makespan, floored by the
+    /// rebalance migrations (`rebalance_epoch + migration_cycles`) when any
+    /// ran — tables in flight are capacity nobody can use.
+    pub makespan_cycles: u64,
+    /// Fleet-wide delivery percentiles over all served streams. Exact when
+    /// every device retained per-stream latencies
+    /// ([`gspecpal_serve::ReportDetail::Full`]); otherwise a field-wise
+    /// upper bound over the per-device summaries (see `exact_latency`).
+    pub delivery: LatencySummary,
+    /// Delivery percentiles of bulk-class streams alone (all zeros when the
+    /// fleet path could not attribute streams to classes — see
+    /// `exact_latency`).
+    pub bulk_delivery: LatencySummary,
+    /// Delivery percentiles of deadline-class streams alone (all zeros when
+    /// unattributable).
+    pub deadline_delivery: LatencySummary,
+    /// Whether `delivery` (and the class splits) were computed exactly from
+    /// per-stream latencies, or upper-bounded from per-device summaries
+    /// (the streaming / [`gspecpal_serve::ReportDetail::Bounded`] path).
+    pub exact_latency: bool,
+    /// All devices' residency-LRU counters, merged.
+    pub residency: ResidencyReport,
+    /// Deadline-over-bulk preemptions fleet-wide.
+    pub preemptions: u64,
+    /// Total cycles those preemptions delayed bulk kernels by.
+    pub preempted_cycles: u64,
+    /// Streams shed fleet-wide, for any reason.
+    pub shed_streams: u64,
+    /// Peak-to-mean device busy-cycle ratio in permille: 1000 is a
+    /// perfectly level fleet, 2000 means the hottest device did twice the
+    /// mean work. 1000 when no device did any work.
+    pub imbalance_permille: u64,
+    /// Migration and rerouting activity.
+    pub router: RouterStats,
+}
+
+impl ClusterReport {
+    /// Residency hit rate across the fleet, in permille.
+    pub fn residency_hit_permille(&self) -> u64 {
+        self.residency.hit_permille()
+    }
+}
+
+/// Folds per-device reports into the fleet report. `classes[d][i]` is the
+/// priority class of device `d`'s `i`-th admitted stream (sub-trace
+/// order); `None` (the streaming path) skips the per-class split.
+pub(crate) fn assemble(
+    devices: &[ClusterDevice],
+    reports: Vec<ServeReport>,
+    classes: Option<&[Vec<PriorityClass>]>,
+    router: RouterStats,
+) -> ClusterReport {
+    let streams: usize = reports.iter().map(|r| r.streams).sum();
+    let device_makespan = reports.iter().map(|r| r.makespan_cycles).max().unwrap_or(0);
+    let migration_floor =
+        if router.migrations > 0 { router.rebalance_epoch + router.migration_cycles } else { 0 };
+
+    let mut residency = ResidencyReport::default();
+    let mut preemptions = 0;
+    let mut preempted_cycles = 0;
+    let mut shed_streams = 0;
+    for r in &reports {
+        residency.merge(&r.residency);
+        preemptions += r.preemptions;
+        preempted_cycles += r.preempted_cycles;
+        shed_streams += r.recovery.shed_streams;
+    }
+
+    // Exact fleet percentiles need every served stream's latency, which
+    // only `ReportDetail::Full` retains.
+    let exact_latency = reports.iter().all(|r| r.latencies.len() == r.streams);
+    let (delivery, bulk_delivery, deadline_delivery) = if exact_latency {
+        let mut all = Vec::with_capacity(streams);
+        let mut bulk = Vec::new();
+        let mut deadline = Vec::new();
+        for (d, r) in reports.iter().enumerate() {
+            for (i, &lat) in r.latencies.iter().enumerate() {
+                if r.outcomes[i] != StreamOutcome::Served {
+                    continue;
+                }
+                all.push(lat);
+                if let Some(classes) = classes {
+                    match classes[d][i] {
+                        PriorityClass::Bulk => bulk.push(lat),
+                        PriorityClass::Deadline => deadline.push(lat),
+                    }
+                }
+            }
+        }
+        (
+            LatencySummary::from_latencies(&all),
+            LatencySummary::from_latencies(&bulk),
+            LatencySummary::from_latencies(&deadline),
+        )
+    } else {
+        // Field-wise maximum over the devices is a sound upper bound for
+        // every percentile (each device's p99 bounds its streams'
+        // contribution); the class split is unattributable here.
+        let bound = reports.iter().map(|r| r.delivery).fold(LatencySummary::default(), |acc, s| {
+            LatencySummary {
+                p50: acc.p50.max(s.p50),
+                p95: acc.p95.max(s.p95),
+                p99: acc.p99.max(s.p99),
+                max: acc.max.max(s.max),
+            }
+        });
+        (bound, LatencySummary::default(), LatencySummary::default())
+    };
+
+    let loads: Vec<u64> = reports.iter().map(|r| r.stats.cycles).collect();
+    let total: u128 = loads.iter().map(|&c| c as u128).sum();
+    let peak = *loads.iter().max().expect("nonempty fleet") as u128;
+    // An idle fleet (total 0) reads as perfectly balanced: 1000‰.
+    let imbalance_permille =
+        (peak * 1000 * loads.len() as u128).checked_div(total).unwrap_or(1000) as u64;
+
+    ClusterReport {
+        devices: devices
+            .iter()
+            .zip(reports)
+            .map(|(d, report)| DeviceReport {
+                device: format!("{}/{}", d.spec.name, d.link.name),
+                report,
+            })
+            .collect(),
+        streams,
+        makespan_cycles: device_makespan.max(migration_floor),
+        delivery,
+        bulk_delivery,
+        deadline_delivery,
+        exact_latency,
+        residency,
+        preemptions,
+        preempted_cycles,
+        shed_streams,
+        imbalance_permille,
+        router,
+    }
+}

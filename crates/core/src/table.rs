@@ -104,6 +104,23 @@ impl<'a> DeviceTable<'a> {
         }
     }
 
+    /// Device *global*-memory bytes the machine's full transition table
+    /// occupies: every row (hot rows are a shared-memory *copy* of the
+    /// hottest rows, but cold-row fallthrough still needs the whole table
+    /// in global memory), plus — for the hashed layout — its
+    /// 2-bytes-per-state hash index. This is the unit the serving layer's
+    /// table-residency LRU accounts in: a machine whose table is not
+    /// resident must upload exactly these bytes before its batch can run,
+    /// and evicting it frees exactly these bytes.
+    pub fn global_footprint_bytes(&self) -> usize {
+        let row_bytes = self.dfa.stride() * std::mem::size_of::<StateId>();
+        let table = self.dfa.n_states() as usize * row_bytes;
+        match self.layout {
+            TableLayout::Transformed => table,
+            TableLayout::Hashed => table + 2 * self.dfa.n_states() as usize,
+        }
+    }
+
     /// The underlying machine.
     pub fn dfa(&self) -> &Dfa {
         self.dfa
@@ -275,6 +292,28 @@ mod tests {
             }
         }
         launch(&DeviceSpec::test_unit(), 1, &mut K(f))
+    }
+
+    #[test]
+    fn global_footprint_covers_the_whole_table() {
+        let d = div7();
+        // Transformed: all 7 rows × stride × 2 bytes, independent of how
+        // many rows are hot (hot rows are a copy, not a partition).
+        let full = DeviceTable::transformed(&d, 7);
+        let cold = DeviceTable::transformed(&d, 1);
+        let expect = 7 * d.stride() * std::mem::size_of::<StateId>();
+        assert_eq!(full.global_footprint_bytes(), expect);
+        assert_eq!(cold.global_footprint_bytes(), expect, "hot rows don't shrink global");
+        assert!(cold.shared_footprint_bytes() < full.shared_footprint_bytes());
+    }
+
+    #[test]
+    fn hashed_global_footprint_adds_the_index() {
+        let d = div7();
+        let profile = FrequencyProfile::uniform(&d);
+        let t = DeviceTable::hashed(&d, &profile, 3);
+        let table = 7 * d.stride() * std::mem::size_of::<StateId>();
+        assert_eq!(t.global_footprint_bytes(), table + 2 * 7);
     }
 
     #[test]

@@ -128,6 +128,36 @@ mod tests {
     }
 
     #[test]
+    fn t4_runs_fewer_light_blocks_than_ampere() {
+        // 256-thread light blocks: the T4's 1024 resident threads fit 4
+        // blocks where the RTX 3090's 1536 fit 6 — full occupancy on both,
+        // but a third less parallelism per SM (and half the SMs).
+        let t4 = DeviceSpec::t4();
+        let r = BlockRequirements::light(256);
+        assert_eq!(max_resident_blocks(&t4, &r), 4);
+        assert!((occupancy(&t4, &r) - 1.0).abs() < 1e-12);
+        assert!(max_resident_blocks(&t4, &r) < max_resident_blocks(&rtx(), &r));
+    }
+
+    #[test]
+    fn t4_shared_memory_limits_residency_sooner() {
+        // A 40 KB hot table: one resident block on the T4 (64 KB shared),
+        // two on the RTX 3090 (100 KB), four on the A100 (164 KB) — the
+        // heterogeneity the fleet router must price in.
+        let r = BlockRequirements { threads: 256, shared_bytes: 40 * 1024, regs_per_thread: 32 };
+        assert_eq!(max_resident_blocks(&DeviceSpec::t4(), &r), 1);
+        assert_eq!(max_resident_blocks(&rtx(), &r), 2);
+        assert_eq!(max_resident_blocks(&DeviceSpec::a100(), &r), 4);
+    }
+
+    #[test]
+    fn t4_block_over_shared_budget_cannot_launch() {
+        let t4 = DeviceSpec::t4();
+        let r = BlockRequirements { threads: 256, shared_bytes: 65 * 1024, regs_per_thread: 32 };
+        assert_eq!(max_resident_blocks(&t4, &r), 0, "65 KB exceeds the T4's 64 KB");
+    }
+
+    #[test]
     fn hardware_block_cap_applies() {
         // Tiny blocks would fit 1536/32 = 48 times by threads alone, but the
         // hardware caps resident blocks at 16.

@@ -137,6 +137,43 @@ impl DeviceSpec {
         }
     }
 
+    /// A Tesla T4-class part (Turing, inference SKU): 40 SMs, 64 KB shared
+    /// memory per SM, a PCIe 3.0 ×16 host link (~12 GB/s effective — about
+    /// half the RTX 3090's PCIe 4.0 bandwidth). The small device in a
+    /// heterogeneous fleet: fewer SMs and less shared memory mean lower
+    /// occupancy targets and fewer hot rows, and the slower link makes
+    /// transfer charging (and table-residency misses) proportionally more
+    /// expensive.
+    pub fn t4() -> Self {
+        DeviceSpec {
+            name: "Tesla T4 (simulated)",
+            n_sms: 40,
+            cores_per_sm: 64,
+            shared_mem_bytes: 64 * 1024,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1024,
+            registers_per_sm: 65_536,
+            max_blocks_per_sm: 16,
+            shared_latency: 2,
+            global_latency: 40,
+            global_segment_bytes: 32,
+            alu_latency: 1,
+            shuffle_latency: 4,
+            barrier_latency: 8,
+            atomic_latency: 12,
+            hash_probe_latency: 1,
+            bandwidth_millicycles_per_txn: 900,
+            // PCIe 3.0 ×16 at ~12 GB/s effective: at 1.59 GHz that is
+            // ~7.5 bytes per core cycle, i.e. 132 mcyc/B, with a longer
+            // per-copy setup than the desktop Ampere part.
+            copy_latency_cycles: 3500,
+            copy_millicycles_per_byte: 132,
+            copy_engines: 2,
+            clock_ghz: 1.59,
+        }
+    }
+
     /// A tiny device for unit tests: everything costs 1 cycle and segments
     /// are 4 bytes, so expected counts are easy to compute by hand.
     pub fn test_unit() -> Self {
@@ -179,6 +216,66 @@ impl DeviceSpec {
     /// pays the setup latency — exactly the overhead batching amortizes.
     pub fn copy_cycles(&self, bytes: usize) -> u64 {
         self.copy_latency_cycles + (bytes as u64 * self.copy_millicycles_per_byte).div_ceil(1000)
+    }
+}
+
+/// Cost parameters of one inter-device link — the fabric a fleet migrates
+/// transition tables and stream state over when it rebalances shards.
+///
+/// The model mirrors [`DeviceSpec::copy_cycles`]: a fixed per-transfer
+/// setup latency plus a streaming cost in milli-cycles per byte, all in
+/// integer cycles on the fleet clock so link charging stays bit-exact. A
+/// transfer between two devices is governed by the *slower* of their
+/// attach links (the bytes traverse both).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Fabric name, for reports.
+    pub name: &'static str,
+    /// Fixed cost of one transfer over the link, in cycles: route setup,
+    /// handshake, and (for host-mediated fabrics) the bounce buffer.
+    pub latency_cycles: u64,
+    /// Streaming cost in milli-cycles per byte at the fleet clock.
+    pub millicycles_per_byte: u64,
+}
+
+impl LinkSpec {
+    /// NVLink 3.0 (A100 generation): ~300 GB/s per direction. At a
+    /// ~1.4 GHz core clock that is ~213 bytes per cycle, i.e. 5 mcyc/B,
+    /// with a short setup.
+    pub fn nvlink3() -> Self {
+        LinkSpec { name: "nvlink3", latency_cycles: 700, millicycles_per_byte: 5 }
+    }
+
+    /// PCIe 4.0 ×16 (~25 GB/s effective) — matches the RTX 3090's host
+    /// link parameters, but as a peer fabric (transfers bounce through
+    /// host memory, hence the higher setup cost).
+    pub fn pcie4() -> Self {
+        LinkSpec { name: "pcie4", latency_cycles: 6000, millicycles_per_byte: 68 }
+    }
+
+    /// PCIe 3.0 ×16 (~12 GB/s effective) — the T4-class attach.
+    pub fn pcie3() -> Self {
+        LinkSpec { name: "pcie3", latency_cycles: 7000, millicycles_per_byte: 132 }
+    }
+
+    /// A trivial link for unit tests: `copy_cycles(n) == 1 + n`.
+    pub fn test_unit() -> Self {
+        LinkSpec { name: "unit-test link", latency_cycles: 1, millicycles_per_byte: 1000 }
+    }
+
+    /// Cycles one transfer of `bytes` bytes occupies the link for.
+    pub fn copy_cycles(&self, bytes: usize) -> u64 {
+        self.latency_cycles + (bytes as u64 * self.millicycles_per_byte).div_ceil(1000)
+    }
+
+    /// The governing link of a transfer that traverses both `self` and
+    /// `other`: whichever would take longer end to end for this size.
+    pub fn slower_of<'a>(&'a self, other: &'a LinkSpec, bytes: usize) -> &'a LinkSpec {
+        if self.copy_cycles(bytes) >= other.copy_cycles(bytes) {
+            self
+        } else {
+            other
+        }
     }
 }
 
@@ -232,5 +329,46 @@ mod tests {
         let gb_per_s = bytes as f64 / (cycles as f64 / (d.clock_ghz * 1e9)) / 1e9;
         assert!((20.0..30.0).contains(&gb_per_s), "{gb_per_s} GB/s");
         assert_eq!(d.copy_engines, 2);
+    }
+
+    #[test]
+    fn t4_is_the_small_fleet_device() {
+        let t = DeviceSpec::t4();
+        let r = DeviceSpec::rtx3090();
+        assert!(t.n_sms < r.n_sms, "fewer SMs than the desktop part");
+        assert!(t.shared_mem_bytes < r.shared_mem_bytes, "less shared memory");
+        assert!(
+            t.copy_millicycles_per_byte > r.copy_millicycles_per_byte,
+            "slower host link (PCIe 3.0 vs 4.0)"
+        );
+    }
+
+    #[test]
+    fn t4_copy_bandwidth_matches_pcie3() {
+        // ~132 mcyc/B at 1.59 GHz is ~12 GB/s — PCIe 3.0 ×16 effective.
+        let d = DeviceSpec::t4();
+        let bytes = 1 << 20;
+        let cycles = d.copy_cycles(bytes) - d.copy_latency_cycles;
+        let gb_per_s = bytes as f64 / (cycles as f64 / (d.clock_ghz * 1e9)) / 1e9;
+        assert!((9.0..15.0).contains(&gb_per_s), "{gb_per_s} GB/s");
+    }
+
+    #[test]
+    fn link_copy_cycles_are_latency_plus_bandwidth() {
+        let l = LinkSpec::test_unit();
+        assert_eq!(l.copy_cycles(0), 1);
+        assert_eq!(l.copy_cycles(4096), 1 + 4096);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie_and_the_slower_link_governs() {
+        let nv = LinkSpec::nvlink3();
+        let p4 = LinkSpec::pcie4();
+        let p3 = LinkSpec::pcie3();
+        let bytes = 1 << 20;
+        assert!(nv.copy_cycles(bytes) < p4.copy_cycles(bytes));
+        assert!(p4.copy_cycles(bytes) < p3.copy_cycles(bytes));
+        assert_eq!(nv.slower_of(&p3, bytes).name, "pcie3");
+        assert_eq!(p3.slower_of(&nv, bytes).name, "pcie3");
     }
 }

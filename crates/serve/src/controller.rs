@@ -13,7 +13,7 @@
 //!
 //! # Decision rule
 //!
-//! Per machine the controller keeps one [`Arm`] per candidate: a bounded
+//! Per machine the controller keeps one `Arm` per candidate: a bounded
 //! window of observed integer milli-costs (kernel cycles ×1000 / batch
 //! bytes) plus a lifetime observation count. The `d`-th decided batch of a
 //! machine is an **explore** turn when `d ≡ period−1 (mod period)`; it
@@ -241,7 +241,7 @@ impl MachineState {
     }
 }
 
-/// The online feedback controller: one [`MachineState`] per served
+/// The online feedback controller: one `MachineState` per served
 /// machine, advanced machine-locally by the engine's forward pass.
 #[derive(Clone, Debug)]
 pub struct AdaptiveController {

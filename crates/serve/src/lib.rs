@@ -30,7 +30,12 @@
 //!   parser, or [`SyntheticSource`], with resident memory bounded by the
 //!   queue depth (pair with [`ReportDetail::Bounded`] and the
 //!   constant-memory [`LatencySketch`] summaries to serve millions of
-//!   streams without O(streams) state).
+//!   streams without O(streams) state);
+//! * [`ResidencyConfig`] / [`PriorityClass`] — fleet-grade serving: a
+//!   per-device transition-table LRU whose misses charge real H2D copies
+//!   (and whose hit rate the report carries), and deadline-class machines
+//!   whose batches preempt the open bulk kernel at its next wave boundary
+//!   ([`ServeConfig::preempt`]) instead of queueing behind it.
 //!
 //! Everything is integer cycle arithmetic over deterministic simulations:
 //! two runs of the same trace and configuration produce bit-identical
@@ -72,12 +77,13 @@ pub use controller::{
 };
 pub use error::ServeError;
 pub use pipeline::{
-    serve, serve_source, ReportDetail, ServeConfig, ServeMachine, ServeRecoveryConfig,
+    serve, serve_source, ReportDetail, ResidencyConfig, ServeConfig, ServeMachine,
+    ServeRecoveryConfig,
 };
-pub use policy::BatchPolicy;
+pub use policy::{BatchPolicy, PriorityClass};
 pub use report::{
-    BatchRecord, ExecMode, LatencySummary, RecoveryReport, ServeReport, StreamOutcome,
-    EXACT_SUMMARY_MAX,
+    BatchRecord, ExecMode, LatencySummary, RecoveryReport, ResidencyReport, ServeReport,
+    StreamOutcome, EXACT_SUMMARY_MAX,
 };
 pub use sketch::LatencySketch;
 pub use source::{IterSource, SyntheticSource, TraceCursor, TraceSource};
@@ -240,6 +246,179 @@ mod tests {
         )
         .unwrap();
         assert!(report.batches.len() < 16, "burst arrivals share batches");
+    }
+
+    #[test]
+    fn residency_lru_hits_after_the_first_touch() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        let footprint = machine.table_footprint_bytes();
+        let trace = burst_trace(16, 40);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 4 },
+            residency: Some(ResidencyConfig { capacity_bytes: 4 * footprint }),
+            ..ServeConfig::default()
+        };
+        let report = serve(&spec, &[machine], &trace, &cfg).unwrap();
+        let batches = report.batches.len() as u64;
+        assert!(batches >= 4);
+        assert_eq!(report.residency.misses, 1, "only the cold first batch uploads");
+        assert_eq!(report.residency.hits, batches - 1);
+        assert_eq!(report.residency.evictions, 0);
+        assert_eq!(report.residency.copied_bytes, footprint as u64);
+        assert_eq!(report.residency.hit_permille(), (batches - 1) * 1000 / batches);
+    }
+
+    #[test]
+    fn residency_thrash_evicts_and_reuploads() {
+        let (spec, dfa) = setup();
+        let dfa2 = gspecpal_fsm::examples::mod_counter(5, &[0]);
+        let m0 = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        let m1 = ServeMachine::prepare(&spec, &dfa2, &b"10".repeat(128));
+        let cap = m0.table_footprint_bytes().max(m1.table_footprint_bytes());
+        // Alternate machines with room for exactly one table: every batch
+        // misses and (after the first) evicts the other machine's table.
+        let trace = Trace::from_arrivals(
+            (0..8)
+                .map(|i| StreamArrival {
+                    arrival_cycle: 0,
+                    machine: i % 2,
+                    bytes: b"10".repeat(10),
+                })
+                .collect(),
+        );
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 1 },
+            residency: Some(ResidencyConfig { capacity_bytes: cap }),
+            ..ServeConfig::default()
+        };
+        let report = serve(&spec, &[m0, m1], &trace, &cfg).unwrap();
+        assert_eq!(report.residency.hits, 0, "ping-pong traffic never hits");
+        assert_eq!(report.residency.misses, 8);
+        assert_eq!(report.residency.evictions, 7, "every upload after the first evicts");
+    }
+
+    #[test]
+    fn residency_unfittable_table_always_reuploads_but_never_evicts() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        let trace = burst_trace(8, 30);
+        let cfg = ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 2 },
+            residency: Some(ResidencyConfig { capacity_bytes: 1 }),
+            ..ServeConfig::default()
+        };
+        let report = serve(&spec, &[machine], &trace, &cfg).unwrap();
+        assert_eq!(report.residency.hits, 0);
+        assert_eq!(report.residency.misses, report.batches.len() as u64);
+        assert_eq!(report.residency.evictions, 0);
+    }
+
+    #[test]
+    fn residency_charges_real_transfers_and_keeps_the_partition_exact() {
+        let (spec, dfa) = setup();
+        let trace = burst_trace(12, 40);
+        let base = serve(
+            &spec,
+            &[ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128))],
+            &trace,
+            &ServeConfig::default(),
+        )
+        .unwrap();
+        let cfg = ServeConfig {
+            residency: Some(ResidencyConfig { capacity_bytes: 1 }),
+            ..ServeConfig::default()
+        };
+        let cold =
+            serve(&spec, &[ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128))], &trace, &cfg)
+                .unwrap();
+        use gspecpal_gpu::Phase;
+        assert!(
+            cold.stats.profile.get(Phase::Transfer).cycles
+                > base.stats.profile.get(Phase::Transfer).cycles,
+            "table uploads must land in Phase::Transfer"
+        );
+        assert_eq!(cold.stats.profile.total_cycles(), cold.stats.cycles);
+        assert!(cold.makespan_cycles >= base.makespan_cycles);
+        assert_eq!(cold.end_states, base.end_states, "residency never changes answers");
+    }
+
+    #[test]
+    fn preempt_mode_with_only_bulk_machines_matches_the_historical_engine() {
+        let (spec, dfa) = setup();
+        let trace = Trace::synthetic(11, 40, 1, 60, 8..96, b"01");
+        let base_cfg =
+            ServeConfig { policy: BatchPolicy::Fifo { batch: 4 }, ..ServeConfig::default() };
+        let base = serve(
+            &spec,
+            &[ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128))],
+            &trace,
+            &base_cfg,
+        )
+        .unwrap();
+        let preempt = serve(
+            &spec,
+            &[ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128))],
+            &trace,
+            &ServeConfig { preempt: true, ..base_cfg },
+        )
+        .unwrap();
+        assert_eq!(preempt, base, "all-bulk preempt mode is the FIFO queue, byte for byte");
+        assert_eq!(preempt.preemptions, 0);
+    }
+
+    #[test]
+    fn deadline_class_preempts_the_open_bulk_kernel() {
+        let (spec, dfa) = setup();
+        // Machine 0: bulk, one big batch. Machine 1: deadline, one tiny
+        // stream arriving while the bulk kernel is in flight.
+        let mk = |class| ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128)).with_class(class);
+        let mut arrivals: Vec<StreamArrival> = (0..8)
+            .map(|_| StreamArrival { arrival_cycle: 0, machine: 0, bytes: b"10".repeat(300) })
+            .collect();
+        arrivals.push(StreamArrival { arrival_cycle: 20_000, machine: 1, bytes: b"10".repeat(10) });
+        let trace = Trace::from_arrivals(arrivals);
+        let cfg = ServeConfig { policy: BatchPolicy::Fifo { batch: 8 }, ..ServeConfig::default() };
+        let fifo =
+            serve(&spec, &[mk(PriorityClass::Bulk), mk(PriorityClass::Deadline)], &trace, &cfg)
+                .unwrap();
+        let pre = serve(
+            &spec,
+            &[mk(PriorityClass::Bulk), mk(PriorityClass::Deadline)],
+            &trace,
+            &ServeConfig { preempt: true, ..cfg },
+        )
+        .unwrap();
+        assert_eq!(pre.end_states, fifo.end_states, "preemption never changes answers");
+        assert_eq!(pre.streams, fifo.streams);
+        assert_eq!(pre.recovery.shed_streams, 0);
+        if pre.preemptions > 0 {
+            assert!(
+                pre.latencies[8] < fifo.latencies[8],
+                "the deadline stream must finish earlier: {} vs {}",
+                pre.latencies[8],
+                fifo.latencies[8]
+            );
+            assert!(pre.preempted_cycles > 0);
+            // The displaced bulk batch pays exactly what the preemptor took.
+            assert!(pre.latencies[0] >= fifo.latencies[0]);
+        } else {
+            panic!("the deadline stream arrived mid-kernel and must preempt");
+        }
+    }
+
+    #[test]
+    fn preempt_requires_overlap_and_residency_rejects_zero_capacity() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"10".repeat(128));
+        let trace = burst_trace(2, 10);
+        let cfg = ServeConfig { preempt: true, overlap: false, ..ServeConfig::default() };
+        assert!(serve(&spec, std::slice::from_ref(&machine), &trace, &cfg).is_err());
+        let cfg = ServeConfig {
+            residency: Some(ResidencyConfig { capacity_bytes: 0 }),
+            ..ServeConfig::default()
+        };
+        assert!(serve(&spec, &[machine], &trace, &cfg).is_err());
     }
 
     #[test]

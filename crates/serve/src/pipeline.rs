@@ -90,7 +90,7 @@ use crate::controller::{
     AdaptiveController, BatchObservation, ControllerConfig, DecisionRecord, LaunchChoice,
 };
 use crate::error::ServeError;
-use crate::policy::BatchPolicy;
+use crate::policy::{BatchPolicy, PriorityClass};
 use crate::report::{
     BatchRecord, ExecMode, LatencySummary, ServeReport, StreamOutcome, EXACT_SUMMARY_MAX,
 };
@@ -109,6 +109,7 @@ pub struct ServeMachine<'a> {
     /// else's purposes; see [`ServeMachine::chunk_work_factor_for`]).
     sfa_width: u64,
     arms: Vec<LaunchChoice>,
+    class: PriorityClass,
 }
 
 impl<'a> ServeMachine<'a> {
@@ -145,7 +146,13 @@ impl<'a> ServeMachine<'a> {
             ..arms[0]
         });
         let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
-        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, sfa_width, arms }
+        ServeMachine {
+            table: DeviceTable::transformed(dfa, hot),
+            scheme,
+            sfa_width,
+            arms,
+            class: PriorityClass::Bulk,
+        }
     }
 
     /// Like [`ServeMachine::prepare`] with the scheme pinned — for tests
@@ -165,7 +172,33 @@ impl<'a> ServeMachine<'a> {
             },
         }];
         let hot = DeviceTable::hot_rows_for_device(dfa, TableLayout::Transformed, spec);
-        ServeMachine { table: DeviceTable::transformed(dfa, hot), scheme, sfa_width, arms }
+        ServeMachine {
+            table: DeviceTable::transformed(dfa, hot),
+            scheme,
+            sfa_width,
+            arms,
+            class: PriorityClass::Bulk,
+        }
+    }
+
+    /// Returns the machine with its scheduling class set. Classes only
+    /// matter under [`ServeConfig::preempt`]; the default is
+    /// [`PriorityClass::Bulk`].
+    pub fn with_class(mut self, class: PriorityClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// The machine's scheduling class.
+    pub fn class(&self) -> PriorityClass {
+        self.class
+    }
+
+    /// Device-global bytes the machine's full transition table occupies —
+    /// what a residency miss copies (see [`ResidencyConfig`]) and what
+    /// fleet routers weigh when placing machines.
+    pub fn table_footprint_bytes(&self) -> usize {
+        self.table.global_footprint_bytes()
     }
 
     /// The scheme the selector chose.
@@ -260,6 +293,25 @@ pub enum ReportDetail {
     Bounded,
 }
 
+/// Configuration of the per-device transition-table residency LRU.
+///
+/// When set on [`ServeConfig::residency`], the engine models device
+/// global memory for transition tables as an LRU of `capacity_bytes`: a
+/// batch whose machine's table
+/// ([`DeviceTable::global_footprint_bytes`](gspecpal::table::DeviceTable::global_footprint_bytes))
+/// is not resident charges a real H2D copy of the table before its kernel
+/// may start (cycles in `Phase::Transfer` — the phase partition stays
+/// exact), evicting least-recently-used tables until it fits. A table
+/// larger than the whole capacity is never cached: every one of its
+/// batches re-uploads it. Residency copies are not subject to the fault
+/// plan (only batch input/result copies are).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResidencyConfig {
+    /// Device global-memory budget for resident transition tables, in
+    /// bytes. Must be at least 1.
+    pub capacity_bytes: usize,
+}
+
 /// Serving-pipeline configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -296,6 +348,20 @@ pub struct ServeConfig {
     /// default) serves every batch with the static selector choice — the
     /// historical behaviour, byte for byte.
     pub controller: Option<ControllerConfig>,
+    /// Transition-table residency modeling. `None` (the default) assumes
+    /// every machine's table is permanently device-resident — the
+    /// historical behaviour, byte for byte. See [`ResidencyConfig`].
+    pub residency: Option<ResidencyConfig>,
+    /// Preemptive deadline classes: when `true`, a batch for a
+    /// [`PriorityClass::Deadline`] machine may split the in-flight bulk
+    /// kernel at its next wave boundary (chunk-parallel kernels yield at
+    /// stream completions, stream-parallel kernels at grid wave
+    /// boundaries) instead of queueing behind it; the displaced bulk waves
+    /// resume afterwards and the bulk batch's completion slides back by
+    /// exactly the preemptor's duration. Requires `overlap` (a serialized
+    /// device has no separate compute queue to preempt). Default `false` —
+    /// the historical FIFO compute queue, byte for byte.
+    pub preempt: bool,
 }
 
 impl Default for ServeConfig {
@@ -311,6 +377,8 @@ impl Default for ServeConfig {
             recovery: ServeRecoveryConfig::default(),
             detail: ReportDetail::Full,
             controller: None,
+            residency: None,
+            preempt: false,
         }
     }
 }
@@ -341,6 +409,18 @@ impl ServeConfig {
             return Err(ServeError::InvalidConfig {
                 field: "policy",
                 problem: format!("{} batch cap must be at least 1", self.policy.name()),
+            });
+        }
+        if self.residency.is_some_and(|r| r.capacity_bytes == 0) {
+            return Err(ServeError::InvalidConfig {
+                field: "residency",
+                problem: "capacity_bytes must be at least 1".into(),
+            });
+        }
+        if self.preempt && !self.overlap {
+            return Err(ServeError::InvalidConfig {
+                field: "preempt",
+                problem: "preemption needs a separate compute queue (set overlap = true)".into(),
             });
         }
         Ok(())
@@ -947,6 +1027,300 @@ impl Collector {
     }
 }
 
+/// The outcome of one table-residency lookup.
+enum TableTouch {
+    /// The table is resident; nothing to charge.
+    Hit,
+    /// The table must be uploaded (`copy_bytes` over the H2D engine) after
+    /// evicting `evictions` colder tables.
+    Miss { copy_bytes: usize, evictions: u64 },
+}
+
+/// The per-device transition-table LRU (see [`ResidencyConfig`]). Keyed by
+/// machine id; byte-accounted with each machine's global table footprint.
+struct ResidencyLru {
+    capacity: usize,
+    used: usize,
+    /// Resident machine ids, least recently used first.
+    order: VecDeque<usize>,
+    resident: Vec<bool>,
+    bytes: Vec<usize>,
+}
+
+impl ResidencyLru {
+    fn new(capacity: usize, machines: &[ServeMachine<'_>]) -> Self {
+        ResidencyLru {
+            capacity,
+            used: 0,
+            order: VecDeque::new(),
+            resident: vec![false; machines.len()],
+            bytes: machines.iter().map(|m| m.table.global_footprint_bytes()).collect(),
+        }
+    }
+
+    fn touch(&mut self, m: usize) -> TableTouch {
+        if self.resident[m] {
+            if let Some(pos) = self.order.iter().position(|&x| x == m) {
+                self.order.remove(pos);
+            }
+            self.order.push_back(m);
+            return TableTouch::Hit;
+        }
+        let b = self.bytes[m];
+        if b > self.capacity {
+            // Never cacheable: every batch re-uploads, nothing is evicted
+            // for it.
+            return TableTouch::Miss { copy_bytes: b, evictions: 0 };
+        }
+        let mut evictions = 0;
+        while self.used + b > self.capacity {
+            let lru = self.order.pop_front().expect("over-budget LRU must hold a table");
+            self.resident[lru] = false;
+            self.used -= self.bytes[lru];
+            evictions += 1;
+        }
+        self.resident[m] = true;
+        self.used += b;
+        self.order.push_back(m);
+        TableTouch::Miss { copy_bytes: b, evictions }
+    }
+}
+
+/// Manual compute-queue cursor for preempt mode. Like
+/// [`gspecpal_gpu::Engine`], but owned by the serve layer so an *open*
+/// bulk kernel's end can still be stretched when a deadline kernel splits
+/// it — a hardware engine's schedule is append-only.
+#[derive(Default)]
+struct ComputeCursor {
+    free: u64,
+    horizon: u64,
+}
+
+impl ComputeCursor {
+    fn schedule(&mut self, ready: u64, duration: u64) -> Span {
+        let start = ready.max(self.free);
+        let span = Span { start, end: start + duration };
+        self.free = span.end;
+        self.horizon = self.horizon.max(span.end);
+        span
+    }
+}
+
+/// A dispatched batch whose result copy and stream fates are deferred: in
+/// preempt mode the latest bulk kernel stays "open" — preemptible — until
+/// another bulk kernel queues behind it (or the run ends), because only
+/// the tail of the compute queue can still be split without rewriting
+/// already-scheduled work.
+struct PendingClose {
+    batch_idx: usize,
+    first_stream: usize,
+    machine_id: usize,
+    scheme: SchemeKind,
+    mode: ExecMode,
+    count: usize,
+    bytes: usize,
+    h2d: Span,
+    compute: Span,
+    /// Remaining preemption points inside `compute`, absolute cycles,
+    /// ascending.
+    points: Vec<u64>,
+    completions: Vec<u64>,
+    end_states: Vec<gspecpal_fsm::StateId>,
+    accepted: Vec<bool>,
+    d2h_stats: KernelStats,
+    arrival_cycles: Vec<u64>,
+}
+
+/// One deferred report-side effect of closing a batch. Ops replay in
+/// admission order through [`Sink`] so per-stream vectors stay
+/// admission-indexed even when preemption closes batches out of dispatch
+/// order.
+enum SinkOp {
+    Served { latency: u64, kernel_latency: u64, end_state: gspecpal_fsm::StateId, accepted: bool },
+    Shed(StreamOutcome),
+    Dispatched,
+    Meter { h2d: Span, compute: Span, d2h: Span },
+    Batch(Box<BatchRecord>),
+}
+
+/// Write-through by default; buffering while a bulk kernel is open so the
+/// fates of batches that close under it (deadline preemptors, sheds) are
+/// replayed *after* the open batch's own — i.e. back in admission order.
+/// In non-preempt mode `buffering` is never set and every op applies
+/// immediately, which keeps the historical path byte-identical.
+struct Sink {
+    buffering: bool,
+    buf: Vec<SinkOp>,
+}
+
+impl Sink {
+    fn push(&mut self, op: SinkOp, col: &mut Collector, meter: &mut OverlapMeter) {
+        if self.buffering {
+            self.buf.push(op);
+        } else {
+            Sink::apply(op, col, meter);
+        }
+    }
+
+    fn flush(&mut self, col: &mut Collector, meter: &mut OverlapMeter) {
+        self.buffering = false;
+        for op in std::mem::take(&mut self.buf) {
+            Sink::apply(op, col, meter);
+        }
+    }
+
+    fn apply(op: SinkOp, col: &mut Collector, meter: &mut OverlapMeter) {
+        match op {
+            SinkOp::Served { latency, kernel_latency, end_state, accepted } => {
+                col.served(latency, kernel_latency, end_state, accepted);
+            }
+            SinkOp::Shed(outcome) => col.shed(outcome),
+            SinkOp::Dispatched => col.report.batches_dispatched += 1,
+            SinkOp::Meter { h2d, compute, d2h } => meter.record(h2d, compute, d2h),
+            SinkOp::Batch(record) => col.report.batches.push(*record),
+        }
+    }
+}
+
+/// Absolute-cycle wave boundaries inside a freshly scheduled kernel —
+/// where a deadline-class kernel may cut in. Chunk-parallel batches yield
+/// between streams (their natural kernel boundaries); stream-parallel
+/// batches yield at the grid's wave boundaries (equal quanta of the
+/// merged span, one per occupancy wave).
+fn preempt_points(exec: &BatchExec, compute: Span) -> Vec<u64> {
+    let dur = compute.duration();
+    if dur == 0 {
+        return Vec::new();
+    }
+    match exec.mode {
+        ExecMode::ChunkParallel => exec
+            .completions
+            .iter()
+            .copied()
+            .filter(|&c| c > 0 && c < dur)
+            .map(|c| compute.start + c)
+            .collect(),
+        ExecMode::StreamParallel => {
+            let waves = u64::from(exec.stats.shape.as_ref().map_or(1, |s| s.waves.max(1)));
+            let quantum = dur / waves;
+            if waves < 2 || quantum == 0 {
+                return Vec::new();
+            }
+            (1..waves).map(|i| compute.start + i * quantum).collect()
+        }
+    }
+}
+
+/// Schedules a deadline-class kernel in preempt mode: split the open bulk
+/// kernel at its first remaining wave boundary at or after `ready` if
+/// there is one, else queue behind the compute cursor as usual. Splitting
+/// slides the bulk kernel's remaining waves (and their completions, and
+/// its buffer release) back by the preemptor's duration.
+#[allow(clippy::too_many_arguments)]
+fn preempt_or_queue(
+    open: &mut Option<PendingClose>,
+    cq: &mut ComputeCursor,
+    buffer_free: &mut [u64; 2],
+    ready: u64,
+    duration: u64,
+    col: &mut Collector,
+) -> Span {
+    if duration > 0 {
+        if let Some(ob) = open.as_mut() {
+            if let Some(pos) = ob.points.iter().position(|&p| p >= ready) {
+                let boundary = ob.points[pos];
+                let span = Span { start: boundary, end: boundary + duration };
+                ob.points.drain(..=pos);
+                for p in &mut ob.points {
+                    *p += duration;
+                }
+                for c in &mut ob.completions {
+                    if ob.compute.start + *c > boundary {
+                        *c += duration;
+                    }
+                }
+                ob.compute.end += duration;
+                let slot = &mut buffer_free[ob.batch_idx % 2];
+                *slot = (*slot).max(ob.compute.end);
+                cq.free = cq.free.max(ob.compute.end);
+                cq.horizon = cq.horizon.max(ob.compute.end);
+                col.report.preemptions += 1;
+                col.report.preempted_cycles += duration;
+                return span;
+            }
+        }
+    }
+    cq.schedule(ready, duration)
+}
+
+/// Schedules a batch's result copy and seals its stream fates — the tail
+/// of the dispatch sequence, shared by the immediate (historical) path and
+/// the deferred-close path of preempt mode. Returns whether the batch
+/// failed (result copy retry budget exhausted).
+fn close_pending(
+    pc: PendingClose,
+    timeline: &mut DeviceTimeline,
+    faults: &CopyFaults<'_>,
+    col: &mut Collector,
+    meter: &mut OverlapMeter,
+    sink: &mut Sink,
+) -> bool {
+    match copy_with_retries(
+        timeline,
+        CopyDir::D2h,
+        pc.batch_idx,
+        pc.compute.end,
+        &pc.d2h_stats,
+        faults,
+        col,
+    ) {
+        None => {
+            // The kernel ran but its results never reached the host: the
+            // streams are shed with default entries.
+            for _ in 0..pc.count {
+                sink.push(SinkOp::Shed(StreamOutcome::ShedCopyFailure), col, meter);
+            }
+            true
+        }
+        Some(d2h) => {
+            for i in 0..pc.count {
+                let latency = d2h.end - pc.arrival_cycles[i];
+                let kernel_latency = pc.compute.start + pc.completions[i] - pc.arrival_cycles[i];
+                sink.push(
+                    SinkOp::Served {
+                        latency,
+                        kernel_latency,
+                        end_state: pc.end_states[i],
+                        accepted: pc.accepted[i],
+                    },
+                    col,
+                    meter,
+                );
+            }
+            sink.push(SinkOp::Dispatched, col, meter);
+            sink.push(SinkOp::Meter { h2d: pc.h2d, compute: pc.compute, d2h }, col, meter);
+            if col.full {
+                sink.push(
+                    SinkOp::Batch(Box::new(BatchRecord {
+                        first_stream: pc.first_stream,
+                        streams: pc.count,
+                        machine: pc.machine_id,
+                        scheme: pc.scheme,
+                        mode: pc.mode,
+                        bytes: pc.bytes,
+                        h2d: pc.h2d,
+                        compute: pc.compute,
+                        d2h,
+                    })),
+                    col,
+                    meter,
+                );
+            }
+            false
+        }
+    }
+}
+
 /// Serves `trace` on `machines` under `cfg`, returning the full
 /// [`ServeReport`]. Fails up front (before any simulation) when the
 /// configuration is inconsistent, an arrival names an unknown machine, or a
@@ -1024,6 +1398,16 @@ fn run_engine<S: TraceSource>(
     let mut col = Collector::new(cfg);
     let mut depths = DepthTracker::new(col.full, depth);
     let mut meter = OverlapMeter::default();
+    let mut residency = cfg.residency.map(|rc| ResidencyLru::new(rc.capacity_bytes, machines));
+    // Report-side effects route through the sink: write-through normally,
+    // buffered while a bulk kernel is open in preempt mode (so fates replay
+    // in admission order once it closes).
+    let mut sink = Sink { buffering: false, buf: Vec::new() };
+    // Preempt-mode state: the open (still preemptible) bulk batch, the
+    // manual compute cursor, and the batch failures sealed this iteration.
+    let mut open: Option<PendingClose> = None;
+    let mut cq = ComputeCursor::default();
+    let mut fails: Vec<bool> = Vec::new();
     let mut puller =
         Puller { source, n_machines: machines.len(), buffer_bytes, pulled: 0, last_cycle: 0 };
     // Pulled-but-undispatched arrivals: at most one batch plus one
@@ -1059,7 +1443,7 @@ fn run_engine<S: TraceSource>(
                 depths.record(first_admit, first_admit, bound);
                 col.report.backpressure_events += 1;
                 col.report.backpressure_wait_cycles += wait;
-                col.shed(StreamOutcome::ShedDeadline);
+                sink.push(SinkOp::Shed(StreamOutcome::ShedDeadline), &mut col, &mut meter);
                 window.pop_front();
                 next += 1;
                 continue;
@@ -1132,7 +1516,6 @@ fn run_engine<S: TraceSource>(
         let h2d_stats = transfer_stats(spec, bytes);
         let d2h_stats = transfer_stats(spec, cfg.d2h_bytes_per_stream * count);
         let h2d_ready = t_close.max(buffer_free[batch_idx % 2]);
-        let mut batch_failed = true;
         match copy_with_retries(
             &mut timeline,
             CopyDir::H2d,
@@ -1159,10 +1542,31 @@ fn run_engine<S: TraceSource>(
                         col.report.backpressure_events += 1;
                         col.report.backpressure_wait_cycles += wait;
                     }
-                    col.shed(StreamOutcome::ShedCopyFailure);
+                    sink.push(SinkOp::Shed(StreamOutcome::ShedCopyFailure), &mut col, &mut meter);
                 }
+                fails.push(true);
             }
             Some(h2d) => {
+                // Table residency: a miss uploads the machine's table right
+                // after the inputs; the kernel waits for both.
+                let table_ready = match residency.as_mut() {
+                    Some(lru) => match lru.touch(machine_id) {
+                        TableTouch::Hit => {
+                            col.report.residency.hits += 1;
+                            h2d.end
+                        }
+                        TableTouch::Miss { copy_bytes, evictions } => {
+                            col.report.residency.misses += 1;
+                            col.report.residency.evictions += evictions;
+                            col.report.residency.copied_bytes += copy_bytes as u64;
+                            let tstats = transfer_stats(spec, copy_bytes);
+                            let tspan = timeline.h2d(h2d.end, tstats.cycles);
+                            col.merge_stats(&tstats);
+                            tspan.end
+                        }
+                    },
+                    None => h2d.end,
+                };
                 let streams: Vec<&[u8]> =
                     batch_arrivals.iter().map(|a| a.bytes.as_slice()).collect();
                 // Decide once the batch is committed to the device (the
@@ -1172,7 +1576,38 @@ fn run_engine<S: TraceSource>(
                 let decision = controller.as_mut().map(|c| c.decide(machine_id));
                 let choice = decision.map(|d| d.choice);
                 let exec = execute_batch(spec, machine, &streams, cfg, choice.as_ref());
-                let compute = timeline.compute(h2d.end, exec.stats.cycles);
+                let deadline_class = machine.class == PriorityClass::Deadline;
+                if cfg.preempt && !deadline_class {
+                    // A new bulk kernel seals the previously open one: only
+                    // the tail of the compute queue is still preemptible.
+                    if let Some(ob) = open.take() {
+                        sink.buffering = false;
+                        let failed = close_pending(
+                            ob,
+                            &mut timeline,
+                            &copy_faults,
+                            &mut col,
+                            &mut meter,
+                            &mut sink,
+                        );
+                        sink.flush(&mut col, &mut meter);
+                        fails.push(failed);
+                    }
+                }
+                let compute = if !cfg.preempt {
+                    timeline.compute(table_ready, exec.stats.cycles)
+                } else if deadline_class {
+                    preempt_or_queue(
+                        &mut open,
+                        &mut cq,
+                        &mut buffer_free,
+                        table_ready,
+                        exec.stats.cycles,
+                        &mut col,
+                    )
+                } else {
+                    cq.schedule(table_ready, exec.stats.cycles)
+                };
                 col.merge_stats(&exec.stats);
                 if let (Some(c), Some(d)) = (controller.as_mut(), decision) {
                     let obs = BatchObservation::from_stats(
@@ -1199,8 +1634,10 @@ fn run_engine<S: TraceSource>(
                     }
                 }
                 // The input buffer frees once the kernel has consumed it;
-                // batch `batch_idx + 2` reuses it.
-                buffer_free[batch_idx % 2] = compute.end;
+                // batch `batch_idx + 2` reuses it. In preempt mode a split
+                // bulk kernel may have pushed this slot further already.
+                let slot = &mut buffer_free[batch_idx % 2];
+                *slot = (*slot).max(compute.end);
                 let floor = ring.floor().unwrap_or(0);
                 for i in 0..count {
                     ring.push(h2d.start);
@@ -1215,88 +1652,103 @@ fn run_engine<S: TraceSource>(
                         col.report.backpressure_wait_cycles += wait;
                     }
                 }
-                match copy_with_retries(
-                    &mut timeline,
-                    CopyDir::D2h,
+                let points = if cfg.preempt && !deadline_class {
+                    preempt_points(&exec, compute)
+                } else {
+                    Vec::new()
+                };
+                let pc = PendingClose {
                     batch_idx,
-                    compute.end,
-                    &d2h_stats,
-                    &copy_faults,
-                    &mut col,
-                ) {
-                    None => {
-                        // The kernel ran but its results never reached the
-                        // host: the streams are shed with default entries.
-                        for _ in 0..count {
-                            col.shed(StreamOutcome::ShedCopyFailure);
-                        }
-                    }
-                    Some(d2h) => {
-                        batch_failed = false;
-                        for (i, arrival) in batch_arrivals.iter().take(count).enumerate() {
-                            let latency = d2h.end - arrival.arrival_cycle;
-                            let kernel_latency =
-                                compute.start + exec.completions[i] - arrival.arrival_cycle;
-                            col.served(
-                                latency,
-                                kernel_latency,
-                                exec.end_states[i],
-                                exec.accepted[i],
-                            );
-                        }
-                        col.report.batches_dispatched += 1;
-                        meter.record(h2d, compute, d2h);
-                        if col.full {
-                            col.report.batches.push(BatchRecord {
-                                first_stream: next,
-                                streams: count,
-                                machine: machine_id,
-                                scheme: choice.map_or(machine.scheme, |c| c.scheme),
-                                mode: exec.mode,
-                                bytes,
-                                h2d,
-                                compute,
-                                d2h,
-                            });
-                        }
-                    }
+                    first_stream: next,
+                    machine_id,
+                    scheme: choice.map_or(machine.scheme, |c| c.scheme),
+                    mode: exec.mode,
+                    count,
+                    bytes,
+                    h2d,
+                    compute,
+                    points,
+                    completions: exec.completions,
+                    end_states: exec.end_states,
+                    accepted: exec.accepted,
+                    d2h_stats,
+                    arrival_cycles: batch_arrivals
+                        .iter()
+                        .take(count)
+                        .map(|a| a.arrival_cycle)
+                        .collect(),
+                };
+                if cfg.preempt && !deadline_class {
+                    // Defer the close: a deadline batch may still split this
+                    // kernel. Report-side effects buffer until it seals so
+                    // stream fates replay in admission order.
+                    open = Some(pc);
+                    sink.buffering = true;
+                } else {
+                    fails.push(close_pending(
+                        pc,
+                        &mut timeline,
+                        &copy_faults,
+                        &mut col,
+                        &mut meter,
+                        &mut sink,
+                    ));
                 }
             }
         }
         next += count;
         batch_idx += 1;
-        if batch_failed {
-            col.report.recovery.failed_batches += 1;
-            breaker_consecutive += 1;
-            if rcfg.breaker_failure_threshold > 0
-                && breaker_consecutive >= rcfg.breaker_failure_threshold
-            {
-                // The breaker stays open for the rest of the trace: every
-                // not-yet-dispatched stream is shed without touching the
-                // device — first the look-ahead already pulled, then the
-                // rest of the source, still pulled (and validated, and
-                // counted) one arrival at a time.
-                col.report.recovery.breaker_trips += 1;
-                loop {
-                    let more = match window.pop_front() {
-                        Some(_) => true,
-                        None => puller.pull(&mut col)?.is_some(),
-                    };
-                    if !more {
-                        break;
-                    }
-                    depths.zero_pair();
-                    col.shed(StreamOutcome::ShedBreakerOpen);
+        let mut tripped = false;
+        for failed in fails.drain(..) {
+            if failed {
+                col.report.recovery.failed_batches += 1;
+                breaker_consecutive += 1;
+                if rcfg.breaker_failure_threshold > 0
+                    && breaker_consecutive >= rcfg.breaker_failure_threshold
+                {
+                    tripped = true;
+                    break;
                 }
-                break;
+            } else {
+                breaker_consecutive = 0;
             }
-        } else {
-            breaker_consecutive = 0;
+        }
+        if tripped {
+            // The breaker stays open for the rest of the trace: every
+            // not-yet-dispatched stream is shed without touching the
+            // device — first the look-ahead already pulled, then the
+            // rest of the source, still pulled (and validated, and
+            // counted) one arrival at a time.
+            col.report.recovery.breaker_trips += 1;
+            loop {
+                let more = match window.pop_front() {
+                    Some(_) => true,
+                    None => puller.pull(&mut col)?.is_some(),
+                };
+                if !more {
+                    break;
+                }
+                depths.zero_pair();
+                sink.push(SinkOp::Shed(StreamOutcome::ShedBreakerOpen), &mut col, &mut meter);
+            }
+            break;
         }
     }
 
+    // A bulk kernel may still be open when the trace runs dry (or the
+    // breaker tripped): seal it now and replay everything buffered under
+    // it — preemptors' fates, breaker sheds — back in admission order.
+    if let Some(ob) = open.take() {
+        sink.buffering = false;
+        if close_pending(ob, &mut timeline, &copy_faults, &mut col, &mut meter, &mut sink) {
+            col.report.recovery.failed_batches += 1;
+        }
+    }
+    sink.flush(&mut col, &mut meter);
+    debug_assert!(sink.buf.is_empty(), "every buffered report effect must have flushed");
+
     let Collector { mut report, delivery, kernel, .. } = col;
-    report.makespan_cycles = timeline.horizon();
+    report.makespan_cycles = timeline.horizon().max(cq.horizon);
     // Latency summaries describe delivered results only; shed streams keep
     // zeroed per-stream entries and are excluded.
     let (delivery_summary, delivery_sketched) = delivery.summarize();

@@ -19,6 +19,35 @@
 //!   closes early. Chases device utilization without ever trading it for
 //!   dead air.
 
+/// Scheduling class of a machine's batches under preemptive serving
+/// ([`crate::ServeConfig::preempt`]).
+///
+/// Classes are per *machine* because batches are: a batch runs one
+/// machine's table, so a machine's class is its batches' class. Bulk is
+/// the default and preserves historical behaviour exactly; a deadline
+/// machine's batches may preempt an in-flight bulk kernel at its next
+/// wave boundary instead of queueing behind it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PriorityClass {
+    /// Throughput traffic: runs in dispatch order, preemptible at wave
+    /// boundaries.
+    #[default]
+    Bulk,
+    /// Latency-critical traffic: may preempt an in-flight bulk kernel at
+    /// its next wave boundary. Never preempted itself.
+    Deadline,
+}
+
+impl PriorityClass {
+    /// Stable snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Bulk => "bulk",
+            PriorityClass::Deadline => "deadline",
+        }
+    }
+}
+
 /// When the dispatcher stops batching and ships what it has.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BatchPolicy {

@@ -165,6 +165,43 @@ pub struct RecoveryReport {
     pub fault_cycles: u64,
 }
 
+/// What the per-device transition-table residency LRU did during a run
+/// (all zeros when [`crate::ServeConfig::residency`] is `None`).
+///
+/// A batch whose machine's table is already resident in device global
+/// memory is a *hit*; a *miss* charges a real H2D copy of the table's
+/// [`global footprint`](gspecpal::table::DeviceTable::global_footprint_bytes)
+/// on the copy engine (the cycles land in `Phase::Transfer`, so the phase
+/// partition stays exact), evicting least-recently-used tables until the
+/// new one fits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidencyReport {
+    /// Batches whose machine's table was already resident.
+    pub hits: u64,
+    /// Batches that had to upload their machine's table first.
+    pub misses: u64,
+    /// Tables evicted to make room for a missed table.
+    pub evictions: u64,
+    /// Table bytes copied host→device on misses.
+    pub copied_bytes: u64,
+}
+
+impl ResidencyReport {
+    /// Hit rate over all table lookups, in permille (0 when the LRU never
+    /// ran).
+    pub fn hit_permille(&self) -> u64 {
+        (self.hits * 1000).checked_div(self.hits + self.misses).unwrap_or(0)
+    }
+
+    /// Folds another device's counters into this one (fleet aggregation).
+    pub fn merge(&mut self, other: &ResidencyReport) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.copied_bytes += other.copied_bytes;
+    }
+}
+
 /// One dispatched batch on the serve timeline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchRecord {
@@ -264,6 +301,15 @@ pub struct ServeReport {
     pub decisions_made: u64,
     /// How many of those were explore turns.
     pub explore_decisions: u64,
+    /// Transition-table residency-LRU activity (all zeros without
+    /// [`crate::ServeConfig::residency`]).
+    pub residency: ResidencyReport,
+    /// Deadline-class batches that preempted a bulk kernel at a wave
+    /// boundary (always 0 without [`crate::ServeConfig::preempt`]).
+    pub preemptions: u64,
+    /// Total cycles preemptions pushed bulk kernel completions back by —
+    /// the bounded price bulk throughput pays for deadline-class latency.
+    pub preempted_cycles: u64,
 }
 
 impl ServeReport {

@@ -1,0 +1,327 @@
+//! Fleet-level integration tests: consistent-hash routing laws, cluster
+//! report bit-identity across host pools and reruns, whole-device failure
+//! re-sharding, and per-device fault-plan composability.
+
+use gspecpal::{FaultPlan, SchemeConfig};
+use gspecpal_cluster::{
+    run_cluster, run_cluster_source, ClusterConfig, ClusterDevice, DeviceOutage, FleetMachine,
+    HashRing,
+};
+use gspecpal_fsm::examples::{div7, mod_counter, ones_counter};
+use gspecpal_fsm::Dfa;
+use gspecpal_gpu::DeviceSpec;
+use gspecpal_serve::{
+    serve, BatchPolicy, IterSource, PriorityClass, ResidencyConfig, ServeConfig, ServeMachine,
+    StreamArrival, Trace,
+};
+use proptest::prelude::*;
+
+fn fleet_dfas() -> Vec<Dfa> {
+    vec![
+        div7(),
+        mod_counter(5, &[0]),
+        ones_counter(3, &[1]),
+        mod_counter(11, &[3]),
+        mod_counter(9, &[2, 4]),
+        ones_counter(4, &[0]),
+    ]
+}
+
+fn fleet_machines(dfas: &[Dfa]) -> Vec<FleetMachine<'_>> {
+    dfas.iter()
+        .map(|dfa| FleetMachine { dfa, training: b"0110", class: PriorityClass::Bulk })
+        .collect()
+}
+
+fn test_devices(n: usize) -> Vec<ClusterDevice> {
+    (0..n).map(|_| ClusterDevice::test_unit()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Consistent-hash minimal-remapping law, removal half: machines not
+    // owned by the removed device keep their placement exactly.
+    #[test]
+    fn removing_any_device_never_moves_survivors_machines(
+        n_devices in 2usize..8,
+        vnodes in 1usize..64,
+        victim_salt in 0usize..8,
+        machine_base in 0usize..10_000,
+    ) {
+        let ring = HashRing::new(n_devices, vnodes);
+        let victim = victim_salt % n_devices;
+        let shrunk = ring.without(victim);
+        for m in machine_base..machine_base + 300 {
+            let before = ring.route(m);
+            if before == victim {
+                prop_assert_ne!(shrunk.route(m), victim);
+            } else {
+                prop_assert_eq!(shrunk.route(m), before);
+            }
+        }
+    }
+
+    // Addition half: growing the fleet moves machines only onto the new
+    // device, and roughly its fair share of them (~1/N, generously
+    // bounded) — never between old devices.
+    #[test]
+    fn adding_a_device_remaps_about_one_nth_onto_it(
+        n_devices in 2usize..8,
+        vnodes in 8usize..64,
+        machine_base in 0usize..10_000,
+    ) {
+        const SAMPLE: usize = 1200;
+        let small = HashRing::new(n_devices, vnodes);
+        let grown = small.with_device(n_devices);
+        let mut moved = 0usize;
+        for m in machine_base..machine_base + SAMPLE {
+            if grown.route(m) != small.route(m) {
+                prop_assert_eq!(grown.route(m), n_devices);
+                moved += 1;
+            }
+        }
+        // Expectation is SAMPLE / (n_devices + 1); allow 4x slack above it
+        // (vnodes as low as 8 make arcs lumpy) and require only that
+        // *something* moved.
+        prop_assert!(moved > 0, "a new device must take some machines");
+        prop_assert!(
+            moved < 4 * SAMPLE / (n_devices + 1),
+            "moved {} of {} onto 1 of {} devices",
+            moved, SAMPLE, n_devices + 1
+        );
+    }
+
+    // Routing is a pure function of (machine, device set, vnodes):
+    // independent ring constructions agree everywhere.
+    #[test]
+    fn routing_is_pure_across_reconstruction(
+        n_devices in 1usize..10,
+        vnodes in 1usize..48,
+        machine in 0usize..100_000,
+    ) {
+        let a = HashRing::new(n_devices, vnodes);
+        let b = HashRing::new(n_devices, vnodes);
+        prop_assert_eq!(a.route(machine), b.route(machine));
+        prop_assert!(a.route(machine) < n_devices);
+    }
+}
+
+#[test]
+fn cluster_reports_are_bit_identical_across_rayon_pools_and_reruns() {
+    let dfas = fleet_dfas();
+    let trace = Trace::synthetic(13, 48, dfas.len(), 30, 8..96, b"01");
+    let cfg = ClusterConfig {
+        serve: ServeConfig {
+            residency: Some(ResidencyConfig { capacity_bytes: 4096 }),
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let run = |workers: usize| {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+        pool.install(|| {
+            let dfas = fleet_dfas();
+            let machines = fleet_machines(&dfas);
+            run_cluster(&test_devices(3), &machines, &trace, &cfg).unwrap()
+        })
+    };
+    let one = run(1);
+    let four = run(4);
+    let rerun = run(1);
+    assert_eq!(one, four, "cluster reports must not depend on the host pool");
+    assert_eq!(one, rerun, "cluster reports must not depend on the run");
+}
+
+#[test]
+fn streaming_cluster_path_matches_the_batch_path_bit_for_bit() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let trace = Trace::synthetic(17, 40, dfas.len(), 50, 8..80, b"01");
+    let devices = test_devices(3);
+    let cfg = ClusterConfig::default();
+    let batch = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+    for _ in 0..3 {
+        let streamed = run_cluster_source(
+            &devices,
+            &machines,
+            IterSource(trace.arrivals().iter().cloned()),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(batch, streamed);
+    }
+}
+
+/// Reconstructs each device's sub-trace exactly as the router demuxes it.
+fn sub_traces(
+    devices: &[ClusterDevice],
+    n_machines: usize,
+    trace: &Trace,
+    cfg: &ClusterConfig,
+    footprints: Vec<u64>,
+) -> Vec<Trace> {
+    let mut router = gspecpal_cluster::Router::new(devices, footprints, cfg);
+    let mut shares: Vec<Vec<StreamArrival>> = vec![Vec::new(); devices.len()];
+    for a in trace.arrivals() {
+        assert!(a.machine < n_machines);
+        let d = router.route(a.machine, a.arrival_cycle, a.bytes.len());
+        shares[d].push(a.clone());
+    }
+    shares.into_iter().map(Trace::from_arrivals).collect()
+}
+
+// Fault-plan composability: a device's slice of the cluster report — fault
+// injection and all — is byte-identical to serving its sub-trace alone on
+// a single-device engine with the same config.
+#[test]
+fn per_device_fault_plans_compose_with_cluster_chaos_routing() {
+    let spec = DeviceSpec::test_unit();
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let trace = Trace::synthetic(23, 36, dfas.len(), 40, 8..96, b"01");
+    let devices = test_devices(3);
+    let cfg = ClusterConfig {
+        serve: ServeConfig {
+            scheme_config: SchemeConfig {
+                faults: Some(FaultPlan { copy_fail_permille: 250, ..FaultPlan::chaos(9, 150) }),
+                ..SchemeConfig::default()
+            },
+            residency: Some(ResidencyConfig { capacity_bytes: 4096 }),
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let cluster = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+    let standalone_machines: Vec<ServeMachine<'_>> =
+        dfas.iter().map(|dfa| ServeMachine::prepare(&spec, dfa, b"0110")).collect();
+    let footprints: Vec<u64> =
+        standalone_machines.iter().map(|m| m.table_footprint_bytes() as u64).collect();
+    for (d, sub) in sub_traces(&devices, dfas.len(), &trace, &cfg, footprints).iter().enumerate() {
+        let alone = serve(&spec, &standalone_machines, sub, &cfg.serve).unwrap();
+        assert_eq!(
+            cluster.devices[d].report, alone,
+            "device {d}: cluster slice must equal standalone serving of its sub-trace"
+        );
+    }
+}
+
+// Chaos leg: a whole-device outage mid-trace. The router re-shards the
+// failed device's later arrivals over the survivors; earlier work on the
+// failed device still completes, nothing is lost fleet-wide, and the run
+// stays bit-deterministic.
+#[test]
+fn whole_device_failure_reshards_streams_onto_survivors() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let trace = Trace::synthetic(29, 60, dfas.len(), 60, 8..64, b"01");
+    let devices = test_devices(3);
+    let healthy = run_cluster(&devices, &machines, &trace, &ClusterConfig::default()).unwrap();
+    let victim = (0..3).max_by_key(|&d| healthy.devices[d].report.streams).expect("three devices");
+    let mid = trace.arrivals()[trace.len() / 2].arrival_cycle;
+    let cfg = ClusterConfig {
+        outage: Some(DeviceOutage { device: victim, at_cycle: mid }),
+        ..ClusterConfig::default()
+    };
+    let failed = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+    // Nothing lost: every stream still served exactly once, fleet-wide.
+    assert_eq!(failed.streams, 60);
+    let total: usize = failed.devices.iter().map(|d| d.report.streams).sum();
+    assert_eq!(total, 60);
+    assert!(
+        failed.router.rerouted_streams > 0,
+        "the busiest device must have had post-outage arrivals to re-shard"
+    );
+    // The dead device kept only its pre-outage share.
+    assert!(
+        failed.devices[victim].report.streams < healthy.devices[victim].report.streams,
+        "outage must shrink the failed device's share"
+    );
+    // Survivors absorb the difference, and the whole thing is replayable.
+    let again = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+    assert_eq!(failed, again, "chaos runs must stay bit-deterministic");
+    // Full-fleet answers stay correct under the outage: check every
+    // device's verdicts against the reference scan of its sub-trace.
+    let spec = DeviceSpec::test_unit();
+    let standalone: Vec<ServeMachine<'_>> =
+        dfas.iter().map(|dfa| ServeMachine::prepare(&spec, dfa, b"0110")).collect();
+    let footprints: Vec<u64> =
+        standalone.iter().map(|m| m.table_footprint_bytes() as u64).collect();
+    for (d, sub) in sub_traces(&devices, dfas.len(), &trace, &cfg, footprints).iter().enumerate() {
+        for (i, a) in sub.arrivals().iter().enumerate() {
+            assert_eq!(
+                failed.devices[d].report.accepted[i],
+                dfas[a.machine].accepts(&a.bytes),
+                "device {d} stream {i}"
+            );
+        }
+    }
+}
+
+// Priority classes ride the router: a deadline machine's streams preempt
+// bulk kernels on whatever device the ring gives them.
+#[test]
+fn deadline_class_preempts_across_the_fleet() {
+    let dfas = fleet_dfas();
+    let ring = HashRing::new(2, 32);
+    // Pick a co-located bulk/deadline pair so the deadline batches land on
+    // a device with open bulk kernels.
+    let (bulk_m, deadline_m) = {
+        let mut found = None;
+        'outer: for a in 0..dfas.len() {
+            for b in 0..dfas.len() {
+                if a != b && ring.route(a) == ring.route(b) {
+                    found = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        found.expect("six machines on two devices always collide")
+    };
+    let machines: Vec<FleetMachine<'_>> = dfas
+        .iter()
+        .enumerate()
+        .map(|(m, dfa)| FleetMachine {
+            dfa,
+            training: b"0110",
+            class: if m == deadline_m { PriorityClass::Deadline } else { PriorityClass::Bulk },
+        })
+        .collect();
+    let mut arrivals = Vec::new();
+    for burst in 0..6u64 {
+        let t0 = burst * 50_000;
+        for _ in 0..8 {
+            arrivals.push(StreamArrival {
+                arrival_cycle: t0,
+                machine: bulk_m,
+                bytes: b"011010".repeat(100),
+            });
+        }
+        arrivals.push(StreamArrival {
+            arrival_cycle: t0 + 20_000,
+            machine: deadline_m,
+            bytes: b"01".repeat(32),
+        });
+    }
+    let trace = Trace::from_arrivals(arrivals);
+    let devices = test_devices(2);
+    let mk_cfg = |preempt| ClusterConfig {
+        serve: ServeConfig {
+            policy: BatchPolicy::Fifo { batch: 8 },
+            preempt,
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let fifo = run_cluster(&devices, &machines, &trace, &mk_cfg(false)).unwrap();
+    let pre = run_cluster(&devices, &machines, &trace, &mk_cfg(true)).unwrap();
+    assert_eq!(fifo.preemptions, 0);
+    assert!(pre.preemptions > 0, "deadline batches must preempt bulk kernels");
+    assert!(
+        pre.deadline_delivery.p99 < fifo.deadline_delivery.p99,
+        "preemption must cut deadline p99 ({} vs {})",
+        pre.deadline_delivery.p99,
+        fifo.deadline_delivery.p99
+    );
+    assert_eq!(pre.shed_streams, 0);
+}
