@@ -1,7 +1,7 @@
-//! Perf-report dumper: runs the fig8, ablation, motivation, serve, chaos, and
-//! adaptive experiments on a small deterministic workload and writes one schema-versioned
-//! `BENCH_<experiment>.json` per experiment (see `gspecpal_bench::perf` for
-//! the schema). CI runs this on every push and gates on the headline
+//! Perf-report dumper: runs the fig8, ablation, motivation, serve, chaos,
+//! adaptive, cluster, and failover experiments on a small deterministic
+//! workload and writes one schema-versioned `BENCH_<experiment>.json` per
+//! experiment (see `gspecpal_bench::perf` for the schema). CI runs this on every push and gates on the headline
 //! `total_cycles` against the committed baselines.
 //!
 //! ```text
@@ -26,14 +26,14 @@
 //!   CI keeps it as a warn-only artifact.
 
 use gspecpal_bench::perf::{
-    ablation_json, adaptive_json, chaos_json, cluster_json, extract_total_cycles, fig8_json,
-    hostperf_json, inflate_total, motivation_json, regression_check, serve_json, Json,
+    ablation_json, adaptive_json, chaos_json, cluster_json, extract_total_cycles, failover_json,
+    fig8_json, hostperf_json, inflate_total, motivation_json, regression_check, serve_json, Json,
     GATE_TOLERANCE_PERCENT,
 };
 use gspecpal_bench::{
-    fleet_throughput_exp, run_ablation, run_adaptive, run_chaos, run_cluster_exp, run_fig8,
-    run_motivation, run_serve, throughput_exp, ClusterExperimentConfig, ExperimentConfig,
-    HostPerfConfig,
+    fleet_throughput_exp, run_ablation, run_adaptive, run_chaos, run_cluster_exp, run_failover_exp,
+    run_fig8, run_motivation, run_serve, throughput_exp, ClusterExperimentConfig, ExperimentConfig,
+    FailoverExperimentConfig, HostPerfConfig,
 };
 
 fn main() {
@@ -129,6 +129,13 @@ fn main() {
             // it does not take the single-device ExperimentConfig.
             let ccfg = ClusterExperimentConfig::default();
             ("cluster", cluster_json(&ccfg, &run_cluster_exp(&ccfg)))
+        },
+        {
+            // Likewise the failover experiment: it engineers its own outage
+            // scenario (victim choice, crash cycle) against the fleet's
+            // routing, independent of the single-device knobs.
+            let fcfg = FailoverExperimentConfig::default();
+            ("failover", failover_json(&fcfg, &run_failover_exp(&fcfg)))
         },
     ];
     if inflate_percent > 0 {

@@ -216,6 +216,7 @@ pub fn run_cluster_exp(cfg: &ClusterExperimentConfig) -> ClusterExperimentReport
         serve: serve_cfg(cfg.residency_bytes, false),
         rebalance: None,
         outage: None,
+        failover: None,
     };
     scenarios.push(ClusterScenario {
         name: "skew_static",
@@ -243,6 +244,7 @@ pub fn run_cluster_exp(cfg: &ClusterExperimentConfig) -> ClusterExperimentReport
         serve: serve_cfg(cfg.residency_bytes, false),
         rebalance: None,
         outage: None,
+        failover: None,
     };
     scenarios.push(ClusterScenario {
         name: "priority_fifo",
@@ -265,6 +267,7 @@ pub fn run_cluster_exp(cfg: &ClusterExperimentConfig) -> ClusterExperimentReport
         serve: serve_cfg(cfg.residency_bytes, false),
         rebalance: None,
         outage: None,
+        failover: None,
     };
     scenarios.push(ClusterScenario {
         name: "hetero_fleet",

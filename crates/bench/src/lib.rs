@@ -12,6 +12,7 @@ pub mod cluster_exp;
 pub mod csv;
 pub mod experiments;
 pub mod extras;
+pub mod failover_exp;
 pub mod hostperf;
 pub mod perf;
 pub mod report;
@@ -31,6 +32,9 @@ pub use experiments::{
 pub use extras::{
     run_budget_ablation, run_cpu_scaling, run_device_sensitivity, run_model_validation,
     run_motivation,
+};
+pub use failover_exp::{
+    run_failover_exp, FailoverExperimentConfig, FailoverExperimentReport, FailoverScenario,
 };
 pub use hostperf::{
     fleet_throughput_exp, peak_rss_kb, throughput_exp, FleetPerfReport, HostPerfConfig,

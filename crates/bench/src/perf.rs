@@ -34,6 +34,7 @@ use crate::chaos_exp::ChaosExperimentReport;
 use crate::cluster_exp::{ClusterExperimentConfig, ClusterExperimentReport};
 use crate::experiments::{AblationReport, ExperimentConfig, Fig8Report};
 use crate::extras::MotivationReport;
+use crate::failover_exp::{FailoverExperimentConfig, FailoverExperimentReport};
 use crate::hostperf::{FleetPerfReport, HostPerfConfig, HostPerfReport};
 use crate::serve_exp::ServeExperimentReport;
 
@@ -517,6 +518,70 @@ pub fn cluster_json(cfg: &ClusterExperimentConfig, r: &ClusterExperimentReport) 
                     "residency_hit_permille",
                     Json::U64(r.scenario("skew_static").residency.hit_permille()),
                 ),
+            ]),
+        ),
+        ("scenarios", Json::Arr(scenarios)),
+    ])
+}
+
+/// Builds the `failover` report: what crash-consistent serving costs.
+/// `total_cycles` sums every scenario's fleet makespan, so the 5% gate
+/// trips when checkpointing, migration pricing, or orphan replay gets more
+/// expensive; the summary carries the recovery-overhead permille and the
+/// replayed-cycle counters.
+pub fn failover_json(cfg: &FailoverExperimentConfig, r: &FailoverExperimentReport) -> Json {
+    let scenarios: Vec<Json> = r
+        .scenarios
+        .iter()
+        .map(|s| {
+            let rep = &s.report;
+            obj(vec![
+                ("name", Json::Str(s.name.to_string())),
+                ("streams", Json::U64(rep.streams as u64)),
+                ("makespan_cycles", Json::U64(rep.makespan_cycles)),
+                ("delivery_latency", latency_summary_json(&rep.delivery)),
+                ("lost_streams", Json::U64(rep.lost_streams)),
+                ("doomed_streams", Json::U64(rep.router.doomed_streams)),
+                ("rerouted_streams", Json::U64(rep.router.rerouted_streams)),
+                (
+                    "failover",
+                    obj(vec![
+                        ("checkpoints_taken", Json::U64(rep.failover.checkpoints_taken)),
+                        ("checkpoint_bytes", Json::U64(rep.failover.checkpoint_bytes)),
+                        ("migrations_replayed", Json::U64(rep.failover.migrations_replayed)),
+                        ("migration_retries", Json::U64(rep.failover.migration_retries)),
+                        ("replay_cycles", Json::U64(rep.failover.replay_cycles)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let mid = r.scenario("failover_mid");
+    let faulty = r.scenario("failover_faulty");
+    obj(vec![
+        ("schema_version", Json::U64(SCHEMA_VERSION)),
+        ("experiment", Json::Str("failover".to_string())),
+        (
+            "config",
+            obj(vec![
+                ("vnodes", Json::U64(cfg.vnodes as u64)),
+                ("n_machines", Json::U64(cfg.n_machines as u64)),
+                ("streams", Json::U64(cfg.streams as u64)),
+                ("checkpoint_every_batches", Json::U64(cfg.checkpoint_every_batches as u64)),
+                ("residency_bytes", Json::U64(cfg.residency_bytes as u64)),
+            ]),
+        ),
+        ("total_cycles", Json::U64(r.total_makespan())),
+        (
+            "summary",
+            obj(vec![
+                ("recovery_overhead_permille", Json::U64(r.recovery_overhead_permille())),
+                ("replay_cycles", Json::U64(mid.failover.replay_cycles)),
+                ("checkpoints_taken", Json::U64(mid.failover.checkpoints_taken)),
+                ("checkpoint_bytes", Json::U64(mid.failover.checkpoint_bytes)),
+                ("migrations_replayed", Json::U64(mid.failover.migrations_replayed)),
+                ("faulty_migration_retries", Json::U64(faulty.failover.migration_retries)),
+                ("lost_streams", Json::U64(mid.lost_streams.max(faulty.lost_streams))),
             ]),
         ),
         ("scenarios", Json::Arr(scenarios)),

@@ -23,17 +23,35 @@
 //! * **Whole-device outage** ([`DeviceOutage`]) — from the outage cycle
 //!   on, arrivals routed at the dead device re-shard over the surviving
 //!   ring ([`HashRing::without`]), touching nobody else's placement.
+//! * **Checkpoint failover** ([`FailoverConfig`]) — the crash-consistent
+//!   twin of the outage path: the victim runs under periodic
+//!   checkpointing ([`gspecpal_serve::serve_until_crash`]) and dies at
+//!   the outage cycle with its in-flight state *recovered*, not
+//!   fictionally completed. Its last checkpoint is finalized into a
+//!   durable report, shipped to the survivors over their attach links
+//!   (priced as real `Phase::Transfer` H2D copies, with
+//!   capped-exponential retry on migration-copy failure), and every
+//!   orphan stream — checkpointed-but-undispatched or routed to the
+//!   victim after its last checkpoint — is replayed where the surviving
+//!   ring routes it. No stream is lost
+//!   ([`ClusterReport::lost_streams`] is zero), and the price shows up
+//!   in the [`crate::FailoverReport`] counters instead of being waved
+//!   away.
 
 use std::sync::mpsc;
 
 use gspecpal_fsm::Dfa;
-use gspecpal_gpu::{DeviceSpec, LinkSpec};
+use gspecpal_gpu::{
+    backoff_cycles, fault_coord, link_transfer_stats, DeviceSpec, FaultDomain, KernelStats,
+    LinkSpec,
+};
 use gspecpal_serve::{
-    serve, serve_source, PriorityClass, ServeConfig, ServeError, ServeMachine, ServeReport,
-    StreamArrival, Trace, TraceSource,
+    finalize_checkpoint, serve, serve_source, serve_until_crash, IterSource, PriorityClass,
+    ReportDetail, ServeConfig, ServeError, ServeMachine, ServeReport, StreamArrival, Trace,
+    TraceSource, MAX_ARRIVAL_CYCLE,
 };
 
-use crate::report::{assemble, ClusterReport, RouterStats};
+use crate::report::{assemble, ClusterReport, FailoverReport, RouterStats};
 use crate::ring::HashRing;
 
 /// One device in the fleet: its compute model and how it attaches to the
@@ -103,6 +121,39 @@ pub struct DeviceOutage {
     pub at_cycle: u64,
 }
 
+/// Crash-consistent failover for the outage device: checkpoint cadence on
+/// the doomed engine and the retry schedule for shipping its state to
+/// survivors. Only takes effect when [`ClusterConfig::outage`] is also
+/// set — without an outage there is no crash to recover from and the run
+/// is identical to the plain path.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverConfig {
+    /// Take a checkpoint every this many formed batches (at least 1). The
+    /// fresh engine is always checkpointed before any dispatch, so a
+    /// resume point exists even when the crash precedes the first batch.
+    pub checkpoint_every_batches: usize,
+    /// Failed migration copies are retried at most this many times; the
+    /// attempt after the last retry is forced through (a real control
+    /// plane escalates transports rather than dropping streams).
+    pub migration_max_retries: u32,
+    /// Base of the capped-exponential backoff between migration-copy
+    /// retries (see [`gspecpal_gpu::backoff_cycles`]).
+    pub migration_backoff_base_cycles: u64,
+    /// Cap of that backoff schedule.
+    pub migration_backoff_cap_cycles: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            checkpoint_every_batches: 4,
+            migration_max_retries: 3,
+            migration_backoff_base_cycles: 2_000,
+            migration_backoff_cap_cycles: 64_000,
+        }
+    }
+}
+
 /// Fleet-level configuration around the per-device [`ServeConfig`].
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -118,11 +169,23 @@ pub struct ClusterConfig {
     pub rebalance: Option<RebalanceConfig>,
     /// Whole-device failure injection; `None` keeps every device up.
     pub outage: Option<DeviceOutage>,
+    /// Crash-consistent recovery of the outage device's in-flight state;
+    /// `None` keeps the legacy capacity-loss model (the victim's admitted
+    /// streams complete anyway, counted by
+    /// [`ClusterReport::lost_streams`]). Batch path
+    /// ([`run_cluster`]) only.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { vnodes: 32, serve: ServeConfig::default(), rebalance: None, outage: None }
+        ClusterConfig {
+            vnodes: 32,
+            serve: ServeConfig::default(),
+            rebalance: None,
+            outage: None,
+            failover: None,
+        }
     }
 }
 
@@ -188,6 +251,10 @@ impl Router {
             if cycle >= outage.at_cycle && device == outage.device {
                 device = survivors.route(machine);
                 self.stats.rerouted_streams += 1;
+            } else if device == outage.device {
+                // Routed onto the device that is going to die: lost on
+                // real hardware unless failover recovers it.
+                self.stats.doomed_streams += 1;
             }
         }
         device
@@ -268,6 +335,14 @@ fn validate(
             });
         }
     }
+    if let Some(fo) = cfg.failover {
+        if fo.checkpoint_every_batches == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "failover",
+                problem: "checkpoint cadence needs at least one batch between checkpoints".into(),
+            });
+        }
+    }
     // The per-device engine re-validates `cfg.serve` itself on every
     // `serve` / `serve_source` call, so fleet validation stops here.
     Ok(())
@@ -320,6 +395,9 @@ pub fn run_cluster(
         let d = router.route(a.machine, a.arrival_cycle, a.bytes.len());
         shares[d].push(a.clone());
     }
+    if let (Some(outage), Some(fo)) = (cfg.outage, cfg.failover) {
+        return failover_cluster(devices, fleet, cfg, outage, fo, shares, &router, &machines);
+    }
     let mut reports = Vec::with_capacity(devices.len());
     let mut classes: Vec<Vec<PriorityClass>> = Vec::with_capacity(devices.len());
     for (d, share) in shares.into_iter().enumerate() {
@@ -327,7 +405,145 @@ pub fn run_cluster(
         let sub = Trace::from_arrivals(share);
         reports.push(serve(&devices[d].spec, &machines[d], &sub, &cfg.serve)?);
     }
-    Ok(assemble(devices, reports, Some(&classes), router.stats))
+    let lost = router.stats.doomed_streams;
+    Ok(assemble(devices, reports, Some(&classes), router.stats, lost, FailoverReport::default()))
+}
+
+/// The crash-consistent twin of the outage path. The victim serves its
+/// share under periodic checkpointing and dies at the outage cycle; its
+/// last checkpoint becomes a durable report plus the orphan streams
+/// (checkpointed-but-undispatched, or routed to the victim after its last
+/// checkpoint — the router's journal). The checkpoint ships to every
+/// survivor that must replay orphans, over that survivor's attach link,
+/// with capped-exponential retry on copy failure, and the orphans are
+/// replayed where the surviving ring routes them — stamped no earlier
+/// than the migration's completion, so recovery latency is paid, not
+/// hidden. Stream conservation is exact: `lost_streams` is zero.
+#[allow(clippy::too_many_arguments)]
+fn failover_cluster(
+    devices: &[ClusterDevice],
+    fleet: &[FleetMachine<'_>],
+    cfg: &ClusterConfig,
+    outage: DeviceOutage,
+    fo: FailoverConfig,
+    mut shares: Vec<Vec<StreamArrival>>,
+    router: &Router,
+    machines: &[Vec<ServeMachine<'_>>],
+) -> Result<ClusterReport, ServeError> {
+    let victim = outage.device;
+    let victim_share = std::mem::take(&mut shares[victim]);
+    let fed: usize = shares.iter().map(Vec::len).sum::<usize>() + victim_share.len();
+    let crash = serve_until_crash(
+        &devices[victim].spec,
+        &machines[victim],
+        IterSource(victim_share.iter().cloned()),
+        &cfg.serve,
+        fo.checkpoint_every_batches,
+        outage.at_cycle,
+    )?;
+    let mut failover = FailoverReport {
+        checkpoints_taken: crash.checkpoints_taken,
+        checkpoint_bytes: crash.checkpoint_bytes,
+        ..FailoverReport::default()
+    };
+    let mut orphans: Vec<StreamArrival> = Vec::new();
+    let mut blob: Vec<u8> = Vec::new();
+    let victim_report;
+    let victim_classes: Vec<PriorityClass>;
+    if let Some(report) = crash.completed {
+        // The crash struck an idle device after its whole share finished:
+        // nothing in flight, nothing to migrate.
+        victim_classes = victim_share.iter().map(|a| fleet[a.machine].class).collect();
+        victim_report = *report;
+    } else {
+        let ck = crash.checkpoint.expect("the batch-0 checkpoint always survives");
+        blob = ck.encode();
+        let (durable, window) =
+            finalize_checkpoint(&devices[victim].spec, &machines[victim], &cfg.serve, &ck)?;
+        orphans = window;
+        orphans.extend(victim_share[ck.streams_pulled()..].iter().cloned());
+        victim_classes =
+            victim_share[..durable.streams].iter().map(|a| fleet[a.machine].class).collect();
+        victim_report = durable;
+    }
+
+    // Orphans re-shard over the surviving ring, exactly like post-outage
+    // arrivals do.
+    let survivors = router.survivors.as_ref().expect("an outage implies a survivor ring");
+    let mut orphan_shares: Vec<Vec<StreamArrival>> = vec![Vec::new(); devices.len()];
+    for a in orphans {
+        let d = survivors.route(a.machine);
+        orphan_shares[d].push(a);
+    }
+
+    // Ship the checkpoint to every survivor that replays orphans, priced
+    // on its attach link as Phase::Transfer H2D traffic. A failed copy
+    // backs off and retries; the attempt after the retry budget is forced
+    // through (the control plane escalates rather than dropping streams)
+    // with every attempt and backoff still paid for.
+    let plan = cfg.serve.scheme_config.faults;
+    let mut transfer_charges: Vec<Option<KernelStats>> = vec![None; devices.len()];
+    for (d, dest) in orphan_shares.iter_mut().enumerate() {
+        if dest.is_empty() {
+            continue;
+        }
+        let mut delta = 0u64;
+        let mut attempt = 0u32;
+        let mut charge = KernelStats::default();
+        loop {
+            let stats = link_transfer_stats(&devices[d].link, &devices[d].spec, blob.len());
+            delta += stats.cycles;
+            charge.merge_sequential(&stats);
+            let failed =
+                plan.is_some_and(|p| p.copy_fails(FaultDomain::H2d, fault_coord(d), attempt));
+            if failed && attempt < fo.migration_max_retries {
+                failover.migration_retries += 1;
+                delta += backoff_cycles(
+                    fo.migration_backoff_base_cycles,
+                    fo.migration_backoff_cap_cycles,
+                    attempt,
+                );
+                attempt += 1;
+            } else {
+                break;
+            }
+        }
+        failover.replay_cycles += delta;
+        failover.migrations_replayed += dest.len() as u64;
+        transfer_charges[d] = Some(charge);
+        // An orphan only becomes servable once the survivor holds the
+        // checkpoint: re-stamp it no earlier than the migration's end
+        // (clamped to the clock bound the serve layer enforces).
+        let ready = outage.at_cycle.saturating_add(delta).min(MAX_ARRIVAL_CYCLE);
+        for a in dest.iter_mut() {
+            a.arrival_cycle = a.arrival_cycle.max(ready);
+        }
+    }
+
+    let mut victim_report = Some(victim_report);
+    let mut reports = Vec::with_capacity(devices.len());
+    let mut classes: Vec<Vec<PriorityClass>> = Vec::with_capacity(devices.len());
+    for (d, mut share) in shares.into_iter().enumerate() {
+        if d == victim {
+            reports.push(victim_report.take().expect("one victim"));
+            classes.push(victim_classes.clone());
+            continue;
+        }
+        share.append(&mut orphan_shares[d]);
+        let sub = Trace::from_arrivals(share);
+        classes.push(sub.arrivals().iter().map(|a| fleet[a.machine].class).collect());
+        let mut report = serve(&devices[d].spec, &machines[d], &sub, &cfg.serve)?;
+        if let Some(charge) = transfer_charges[d].take() {
+            match cfg.serve.detail {
+                ReportDetail::Full => report.stats.merge_sequential(&charge),
+                ReportDetail::Bounded => report.stats.merge_sequential_compact(&charge),
+            }
+        }
+        reports.push(report);
+    }
+    let served: u64 = reports.iter().map(|r| r.streams as u64).sum();
+    let lost = (fed as u64).saturating_sub(served);
+    Ok(assemble(devices, reports, Some(&classes), router.stats, lost, failover))
 }
 
 /// A [`TraceSource`] fed by a bounded channel — each device thread's view
@@ -359,6 +575,14 @@ pub fn run_cluster_source<S: TraceSource>(
     cfg: &ClusterConfig,
 ) -> Result<ClusterReport, ServeError> {
     validate(devices, fleet, cfg)?;
+    if cfg.failover.is_some() {
+        return Err(ServeError::InvalidConfig {
+            field: "failover",
+            problem: "checkpoint failover replays orphans from the batch path's routing journal; \
+                      the streaming path keeps no journal, so run it through run_cluster"
+                .into(),
+        });
+    }
     let machines = prepare_all(devices, fleet);
     let footprints: Vec<u64> =
         machines[0].iter().map(|m| m.table_footprint_bytes() as u64).collect();
@@ -407,5 +631,6 @@ pub fn run_cluster_source<S: TraceSource>(
     for r in results {
         reports.push(r?);
     }
-    Ok(assemble(devices, reports, Some(&classes), router.stats))
+    let lost = router.stats.doomed_streams;
+    Ok(assemble(devices, reports, Some(&classes), router.stats, lost, FailoverReport::default()))
 }

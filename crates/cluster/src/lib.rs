@@ -23,6 +23,14 @@
 //!   delivery percentiles by class.
 //! * **Whole-device outage** ([`DeviceOutage`]) — arrivals re-shard over
 //!   the surviving ring with minimal remapping.
+//! * **Checkpoint failover** ([`FailoverConfig`]) — crash-consistent
+//!   outage recovery: the victim checkpoints periodically
+//!   ([`gspecpal_serve::serve_until_crash`]), its last checkpoint is
+//!   finalized into a durable report and migrated to survivors over their
+//!   attach links (real `Phase::Transfer` pricing with capped-exponential
+//!   retry), and orphan streams are replayed on the surviving ring —
+//!   [`ClusterReport::lost_streams`] is provably zero, versus the legacy
+//!   model that silently completes a dead device's in-flight work.
 //!
 //! Everything is exact integer arithmetic over the same cost model as the
 //! rest of the repo: a [`ClusterReport`] is bit-identical across host
@@ -39,10 +47,10 @@ pub mod report;
 pub mod ring;
 
 pub use fleet::{
-    run_cluster, run_cluster_source, ClusterConfig, ClusterDevice, DeviceOutage, FleetMachine,
-    RebalanceConfig, Router,
+    run_cluster, run_cluster_source, ClusterConfig, ClusterDevice, DeviceOutage, FailoverConfig,
+    FleetMachine, RebalanceConfig, Router,
 };
-pub use report::{ClusterReport, DeviceReport, RouterStats};
+pub use report::{ClusterReport, DeviceReport, FailoverReport, RouterStats};
 pub use ring::{splitmix64, HashRing};
 
 #[cfg(test)]

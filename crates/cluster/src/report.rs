@@ -26,6 +26,36 @@ pub struct RouterStats {
     pub rebalance_epoch: u64,
     /// Arrivals re-sharded off a failed device.
     pub rerouted_streams: u64,
+    /// Arrivals routed onto the outage device *before* it failed. Without
+    /// failover these are the streams a real crash would destroy (the
+    /// legacy model completes them anyway — see
+    /// [`ClusterReport::lost_streams`]); with failover they are exactly
+    /// the streams the checkpoint-and-replay path must conserve.
+    pub doomed_streams: u64,
+}
+
+/// What the failover path did: checkpointing on the doomed device,
+/// checkpoint migration to survivors, and orphan replay. All zeros when
+/// [`crate::ClusterConfig::failover`] is off or no outage was configured.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Checkpoints the victim took before the crash (at least one — the
+    /// fresh engine is checkpointed before any dispatch).
+    pub checkpoints_taken: u64,
+    /// Total encoded bytes of those checkpoints — the durable-storage
+    /// write traffic the checkpoint cadence costs.
+    pub checkpoint_bytes: u64,
+    /// Orphan streams (in the checkpoint's admission window, or routed to
+    /// the victim after its last checkpoint) replayed on survivors.
+    pub migrations_replayed: u64,
+    /// Migration copy attempts that failed and were retried under the
+    /// capped-exponential backoff schedule.
+    pub migration_retries: u64,
+    /// Cycles spent shipping the victim's checkpoint to survivors over
+    /// their attach links, including every failed attempt and backoff.
+    /// Orphans only become servable on a survivor once its copy lands, so
+    /// these cycles delay replay directly.
+    pub replay_cycles: u64,
 }
 
 /// One device's slice of the cluster run.
@@ -79,6 +109,16 @@ pub struct ClusterReport {
     pub imbalance_permille: u64,
     /// Migration and rerouting activity.
     pub router: RouterStats,
+    /// Streams whose results the fleet did not actually produce on live
+    /// hardware. Zero on a healthy fleet. Under an outage *without*
+    /// failover this counts the arrivals already routed to the victim when
+    /// it died — the legacy model completes them anyway, and this counter
+    /// makes that fiction measurable instead of silent. With failover it
+    /// must be zero: every doomed stream is either in the victim's durable
+    /// checkpoint report or replayed on a survivor.
+    pub lost_streams: u64,
+    /// Checkpoint / migration / replay counters of the failover path.
+    pub failover: FailoverReport,
 }
 
 impl ClusterReport {
@@ -96,6 +136,8 @@ pub(crate) fn assemble(
     reports: Vec<ServeReport>,
     classes: Option<&[Vec<PriorityClass>]>,
     router: RouterStats,
+    lost_streams: u64,
+    failover: FailoverReport,
 ) -> ClusterReport {
     let streams: usize = reports.iter().map(|r| r.streams).sum();
     let device_makespan = reports.iter().map(|r| r.makespan_cycles).max().unwrap_or(0);
@@ -182,5 +224,7 @@ pub(crate) fn assemble(
         shed_streams,
         imbalance_permille,
         router,
+        lost_streams,
+        failover,
     }
 }

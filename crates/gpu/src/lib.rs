@@ -56,4 +56,6 @@ pub use kernel::{launch, RoundKernel, RoundOutcome, ThreadCtx};
 pub use occupancy::{fit_block_width, max_resident_blocks, occupancy, BlockRequirements};
 pub use spec::{DeviceSpec, LinkSpec};
 pub use stats::{KernelStats, LaunchShape, Phase, PhaseCounters, PhaseProfile};
-pub use transfer::{transfer_stats, CopyDirection, DeviceTimeline, Engine, Span};
+pub use transfer::{
+    link_transfer_stats, transfer_stats, CopyDirection, DeviceTimeline, Engine, Span,
+};

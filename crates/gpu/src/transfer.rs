@@ -18,7 +18,7 @@
 //! The timeline is purely arithmetic over `u64` cycles: no clocks, no host
 //! threading, bit-deterministic by construction.
 
-use crate::spec::DeviceSpec;
+use crate::spec::{DeviceSpec, LinkSpec};
 use crate::stats::{KernelStats, Phase};
 
 /// Direction of a host↔device copy.
@@ -50,6 +50,31 @@ impl CopyDirection {
 /// [`KernelStats::merge_sequential`] without breaking any partition check.
 pub fn transfer_stats(spec: &DeviceSpec, bytes: usize) -> KernelStats {
     let cycles = spec.copy_cycles(bytes);
+    let transactions = (bytes as u64).div_ceil(spec.global_segment_bytes.max(1));
+    let mut stats = KernelStats {
+        cycles,
+        rounds: 1,
+        global_transactions: transactions,
+        ..KernelStats::default()
+    };
+    let pc = stats.profile.get_mut(Phase::Transfer);
+    pc.cycles = cycles;
+    pc.rounds = 1;
+    pc.global_transactions = transactions;
+    stats
+}
+
+/// Builds the [`KernelStats`] of one cross-fabric copy of `bytes` bytes
+/// priced on an attach link instead of the device's own copy engine:
+/// `cycles = link.copy_cycles(bytes)`, all attributed to
+/// [`Phase::Transfer`], with the DMA traffic coalesced by the *receiving*
+/// device's segment geometry. This is what a failover migration costs —
+/// checkpoint state crosses the fabric on the survivor's attach link and
+/// lands in its memory as an ordinary H2D copy. The profile invariant
+/// (per-phase cycles partition the total) holds, so the stats merge into
+/// a device's report with [`KernelStats::merge_sequential`].
+pub fn link_transfer_stats(link: &LinkSpec, spec: &DeviceSpec, bytes: usize) -> KernelStats {
+    let cycles = link.copy_cycles(bytes);
     let transactions = (bytes as u64).div_ceil(spec.global_segment_bytes.max(1));
     let mut stats = KernelStats {
         cycles,
@@ -181,6 +206,31 @@ impl DeviceTimeline {
     pub fn horizon(&self) -> u64 {
         self.engines.iter().map(Engine::free_at).max().unwrap_or(0)
     }
+
+    /// The raw busy-until cursors of the three queues `[h2d, compute, d2h]`
+    /// in physical order (no overlap remapping). Together with the `overlap`
+    /// flag this is the timeline's *entire* state, which is what makes a
+    /// serving engine checkpointable: a timeline rebuilt via
+    /// [`DeviceTimeline::from_frontiers`] schedules every future operation
+    /// identically.
+    pub fn queue_frontiers(&self) -> [u64; 3] {
+        [self.engines[0].free_at(), self.engines[1].free_at(), self.engines[2].free_at()]
+    }
+
+    /// Reconstructs a timeline from a [`DeviceTimeline::queue_frontiers`]
+    /// snapshot. The inverse of `queue_frontiers` for the same `overlap`
+    /// flag: all future scheduling decisions are bit-identical to the
+    /// original timeline's.
+    pub fn from_frontiers(overlap: bool, frontiers: [u64; 3]) -> Self {
+        DeviceTimeline {
+            engines: [
+                Engine { free_at: frontiers[0] },
+                Engine { free_at: frontiers[1] },
+                Engine { free_at: frontiers[2] },
+            ],
+            overlap,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +291,22 @@ mod tests {
         assert_eq!(c1, Span { start: 110, end: 120 }, "copies queue behind the kernel");
         assert_eq!(t.horizon(), 120);
         assert_eq!(c1.overlap(&k0), 0);
+    }
+
+    #[test]
+    fn frontier_round_trip_preserves_scheduling() {
+        for overlap in [false, true] {
+            let mut t = DeviceTimeline::new(overlap);
+            t.h2d(0, 10);
+            t.compute(10, 100);
+            t.d2h(110, 7);
+            let mut r = DeviceTimeline::from_frontiers(overlap, t.queue_frontiers());
+            assert_eq!(r.queue_frontiers(), t.queue_frontiers());
+            assert_eq!(r.horizon(), t.horizon());
+            assert_eq!(r.h2d(0, 5), t.h2d(0, 5), "future scheduling identical");
+            assert_eq!(r.compute(0, 5), t.compute(0, 5));
+            assert_eq!(r.d2h(0, 5), t.d2h(0, 5));
+        }
     }
 
     #[test]

@@ -1,0 +1,1496 @@
+//! Crash-consistent checkpoint / restore for the serving engine.
+//!
+//! A long-lived serve run is only as durable as its host process. This
+//! module makes the engine's progress *recoverable*: at any quiescent
+//! inter-batch boundary the engine's entire mutable state (see
+//! [`EngineSnapshot`](crate::pipeline)) can be captured as an
+//! [`EngineCheckpoint`], serialized to a versioned, checksummed,
+//! byte-deterministic blob, and later rehydrated into a fresh engine that
+//! continues the run — with the hard guarantee that
+//!
+//! > checkpoint at batch *B*, then [`serve_resume`] over the same trace,
+//! > machines, configuration, and device, produces a [`ServeReport`]
+//! > **bit-identical** to the uninterrupted run,
+//!
+//! for every batch policy, fault plan, report detail, controller /
+//! residency / recovery configuration, and host thread count. The
+//! guarantee is structural rather than aspirational: `serve` itself runs
+//! the same resumable engine (`Engine::new` + step-to-dry + `finish`), so
+//! a restore is not a parallel implementation that could drift — it is
+//! the production engine handed its own state back.
+//!
+//! # Wire format
+//!
+//! Hand-rolled little-endian encoding, no external dependencies (the same
+//! stance as the bench layer's JSON writer): a 4-byte magic `"GSCK"`, a
+//! `u32` format version, a `u64` *setup fingerprint* (an FNV-1a fold over
+//! the device spec, machine list, and serve configuration — resuming
+//! under a different setup is refused with
+//! [`ServeError::CheckpointMismatch`] instead of silently diverging), the
+//! snapshot payload, and a trailing FNV-1a-64 checksum over everything
+//! before it. Every length is bounded against the bytes actually present
+//! before any allocation, every enum tag and boolean is range-checked,
+//! and decoded state is semantically validated against the resuming
+//! configuration — corruption of any kind surfaces as a structured
+//! [`ServeError::CorruptCheckpoint`], never a panic and never an
+//! out-of-memory.
+//!
+//! # Crash simulation and failover
+//!
+//! [`serve_until_crash`] drives a run while taking periodic checkpoints
+//! and stops the moment the device timeline schedules work past a crash
+//! cycle — modeling a device that dies mid-trace. The surviving artifact
+//! is the latest checkpoint: [`finalize_checkpoint`] splits it into the
+//! durable [`ServeReport`] of everything dispatched before the crash plus
+//! the *orphan* arrivals (pulled but not yet dispatched) that a failover
+//! peer must replay. The cluster layer builds its device-outage failover
+//! on exactly this pair (see `gspecpal-cluster`).
+
+use gspecpal::{SchemeKind, StitchPolicy};
+use gspecpal_gpu::{DeviceSpec, KernelStats, LaunchShape, Phase, Span};
+
+use crate::controller::{BatchObservation, DecisionRecord, LaunchChoice};
+use crate::error::ServeError;
+use crate::pipeline::{Engine, EngineSnapshot, ServeConfig, ServeMachine};
+use crate::report::{
+    BatchRecord, ExecMode, LatencySummary, RecoveryReport, ResidencyReport, ServeReport,
+    StreamOutcome,
+};
+use crate::sketch::LatencySketch;
+use crate::source::{IterSource, TraceSource};
+use crate::trace::StreamArrival;
+
+/// File magic of an encoded checkpoint.
+const MAGIC: [u8; 4] = *b"GSCK";
+
+/// Wire-format version this build writes and the only one it reads.
+const VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Byte writer / bounds-checked reader
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// A cursor over untrusted bytes: every read is bounds-checked and every
+/// failure carries the byte offset it happened at.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn corrupt(&self, what: &'static str) -> ServeError {
+        ServeError::CorruptCheckpoint { offset: self.pos, what }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ServeError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.corrupt(what))?;
+        let slice = self.bytes.get(self.pos..end).ok_or_else(|| self.corrupt(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ServeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ServeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ServeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn usize(&mut self, what: &'static str) -> Result<usize, ServeError> {
+        usize::try_from(self.u64(what)?).map_err(|_| self.corrupt(what))
+    }
+
+    fn i64(&mut self, what: &'static str) -> Result<i64, ServeError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, ServeError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.corrupt(what)),
+        }
+    }
+
+    /// Reads a collection length and bounds it against the bytes actually
+    /// remaining (`min_item_bytes` per element), so a corrupted length can
+    /// never trigger a huge allocation.
+    fn len(&mut self, min_item_bytes: usize, what: &'static str) -> Result<usize, ServeError> {
+        let n = self.usize(what)?;
+        let remaining = self.bytes.len() - self.pos;
+        if n.checked_mul(min_item_bytes.max(1)).is_none_or(|need| need > remaining) {
+            return Err(self.corrupt(what));
+        }
+        Ok(n)
+    }
+
+    fn u64_vec(&mut self, what: &'static str) -> Result<Vec<u64>, ServeError> {
+        let n = self.len(8, what)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64(what)?);
+        }
+        Ok(v)
+    }
+}
+
+fn write_u64s(w: &mut Writer, v: &[u64]) {
+    w.usize(v.len());
+    for &x in v {
+        w.u64(x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enum tags (declaration order of the source enums)
+// ---------------------------------------------------------------------------
+
+fn scheme_tag(s: SchemeKind) -> u8 {
+    match s {
+        SchemeKind::Sequential => 0,
+        SchemeKind::Naive => 1,
+        SchemeKind::Enumerative => 2,
+        SchemeKind::Pm => 3,
+        SchemeKind::Sre => 4,
+        SchemeKind::Rr => 5,
+        SchemeKind::Nf => 6,
+        SchemeKind::Sfa => 7,
+    }
+}
+
+fn scheme_from(tag: u8) -> Option<SchemeKind> {
+    Some(match tag {
+        0 => SchemeKind::Sequential,
+        1 => SchemeKind::Naive,
+        2 => SchemeKind::Enumerative,
+        3 => SchemeKind::Pm,
+        4 => SchemeKind::Sre,
+        5 => SchemeKind::Rr,
+        6 => SchemeKind::Nf,
+        7 => SchemeKind::Sfa,
+        _ => return None,
+    })
+}
+
+fn stitch_tag(s: StitchPolicy) -> u8 {
+    match s {
+        StitchPolicy::Sequential => 0,
+        StitchPolicy::Tree => 1,
+    }
+}
+
+fn stitch_from(tag: u8) -> Option<StitchPolicy> {
+    Some(match tag {
+        0 => StitchPolicy::Sequential,
+        1 => StitchPolicy::Tree,
+        _ => return None,
+    })
+}
+
+fn mode_tag(m: ExecMode) -> u8 {
+    match m {
+        ExecMode::StreamParallel => 0,
+        ExecMode::ChunkParallel => 1,
+    }
+}
+
+fn mode_from(tag: u8) -> Option<ExecMode> {
+    Some(match tag {
+        0 => ExecMode::StreamParallel,
+        1 => ExecMode::ChunkParallel,
+        _ => return None,
+    })
+}
+
+fn outcome_tag(o: StreamOutcome) -> u8 {
+    match o {
+        StreamOutcome::Served => 0,
+        StreamOutcome::ShedDeadline => 1,
+        StreamOutcome::ShedCopyFailure => 2,
+        StreamOutcome::ShedBreakerOpen => 3,
+    }
+}
+
+fn outcome_from(tag: u8) -> Option<StreamOutcome> {
+    Some(match tag {
+        0 => StreamOutcome::Served,
+        1 => StreamOutcome::ShedDeadline,
+        2 => StreamOutcome::ShedCopyFailure,
+        3 => StreamOutcome::ShedBreakerOpen,
+        _ => return None,
+    })
+}
+
+/// The report's policy field is a `&'static str` drawn from
+/// [`crate::BatchPolicy::name`]; it round-trips as a tag (3 = the default
+/// report's empty string).
+fn policy_tag(name: &str) -> u8 {
+    match name {
+        "fifo" => 0,
+        "deadline" => 1,
+        "adaptive" => 2,
+        _ => 3,
+    }
+}
+
+fn policy_from(tag: u8) -> Option<&'static str> {
+    Some(match tag {
+        0 => "fifo",
+        1 => "deadline",
+        2 => "adaptive",
+        3 => "",
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Component codecs
+// ---------------------------------------------------------------------------
+
+fn write_span(w: &mut Writer, s: Span) {
+    w.u64(s.start);
+    w.u64(s.end);
+}
+
+fn read_span(r: &mut Reader<'_>, what: &'static str) -> Result<Span, ServeError> {
+    let start = r.u64(what)?;
+    let end = r.u64(what)?;
+    if end < start {
+        return Err(r.corrupt(what));
+    }
+    Ok(Span { start, end })
+}
+
+fn write_summary(w: &mut Writer, s: &LatencySummary) {
+    w.u64(s.p50);
+    w.u64(s.p95);
+    w.u64(s.p99);
+    w.u64(s.max);
+}
+
+fn read_summary(r: &mut Reader<'_>) -> Result<LatencySummary, ServeError> {
+    Ok(LatencySummary {
+        p50: r.u64("latency summary")?,
+        p95: r.u64("latency summary")?,
+        p99: r.u64("latency summary")?,
+        max: r.u64("latency summary")?,
+    })
+}
+
+/// Sketches encode sparsely: the (index, count) pairs of nonzero buckets,
+/// in index order, plus the exact total/min/max. A million-stream sketch
+/// has a handful of hot octaves, so this is far smaller than the dense
+/// 114 KiB counter array.
+fn write_sketch(w: &mut Writer, s: &LatencySketch) {
+    let (counts, total, min, max) = s.raw_parts();
+    let nonzero = counts.iter().filter(|&&c| c != 0).count();
+    w.usize(nonzero);
+    for (i, &c) in counts.iter().enumerate() {
+        if c != 0 {
+            w.usize(i);
+            w.u64(c);
+        }
+    }
+    w.u64(total);
+    w.u64(min);
+    w.u64(max);
+}
+
+fn read_sketch(r: &mut Reader<'_>) -> Result<LatencySketch, ServeError> {
+    let n = r.len(16, "latency sketch buckets")?;
+    let mut counts = vec![0u64; LatencySketch::BUCKETS];
+    let mut prev: Option<usize> = None;
+    for _ in 0..n {
+        let i = r.usize("latency sketch bucket index")?;
+        if i >= LatencySketch::BUCKETS || prev.is_some_and(|p| i <= p) {
+            return Err(r.corrupt("latency sketch bucket index"));
+        }
+        let c = r.u64("latency sketch bucket count")?;
+        if c == 0 {
+            return Err(r.corrupt("latency sketch bucket count"));
+        }
+        counts[i] = c;
+        prev = Some(i);
+    }
+    let total = r.u64("latency sketch total")?;
+    let min = r.u64("latency sketch min")?;
+    let max = r.u64("latency sketch max")?;
+    LatencySketch::from_raw_parts(counts, total, min, max)
+        .ok_or_else(|| r.corrupt("latency sketch counters do not sum to the total"))
+}
+
+fn write_stats(w: &mut Writer, s: &KernelStats) {
+    w.u64(s.cycles);
+    w.u64(s.rounds);
+    w.u64(s.global_transactions);
+    w.u64(s.global_coalesced_hits);
+    w.u64(s.shared_accesses);
+    w.u64(s.alu_ops);
+    w.u64(s.shuffles);
+    w.u64(s.atomics);
+    w.usize(s.active_per_round.len());
+    for &v in &s.active_per_round {
+        w.u32(v);
+    }
+    w.usize(s.recovering_per_round.len());
+    for &v in &s.recovering_per_round {
+        w.u32(v);
+    }
+    write_u64s(w, &s.round_durations);
+    w.u64(s.recovery_cycles);
+    w.u64(s.recovery_runs);
+    w.u64(s.fault_retries);
+    w.u64(s.fault_watchdog_kills);
+    w.u64(s.fault_degraded_blocks);
+    w.u64(s.fault_cycles);
+    match s.shape {
+        None => w.u8(0),
+        Some(sh) => {
+            w.u8(1);
+            w.u32(sh.resident_per_sm);
+            w.u32(sh.blocks_per_wave);
+            w.u32(sh.waves);
+        }
+    }
+    for (_, pc) in s.profile.iter() {
+        w.u64(pc.cycles);
+        w.u64(pc.rounds);
+        w.u64(pc.global_transactions);
+        w.u64(pc.global_coalesced_hits);
+        w.u64(pc.shared_accesses);
+        w.u64(pc.alu_ops);
+        w.u64(pc.shuffles);
+        w.u64(pc.atomics);
+        w.u64(pc.divergent_rounds);
+        w.u64(pc.active_thread_rounds);
+        w.u64(pc.thread_rounds);
+    }
+}
+
+fn read_u32_vec(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<u32>, ServeError> {
+    let n = r.len(4, what)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(r.u32(what)?);
+    }
+    Ok(v)
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<KernelStats, ServeError> {
+    let mut s = KernelStats {
+        cycles: r.u64("stats cycles")?,
+        rounds: r.u64("stats rounds")?,
+        global_transactions: r.u64("stats counters")?,
+        global_coalesced_hits: r.u64("stats counters")?,
+        shared_accesses: r.u64("stats counters")?,
+        alu_ops: r.u64("stats counters")?,
+        shuffles: r.u64("stats counters")?,
+        atomics: r.u64("stats counters")?,
+        ..KernelStats::default()
+    };
+    s.active_per_round = read_u32_vec(r, "stats per-round actives")?;
+    s.recovering_per_round = read_u32_vec(r, "stats per-round recoveries")?;
+    s.round_durations = r.u64_vec("stats round durations")?;
+    s.recovery_cycles = r.u64("stats recovery counters")?;
+    s.recovery_runs = r.u64("stats recovery counters")?;
+    s.fault_retries = r.u64("stats fault counters")?;
+    s.fault_watchdog_kills = r.u64("stats fault counters")?;
+    s.fault_degraded_blocks = r.u64("stats fault counters")?;
+    s.fault_cycles = r.u64("stats fault counters")?;
+    s.shape = match r.u8("stats launch shape")? {
+        0 => None,
+        1 => Some(LaunchShape {
+            resident_per_sm: r.u32("stats launch shape")?,
+            blocks_per_wave: r.u32("stats launch shape")?,
+            waves: r.u32("stats launch shape")?,
+        }),
+        _ => return Err(r.corrupt("stats launch shape")),
+    };
+    for phase in Phase::ALL {
+        let pc = s.profile.get_mut(phase);
+        pc.cycles = r.u64("stats phase profile")?;
+        pc.rounds = r.u64("stats phase profile")?;
+        pc.global_transactions = r.u64("stats phase profile")?;
+        pc.global_coalesced_hits = r.u64("stats phase profile")?;
+        pc.shared_accesses = r.u64("stats phase profile")?;
+        pc.alu_ops = r.u64("stats phase profile")?;
+        pc.shuffles = r.u64("stats phase profile")?;
+        pc.atomics = r.u64("stats phase profile")?;
+        pc.divergent_rounds = r.u64("stats phase profile")?;
+        pc.active_thread_rounds = r.u64("stats phase profile")?;
+        pc.thread_rounds = r.u64("stats phase profile")?;
+    }
+    Ok(s)
+}
+
+fn write_choice(w: &mut Writer, c: &LaunchChoice) {
+    w.u8(scheme_tag(c.scheme));
+    w.usize(c.spec_k);
+    w.u8(stitch_tag(c.stitch));
+    w.u64(c.predicted_millicost);
+}
+
+fn read_choice(r: &mut Reader<'_>) -> Result<LaunchChoice, ServeError> {
+    let scheme = scheme_from(r.u8("launch choice scheme")?)
+        .ok_or_else(|| r.corrupt("launch choice scheme"))?;
+    let spec_k = r.usize("launch choice spec_k")?;
+    let stitch = stitch_from(r.u8("launch choice stitch")?)
+        .ok_or_else(|| r.corrupt("launch choice stitch"))?;
+    let predicted_millicost = r.u64("launch choice prediction")?;
+    Ok(LaunchChoice { scheme, spec_k, stitch, predicted_millicost })
+}
+
+fn write_report(w: &mut Writer, rep: &ServeReport) {
+    w.u8(policy_tag(rep.policy));
+    w.bool(rep.overlap);
+    w.usize(rep.streams);
+    w.usize(rep.total_bytes);
+    w.usize(rep.batches.len());
+    for b in &rep.batches {
+        w.usize(b.first_stream);
+        w.usize(b.streams);
+        w.usize(b.machine);
+        w.u8(scheme_tag(b.scheme));
+        w.u8(mode_tag(b.mode));
+        w.usize(b.bytes);
+        write_span(w, b.h2d);
+        write_span(w, b.compute);
+        write_span(w, b.d2h);
+    }
+    w.u64(rep.makespan_cycles);
+    write_u64s(w, &rep.latencies);
+    write_summary(w, &rep.delivery);
+    write_summary(w, &rep.kernel_latency);
+    w.usize(rep.end_states.len());
+    for &s in &rep.end_states {
+        w.u32(s);
+    }
+    w.usize(rep.accepted.len());
+    for &a in &rep.accepted {
+        w.bool(a);
+    }
+    write_stats(w, &rep.stats);
+    w.usize(rep.queue_depth.len());
+    for &(c, d) in &rep.queue_depth {
+        w.u64(c);
+        w.usize(d);
+    }
+    w.u64(rep.backpressure_events);
+    w.u64(rep.backpressure_wait_cycles);
+    w.u64(rep.overlap_efficiency_permille);
+    w.usize(rep.outcomes.len());
+    for &o in &rep.outcomes {
+        w.u8(outcome_tag(o));
+    }
+    w.u64(rep.recovery.block_retries);
+    w.u64(rep.recovery.watchdog_kills);
+    w.u64(rep.recovery.degraded_blocks);
+    w.u64(rep.recovery.copy_retries);
+    w.u64(rep.recovery.failed_batches);
+    w.u64(rep.recovery.shed_streams);
+    w.u64(rep.recovery.breaker_trips);
+    w.u64(rep.recovery.fault_cycles);
+    w.u64(rep.batches_dispatched);
+    w.usize(rep.peak_queue);
+    w.u64(rep.latency_error_permille);
+    w.usize(rep.decisions.len());
+    for d in &rep.decisions {
+        w.usize(d.batch);
+        w.usize(d.machine);
+        w.usize(d.arm);
+        write_choice(w, &d.choice);
+        w.bool(d.explore);
+        w.u64(d.observation.bytes);
+        w.u64(d.observation.compute_cycles);
+        w.u64(d.observation.verify_cycles);
+        w.u64(d.observation.recovery_cycles);
+        w.u64(d.observation.stitch_cycles);
+        w.u64(d.observation.verification_checks);
+        w.u64(d.observation.verification_matches);
+        w.bool(d.observation.chunk_parallel);
+    }
+    w.u64(rep.decisions_made);
+    w.u64(rep.explore_decisions);
+    w.u64(rep.residency.hits);
+    w.u64(rep.residency.misses);
+    w.u64(rep.residency.evictions);
+    w.u64(rep.residency.copied_bytes);
+    w.u64(rep.preemptions);
+    w.u64(rep.preempted_cycles);
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<ServeReport, ServeError> {
+    let policy = policy_from(r.u8("report policy")?).ok_or_else(|| r.corrupt("report policy"))?;
+    let overlap = r.bool("report overlap flag")?;
+    let streams = r.usize("report stream count")?;
+    let total_bytes = r.usize("report byte count")?;
+    let n_batches = r.len(66, "report batch records")?;
+    let mut batches = Vec::with_capacity(n_batches);
+    for _ in 0..n_batches {
+        batches.push(BatchRecord {
+            first_stream: r.usize("batch record")?,
+            streams: r.usize("batch record")?,
+            machine: r.usize("batch record")?,
+            scheme: scheme_from(r.u8("batch record scheme")?)
+                .ok_or_else(|| r.corrupt("batch record scheme"))?,
+            mode: mode_from(r.u8("batch record mode")?)
+                .ok_or_else(|| r.corrupt("batch record mode"))?,
+            bytes: r.usize("batch record")?,
+            h2d: read_span(r, "batch record h2d span")?,
+            compute: read_span(r, "batch record compute span")?,
+            d2h: read_span(r, "batch record d2h span")?,
+        });
+    }
+    let makespan_cycles = r.u64("report makespan")?;
+    let latencies = r.u64_vec("report latencies")?;
+    let delivery = read_summary(r)?;
+    let kernel_latency = read_summary(r)?;
+    let n_states = r.len(4, "report end states")?;
+    let mut end_states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        end_states.push(r.u32("report end states")?);
+    }
+    let n_accepted = r.len(1, "report accept flags")?;
+    let mut accepted = Vec::with_capacity(n_accepted);
+    for _ in 0..n_accepted {
+        accepted.push(r.bool("report accept flags")?);
+    }
+    let stats = read_stats(r)?;
+    let n_depth = r.len(16, "report queue-depth samples")?;
+    let mut queue_depth = Vec::with_capacity(n_depth);
+    for _ in 0..n_depth {
+        let c = r.u64("report queue-depth samples")?;
+        let d = r.usize("report queue-depth samples")?;
+        queue_depth.push((c, d));
+    }
+    let backpressure_events = r.u64("report backpressure")?;
+    let backpressure_wait_cycles = r.u64("report backpressure")?;
+    let overlap_efficiency_permille = r.u64("report overlap efficiency")?;
+    let n_outcomes = r.len(1, "report outcomes")?;
+    let mut outcomes = Vec::with_capacity(n_outcomes);
+    for _ in 0..n_outcomes {
+        outcomes.push(
+            outcome_from(r.u8("report outcomes")?).ok_or_else(|| r.corrupt("report outcomes"))?,
+        );
+    }
+    let recovery = RecoveryReport {
+        block_retries: r.u64("report recovery counters")?,
+        watchdog_kills: r.u64("report recovery counters")?,
+        degraded_blocks: r.u64("report recovery counters")?,
+        copy_retries: r.u64("report recovery counters")?,
+        failed_batches: r.u64("report recovery counters")?,
+        shed_streams: r.u64("report recovery counters")?,
+        breaker_trips: r.u64("report recovery counters")?,
+        fault_cycles: r.u64("report recovery counters")?,
+    };
+    let batches_dispatched = r.u64("report batch counter")?;
+    let peak_queue = r.usize("report peak queue")?;
+    let latency_error_permille = r.u64("report latency error")?;
+    let n_decisions = r.len(92, "report decision log")?;
+    let mut decisions = Vec::with_capacity(n_decisions);
+    for _ in 0..n_decisions {
+        decisions.push(DecisionRecord {
+            batch: r.usize("decision record")?,
+            machine: r.usize("decision record")?,
+            arm: r.usize("decision record")?,
+            choice: read_choice(r)?,
+            explore: r.bool("decision record")?,
+            observation: BatchObservation {
+                bytes: r.u64("decision observation")?,
+                compute_cycles: r.u64("decision observation")?,
+                verify_cycles: r.u64("decision observation")?,
+                recovery_cycles: r.u64("decision observation")?,
+                stitch_cycles: r.u64("decision observation")?,
+                verification_checks: r.u64("decision observation")?,
+                verification_matches: r.u64("decision observation")?,
+                chunk_parallel: r.bool("decision observation")?,
+            },
+        });
+    }
+    let decisions_made = r.u64("report decision counters")?;
+    let explore_decisions = r.u64("report decision counters")?;
+    let residency = ResidencyReport {
+        hits: r.u64("report residency counters")?,
+        misses: r.u64("report residency counters")?,
+        evictions: r.u64("report residency counters")?,
+        copied_bytes: r.u64("report residency counters")?,
+    };
+    let preemptions = r.u64("report preemption counters")?;
+    let preempted_cycles = r.u64("report preemption counters")?;
+    Ok(ServeReport {
+        policy,
+        overlap,
+        streams,
+        total_bytes,
+        batches,
+        makespan_cycles,
+        latencies,
+        delivery,
+        kernel_latency,
+        end_states,
+        accepted,
+        stats,
+        queue_depth,
+        backpressure_events,
+        backpressure_wait_cycles,
+        overlap_efficiency_permille,
+        outcomes,
+        recovery,
+        batches_dispatched,
+        peak_queue,
+        latency_error_permille,
+        decisions,
+        decisions_made,
+        explore_decisions,
+        residency,
+        preemptions,
+        preempted_cycles,
+    })
+}
+
+fn write_snapshot(w: &mut Writer, s: &EngineSnapshot) {
+    w.usize(s.pulled);
+    w.u64(s.last_cycle);
+    w.usize(s.next);
+    w.usize(s.batch_idx);
+    w.u32(s.breaker_consecutive);
+    w.u64(s.buffer_free[0]);
+    w.u64(s.buffer_free[1]);
+    w.u64(s.cq_free);
+    w.u64(s.cq_horizon);
+    for f in s.frontiers {
+        w.u64(f);
+    }
+    w.usize(s.window.len());
+    for a in &s.window {
+        w.u64(a.arrival_cycle);
+        w.usize(a.machine);
+        w.usize(a.bytes.len());
+        w.raw(&a.bytes);
+    }
+    w.usize(s.ring_released);
+    write_u64s(w, &s.ring_recent);
+    w.usize(s.depth_pending.len());
+    for &(c, k) in &s.depth_pending {
+        w.u64(c);
+        w.u8(k as u8);
+    }
+    w.i64(s.depth_depth);
+    match s.depth_group {
+        None => w.u8(0),
+        Some(c) => {
+            w.u8(1);
+            w.u64(c);
+        }
+    }
+    w.usize(s.depth_samples.len());
+    for &(c, d) in &s.depth_samples {
+        w.u64(c);
+        w.usize(d);
+    }
+    w.usize(s.depth_peak);
+    w.bool(s.depth_zero_pairs);
+    w.usize(s.meter_computes.len());
+    for &sp in &s.meter_computes {
+        write_span(w, sp);
+    }
+    w.usize(s.meter_pending_copies.len());
+    for &sp in &s.meter_pending_copies {
+        write_span(w, sp);
+    }
+    w.u64(s.meter_copy_busy);
+    w.u64(s.meter_hidden);
+    match &s.residency_order {
+        None => w.u8(0),
+        Some(order) => {
+            w.u8(1);
+            w.usize(order.len());
+            for &m in order {
+                w.usize(m);
+            }
+        }
+    }
+    match &s.controller {
+        None => w.u8(0),
+        Some(machines) => {
+            w.u8(1);
+            w.usize(machines.len());
+            for (decided, arms) in machines {
+                w.u64(*decided);
+                w.usize(arms.len());
+                for (window, observations) in arms {
+                    write_u64s(w, window);
+                    w.u64(*observations);
+                }
+            }
+        }
+    }
+    write_report(w, &s.report);
+    write_u64s(w, &s.delivery_exact);
+    match &s.delivery_sketch {
+        None => w.u8(0),
+        Some(sk) => {
+            w.u8(1);
+            write_sketch(w, sk);
+        }
+    }
+    write_u64s(w, &s.kernel_exact);
+    match &s.kernel_sketch {
+        None => w.u8(0),
+        Some(sk) => {
+            w.u8(1);
+            write_sketch(w, sk);
+        }
+    }
+}
+
+fn read_snapshot(r: &mut Reader<'_>) -> Result<EngineSnapshot, ServeError> {
+    let pulled = r.usize("pull cursor")?;
+    let last_cycle = r.u64("source cycle cursor")?;
+    let next = r.usize("admission cursor")?;
+    let batch_idx = r.usize("batch cursor")?;
+    let breaker_consecutive = r.u32("breaker counter")?;
+    let buffer_free = [r.u64("buffer cursors")?, r.u64("buffer cursors")?];
+    let cq_free = r.u64("compute cursor")?;
+    let cq_horizon = r.u64("compute cursor")?;
+    let frontiers =
+        [r.u64("queue frontiers")?, r.u64("queue frontiers")?, r.u64("queue frontiers")?];
+    let n_window = r.len(24, "admission window")?;
+    let mut window = Vec::with_capacity(n_window);
+    let mut prev_arrival = 0u64;
+    for _ in 0..n_window {
+        let arrival_cycle = r.u64("window arrival")?;
+        if arrival_cycle < prev_arrival {
+            return Err(r.corrupt("window arrivals out of order"));
+        }
+        prev_arrival = arrival_cycle;
+        let machine = r.usize("window arrival")?;
+        let n_bytes = r.len(1, "window arrival payload")?;
+        if n_bytes == 0 {
+            return Err(r.corrupt("window arrival carries an empty stream"));
+        }
+        let bytes = r.take(n_bytes, "window arrival payload")?.to_vec();
+        window.push(StreamArrival { arrival_cycle, machine, bytes });
+    }
+    let ring_released = r.usize("release ring")?;
+    let ring_recent = r.u64_vec("release ring")?;
+    let n_pending = r.len(9, "depth tracker events")?;
+    let mut depth_pending = Vec::with_capacity(n_pending);
+    let mut prev: Option<(u64, i8)> = None;
+    for _ in 0..n_pending {
+        let c = r.u64("depth tracker events")?;
+        let k = r.u8("depth tracker events")? as i8;
+        if k != 1 && k != -1 {
+            return Err(r.corrupt("depth tracker event kind"));
+        }
+        if prev.is_some_and(|p| (c, k) < p) {
+            return Err(r.corrupt("depth tracker events out of order"));
+        }
+        prev = Some((c, k));
+        depth_pending.push((c, k));
+    }
+    let depth_depth = r.i64("depth tracker depth")?;
+    let depth_group = match r.u8("depth tracker group")? {
+        0 => None,
+        1 => Some(r.u64("depth tracker group")?),
+        _ => return Err(r.corrupt("depth tracker group")),
+    };
+    let n_samples = r.len(16, "depth samples")?;
+    let mut depth_samples = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let c = r.u64("depth samples")?;
+        let d = r.usize("depth samples")?;
+        depth_samples.push((c, d));
+    }
+    let depth_peak = r.usize("depth peak")?;
+    let depth_zero_pairs = r.bool("depth zero-pair flag")?;
+    let n_computes = r.len(16, "overlap meter computes")?;
+    let mut meter_computes = Vec::with_capacity(n_computes);
+    for _ in 0..n_computes {
+        meter_computes.push(read_span(r, "overlap meter computes")?);
+    }
+    let n_copies = r.len(16, "overlap meter copies")?;
+    let mut meter_pending_copies = Vec::with_capacity(n_copies);
+    for _ in 0..n_copies {
+        meter_pending_copies.push(read_span(r, "overlap meter copies")?);
+    }
+    let meter_copy_busy = r.u64("overlap meter counters")?;
+    let meter_hidden = r.u64("overlap meter counters")?;
+    let residency_order = match r.u8("residency order")? {
+        0 => None,
+        1 => {
+            let n = r.len(8, "residency order")?;
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(r.usize("residency order")?);
+            }
+            Some(order)
+        }
+        _ => return Err(r.corrupt("residency order")),
+    };
+    let controller = match r.u8("controller state")? {
+        0 => None,
+        1 => {
+            let n_machines = r.len(16, "controller state")?;
+            let mut machines = Vec::with_capacity(n_machines);
+            for _ in 0..n_machines {
+                let decided = r.u64("controller state")?;
+                let n_arms = r.len(16, "controller arms")?;
+                let mut arms = Vec::with_capacity(n_arms);
+                for _ in 0..n_arms {
+                    let window = r.u64_vec("controller arm window")?;
+                    let observations = r.u64("controller arm observations")?;
+                    arms.push((window, observations));
+                }
+                machines.push((decided, arms));
+            }
+            Some(machines)
+        }
+        _ => return Err(r.corrupt("controller state")),
+    };
+    let report = read_report(r)?;
+    let delivery_exact = r.u64_vec("delivery latencies")?;
+    let delivery_sketch = match r.u8("delivery sketch")? {
+        0 => None,
+        1 => Some(read_sketch(r)?),
+        _ => return Err(r.corrupt("delivery sketch")),
+    };
+    let kernel_exact = r.u64_vec("kernel latencies")?;
+    let kernel_sketch = match r.u8("kernel sketch")? {
+        0 => None,
+        1 => Some(read_sketch(r)?),
+        _ => return Err(r.corrupt("kernel sketch")),
+    };
+    Ok(EngineSnapshot {
+        pulled,
+        last_cycle,
+        next,
+        batch_idx,
+        breaker_consecutive,
+        buffer_free,
+        cq_free,
+        cq_horizon,
+        frontiers,
+        window,
+        ring_released,
+        ring_recent,
+        depth_pending,
+        depth_depth,
+        depth_group,
+        depth_samples,
+        depth_peak,
+        depth_zero_pairs,
+        meter_computes,
+        meter_pending_copies,
+        meter_copy_busy,
+        meter_hidden,
+        residency_order,
+        controller,
+        report,
+        delivery_exact,
+        delivery_sketch,
+        kernel_exact,
+        kernel_sketch,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Setup fingerprint
+// ---------------------------------------------------------------------------
+
+/// FNV-1a fold over everything the bit-identity guarantee is conditional
+/// on: the device spec's cost model, every machine's scheme / table
+/// footprint / priority class / controller arms, and the full serve
+/// configuration. Two setups with equal fingerprints run the engine
+/// through identical state transitions, so a checkpoint from one resumes
+/// under the other byte-for-byte; unequal fingerprints are refused with
+/// [`ServeError::CheckpointMismatch`].
+pub(crate) fn run_fingerprint(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    cfg: &ServeConfig,
+) -> u64 {
+    let mut w = Writer::default();
+    // Device cost model (the name and the cycles→wall clock factor never
+    // influence engine arithmetic).
+    w.u32(spec.n_sms);
+    w.u32(spec.cores_per_sm);
+    w.usize(spec.shared_mem_bytes);
+    w.u32(spec.warp_size);
+    w.u32(spec.max_threads_per_block);
+    w.u32(spec.max_threads_per_sm);
+    w.u32(spec.registers_per_sm);
+    w.u32(spec.max_blocks_per_sm);
+    w.u64(spec.shared_latency);
+    w.u64(spec.global_latency);
+    w.u64(spec.global_segment_bytes);
+    w.u64(spec.alu_latency);
+    w.u64(spec.shuffle_latency);
+    w.u64(spec.barrier_latency);
+    w.u64(spec.atomic_latency);
+    w.u64(spec.hash_probe_latency);
+    w.u64(spec.bandwidth_millicycles_per_txn);
+    w.u64(spec.copy_latency_cycles);
+    w.u64(spec.copy_millicycles_per_byte);
+    w.u32(spec.copy_engines);
+    // Machines: everything the engine reads from them.
+    w.usize(machines.len());
+    for m in machines {
+        w.u8(scheme_tag(m.scheme()));
+        w.usize(m.table_footprint_bytes());
+        w.u8(match m.class() {
+            crate::policy::PriorityClass::Bulk => 0,
+            crate::policy::PriorityClass::Deadline => 1,
+        });
+        w.u64(m.chunk_work_factor());
+        w.usize(m.arms().len());
+        for c in m.arms() {
+            write_choice(&mut w, c);
+        }
+    }
+    // Serve configuration.
+    match cfg.policy {
+        crate::policy::BatchPolicy::Fifo { batch } => {
+            w.u8(0);
+            w.usize(batch);
+        }
+        crate::policy::BatchPolicy::Deadline { batch, max_wait } => {
+            w.u8(1);
+            w.usize(batch);
+            w.u64(max_wait);
+        }
+        crate::policy::BatchPolicy::Adaptive { max_batch } => {
+            w.u8(2);
+            w.usize(max_batch);
+        }
+    }
+    w.bool(cfg.overlap);
+    w.usize(cfg.device_mem_bytes);
+    w.usize(cfg.max_queue_depth);
+    w.usize(cfg.d2h_bytes_per_stream);
+    w.u64(cfg.chunk_overhead_cycles);
+    let sc = &cfg.scheme_config;
+    w.usize(sc.n_chunks);
+    w.usize(sc.spec_k);
+    w.usize(sc.vr_others_registers);
+    w.usize(sc.vr_end_registers);
+    w.usize(sc.lookback);
+    w.bool(sc.count_matches);
+    w.u32(sc.spec_recovery_budget);
+    w.u8(stitch_tag(sc.stitch));
+    match sc.faults {
+        None => w.u8(0),
+        Some(p) => {
+            w.u8(1);
+            w.u64(p.seed);
+            w.u32(p.abort_permille);
+            w.u32(p.copy_fail_permille);
+            w.u32(p.corrupt_permille);
+            w.u64(p.watchdog_cycles);
+        }
+    }
+    w.u32(sc.recovery.max_retries);
+    w.u64(sc.recovery.backoff_base_cycles);
+    w.u64(sc.recovery.backoff_cap_cycles);
+    w.u32(sc.recovery.misspec_degrade_permille);
+    w.u32(cfg.recovery.copy_max_retries);
+    w.u64(cfg.recovery.copy_backoff_base_cycles);
+    w.u64(cfg.recovery.copy_backoff_cap_cycles);
+    w.u64(cfg.recovery.shed_wait_cycles);
+    w.u32(cfg.recovery.breaker_failure_threshold);
+    w.u8(match cfg.detail {
+        crate::pipeline::ReportDetail::Full => 0,
+        crate::pipeline::ReportDetail::Bounded => 1,
+    });
+    match &cfg.controller {
+        None => w.u8(0),
+        Some(cc) => {
+            w.u8(1);
+            w.usize(cc.window);
+            w.u64(cc.explore_period);
+            w.u64(cc.explore_cutoff_permille);
+            w.usize(cc.max_decisions);
+        }
+    }
+    match cfg.residency {
+        None => w.u8(0),
+        Some(rc) => {
+            w.u8(1);
+            w.usize(rc.capacity_bytes);
+        }
+    }
+    w.bool(cfg.preempt);
+    fnv1a(&w.buf)
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// A serialized-or-serializable snapshot of a serve run at a quiescent
+/// inter-batch boundary, bound to the setup it was taken under by a
+/// fingerprint.
+///
+/// Opaque by design: the only ways to obtain one are [`serve_checkpoint`] /
+/// [`serve_until_crash`] (from a live engine) and
+/// [`EngineCheckpoint::decode`] (from previously encoded bytes), and the
+/// only ways to consume one are [`serve_resume`], [`finalize_checkpoint`],
+/// and [`EngineCheckpoint::encode`]. Encoding is byte-deterministic: equal
+/// checkpoints encode to equal bytes on every host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineCheckpoint {
+    pub(crate) fingerprint: u64,
+    pub(crate) snapshot: EngineSnapshot,
+}
+
+impl EngineCheckpoint {
+    /// The setup fingerprint the checkpoint is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Streams pulled from the source when the checkpoint was taken — the
+    /// number of arrivals [`serve_resume`] skips before handing the source
+    /// to the restored engine.
+    pub fn streams_pulled(&self) -> usize {
+        self.snapshot.pulled
+    }
+
+    /// Batches the run had formed (including abandoned ones) when the
+    /// checkpoint was taken.
+    pub fn batches_formed(&self) -> usize {
+        self.snapshot.batch_idx
+    }
+
+    /// Arrivals sitting in the admission window at the boundary: pulled
+    /// from the source but not yet dispatched. On failover these are the
+    /// checkpoint's share of the orphans a peer must replay (see
+    /// [`finalize_checkpoint`]).
+    pub fn window_len(&self) -> usize {
+        self.snapshot.window.len()
+    }
+
+    /// Serializes the checkpoint: magic, version, fingerprint, snapshot
+    /// payload, FNV-1a-64 checksum. Byte-deterministic.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.raw(&MAGIC);
+        w.u32(VERSION);
+        w.u64(self.fingerprint);
+        write_snapshot(&mut w, &self.snapshot);
+        let checksum = fnv1a(&w.buf);
+        w.u64(checksum);
+        w.buf
+    }
+
+    /// Deserializes a checkpoint, verifying the checksum before touching
+    /// the payload. Truncation, bit flips, bad magic, unknown versions,
+    /// out-of-range tags, and structurally impossible state are all
+    /// structured [`ServeError::CorruptCheckpoint`] rejections — this
+    /// function never panics and never allocates more than the input's
+    /// own length implies.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        const HEADER: usize = 4 + 4 + 8;
+        if bytes.len() < HEADER + 8 {
+            return Err(ServeError::CorruptCheckpoint {
+                offset: bytes.len(),
+                what: "truncated checkpoint",
+            });
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a(body) != stored {
+            return Err(ServeError::CorruptCheckpoint {
+                offset: body.len(),
+                what: "checksum mismatch",
+            });
+        }
+        let mut r = Reader::new(body);
+        if r.take(4, "magic")? != MAGIC {
+            return Err(ServeError::CorruptCheckpoint { offset: 0, what: "bad magic" });
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(ServeError::CorruptCheckpoint {
+                offset: 4,
+                what: "unsupported checkpoint version",
+            });
+        }
+        let fingerprint = r.u64("fingerprint")?;
+        let snapshot = read_snapshot(&mut r)?;
+        if r.pos != body.len() {
+            return Err(r.corrupt("trailing bytes after the snapshot"));
+        }
+        Ok(EngineCheckpoint { fingerprint, snapshot })
+    }
+}
+
+/// What [`serve_checkpoint`] produced: either the run finished before the
+/// requested boundary, or a checkpoint was taken there.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointOutcome {
+    /// The source ran dry (or the breaker drained the trace) before the
+    /// requested batch boundary was reached — the completed report is the
+    /// whole answer and there is nothing to resume.
+    Completed(Box<ServeReport>),
+    /// The run was suspended at the first quiescent boundary at or after
+    /// the requested batch count.
+    Checkpoint(Box<EngineCheckpoint>),
+}
+
+/// Runs the engine until `at_batch` batches have formed and the engine is
+/// quiescent, then suspends it into an [`EngineCheckpoint`] (pass 0 to
+/// checkpoint the fresh engine before any dispatch). Returns
+/// [`CheckpointOutcome::Completed`] when the run ends first — including
+/// under [`ServeConfig::preempt`], where an open bulk kernel can keep the
+/// engine from ever quiescing mid-trace.
+pub fn serve_checkpoint<S: TraceSource>(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    source: S,
+    cfg: &ServeConfig,
+    at_batch: usize,
+) -> Result<CheckpointOutcome, ServeError> {
+    cfg.validate()?;
+    let fingerprint = run_fingerprint(spec, machines, cfg);
+    let mut engine = Engine::new(spec, machines, source, cfg);
+    loop {
+        if engine.batches_formed() >= at_batch && engine.quiescent() {
+            return Ok(CheckpointOutcome::Checkpoint(Box::new(EngineCheckpoint {
+                fingerprint,
+                snapshot: engine.snapshot(),
+            })));
+        }
+        if !engine.step()? {
+            return Ok(CheckpointOutcome::Completed(Box::new(engine.finish())));
+        }
+    }
+}
+
+/// Resumes a checkpointed run over a fresh instance of the *same* source
+/// and finishes it. The report is bit-identical to the uninterrupted
+/// run's for every policy, fault plan, detail level, and thread count.
+///
+/// `source` must replay the same arrival sequence the original run
+/// consumed (the checkpoint records how many arrivals to skip); a source
+/// that runs dry before the checkpoint position is rejected as corrupt. A
+/// checkpoint taken under a different setup is refused with
+/// [`ServeError::CheckpointMismatch`].
+pub fn serve_resume<S: TraceSource>(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    mut source: S,
+    cfg: &ServeConfig,
+    checkpoint: &EngineCheckpoint,
+) -> Result<ServeReport, ServeError> {
+    cfg.validate()?;
+    let expected = run_fingerprint(spec, machines, cfg);
+    if expected != checkpoint.fingerprint {
+        return Err(ServeError::CheckpointMismatch { expected, found: checkpoint.fingerprint });
+    }
+    for _ in 0..checkpoint.snapshot.pulled {
+        if source.next_arrival().is_none() {
+            return Err(ServeError::CorruptCheckpoint {
+                offset: 0,
+                what: "source ran dry before the checkpoint position",
+            });
+        }
+    }
+    let mut engine = Engine::restore(spec, machines, source, cfg, &checkpoint.snapshot)?;
+    while engine.step()? {}
+    Ok(engine.finish())
+}
+
+/// What survived a simulated mid-trace device crash.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashOutcome {
+    /// The finished report, when the whole run completed at or before the
+    /// crash cycle — the crash struck an idle device and nothing was lost.
+    pub completed: Option<Box<ServeReport>>,
+    /// The latest checkpoint taken before the crash (always present when
+    /// the run did *not* complete: a checkpoint is taken at batch 0,
+    /// before any dispatch, so there is always a resume point).
+    pub checkpoint: Option<Box<EngineCheckpoint>>,
+    /// Checkpoints taken during the run.
+    pub checkpoints_taken: u64,
+    /// Total encoded bytes of those checkpoints — what a real deployment
+    /// would have written to durable storage.
+    pub checkpoint_bytes: u64,
+}
+
+/// Drives a run that will crash at `crash_cycle`, checkpointing every
+/// `every_batches` formed batches (clamped to at least 1; the fresh
+/// engine is always checkpointed first, so a crash before the first batch
+/// still leaves a resume point). The run stops the moment the device
+/// timeline schedules work past the crash cycle — that in-flight state
+/// dies with the device; what survives is the latest checkpoint, whose
+/// encoded size is accounted as durable-storage traffic.
+pub fn serve_until_crash<S: TraceSource>(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    source: S,
+    cfg: &ServeConfig,
+    every_batches: usize,
+    crash_cycle: u64,
+) -> Result<CrashOutcome, ServeError> {
+    cfg.validate()?;
+    let fingerprint = run_fingerprint(spec, machines, cfg);
+    let mut engine = Engine::new(spec, machines, source, cfg);
+    let mut checkpoint: Option<Box<EngineCheckpoint>> = None;
+    let mut checkpoints_taken = 0u64;
+    let mut checkpoint_bytes = 0u64;
+    let mut next_due = 0usize;
+    loop {
+        if engine.quiescent()
+            && engine.horizon() <= crash_cycle
+            && engine.batches_formed() >= next_due
+        {
+            let ck = EngineCheckpoint { fingerprint, snapshot: engine.snapshot() };
+            checkpoints_taken += 1;
+            checkpoint_bytes += ck.encode().len() as u64;
+            checkpoint = Some(Box::new(ck));
+            next_due = engine.batches_formed() + every_batches.max(1);
+        }
+        if engine.horizon() > crash_cycle {
+            return Ok(CrashOutcome {
+                completed: None,
+                checkpoint,
+                checkpoints_taken,
+                checkpoint_bytes,
+            });
+        }
+        if !engine.step()? {
+            // The source ran dry with every scheduled cycle at or before
+            // the crash: the run completed on the doomed device.
+            return Ok(CrashOutcome {
+                completed: Some(Box::new(engine.finish())),
+                checkpoint,
+                checkpoints_taken,
+                checkpoint_bytes,
+            });
+        }
+    }
+}
+
+/// Seals a crashed run's checkpoint into its durable [`ServeReport`] plus
+/// the *orphan* arrivals a failover peer must replay.
+///
+/// The checkpoint's admission window holds streams that were pulled from
+/// the source but never dispatched — on the dead device they are neither
+/// served nor shed, so they are subtracted from the report's pull-side
+/// totals and handed back as orphans (in admission order). The remaining
+/// state finalizes exactly like a run whose source dried at the boundary:
+/// same summaries, same counters, same invariants.
+pub fn finalize_checkpoint(
+    spec: &DeviceSpec,
+    machines: &[ServeMachine<'_>],
+    cfg: &ServeConfig,
+    checkpoint: &EngineCheckpoint,
+) -> Result<(ServeReport, Vec<StreamArrival>), ServeError> {
+    cfg.validate()?;
+    let expected = run_fingerprint(spec, machines, cfg);
+    if expected != checkpoint.fingerprint {
+        return Err(ServeError::CheckpointMismatch { expected, found: checkpoint.fingerprint });
+    }
+    let corrupt = |what: &'static str| ServeError::CorruptCheckpoint { offset: 0, what };
+    let mut snap = checkpoint.snapshot.clone();
+    let orphans = std::mem::take(&mut snap.window);
+    snap.pulled = snap.next;
+    for a in &orphans {
+        snap.report.streams = snap
+            .report
+            .streams
+            .checked_sub(1)
+            .ok_or_else(|| corrupt("window exceeds stream count"))?;
+        snap.report.total_bytes = snap
+            .report
+            .total_bytes
+            .checked_sub(a.bytes.len())
+            .ok_or_else(|| corrupt("window exceeds byte count"))?;
+    }
+    let source = IterSource(std::iter::empty::<StreamArrival>());
+    let mut engine = Engine::restore(spec, machines, source, cfg, &snap)?;
+    while engine.step()? {}
+    Ok((engine.finish(), orphans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::serve;
+    use crate::policy::BatchPolicy;
+    use crate::trace::Trace;
+    use gspecpal_fsm::examples::div7;
+
+    fn setup() -> (DeviceSpec, gspecpal_fsm::Dfa) {
+        (DeviceSpec::test_unit(), div7())
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig { policy: BatchPolicy::Fifo { batch: 4 }, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn resume_matches_the_uninterrupted_run() {
+        let (spec, dfa) = setup();
+        let machine = ServeMachine::prepare(&spec, &dfa, &b"110100".repeat(64));
+        let machines = [machine];
+        let trace = Trace::synthetic(3, 30, 1, 40, 8..96, b"01");
+        let cfg = cfg();
+        let reference = serve(&spec, &machines, &trace, &cfg).unwrap();
+        for at_batch in [0usize, 1, 3, 5, 100] {
+            match serve_checkpoint(&spec, &machines, trace.source(), &cfg, at_batch).unwrap() {
+                CheckpointOutcome::Completed(report) => {
+                    assert_eq!(*report, reference, "completed at_batch={at_batch}");
+                }
+                CheckpointOutcome::Checkpoint(ck) => {
+                    let resumed =
+                        serve_resume(&spec, &machines, trace.source(), &cfg, &ck).unwrap();
+                    assert_eq!(resumed, reference, "resumed at_batch={at_batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_for_bit() {
+        let (spec, dfa) = setup();
+        let machines = [ServeMachine::prepare(&spec, &dfa, &b"110100".repeat(64))];
+        let trace = Trace::synthetic(5, 24, 1, 40, 8..96, b"01");
+        let cfg = cfg();
+        let CheckpointOutcome::Checkpoint(ck) =
+            serve_checkpoint(&spec, &machines, trace.source(), &cfg, 2).unwrap()
+        else {
+            panic!("the trace has more than two batches");
+        };
+        let bytes = ck.encode();
+        let decoded = EngineCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, *ck);
+        assert_eq!(decoded.encode(), bytes, "encoding is byte-deterministic");
+    }
+
+    #[test]
+    fn corruption_is_rejected_never_panicking() {
+        let (spec, dfa) = setup();
+        let machines = [ServeMachine::prepare(&spec, &dfa, &b"110100".repeat(64))];
+        let trace = Trace::synthetic(9, 24, 1, 40, 8..96, b"01");
+        let cfg = cfg();
+        let CheckpointOutcome::Checkpoint(ck) =
+            serve_checkpoint(&spec, &machines, trace.source(), &cfg, 2).unwrap()
+        else {
+            panic!("expected a checkpoint");
+        };
+        let bytes = ck.encode();
+        // Every truncation fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(EngineCheckpoint::decode(&bytes[..cut]).is_err(), "truncated at {cut}");
+        }
+        // Every single-bit flip fails cleanly (the checksum net).
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1;
+            assert!(EngineCheckpoint::decode(&bad).is_err(), "bit flip at byte {i}");
+        }
+    }
+
+    #[test]
+    fn mismatched_setups_are_refused() {
+        let (spec, dfa) = setup();
+        let machines = [ServeMachine::prepare(&spec, &dfa, &b"110100".repeat(64))];
+        let trace = Trace::synthetic(11, 24, 1, 40, 8..96, b"01");
+        let cfg = cfg();
+        let CheckpointOutcome::Checkpoint(ck) =
+            serve_checkpoint(&spec, &machines, trace.source(), &cfg, 1).unwrap()
+        else {
+            panic!("expected a checkpoint");
+        };
+        let other = ServeConfig { policy: BatchPolicy::Fifo { batch: 5 }, ..cfg.clone() };
+        match serve_resume(&spec, &machines, trace.source(), &other, &ck) {
+            Err(ServeError::CheckpointMismatch { .. }) => {}
+            other => panic!("expected a fingerprint mismatch, got {other:?}"),
+        }
+        // A source that dries up early is structurally corrupt.
+        let short = Trace::from_arrivals(trace.arrivals()[..1].to_vec());
+        match serve_resume(&spec, &machines, short.source(), &cfg, &ck) {
+            Err(ServeError::CorruptCheckpoint { .. }) => {}
+            other => panic!("expected a dry-source rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finalize_splits_durable_report_from_orphans() {
+        let (spec, dfa) = setup();
+        let machines = [ServeMachine::prepare(&spec, &dfa, &b"110100".repeat(64))];
+        let trace = Trace::synthetic(13, 40, 1, 30, 8..96, b"01");
+        let cfg = cfg();
+        let crash = serve_until_crash(&spec, &machines, trace.source(), &cfg, 1, 200_000).unwrap();
+        assert!(crash.checkpoints_taken >= 1, "batch-0 checkpoint is unconditional");
+        assert!(crash.checkpoint_bytes > 0);
+        let ck = crash.checkpoint.expect("a checkpoint always survives");
+        let (durable, orphans) = finalize_checkpoint(&spec, &machines, &cfg, &ck).unwrap();
+        // Conservation: durable streams + orphans + never-pulled = trace.
+        assert_eq!(durable.streams, ck.streams_pulled() - orphans.len());
+        assert!(durable.streams + orphans.len() <= trace.len());
+        // The durable report is internally consistent.
+        assert_eq!(durable.stats.profile.total_cycles(), durable.stats.cycles);
+        assert_eq!(durable.batches.len() as u64, durable.batches_dispatched);
+    }
+}

@@ -241,6 +241,11 @@ impl MachineState {
     }
 }
 
+/// One machine's exported dynamic state, for checkpointing: the
+/// decided-batch counter plus each arm's (cost window, lifetime
+/// observation count).
+pub(crate) type MachineArmState = (u64, Vec<(Vec<u64>, u64)>);
+
 /// The online feedback controller: one `MachineState` per served
 /// machine, advanced machine-locally by the engine's forward pass.
 #[derive(Clone, Debug)]
@@ -300,6 +305,46 @@ impl AdaptiveController {
         // until anything has been observed.
         let pick = st.incumbent().map_or(0, |(i, _)| i);
         Decision { arm: pick, choice: st.arms[pick].choice, explore: false }
+    }
+
+    /// The controller's entire dynamic state, for checkpointing: per
+    /// machine, the decided-batch counter plus each arm's (cost window,
+    /// lifetime observation count). Everything else — the arm choices, the
+    /// config — rebuilds from the serve configuration and machine list.
+    pub(crate) fn export_state(&self) -> Vec<MachineArmState> {
+        self.machines
+            .iter()
+            .map(|m| {
+                (
+                    m.decided,
+                    m.arms
+                        .iter()
+                        .map(|a| (a.window.iter().copied().collect(), a.observations))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Restores state exported by [`AdaptiveController::export_state`] into
+    /// a freshly built controller. Returns `false` (leaving the controller
+    /// untouched) when the shape does not match this controller's machine
+    /// and arm lists — a checkpoint from a different fleet must not
+    /// half-apply.
+    pub(crate) fn import_state(&mut self, state: &[MachineArmState]) -> bool {
+        if state.len() != self.machines.len()
+            || self.machines.iter().zip(state).any(|(m, (_, arms))| arms.len() != m.arms.len())
+        {
+            return false;
+        }
+        for (m, (decided, arms)) in self.machines.iter_mut().zip(state) {
+            m.decided = *decided;
+            for (a, (window, observations)) in m.arms.iter_mut().zip(arms) {
+                a.window = window.iter().copied().collect();
+                a.observations = *observations;
+            }
+        }
+        true
     }
 
     /// Feeds one batch's observation back into the decided arm's window.

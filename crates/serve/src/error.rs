@@ -57,6 +57,27 @@ pub enum ServeError {
         /// Index of the offending arrival.
         stream: usize,
     },
+    /// A checkpoint's bytes are malformed: truncated, bad magic or
+    /// checksum, an out-of-range tag, or decoded state no run of the
+    /// engine could have produced. Corruption is always a structured
+    /// rejection, never a panic.
+    CorruptCheckpoint {
+        /// Byte offset the decoder was at when it gave up (0 for semantic
+        /// validation failures past the byte layer).
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A well-formed checkpoint was presented to a run whose configuration,
+    /// machines, or device differ from the ones it was taken under — the
+    /// bit-identity guarantee only holds against the identical setup, so
+    /// resuming is refused instead of silently diverging.
+    CheckpointMismatch {
+        /// Fingerprint of the resuming run's setup.
+        expected: u64,
+        /// Fingerprint recorded in the checkpoint.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,6 +104,13 @@ impl std::fmt::Display for ServeError {
             ServeError::EmptyStream { stream } => {
                 write!(f, "arrival {stream} carries an empty stream")
             }
+            ServeError::CorruptCheckpoint { offset, what } => {
+                write!(f, "corrupt checkpoint at byte {offset}: {what}")
+            }
+            ServeError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:#018x} does not match this run's {expected:#018x}"
+            ),
         }
     }
 }

@@ -35,7 +35,14 @@
 //!   per-device transition-table LRU whose misses charge real H2D copies
 //!   (and whose hit rate the report carries), and deadline-class machines
 //!   whose batches preempt the open bulk kernel at its next wave boundary
-//!   ([`ServeConfig::preempt`]) instead of queueing behind it.
+//!   ([`ServeConfig::preempt`]) instead of queueing behind it;
+//! * [`serve_checkpoint`] / [`serve_resume`] / [`serve_until_crash`] —
+//!   crash consistency: the engine suspends at any quiescent inter-batch
+//!   boundary into a versioned, checksummed, byte-deterministic
+//!   [`EngineCheckpoint`], and a resumed run's report is bit-identical to
+//!   the uninterrupted one; [`finalize_checkpoint`] turns the last
+//!   checkpoint before a device crash into a durable report plus the
+//!   orphan arrivals a failover peer must replay (see `gspecpal-cluster`).
 //!
 //! Everything is integer cycle arithmetic over deterministic simulations:
 //! two runs of the same trace and configuration produce bit-identical
@@ -63,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod controller;
 pub mod error;
 pub mod pipeline;
@@ -72,6 +80,10 @@ pub mod sketch;
 pub mod source;
 pub mod trace;
 
+pub use checkpoint::{
+    finalize_checkpoint, serve_checkpoint, serve_resume, serve_until_crash, CheckpointOutcome,
+    CrashOutcome, EngineCheckpoint,
+};
 pub use controller::{
     AdaptiveController, BatchObservation, ControllerConfig, Decision, DecisionRecord, LaunchChoice,
 };

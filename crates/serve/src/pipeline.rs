@@ -88,6 +88,7 @@ use gspecpal_gpu::{
 
 use crate::controller::{
     AdaptiveController, BatchObservation, ControllerConfig, DecisionRecord, LaunchChoice,
+    MachineArmState,
 };
 use crate::error::ServeError;
 use crate::policy::{BatchPolicy, PriorityClass};
@@ -389,7 +390,7 @@ impl ServeConfig {
         self.device_mem_bytes / 2
     }
 
-    fn validate(&self) -> Result<(), ServeError> {
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if self.buffer_bytes() == 0 {
             return Err(ServeError::InvalidConfig {
                 field: "device_mem_bytes",
@@ -1058,6 +1059,26 @@ impl ResidencyLru {
         }
     }
 
+    /// Rebuilds an LRU from its resident-order snapshot (least recently
+    /// used first); `used` and the residency flags re-derive from the
+    /// order and the machines' table footprints. `None` when the order is
+    /// not a valid resident set (out-of-range id, duplicate, over budget).
+    fn from_order(capacity: usize, machines: &[ServeMachine<'_>], order: &[usize]) -> Option<Self> {
+        let mut lru = ResidencyLru::new(capacity, machines);
+        for &m in order {
+            if m >= lru.resident.len() || lru.resident[m] {
+                return None;
+            }
+            lru.resident[m] = true;
+            lru.used += lru.bytes[m];
+            lru.order.push_back(m);
+        }
+        if lru.used > capacity {
+            return None;
+        }
+        Some(lru)
+    }
+
     fn touch(&mut self, m: usize) -> TableTouch {
         if self.resident[m] {
             if let Some(pos) = self.order.iter().position(|&x| x == m) {
@@ -1379,59 +1400,261 @@ fn run_engine<S: TraceSource>(
     source: S,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
-    let depth = cfg.max_queue_depth;
-    let buffer_bytes = cfg.buffer_bytes();
-    // One fault plan drives both kernel-side and copy-engine injection; the
-    // zero plan never fails a copy, so the retry loops are exact no-ops
-    // without one.
-    let plan = cfg.scheme_config.faults.unwrap_or_default();
-    let rcfg = &cfg.recovery;
-    let copy_faults = CopyFaults { plan: &plan, rcfg };
-    let mut breaker_consecutive = 0u32;
-    let mut timeline = DeviceTimeline::new(cfg.overlap);
-    // The adaptive controller is fed from this single sequential forward
-    // pass over bit-deterministic batch stats, so its decisions inherit the
-    // engine's thread-count independence for free.
-    let mut controller = cfg.controller.as_ref().map(|cc| {
-        AdaptiveController::new(cc.clone(), machines.iter().map(|m| m.arms.clone()).collect())
-    });
-    let mut col = Collector::new(cfg);
-    let mut depths = DepthTracker::new(col.full, depth);
-    let mut meter = OverlapMeter::default();
-    let mut residency = cfg.residency.map(|rc| ResidencyLru::new(rc.capacity_bytes, machines));
-    // Report-side effects route through the sink: write-through normally,
-    // buffered while a bulk kernel is open in preempt mode (so fates replay
-    // in admission order once it closes).
-    let mut sink = Sink { buffering: false, buf: Vec::new() };
-    // Preempt-mode state: the open (still preemptible) bulk batch, the
-    // manual compute cursor, and the batch failures sealed this iteration.
-    let mut open: Option<PendingClose> = None;
-    let mut cq = ComputeCursor::default();
-    let mut fails: Vec<bool> = Vec::new();
-    let mut puller =
-        Puller { source, n_machines: machines.len(), buffer_bytes, pulled: 0, last_cycle: 0 };
-    // Pulled-but-undispatched arrivals: at most one batch plus one
-    // look-ahead stream.
-    let mut window: VecDeque<StreamArrival> = VecDeque::new();
-    let mut ring = ReleaseRing::new(depth);
-    // Reused per batch: the drained arrivals and their admission cycles.
-    let mut batch_arrivals: Vec<StreamArrival> = Vec::new();
-    let mut batch_admits: Vec<u64> = Vec::new();
-    // When each double buffer becomes free for the next input copy.
-    let mut buffer_free = [0u64; 2];
-    let mut next = 0usize; // admission index of the window head
-    let mut batch_idx = 0usize;
-    let admit_at = |arrival: u64, k: usize, ring: &ReleaseRing| -> u64 {
-        if k >= depth {
-            arrival.max(ring.get(k - depth))
-        } else {
-            arrival
-        }
-    };
+    let mut engine = Engine::new(spec, machines, source, cfg);
+    while engine.step()? {}
+    Ok(engine.finish())
+}
 
-    while puller.fill(&mut window, &mut col, 1)? {
+/// Admission cycle of stream `k`: its arrival, floored by the release of
+/// the stream whose queue slot it reuses (`k − depth`).
+fn admit_at(depth: usize, ring: &ReleaseRing, arrival: u64, k: usize) -> u64 {
+    if k >= depth {
+        arrival.max(ring.get(k - depth))
+    } else {
+        arrival
+    }
+}
+
+/// The engine's entire mutable state at a quiescent inter-batch boundary —
+/// what [`crate::checkpoint`] serializes into an
+/// [`crate::checkpoint::EngineCheckpoint`]. Fields mirror the engine's
+/// internals one-to-one; everything configuration-derived (the fault plan,
+/// detail flags, queue depth, controller arm lists, residency footprints)
+/// is deliberately absent and rebuilt by [`Engine::restore`] from the same
+/// `ServeConfig` and machine list, which the checkpoint layer fingerprints.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct EngineSnapshot {
+    /// Streams pulled from the source (the resume point's skip count).
+    pub(crate) pulled: usize,
+    /// Last pulled arrival cycle (the monotonicity cursor).
+    pub(crate) last_cycle: u64,
+    /// Admission index of the window head.
+    pub(crate) next: usize,
+    /// Batches formed so far (including abandoned ones).
+    pub(crate) batch_idx: usize,
+    /// Consecutive failed batches toward the circuit breaker.
+    pub(crate) breaker_consecutive: u32,
+    /// When each double buffer frees for its next input copy.
+    pub(crate) buffer_free: [u64; 2],
+    /// Preempt-mode compute cursor: next-free cycle.
+    pub(crate) cq_free: u64,
+    /// Preempt-mode compute cursor: horizon.
+    pub(crate) cq_horizon: u64,
+    /// Device timeline queue frontiers `[h2d, compute, d2h]`.
+    pub(crate) frontiers: [u64; 3],
+    /// Pulled-but-undispatched arrivals (the admission window).
+    pub(crate) window: Vec<StreamArrival>,
+    /// Total slot releases pushed into the release ring.
+    pub(crate) ring_released: usize,
+    /// The ring's retained release cycles, oldest first.
+    pub(crate) ring_recent: Vec<u64>,
+    /// The depth tracker's pending events `(cycle, kind)`, canonically
+    /// sorted (the heap's multiset is its state; layout is not).
+    pub(crate) depth_pending: Vec<(u64, i8)>,
+    /// Running queue depth at the tracker's sampling frontier.
+    pub(crate) depth_depth: i64,
+    /// Cycle of the tracker's open (unsampled) event group.
+    pub(crate) depth_group: Option<u64>,
+    /// Queue-depth samples emitted so far (full detail only).
+    pub(crate) depth_samples: Vec<(u64, usize)>,
+    /// Peak sampled queue depth so far.
+    pub(crate) depth_peak: usize,
+    /// Whether any breaker-shed net-zero pair was recorded.
+    pub(crate) depth_zero_pairs: bool,
+    /// The overlap meter's retained compute spans.
+    pub(crate) meter_computes: Vec<Span>,
+    /// The overlap meter's copies still pending against future computes.
+    pub(crate) meter_pending_copies: Vec<Span>,
+    /// Copy-engine busy cycles accumulated.
+    pub(crate) meter_copy_busy: u64,
+    /// Copy cycles hidden under kernels so far.
+    pub(crate) meter_hidden: u64,
+    /// Resident machine ids of the table LRU, least recently used first
+    /// (`None` when residency modeling is off).
+    pub(crate) residency_order: Option<Vec<usize>>,
+    /// Adaptive-controller dynamic state: per machine, the decided-batch
+    /// counter and each arm's (cost window, observation count).
+    pub(crate) controller: Option<Vec<MachineArmState>>,
+    /// The report accumulated so far (finalization fields still default).
+    pub(crate) report: ServeReport,
+    /// Delivery-latency accumulator: exact values collected so far.
+    pub(crate) delivery_exact: Vec<u64>,
+    /// Delivery-latency accumulator: the sketch, once spilled.
+    pub(crate) delivery_sketch: Option<LatencySketch>,
+    /// Kernel-latency accumulator: exact values collected so far.
+    pub(crate) kernel_exact: Vec<u64>,
+    /// Kernel-latency accumulator: the sketch, once spilled.
+    pub(crate) kernel_sketch: Option<LatencySketch>,
+}
+
+/// The streaming serve engine behind [`serve`] and [`serve_source`],
+/// factored into an explicit state machine so a run can be suspended and
+/// resumed: [`Engine::step`] forms and dispatches exactly one batch (one
+/// iteration of the historical dispatch loop), and between steps — when
+/// [`Engine::quiescent`] holds — the engine's entire mutable state is
+/// capturable as an [`EngineSnapshot`] and reconstructible with
+/// [`Engine::restore`]. `run_engine` (and with it `serve`/`serve_source`)
+/// is `new` + step-to-dry + [`Engine::finish`], so the resumable engine
+/// *is* the production path, not a parallel implementation — which is what
+/// makes the checkpoint layer's bit-identity guarantee structural instead
+/// of aspirational.
+pub(crate) struct Engine<'e, 'm, S> {
+    spec: &'e DeviceSpec,
+    machines: &'e [ServeMachine<'m>],
+    cfg: &'e ServeConfig,
+    breaker_consecutive: u32,
+    timeline: DeviceTimeline,
+    controller: Option<AdaptiveController>,
+    col: Collector,
+    depths: DepthTracker,
+    meter: OverlapMeter,
+    residency: Option<ResidencyLru>,
+    sink: Sink,
+    open: Option<PendingClose>,
+    cq: ComputeCursor,
+    fails: Vec<bool>,
+    puller: Puller<S>,
+    /// Pulled-but-undispatched arrivals: at most one batch plus one
+    /// look-ahead stream.
+    window: VecDeque<StreamArrival>,
+    ring: ReleaseRing,
+    /// Reused per batch: the drained arrivals and their admission cycles.
+    batch_arrivals: Vec<StreamArrival>,
+    batch_admits: Vec<u64>,
+    /// When each double buffer becomes free for the next input copy.
+    buffer_free: [u64; 2],
+    /// Admission index of the window head.
+    next: usize,
+    batch_idx: usize,
+}
+
+impl<'e, 'm, S: TraceSource> Engine<'e, 'm, S> {
+    /// A fresh engine at cycle 0, about to pull the first arrival.
+    pub(crate) fn new(
+        spec: &'e DeviceSpec,
+        machines: &'e [ServeMachine<'m>],
+        source: S,
+        cfg: &'e ServeConfig,
+    ) -> Self {
+        let col = Collector::new(cfg);
+        let full = col.full;
+        Engine {
+            spec,
+            machines,
+            cfg,
+            breaker_consecutive: 0,
+            timeline: DeviceTimeline::new(cfg.overlap),
+            // The adaptive controller is fed from this single sequential
+            // forward pass over bit-deterministic batch stats, so its
+            // decisions inherit the engine's thread-count independence for
+            // free.
+            controller: cfg.controller.as_ref().map(|cc| {
+                AdaptiveController::new(
+                    cc.clone(),
+                    machines.iter().map(|m| m.arms.clone()).collect(),
+                )
+            }),
+            col,
+            depths: DepthTracker::new(full, cfg.max_queue_depth),
+            meter: OverlapMeter::default(),
+            residency: cfg.residency.map(|rc| ResidencyLru::new(rc.capacity_bytes, machines)),
+            // Report-side effects route through the sink: write-through
+            // normally, buffered while a bulk kernel is open in preempt
+            // mode (so fates replay in admission order once it closes).
+            sink: Sink { buffering: false, buf: Vec::new() },
+            // Preempt-mode state: the open (still preemptible) bulk batch,
+            // the manual compute cursor, and the batch failures sealed
+            // this iteration.
+            open: None,
+            cq: ComputeCursor::default(),
+            fails: Vec::new(),
+            puller: Puller {
+                source,
+                n_machines: machines.len(),
+                buffer_bytes: cfg.buffer_bytes(),
+                pulled: 0,
+                last_cycle: 0,
+            },
+            window: VecDeque::new(),
+            ring: ReleaseRing::new(cfg.max_queue_depth),
+            batch_arrivals: Vec::new(),
+            batch_admits: Vec::new(),
+            buffer_free: [0u64; 2],
+            next: 0,
+            batch_idx: 0,
+        }
+    }
+
+    /// Whether the engine sits at a checkpointable boundary: no open
+    /// (still-preemptible) bulk kernel, no buffered report effects, and no
+    /// batch failures awaiting the breaker fold. Always true between steps
+    /// outside preempt mode; under [`ServeConfig::preempt`] a bulk kernel
+    /// stays open across steps, so the engine may never quiesce before the
+    /// trace runs dry.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.open.is_none()
+            && !self.sink.buffering
+            && self.sink.buf.is_empty()
+            && self.fails.is_empty()
+    }
+
+    /// The pipeline horizon so far: the latest cycle any device queue (or
+    /// the preempt-mode compute cursor) is busy until.
+    pub(crate) fn horizon(&self) -> u64 {
+        self.timeline.horizon().max(self.cq.horizon)
+    }
+
+    /// Batches formed so far, including abandoned ones.
+    pub(crate) fn batches_formed(&self) -> usize {
+        self.batch_idx
+    }
+
+    /// Forms and dispatches one batch (or sheds the head-of-queue stream,
+    /// or trips the breaker and drains the trace). Returns `Ok(false)` when
+    /// the run is over — source dry or breaker open — after which
+    /// [`Engine::finish`] seals the report. One call is exactly one
+    /// iteration of the historical `run_engine` dispatch loop, so stepping
+    /// until `Ok(false)` reproduces the uninterrupted run byte for byte.
+    pub(crate) fn step(&mut self) -> Result<bool, ServeError> {
+        let spec = self.spec;
+        let machines = self.machines;
+        let cfg = self.cfg;
+        let depth = cfg.max_queue_depth;
+        let buffer_bytes = cfg.buffer_bytes();
+        // One fault plan drives both kernel-side and copy-engine injection;
+        // the zero plan never fails a copy, so the retry loops are exact
+        // no-ops without one.
+        let plan = cfg.scheme_config.faults.unwrap_or_default();
+        let rcfg = &cfg.recovery;
+        let copy_faults = CopyFaults { plan: &plan, rcfg };
+        let Engine {
+            breaker_consecutive,
+            timeline,
+            controller,
+            col,
+            depths,
+            meter,
+            residency,
+            sink,
+            open,
+            cq,
+            fails,
+            puller,
+            window,
+            ring,
+            batch_arrivals,
+            batch_admits,
+            buffer_free,
+            next,
+            batch_idx,
+            ..
+        } = self;
+
+        if !puller.fill(window, col, 1)? {
+            return Ok(false);
+        }
         let head_arrival = window[0].arrival_cycle;
-        let first_admit = admit_at(head_arrival, next, &ring);
+        let first_admit = admit_at(depth, ring, head_arrival, *next);
         // Load shedding: a head-of-queue stream that already waited past
         // the shedding deadline is dropped instead of dispatched — a
         // structured outcome, not an error.
@@ -1443,10 +1666,10 @@ fn run_engine<S: TraceSource>(
                 depths.record(first_admit, first_admit, bound);
                 col.report.backpressure_events += 1;
                 col.report.backpressure_wait_cycles += wait;
-                sink.push(SinkOp::Shed(StreamOutcome::ShedDeadline), &mut col, &mut meter);
+                sink.push(SinkOp::Shed(StreamOutcome::ShedDeadline), col, meter);
                 window.pop_front();
-                next += 1;
-                continue;
+                *next += 1;
+                return Ok(true);
             }
         }
         let machine_id = window[0].machine;
@@ -1472,7 +1695,7 @@ fn run_engine<S: TraceSource>(
         };
         loop {
             let count = batch_admits.len();
-            if count >= cap || !puller.fill(&mut window, &mut col, count + 1)? {
+            if count >= cap || !puller.fill(window, col, count + 1)? {
                 break;
             }
             let a = &window[count];
@@ -1482,7 +1705,7 @@ fn run_engine<S: TraceSource>(
             if bytes + a.bytes.len() > buffer_bytes {
                 break; // staging buffer is full
             }
-            let t = admit_at(a.arrival_cycle, next + count, &ring);
+            let t = admit_at(depth, ring, a.arrival_cycle, *next + count);
             if count > 0 {
                 if let Some(d) = deadline {
                     if t > d {
@@ -1495,7 +1718,7 @@ fn run_engine<S: TraceSource>(
                 if let BatchPolicy::Adaptive { .. } = cfg.policy {
                     // Work-conserving: if waiting for this arrival would
                     // leave the device idle, ship what we have.
-                    let backlog = timeline.h2d_free_at().max(buffer_free[batch_idx % 2]);
+                    let backlog = timeline.h2d_free_at().max(buffer_free[*batch_idx % 2]);
                     if t > t_close.max(backlog) {
                         break;
                     }
@@ -1515,15 +1738,15 @@ fn run_engine<S: TraceSource>(
         // its streams shed (no result, no `BatchRecord`).
         let h2d_stats = transfer_stats(spec, bytes);
         let d2h_stats = transfer_stats(spec, cfg.d2h_bytes_per_stream * count);
-        let h2d_ready = t_close.max(buffer_free[batch_idx % 2]);
+        let h2d_ready = t_close.max(buffer_free[*batch_idx % 2]);
         match copy_with_retries(
-            &mut timeline,
+            timeline,
             CopyDir::H2d,
-            batch_idx,
+            *batch_idx,
             h2d_ready,
             &h2d_stats,
             &copy_faults,
-            &mut col,
+            col,
         ) {
             None => {
                 // Inputs never reached the device: the queue slot still
@@ -1542,7 +1765,7 @@ fn run_engine<S: TraceSource>(
                         col.report.backpressure_events += 1;
                         col.report.backpressure_wait_cycles += wait;
                     }
-                    sink.push(SinkOp::Shed(StreamOutcome::ShedCopyFailure), &mut col, &mut meter);
+                    sink.push(SinkOp::Shed(StreamOutcome::ShedCopyFailure), col, meter);
                 }
                 fails.push(true);
             }
@@ -1582,29 +1805,15 @@ fn run_engine<S: TraceSource>(
                     // the tail of the compute queue is still preemptible.
                     if let Some(ob) = open.take() {
                         sink.buffering = false;
-                        let failed = close_pending(
-                            ob,
-                            &mut timeline,
-                            &copy_faults,
-                            &mut col,
-                            &mut meter,
-                            &mut sink,
-                        );
-                        sink.flush(&mut col, &mut meter);
+                        let failed = close_pending(ob, timeline, &copy_faults, col, meter, sink);
+                        sink.flush(col, meter);
                         fails.push(failed);
                     }
                 }
                 let compute = if !cfg.preempt {
                     timeline.compute(table_ready, exec.stats.cycles)
                 } else if deadline_class {
-                    preempt_or_queue(
-                        &mut open,
-                        &mut cq,
-                        &mut buffer_free,
-                        table_ready,
-                        exec.stats.cycles,
-                        &mut col,
-                    )
+                    preempt_or_queue(open, cq, buffer_free, table_ready, exec.stats.cycles, col)
                 } else {
                     cq.schedule(table_ready, exec.stats.cycles)
                 };
@@ -1624,7 +1833,7 @@ fn run_engine<S: TraceSource>(
                     }
                     if col.report.decisions.len() < c.max_decisions() {
                         col.report.decisions.push(DecisionRecord {
-                            batch: batch_idx,
+                            batch: *batch_idx,
                             machine: machine_id,
                             arm: d.arm,
                             choice: d.choice,
@@ -1636,7 +1845,7 @@ fn run_engine<S: TraceSource>(
                 // The input buffer frees once the kernel has consumed it;
                 // batch `batch_idx + 2` reuses it. In preempt mode a split
                 // bulk kernel may have pushed this slot further already.
-                let slot = &mut buffer_free[batch_idx % 2];
+                let slot = &mut buffer_free[*batch_idx % 2];
                 *slot = (*slot).max(compute.end);
                 let floor = ring.floor().unwrap_or(0);
                 for i in 0..count {
@@ -1658,8 +1867,8 @@ fn run_engine<S: TraceSource>(
                     Vec::new()
                 };
                 let pc = PendingClose {
-                    batch_idx,
-                    first_stream: next,
+                    batch_idx: *batch_idx,
+                    first_stream: *next,
                     machine_id,
                     scheme: choice.map_or(machine.scheme, |c| c.scheme),
                     mode: exec.mode,
@@ -1682,35 +1891,28 @@ fn run_engine<S: TraceSource>(
                     // Defer the close: a deadline batch may still split this
                     // kernel. Report-side effects buffer until it seals so
                     // stream fates replay in admission order.
-                    open = Some(pc);
+                    *open = Some(pc);
                     sink.buffering = true;
                 } else {
-                    fails.push(close_pending(
-                        pc,
-                        &mut timeline,
-                        &copy_faults,
-                        &mut col,
-                        &mut meter,
-                        &mut sink,
-                    ));
+                    fails.push(close_pending(pc, timeline, &copy_faults, col, meter, sink));
                 }
             }
         }
-        next += count;
-        batch_idx += 1;
+        *next += count;
+        *batch_idx += 1;
         let mut tripped = false;
         for failed in fails.drain(..) {
             if failed {
                 col.report.recovery.failed_batches += 1;
-                breaker_consecutive += 1;
+                *breaker_consecutive += 1;
                 if rcfg.breaker_failure_threshold > 0
-                    && breaker_consecutive >= rcfg.breaker_failure_threshold
+                    && *breaker_consecutive >= rcfg.breaker_failure_threshold
                 {
                     tripped = true;
                     break;
                 }
             } else {
-                breaker_consecutive = 0;
+                *breaker_consecutive = 0;
             }
         }
         if tripped {
@@ -1723,52 +1925,241 @@ fn run_engine<S: TraceSource>(
             loop {
                 let more = match window.pop_front() {
                     Some(_) => true,
-                    None => puller.pull(&mut col)?.is_some(),
+                    None => puller.pull(col)?.is_some(),
                 };
                 if !more {
                     break;
                 }
                 depths.zero_pair();
-                sink.push(SinkOp::Shed(StreamOutcome::ShedBreakerOpen), &mut col, &mut meter);
+                sink.push(SinkOp::Shed(StreamOutcome::ShedBreakerOpen), col, meter);
             }
-            break;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Seals the run and builds the final [`ServeReport`]: closes a
+    /// still-open bulk kernel, flushes buffered report effects, and fills
+    /// the finalization-only fields (makespan, summaries, queue-depth
+    /// samples, overlap efficiency, recovery counter folds).
+    pub(crate) fn finish(self) -> ServeReport {
+        let Engine { cfg, mut timeline, mut col, depths, mut meter, mut sink, open, cq, .. } = self;
+        let plan = cfg.scheme_config.faults.unwrap_or_default();
+        let copy_faults = CopyFaults { plan: &plan, rcfg: &cfg.recovery };
+        // A bulk kernel may still be open when the trace runs dry (or the
+        // breaker tripped): seal it now and replay everything buffered
+        // under it — preemptors' fates, breaker sheds — back in admission
+        // order.
+        if let Some(ob) = open {
+            sink.buffering = false;
+            if close_pending(ob, &mut timeline, &copy_faults, &mut col, &mut meter, &mut sink) {
+                col.report.recovery.failed_batches += 1;
+            }
+        }
+        sink.flush(&mut col, &mut meter);
+        debug_assert!(sink.buf.is_empty(), "every buffered report effect must have flushed");
+
+        let Collector { mut report, delivery, kernel, .. } = col;
+        report.makespan_cycles = timeline.horizon().max(cq.horizon);
+        // Latency summaries describe delivered results only; shed streams
+        // keep zeroed per-stream entries and are excluded.
+        let (delivery_summary, delivery_sketched) = delivery.summarize();
+        let (kernel_summary, kernel_sketched) = kernel.summarize();
+        report.delivery = delivery_summary;
+        report.kernel_latency = kernel_summary;
+        report.latency_error_permille =
+            if delivery_sketched || kernel_sketched { LatencySketch::ERROR_PERMILLE } else { 0 };
+        let (samples, peak) = depths.finish();
+        report.queue_depth = samples;
+        report.peak_queue = peak;
+        report.overlap_efficiency_permille = meter.efficiency_permille();
+        // Fold the kernel-side fault counters (accumulated through the
+        // stats merges) into the recovery report; copy-side counters are
+        // already there.
+        report.recovery.block_retries = report.stats.fault_retries;
+        report.recovery.watchdog_kills = report.stats.fault_watchdog_kills;
+        report.recovery.degraded_blocks = report.stats.fault_degraded_blocks;
+        report.recovery.fault_cycles += report.stats.fault_cycles;
+        report
+    }
+
+    /// Captures the engine's entire mutable state. Callers must be at a
+    /// quiescent inter-batch boundary ([`Engine::quiescent`]); everything
+    /// not captured is either configuration-derived or provably empty at
+    /// such a boundary (the open kernel, the sink buffer, the undrained
+    /// failure list, the per-batch scratch vectors).
+    pub(crate) fn snapshot(&self) -> EngineSnapshot {
+        debug_assert!(self.quiescent(), "snapshots are taken between batches only");
+        let mut depth_pending: Vec<(u64, i8)> = self.depths.pending.iter().map(|r| r.0).collect();
+        // The heap's internal layout depends on insertion history; its
+        // multiset is the state. Sorting canonicalizes the encoding, and a
+        // heap rebuilt from any permutation of the same multiset drains
+        // identically (equal keys are indistinguishable).
+        depth_pending.sort_unstable();
+        EngineSnapshot {
+            pulled: self.puller.pulled,
+            last_cycle: self.puller.last_cycle,
+            next: self.next,
+            batch_idx: self.batch_idx,
+            breaker_consecutive: self.breaker_consecutive,
+            buffer_free: self.buffer_free,
+            cq_free: self.cq.free,
+            cq_horizon: self.cq.horizon,
+            frontiers: self.timeline.queue_frontiers(),
+            window: self.window.iter().cloned().collect(),
+            ring_released: self.ring.released,
+            ring_recent: self.ring.recent.iter().copied().collect(),
+            depth_pending,
+            depth_depth: self.depths.depth,
+            depth_group: self.depths.group,
+            depth_samples: self.depths.samples.clone(),
+            depth_peak: self.depths.peak,
+            depth_zero_pairs: self.depths.zero_pairs,
+            meter_computes: self.meter.computes.iter().copied().collect(),
+            meter_pending_copies: self.meter.pending_copies.iter().copied().collect(),
+            meter_copy_busy: self.meter.copy_busy,
+            meter_hidden: self.meter.hidden,
+            residency_order: self.residency.as_ref().map(|l| l.order.iter().copied().collect()),
+            controller: self.controller.as_ref().map(AdaptiveController::export_state),
+            report: self.col.report.clone(),
+            delivery_exact: self.col.delivery.exact.clone(),
+            delivery_sketch: self.col.delivery.sketch.clone(),
+            kernel_exact: self.col.kernel.exact.clone(),
+            kernel_sketch: self.col.kernel.sketch.clone(),
         }
     }
 
-    // A bulk kernel may still be open when the trace runs dry (or the
-    // breaker tripped): seal it now and replay everything buffered under
-    // it — preemptors' fates, breaker sheds — back in admission order.
-    if let Some(ob) = open.take() {
-        sink.buffering = false;
-        if close_pending(ob, &mut timeline, &copy_faults, &mut col, &mut meter, &mut sink) {
-            col.report.recovery.failed_batches += 1;
+    /// Rebuilds an engine from a snapshot, the inverse of
+    /// [`Engine::snapshot`] for the same `spec`/`machines`/`cfg` and a
+    /// `source` already advanced past the snapshot's `pulled` arrivals.
+    /// Structural inconsistencies (a snapshot from a different
+    /// configuration, or corrupt-but-checksummed state) are rejected as
+    /// [`ServeError::CorruptCheckpoint`] — never a panic.
+    pub(crate) fn restore(
+        spec: &'e DeviceSpec,
+        machines: &'e [ServeMachine<'m>],
+        source: S,
+        cfg: &'e ServeConfig,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, ServeError> {
+        let corrupt = |what: &'static str| ServeError::CorruptCheckpoint { offset: 0, what };
+        let full = cfg.detail == ReportDetail::Full;
+        let depth = cfg.max_queue_depth;
+        let buffer_bytes = cfg.buffer_bytes();
+        if snap.ring_recent.len() > depth || snap.ring_released < snap.ring_recent.len() {
+            return Err(corrupt("release ring inconsistent with max_queue_depth"));
         }
+        if snap.ring_released != snap.next {
+            return Err(corrupt("release count inconsistent with the admission cursor"));
+        }
+        if snap.next.checked_add(snap.window.len()) != Some(snap.pulled) {
+            return Err(corrupt("admission window inconsistent with the pull cursor"));
+        }
+        for a in &snap.window {
+            if a.machine >= machines.len() {
+                return Err(corrupt("window arrival names an unknown machine"));
+            }
+            if a.bytes.len() > buffer_bytes {
+                return Err(corrupt("window arrival exceeds the staging buffer"));
+            }
+            if a.arrival_cycle > snap.last_cycle {
+                return Err(corrupt("window arrival beyond the source cursor"));
+            }
+        }
+        if full && (snap.delivery_sketch.is_some() || snap.kernel_sketch.is_some()) {
+            return Err(corrupt("latency sketch present under full report detail"));
+        }
+        let mut controller = cfg.controller.as_ref().map(|cc| {
+            AdaptiveController::new(cc.clone(), machines.iter().map(|m| m.arms.clone()).collect())
+        });
+        match (controller.as_mut(), snap.controller.as_ref()) {
+            (None, None) => {}
+            (Some(c), Some(state)) => {
+                if !c.import_state(state) {
+                    return Err(corrupt("controller state shape does not match the machine arms"));
+                }
+            }
+            _ => return Err(corrupt("controller state presence does not match the config")),
+        }
+        let residency = match (cfg.residency, snap.residency_order.as_ref()) {
+            (None, None) => None,
+            (Some(rc), Some(order)) => Some(
+                ResidencyLru::from_order(rc.capacity_bytes, machines, order)
+                    .ok_or_else(|| corrupt("residency LRU order is not a valid resident set"))?,
+            ),
+            _ => return Err(corrupt("residency state presence does not match the config")),
+        };
+        let col = Collector {
+            full,
+            report: {
+                let mut r = snap.report.clone();
+                // Config-derived statics: pin to this run's config (the
+                // checkpoint layer's fingerprint guarantees they match the
+                // original's anyway).
+                r.policy = cfg.policy.name();
+                r.overlap = cfg.overlap;
+                r
+            },
+            delivery: LatencyAcc {
+                exact: snap.delivery_exact.clone(),
+                sketch: snap.delivery_sketch.clone(),
+                spill: !full,
+            },
+            kernel: LatencyAcc {
+                exact: snap.kernel_exact.clone(),
+                sketch: snap.kernel_sketch.clone(),
+                spill: !full,
+            },
+        };
+        Ok(Engine {
+            spec,
+            machines,
+            cfg,
+            breaker_consecutive: snap.breaker_consecutive,
+            timeline: DeviceTimeline::from_frontiers(cfg.overlap, snap.frontiers),
+            controller,
+            col,
+            depths: DepthTracker {
+                pending: snap.depth_pending.iter().map(|&e| Reverse(e)).collect(),
+                depth: snap.depth_depth,
+                group: snap.depth_group,
+                samples: snap.depth_samples.clone(),
+                keep_samples: full,
+                peak: snap.depth_peak,
+                cap: depth,
+                zero_pairs: snap.depth_zero_pairs,
+            },
+            meter: OverlapMeter {
+                computes: snap.meter_computes.iter().copied().collect(),
+                pending_copies: snap.meter_pending_copies.iter().copied().collect(),
+                copy_busy: snap.meter_copy_busy,
+                hidden: snap.meter_hidden,
+            },
+            residency,
+            sink: Sink { buffering: false, buf: Vec::new() },
+            open: None,
+            cq: ComputeCursor { free: snap.cq_free, horizon: snap.cq_horizon },
+            fails: Vec::new(),
+            puller: Puller {
+                source,
+                n_machines: machines.len(),
+                buffer_bytes,
+                pulled: snap.pulled,
+                last_cycle: snap.last_cycle,
+            },
+            window: snap.window.iter().cloned().collect(),
+            ring: ReleaseRing {
+                depth,
+                released: snap.ring_released,
+                recent: snap.ring_recent.iter().copied().collect(),
+            },
+            batch_arrivals: Vec::new(),
+            batch_admits: Vec::new(),
+            buffer_free: snap.buffer_free,
+            next: snap.next,
+            batch_idx: snap.batch_idx,
+        })
     }
-    sink.flush(&mut col, &mut meter);
-    debug_assert!(sink.buf.is_empty(), "every buffered report effect must have flushed");
-
-    let Collector { mut report, delivery, kernel, .. } = col;
-    report.makespan_cycles = timeline.horizon().max(cq.horizon);
-    // Latency summaries describe delivered results only; shed streams keep
-    // zeroed per-stream entries and are excluded.
-    let (delivery_summary, delivery_sketched) = delivery.summarize();
-    let (kernel_summary, kernel_sketched) = kernel.summarize();
-    report.delivery = delivery_summary;
-    report.kernel_latency = kernel_summary;
-    report.latency_error_permille =
-        if delivery_sketched || kernel_sketched { LatencySketch::ERROR_PERMILLE } else { 0 };
-    let (samples, peak) = depths.finish();
-    report.queue_depth = samples;
-    report.peak_queue = peak;
-    report.overlap_efficiency_permille = meter.efficiency_permille();
-    // Fold the kernel-side fault counters (accumulated through the stats
-    // merges) into the recovery report; copy-side counters are already
-    // there.
-    report.recovery.block_retries = report.stats.fault_retries;
-    report.recovery.watchdog_kills = report.stats.fault_watchdog_kills;
-    report.recovery.degraded_blocks = report.stats.fault_degraded_blocks;
-    report.recovery.fault_cycles += report.stats.fault_cycles;
-    Ok(report)
 }
 
 #[cfg(test)]

@@ -144,6 +144,32 @@ impl LatencySketch {
         self.max = self.max.max(other.max);
     }
 
+    /// The sketch's entire state, for checkpoint encoding: the bucket
+    /// counters, the recorded-value total, and the raw running min/max
+    /// (`min` is `u64::MAX` on an empty sketch — the sentinel is part of
+    /// the state and must round-trip as-is).
+    pub(crate) fn raw_parts(&self) -> (&[u64], u64, u64, u64) {
+        (&self.counts, self.total, self.min, self.max)
+    }
+
+    /// Rebuilds a sketch from [`LatencySketch::raw_parts`]. Returns `None`
+    /// when the parts are inconsistent (wrong bucket count, or counters
+    /// that do not sum to `total`) — a decoded checkpoint must never
+    /// produce a sketch the recording path could not have.
+    pub(crate) fn from_raw_parts(counts: Vec<u64>, total: u64, min: u64, max: u64) -> Option<Self> {
+        if counts.len() != Self::BUCKETS {
+            return None;
+        }
+        let mut sum = 0u64;
+        for &c in &counts {
+            sum = sum.checked_add(c)?;
+        }
+        if sum != total {
+            return None;
+        }
+        Some(LatencySketch { counts, total, min, max })
+    }
+
     /// Nearest-rank `pct`-th percentile (`pct` in 1..=100), mirroring the
     /// exact path's rule `rank = max(ceil(pct·n / 100), 1)`. Returns the
     /// containing bucket's upper bound clamped to the exact maximum, so the

@@ -1,0 +1,215 @@
+//! Crash-consistency properties of the serve-layer checkpoint path
+//! (ISSUE 10 satellite): random engine configs × random checkpoint
+//! boundaries × fault plans must round-trip `encode → decode` bit for
+//! bit, resume to a `ServeReport` bit-identical to the uninterrupted
+//! run, and reject corrupt or truncated checkpoint bytes as structured
+//! errors — never panics.
+
+use gspecpal::config::SchemeConfig;
+use gspecpal_fsm::examples::{div7, mod_counter, ones_counter};
+use gspecpal_fsm::Dfa;
+use gspecpal_gpu::{DeviceSpec, FaultPlan};
+use gspecpal_serve::{
+    serve, serve_checkpoint, serve_resume, serve_until_crash, BatchPolicy, CheckpointOutcome,
+    ControllerConfig, EngineCheckpoint, ReportDetail, ResidencyConfig, ServeConfig, ServeError,
+    ServeMachine, Trace,
+};
+use proptest::prelude::*;
+
+fn serve_dfas() -> Vec<Dfa> {
+    vec![div7(), mod_counter(5, &[0]), ones_counter(3, &[1])]
+}
+
+fn serve_machines<'a>(spec: &DeviceSpec, dfas: &'a [Dfa]) -> Vec<ServeMachine<'a>> {
+    dfas.iter().map(|dfa| ServeMachine::prepare(spec, dfa, &b"110100".repeat(64))).collect()
+}
+
+/// Maps proptest-drawn indices onto the config axes the checkpoint must
+/// survive: every batch policy, faults on/off, the adaptive controller,
+/// bounded-memory sketches, and the residency LRU.
+fn config_at(
+    policy: u8,
+    faults: bool,
+    controller: bool,
+    bounded: bool,
+    residency: bool,
+) -> ServeConfig {
+    let policy = match policy % 3 {
+        0 => BatchPolicy::Fifo { batch: 4 },
+        1 => BatchPolicy::Deadline { batch: 4, max_wait: 600 },
+        _ => BatchPolicy::Adaptive { max_batch: 6 },
+    };
+    ServeConfig {
+        policy,
+        scheme_config: SchemeConfig {
+            faults: faults
+                .then(|| FaultPlan { copy_fail_permille: 150, ..FaultPlan::chaos(29, 90) }),
+            ..SchemeConfig::default()
+        },
+        controller: controller.then(ControllerConfig::default),
+        residency: residency.then_some(ResidencyConfig { capacity_bytes: 4096 }),
+        detail: if bounded { ReportDetail::Bounded } else { ReportDetail::Full },
+        ..ServeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The hard guarantee: checkpoint at any quiescent batch boundary,
+    /// encode, decode, resume — and the final report is bit-identical to
+    /// the run that was never interrupted, across every policy, fault
+    /// plan, controller, detail level, and residency setting.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_the_uninterrupted_run(
+        seed in 0u64..1_000,
+        n_streams in 8usize..36,
+        at_batch in 0usize..10,
+        policy in 0u8..3,
+        faults in 0u8..2,
+        controller in 0u8..2,
+        bounded in 0u8..2,
+        residency in 0u8..2,
+    ) {
+        let spec = DeviceSpec::test_unit();
+        let dfas = serve_dfas();
+        let machines = serve_machines(&spec, &dfas);
+        let cfg = config_at(policy, faults == 1, controller == 1, bounded == 1, residency == 1);
+        let trace = Trace::synthetic(seed, n_streams, dfas.len(), 35, 8..80, b"01");
+        let reference = serve(&spec, &machines, &trace, &cfg).unwrap();
+        match serve_checkpoint(&spec, &machines, trace.source(), &cfg, at_batch).unwrap() {
+            CheckpointOutcome::Completed(report) => prop_assert_eq!(*report, reference),
+            CheckpointOutcome::Checkpoint(ck) => {
+                // The wire format round-trips bit for bit.
+                let bytes = ck.encode();
+                let decoded = EngineCheckpoint::decode(&bytes).unwrap();
+                prop_assert_eq!(&decoded, &*ck);
+                prop_assert_eq!(decoded.encode(), bytes);
+                // And resuming from it loses nothing.
+                let resumed = serve_resume(&spec, &machines, trace.source(), &cfg, &ck).unwrap();
+                prop_assert_eq!(resumed, reference);
+            }
+        }
+    }
+
+    /// Corrupt bytes are a structured `CorruptCheckpoint` error, never a
+    /// panic: every truncation length and every single-bit flip at a
+    /// random offset is rejected (the checksum net catches the flips the
+    /// structural validators cannot).
+    #[test]
+    fn corrupt_checkpoint_bytes_are_structured_errors_never_panics(
+        seed in 0u64..500,
+        at_batch in 1usize..6,
+        flip_byte in 0usize..100_000,
+        flip_bit in 0u8..8,
+    ) {
+        let spec = DeviceSpec::test_unit();
+        let dfas = serve_dfas();
+        let machines = serve_machines(&spec, &dfas);
+        let cfg = config_at(seed as u8, seed % 2 == 0, false, false, false);
+        let trace = Trace::synthetic(seed, 24, dfas.len(), 30, 8..64, b"01");
+        let outcome = serve_checkpoint(&spec, &machines, trace.source(), &cfg, at_batch).unwrap();
+        if let CheckpointOutcome::Checkpoint(ck) = outcome {
+            let bytes = ck.encode();
+            let cut = seed as usize % bytes.len();
+            match EngineCheckpoint::decode(&bytes[..cut]) {
+                Err(ServeError::CorruptCheckpoint { .. }) => {}
+                other => prop_assert!(false, "truncation at {} not rejected: {:?}", cut, other),
+            }
+            let mut flipped = bytes.clone();
+            flipped[flip_byte % bytes.len()] ^= 1 << flip_bit;
+            match EngineCheckpoint::decode(&flipped) {
+                Err(ServeError::CorruptCheckpoint { .. }) => {}
+                other => prop_assert!(false, "bit flip not rejected: {:?}", other),
+            }
+        }
+    }
+
+    /// `serve_until_crash` + `finalize_checkpoint` conserve streams: the
+    /// durable report plus the orphans account for exactly the arrivals
+    /// pulled by the checkpointed prefix, under any crash cycle and
+    /// checkpoint cadence.
+    #[test]
+    fn checkpoint_crash_finalize_conserves_every_pulled_stream(
+        seed in 0u64..1_000,
+        crash_cycle in 0u64..400_000,
+        every_batches in 1usize..6,
+        faults in 0u8..2,
+    ) {
+        let spec = DeviceSpec::test_unit();
+        let dfas = serve_dfas();
+        let machines = serve_machines(&spec, &dfas);
+        let cfg = config_at(0, faults == 1, false, false, false);
+        let trace = Trace::synthetic(seed, 28, dfas.len(), 30, 8..64, b"01");
+        let crash = serve_until_crash(
+            &spec, &machines, trace.source(), &cfg, every_batches, crash_cycle,
+        ).unwrap();
+        if let Some(report) = crash.completed {
+            // Idle at the crash cycle: the run finished and nothing needs
+            // replay. The report must equal the plain serve.
+            let reference = serve(&spec, &machines, &trace, &cfg).unwrap();
+            prop_assert_eq!(*report, reference);
+        } else {
+            prop_assert!(crash.checkpoints_taken >= 1, "batch-0 checkpoint is unconditional");
+            prop_assert!(crash.checkpoint_bytes > 0);
+            let ck = crash.checkpoint.expect("crashed runs always leave a checkpoint");
+            let (durable, orphans) =
+                gspecpal_serve::finalize_checkpoint(&spec, &machines, &cfg, &ck).unwrap();
+            prop_assert_eq!(durable.streams + orphans.len(), ck.streams_pulled());
+            prop_assert!(durable.streams + orphans.len() <= trace.len());
+            prop_assert_eq!(durable.stats.profile.total_cycles(), durable.stats.cycles);
+        }
+    }
+}
+
+/// Acceptance criterion: checkpoint/resume is bit-identical across host
+/// thread counts (`RAYON_NUM_THREADS ∈ {1, 4}`) — the restored engine
+/// inherits the same determinism contract as the uninterrupted path.
+#[test]
+fn checkpoint_resume_is_bit_identical_across_rayon_pools() {
+    let spec = DeviceSpec::test_unit();
+    let dfas = serve_dfas();
+    let machines = serve_machines(&spec, &dfas);
+    let cfg = config_at(2, true, true, false, true);
+    let trace = Trace::synthetic(41, 30, dfas.len(), 30, 8..80, b"01");
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap().install(|| {
+            let reference = serve(&spec, &machines, &trace, &cfg).unwrap();
+            let resumed = match serve_checkpoint(&spec, &machines, trace.source(), &cfg, 2).unwrap()
+            {
+                CheckpointOutcome::Completed(report) => *report,
+                CheckpointOutcome::Checkpoint(ck) => {
+                    let ck = EngineCheckpoint::decode(&ck.encode()).unwrap();
+                    serve_resume(&spec, &machines, trace.source(), &cfg, &ck).unwrap()
+                }
+            };
+            assert_eq!(resumed, reference, "resume diverged inside a {threads}-thread pool");
+            resumed
+        })
+    };
+    assert_eq!(run(1), run(4), "reports differ across pool sizes");
+}
+
+/// A checkpoint is tied to its exact run setup: resuming under a
+/// different fleet (machine count) is refused with a fingerprint
+/// mismatch, not silently accepted.
+#[test]
+fn checkpoint_fingerprint_pins_the_machine_fleet() {
+    let spec = DeviceSpec::test_unit();
+    let dfas = serve_dfas();
+    let machines = serve_machines(&spec, &dfas);
+    let cfg = config_at(0, false, false, false, false);
+    let trace = Trace::synthetic(7, 20, 1, 30, 8..64, b"01");
+    let CheckpointOutcome::Checkpoint(ck) =
+        serve_checkpoint(&spec, &machines, trace.source(), &cfg, 1).unwrap()
+    else {
+        panic!("expected a checkpoint");
+    };
+    let fewer = serve_machines(&spec, &dfas[..1]);
+    match serve_resume(&spec, &fewer, trace.source(), &cfg, &ck) {
+        Err(ServeError::CheckpointMismatch { expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
+}

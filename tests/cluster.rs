@@ -4,15 +4,15 @@
 
 use gspecpal::{FaultPlan, SchemeConfig};
 use gspecpal_cluster::{
-    run_cluster, run_cluster_source, ClusterConfig, ClusterDevice, DeviceOutage, FleetMachine,
-    HashRing,
+    run_cluster, run_cluster_source, ClusterConfig, ClusterDevice, DeviceOutage, FailoverConfig,
+    FleetMachine, HashRing, RouterStats,
 };
 use gspecpal_fsm::examples::{div7, mod_counter, ones_counter};
 use gspecpal_fsm::Dfa;
-use gspecpal_gpu::DeviceSpec;
+use gspecpal_gpu::{fault_coord, DeviceSpec, FaultDomain};
 use gspecpal_serve::{
-    serve, BatchPolicy, IterSource, PriorityClass, ResidencyConfig, ServeConfig, ServeMachine,
-    StreamArrival, Trace,
+    serve, BatchPolicy, IterSource, PriorityClass, ResidencyConfig, ServeConfig, ServeError,
+    ServeMachine, StreamArrival, Trace,
 };
 use proptest::prelude::*;
 
@@ -324,4 +324,231 @@ fn deadline_class_preempts_across_the_fleet() {
         fifo.deadline_delivery.p99
     );
     assert_eq!(pre.shed_streams, 0);
+}
+
+// --- ISSUE 10: checkpoint failover across the fleet ------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// The chaos-matrix leg: kill a device at a proptest-chosen mid-trace
+    /// cycle with failover on. The fleet must finish with
+    /// `lost_streams == 0`, conserve every stream and byte, and stay
+    /// bit-deterministic across reruns — under any checkpoint cadence and
+    /// with or without an injected fault plan.
+    #[test]
+    fn failover_chaos_mid_trace_device_kill_loses_no_streams(
+        seed in 0u64..1_000,
+        victim_salt in 0usize..3,
+        crash_salt in 1usize..40,
+        every_batches in 1usize..6,
+        faults in 0u8..2,
+    ) {
+        let dfas = fleet_dfas();
+        let machines = fleet_machines(&dfas);
+        let devices = test_devices(3);
+        let trace = Trace::synthetic(seed, 42, dfas.len(), 50, 8..64, b"01");
+        let serve_cfg = ServeConfig {
+            scheme_config: SchemeConfig {
+                faults: (faults == 1)
+                    .then(|| FaultPlan { copy_fail_permille: 150, ..FaultPlan::chaos(seed, 80) }),
+                ..SchemeConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let victim = victim_salt % devices.len();
+        let at_cycle = trace.arrivals()[crash_salt % trace.len()].arrival_cycle;
+        let cfg = ClusterConfig {
+            serve: serve_cfg,
+            outage: Some(DeviceOutage { device: victim, at_cycle }),
+            failover: Some(FailoverConfig {
+                checkpoint_every_batches: every_batches,
+                ..FailoverConfig::default()
+            }),
+            ..ClusterConfig::default()
+        };
+        let recovered = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+        // The acceptance criterion: a mid-trace kill with failover loses
+        // nothing — provably, by stream conservation.
+        prop_assert_eq!(recovered.lost_streams, 0);
+        prop_assert_eq!(recovered.streams, trace.len());
+        let per_device: usize = recovered.devices.iter().map(|d| d.report.streams).sum();
+        prop_assert_eq!(per_device, trace.len());
+        let fleet_bytes: usize = recovered.devices.iter().map(|d| d.report.total_bytes).sum();
+        let trace_bytes: usize = trace.arrivals().iter().map(|a| a.bytes.len()).sum();
+        prop_assert_eq!(fleet_bytes, trace_bytes);
+        // A resume point always exists (the batch-0 checkpoint), and the
+        // durable-storage traffic it cost is accounted.
+        prop_assert!(recovered.failover.checkpoints_taken >= 1);
+        prop_assert!(recovered.failover.checkpoint_bytes > 0);
+        // Replayed orphans ride a priced checkpoint migration.
+        if recovered.failover.migrations_replayed > 0 {
+            prop_assert!(recovered.failover.replay_cycles > 0);
+        }
+        // Chaos or not, the whole report replays bit for bit.
+        let again = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+        prop_assert_eq!(recovered, again);
+    }
+}
+
+/// Satellite (b): without failover the legacy outage path now *measures*
+/// what a real crash would destroy — `lost_streams` equals the arrivals
+/// already routed to the victim when it died, instead of silently
+/// completing them. Flipping failover on drives the same scenario to zero.
+#[test]
+fn failover_off_reports_doomed_streams_as_lost_and_on_reports_zero() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let devices = test_devices(3);
+    let trace = Trace::synthetic(29, 60, dfas.len(), 60, 8..64, b"01");
+    let healthy = run_cluster(&devices, &machines, &trace, &ClusterConfig::default()).unwrap();
+    assert_eq!(healthy.lost_streams, 0, "a healthy fleet loses nothing");
+    assert_eq!(healthy.failover, gspecpal_cluster::FailoverReport::default());
+    let victim = (0..3).max_by_key(|&d| healthy.devices[d].report.streams).expect("three devices");
+    let mid = trace.arrivals()[trace.len() / 2].arrival_cycle;
+    let legacy_cfg = ClusterConfig {
+        outage: Some(DeviceOutage { device: victim, at_cycle: mid }),
+        ..ClusterConfig::default()
+    };
+    let legacy = run_cluster(&devices, &machines, &trace, &legacy_cfg).unwrap();
+    assert!(legacy.router.doomed_streams > 0, "the busiest device had pre-crash arrivals");
+    assert_eq!(legacy.lost_streams, legacy.router.doomed_streams);
+    assert_eq!(
+        legacy.lost_streams as usize, legacy.devices[victim].report.streams,
+        "the legacy model still completes exactly the doomed streams on the dead device"
+    );
+    let failover_cfg = ClusterConfig { failover: Some(FailoverConfig::default()), ..legacy_cfg };
+    let recovered = run_cluster(&devices, &machines, &trace, &failover_cfg).unwrap();
+    assert_eq!(recovered.lost_streams, 0, "failover must conserve every doomed stream");
+    assert_eq!(recovered.router.doomed_streams, legacy.router.doomed_streams);
+    assert_eq!(recovered.streams, trace.len());
+}
+
+/// A crash that strikes after the victim finished its whole share has
+/// nothing in flight: the failover report must equal the crash-free fleet
+/// bit for bit, modulo the failover/outage bookkeeping counters.
+#[test]
+fn failover_after_quiesce_equals_the_crash_free_fleet_modulo_counters() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let devices = test_devices(3);
+    let trace = Trace::synthetic(31, 40, dfas.len(), 40, 8..64, b"01");
+    let healthy = run_cluster(&devices, &machines, &trace, &ClusterConfig::default()).unwrap();
+    let cfg = ClusterConfig {
+        outage: Some(DeviceOutage { device: 1, at_cycle: healthy.makespan_cycles + 1 }),
+        failover: Some(FailoverConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let recovered = run_cluster(&devices, &machines, &trace, &cfg).unwrap();
+    assert!(recovered.failover.checkpoints_taken >= 1);
+    assert_eq!(recovered.failover.migrations_replayed, 0, "an idle crash migrates nothing");
+    assert_eq!(recovered.failover.replay_cycles, 0);
+    assert_eq!(recovered.lost_streams, 0);
+    let expected = gspecpal_cluster::ClusterReport {
+        router: RouterStats { doomed_streams: recovered.router.doomed_streams, ..healthy.router },
+        failover: recovered.failover,
+        ..healthy.clone()
+    };
+    assert_eq!(recovered, expected, "only the bookkeeping counters may differ");
+}
+
+/// Migration-copy failures come from the *same* fault plan as every other
+/// copy in the run, keyed on the receiving survivor, and are retried under
+/// the capped-exponential schedule with the post-budget attempt forced
+/// through. With a single survivor the retry count is exactly computable.
+#[test]
+fn failover_migration_retries_follow_the_shared_fault_plan() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let devices = test_devices(2);
+    let trace = Trace::synthetic(37, 30, dfas.len(), 40, 8..64, b"01");
+    let healthy = run_cluster(&devices, &machines, &trace, &ClusterConfig::default()).unwrap();
+    let victim = (0..2).max_by_key(|&d| healthy.devices[d].report.streams).expect("two devices");
+    let survivor = 1 - victim;
+    // Crash right after the first arrival so nearly the whole victim share
+    // is orphaned and must migrate.
+    let at_cycle = trace.arrivals()[0].arrival_cycle + 1;
+    let fo = FailoverConfig::default();
+    let outage = DeviceOutage { device: victim, at_cycle };
+    let clean_cfg =
+        ClusterConfig { outage: Some(outage), failover: Some(fo), ..ClusterConfig::default() };
+    let clean = run_cluster(&devices, &machines, &trace, &clean_cfg).unwrap();
+    assert!(clean.failover.migrations_replayed > 0, "an early crash must orphan streams");
+    assert_eq!(clean.failover.migration_retries, 0, "no fault plan, no failed copies");
+    assert!(clean.failover.replay_cycles > 0, "the checkpoint copy itself is never free");
+    assert_eq!(clean.lost_streams, 0);
+    // Every copy attempt fails: the loop must spend exactly the retry
+    // budget on the one migrating survivor, then force the copy through.
+    let plan = FaultPlan {
+        seed: 97,
+        abort_permille: 0,
+        copy_fail_permille: 1000,
+        corrupt_permille: 0,
+        watchdog_cycles: 0,
+    };
+    let mut expected_retries = 0u64;
+    for attempt in 0..fo.migration_max_retries {
+        if plan.copy_fails(FaultDomain::H2d, fault_coord(survivor), attempt) {
+            expected_retries += 1;
+        } else {
+            break;
+        }
+    }
+    assert_eq!(expected_retries, fo.migration_max_retries as u64, "1000 permille always fails");
+    let faulty_cfg = ClusterConfig {
+        serve: ServeConfig {
+            scheme_config: SchemeConfig { faults: Some(plan), ..SchemeConfig::default() },
+            ..ServeConfig::default()
+        },
+        ..clean_cfg
+    };
+    let faulty = run_cluster(&devices, &machines, &trace, &faulty_cfg).unwrap();
+    assert!(faulty.failover.migrations_replayed > 0);
+    assert_eq!(faulty.failover.migration_retries, expected_retries);
+    assert!(
+        faulty.failover.replay_cycles > clean.failover.replay_cycles,
+        "failed attempts and backoffs must show up in the replay bill"
+    );
+    assert_eq!(faulty.lost_streams, 0, "forced-through migration still conserves streams");
+}
+
+/// The streaming path keeps no routing journal to replay orphans from, so
+/// pairing it with failover is a structured configuration error.
+#[test]
+fn streaming_path_rejects_failover_with_a_structured_error() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let trace = Trace::synthetic(11, 8, dfas.len(), 30, 8..32, b"01");
+    let cfg = ClusterConfig {
+        outage: Some(DeviceOutage { device: 0, at_cycle: 100 }),
+        failover: Some(FailoverConfig::default()),
+        ..ClusterConfig::default()
+    };
+    match run_cluster_source(
+        &test_devices(2),
+        &machines,
+        IterSource(trace.arrivals().iter().cloned()),
+        &cfg,
+    ) {
+        Err(ServeError::InvalidConfig { field: "failover", .. }) => {}
+        other => panic!("expected the streaming path to reject failover, got {other:?}"),
+    }
+}
+
+/// A zero checkpoint cadence can never take the batch-0 checkpoint the
+/// resume guarantee depends on — rejected up front.
+#[test]
+fn failover_rejects_a_zero_checkpoint_cadence() {
+    let dfas = fleet_dfas();
+    let machines = fleet_machines(&dfas);
+    let trace = Trace::synthetic(11, 8, dfas.len(), 30, 8..32, b"01");
+    let cfg = ClusterConfig {
+        outage: Some(DeviceOutage { device: 0, at_cycle: 100 }),
+        failover: Some(FailoverConfig { checkpoint_every_batches: 0, ..FailoverConfig::default() }),
+        ..ClusterConfig::default()
+    };
+    match run_cluster(&test_devices(2), &machines, &trace, &cfg) {
+        Err(ServeError::InvalidConfig { .. }) => {}
+        other => panic!("expected a cadence rejection, got {other:?}"),
+    }
 }
